@@ -1,0 +1,204 @@
+//! Bit-sequence helpers shared by the statistical tests.
+//!
+//! Bits are represented as `u8` values restricted to `{0, 1}`; helper functions validate
+//! that restriction, pack/unpack bytes and compute elementary counts.
+
+use crate::{AisError, Result};
+
+/// Validates that every sample of `bits` is 0 or 1.
+///
+/// # Errors
+///
+/// Returns [`AisError::NotABit`] with the index of the first offending sample.
+pub fn ensure_bits(bits: &[u8]) -> Result<()> {
+    for (index, &value) in bits.iter().enumerate() {
+        if value > 1 {
+            return Err(AisError::NotABit { index, value });
+        }
+    }
+    Ok(())
+}
+
+/// Validates that `bits` has at least `needed` samples (after validating bit values).
+///
+/// # Errors
+///
+/// Returns an error when the sequence is too short or contains non-bit values.
+pub fn ensure_bit_len(bits: &[u8], needed: usize) -> Result<()> {
+    ensure_bits(bits)?;
+    if bits.len() < needed {
+        return Err(AisError::SequenceTooShort {
+            len: bits.len(),
+            needed,
+        });
+    }
+    Ok(())
+}
+
+/// Converts a slice of booleans to a bit vector.
+pub fn from_bools(bools: &[bool]) -> Vec<u8> {
+    bools.iter().map(|&b| u8::from(b)).collect()
+}
+
+/// Unpacks bytes into bits, most significant bit first.
+pub fn unpack_bytes(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &byte in bytes {
+        for shift in (0..8).rev() {
+            bits.push((byte >> shift) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits into bytes, most significant bit first.  The last byte is zero-padded if
+/// the bit count is not a multiple of 8.
+///
+/// # Errors
+///
+/// Returns an error when a sample is not a bit.
+pub fn pack_bits(bits: &[u8]) -> Result<Vec<u8>> {
+    ensure_bits(bits)?;
+    let mut bytes = Vec::with_capacity(bits.len().div_ceil(8));
+    for chunk in bits.chunks(8) {
+        let mut byte = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            byte |= bit << (7 - i);
+        }
+        bytes.push(byte);
+    }
+    Ok(bytes)
+}
+
+/// Number of ones in the sequence.
+///
+/// # Errors
+///
+/// Returns an error when a sample is not a bit.
+pub fn count_ones(bits: &[u8]) -> Result<usize> {
+    ensure_bits(bits)?;
+    Ok(bits.iter().map(|&b| b as usize).sum())
+}
+
+/// Interprets consecutive non-overlapping `width`-bit blocks as unsigned integers
+/// (most significant bit first).  A trailing partial block is discarded.
+///
+/// # Errors
+///
+/// Returns an error when `width` is 0 or larger than 32, or a sample is not a bit.
+pub fn blocks_as_integers(bits: &[u8], width: usize) -> Result<Vec<u32>> {
+    ensure_bits(bits)?;
+    if width == 0 || width > 32 {
+        return Err(AisError::InvalidParameter {
+            name: "width",
+            reason: format!("block width must be in 1..=32, got {width}"),
+        });
+    }
+    Ok(bits
+        .chunks_exact(width)
+        .map(|chunk| chunk.iter().fold(0u32, |acc, &b| (acc << 1) | b as u32))
+        .collect())
+}
+
+/// Lengths of the maximal runs (of either value) in the sequence.
+///
+/// # Errors
+///
+/// Returns an error when a sample is not a bit.
+pub fn run_lengths(bits: &[u8]) -> Result<Vec<usize>> {
+    ensure_bits(bits)?;
+    let mut runs = Vec::new();
+    let mut iter = bits.iter();
+    let mut current = match iter.next() {
+        Some(&b) => b,
+        None => return Ok(runs),
+    };
+    let mut len = 1usize;
+    for &b in iter {
+        if b == current {
+            len += 1;
+        } else {
+            runs.push(len);
+            current = b;
+            len = 1;
+        }
+    }
+    runs.push(len);
+    Ok(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_validation() {
+        assert!(ensure_bits(&[0, 1, 1, 0]).is_ok());
+        assert_eq!(
+            ensure_bits(&[0, 2]).unwrap_err(),
+            AisError::NotABit { index: 1, value: 2 }
+        );
+        assert!(ensure_bit_len(&[0, 1], 3).is_err());
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let bytes = vec![0b1010_1100, 0b0001_1111, 0xff, 0x00];
+        let bits = unpack_bytes(&bytes);
+        assert_eq!(bits.len(), 32);
+        assert_eq!(&bits[..8], &[1, 0, 1, 0, 1, 1, 0, 0]);
+        let packed = pack_bits(&bits).unwrap();
+        assert_eq!(packed, bytes);
+    }
+
+    #[test]
+    fn pack_pads_partial_bytes() {
+        let packed = pack_bits(&[1, 1, 1]).unwrap();
+        assert_eq!(packed, vec![0b1110_0000]);
+    }
+
+    #[test]
+    fn from_bools_and_count_ones() {
+        let bits = from_bools(&[true, false, true, true]);
+        assert_eq!(bits, vec![1, 0, 1, 1]);
+        assert_eq!(count_ones(&bits).unwrap(), 3);
+        assert!(count_ones(&[3]).is_err());
+    }
+
+    #[test]
+    fn blocks_as_integers_msb_first() {
+        let bits = [1, 0, 1, 1, 0, 0, 0, 1, 1]; // trailing bit discarded for width 4
+        let blocks = blocks_as_integers(&bits, 4).unwrap();
+        assert_eq!(blocks, vec![0b1011, 0b0001]);
+        assert!(blocks_as_integers(&bits, 0).is_err());
+        assert!(blocks_as_integers(&bits, 33).is_err());
+    }
+
+    #[test]
+    fn run_lengths_cover_the_sequence() {
+        let runs = run_lengths(&[0, 0, 1, 1, 1, 0, 1]).unwrap();
+        assert_eq!(runs, vec![2, 3, 1, 1]);
+        assert_eq!(run_lengths(&[]).unwrap(), Vec::<usize>::new());
+        assert_eq!(run_lengths(&[1]).unwrap(), vec![1]);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn pack_unpack_identity(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+                let bits = unpack_bytes(&bytes);
+                let packed = pack_bits(&bits).unwrap();
+                prop_assert_eq!(packed, bytes);
+            }
+
+            #[test]
+            fn run_lengths_sum_to_length(bits in proptest::collection::vec(0u8..=1, 0..256)) {
+                let runs = run_lengths(&bits).unwrap();
+                prop_assert_eq!(runs.iter().sum::<usize>(), bits.len());
+            }
+        }
+    }
+}

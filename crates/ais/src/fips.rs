@@ -1,0 +1,191 @@
+//! FIPS 140-2 style single-block tests on a 20 000-bit sample.
+//!
+//! These are the classical power-up tests many hardware RNGs still embed.  They overlap
+//! with AIS 31 Procedure A but use the FIPS 140-2 acceptance regions, which are slightly
+//! different; keeping both lets the battery report either compliance view.
+
+use crate::bits::{blocks_as_integers, count_ones, ensure_bit_len, run_lengths};
+use crate::{Result, TestResult};
+
+/// Number of bits consumed by each FIPS test.
+pub const FIPS_BLOCK_BITS: usize = 20_000;
+
+/// FIPS monobit test: the number of ones must lie in `(9725, 10275)`.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn monobit(bits: &[u8]) -> Result<TestResult> {
+    ensure_bit_len(bits, FIPS_BLOCK_BITS)?;
+    let ones = count_ones(&bits[..FIPS_BLOCK_BITS])? as f64;
+    Ok(TestResult::new(
+        "FIPS monobit",
+        ones,
+        ones > 9725.0 && ones < 10275.0,
+        "9725 < ones < 10275",
+    ))
+}
+
+/// FIPS poker test: statistic over 5000 4-bit blocks accepted in `(2.16, 46.17)`.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn poker(bits: &[u8]) -> Result<TestResult> {
+    ensure_bit_len(bits, FIPS_BLOCK_BITS)?;
+    let blocks = blocks_as_integers(&bits[..FIPS_BLOCK_BITS], 4)?;
+    let mut counts = [0u64; 16];
+    for b in blocks {
+        counts[b as usize] += 1;
+    }
+    let sum_sq: f64 = counts.iter().map(|&c| (c * c) as f64).sum();
+    let statistic = 16.0 / 5000.0 * sum_sq - 5000.0;
+    Ok(TestResult::new(
+        "FIPS poker",
+        statistic,
+        statistic > 2.16 && statistic < 46.17,
+        "2.16 < X < 46.17",
+    ))
+}
+
+/// Acceptance intervals of the FIPS runs test for run lengths 1–5 and ≥6.
+pub const FIPS_RUN_BOUNDS: [(u64, u64); 6] = [
+    (2343, 2657),
+    (1135, 1365),
+    (542, 708),
+    (251, 373),
+    (111, 201),
+    (111, 201),
+];
+
+/// FIPS runs test.
+///
+/// The statistic is the number of violated intervals (0 when the test passes).
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn runs(bits: &[u8]) -> Result<TestResult> {
+    ensure_bit_len(bits, FIPS_BLOCK_BITS)?;
+    let window = &bits[..FIPS_BLOCK_BITS];
+    let mut counts = [[0u64; 6]; 2];
+    let run_list = run_lengths(window)?;
+    let mut value = window[0] as usize;
+    for len in run_list {
+        counts[value][len.min(6) - 1] += 1;
+        value ^= 1;
+    }
+    let mut violations = 0u64;
+    for value_counts in &counts {
+        for (idx, &(lo, hi)) in FIPS_RUN_BOUNDS.iter().enumerate() {
+            let c = value_counts[idx];
+            if c < lo || c > hi {
+                violations += 1;
+            }
+        }
+    }
+    Ok(TestResult::new(
+        "FIPS runs",
+        violations as f64,
+        violations == 0,
+        "all 12 run-length counts inside the FIPS intervals",
+    ))
+}
+
+/// FIPS long-run test: no run of 26 or more identical bits.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn long_run(bits: &[u8]) -> Result<TestResult> {
+    ensure_bit_len(bits, FIPS_BLOCK_BITS)?;
+    let longest = run_lengths(&bits[..FIPS_BLOCK_BITS])?
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    Ok(TestResult::new(
+        "FIPS long run",
+        longest as f64,
+        longest < 26,
+        "longest run < 26",
+    ))
+}
+
+/// Runs the four FIPS tests on one block.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn run_all(bits: &[u8]) -> Result<Vec<TestResult>> {
+    Ok(vec![monobit(bits)?, poker(bits)?, runs(bits)?, long_run(bits)?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    #[test]
+    fn random_bits_pass_all_fips_tests() {
+        let bits = random_bits(FIPS_BLOCK_BITS, 11);
+        for result in run_all(&bits).unwrap() {
+            assert!(result.passed, "{} failed ({})", result.name, result.statistic);
+        }
+    }
+
+    #[test]
+    fn constant_bits_fail_every_test() {
+        let bits = vec![1u8; FIPS_BLOCK_BITS];
+        let results = run_all(&bits).unwrap();
+        assert!(results.iter().all(|r| !r.passed));
+    }
+
+    #[test]
+    fn fips_bounds_are_tighter_than_ais_t1() {
+        // A bias that squeaks past AIS T1 (9654) can still fail the FIPS monobit bound.
+        let mut bits = random_bits(FIPS_BLOCK_BITS, 12);
+        // Force exactly 9700 ones.
+        let mut ones: usize = bits.iter().map(|&b| b as usize).sum();
+        let mut i = 0;
+        while ones > 9700 {
+            if bits[i] == 1 {
+                bits[i] = 0;
+                ones -= 1;
+            }
+            i += 1;
+        }
+        while ones < 9700 {
+            if bits[i] == 0 {
+                bits[i] = 1;
+                ones += 1;
+            }
+            i += 1;
+        }
+        assert!(crate::procedure_a::t1_monobit(&bits).unwrap().passed);
+        assert!(!monobit(&bits).unwrap().passed);
+    }
+
+    #[test]
+    fn long_run_boundary() {
+        let mut bits = random_bits(FIPS_BLOCK_BITS, 13);
+        for bit in bits.iter_mut().skip(100).take(26) {
+            *bit = 0;
+        }
+        // Make sure the surrounding bits do not extend the run.
+        bits[99] = 1;
+        bits[126] = 1;
+        assert!(!long_run(&bits).unwrap().passed);
+    }
+
+    #[test]
+    fn too_short_sequences_are_rejected() {
+        assert!(monobit(&[0, 1, 0]).is_err());
+        assert!(run_all(&[1; 1000]).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! AIS 31 Procedure A tests (T0–T5).
+//!
+//! Procedure A is applied to the internal random numbers of the generator; tests T1–T5
+//! each consume a 20 000-bit block, and T0 checks disjointness of 2¹⁶ consecutive 48-bit
+//! blocks.  The acceptance bounds are those of the AIS 20/31 specification (Schindler &
+//! Killmann); they correspond to a per-test false-alarm probability around 10⁻⁶.
+
+use std::collections::HashSet;
+
+use crate::bits::{blocks_as_integers, count_ones, ensure_bit_len, run_lengths};
+use crate::{AisError, Result, TestResult};
+
+/// Number of bits consumed by each of the tests T1–T5.
+pub const BLOCK_BITS: usize = 20_000;
+
+/// Block width (bits) of the disjointness test T0.
+pub const T0_BLOCK_WIDTH: usize = 48;
+
+/// Number of blocks examined by the standard disjointness test T0.
+pub const T0_BLOCKS: usize = 1 << 16;
+
+/// T0 disjointness test with the standard parameters (2¹⁶ blocks of 48 bits).
+///
+/// # Errors
+///
+/// Returns an error when fewer than `48·2¹⁶` bits are provided.
+pub fn t0_disjointness(bits: &[u8]) -> Result<TestResult> {
+    t0_disjointness_with(bits, T0_BLOCK_WIDTH, T0_BLOCKS)
+}
+
+/// T0 disjointness test with explicit parameters (for unit tests and reduced-size runs).
+///
+/// # Errors
+///
+/// Returns an error for invalid parameters or an insufficient number of bits.
+pub fn t0_disjointness_with(bits: &[u8], block_width: usize, blocks: usize) -> Result<TestResult> {
+    if block_width == 0 || block_width > 64 {
+        return Err(AisError::InvalidParameter {
+            name: "block_width",
+            reason: format!("block width must be in 1..=64, got {block_width}"),
+        });
+    }
+    if blocks < 2 {
+        return Err(AisError::InvalidParameter {
+            name: "blocks",
+            reason: "at least two blocks are required".to_string(),
+        });
+    }
+    ensure_bit_len(bits, block_width * blocks)?;
+    let mut seen: HashSet<u64> = HashSet::with_capacity(blocks);
+    let mut collisions = 0usize;
+    for i in 0..blocks {
+        let chunk = &bits[i * block_width..(i + 1) * block_width];
+        let value = chunk.iter().fold(0u64, |acc, &b| (acc << 1) | b as u64);
+        if !seen.insert(value) {
+            collisions += 1;
+        }
+    }
+    Ok(TestResult::new(
+        "T0 disjointness",
+        collisions as f64,
+        collisions == 0,
+        "no repeated block",
+    ))
+}
+
+/// T1 monobit test: the number of ones in 20 000 bits must lie in `(9654, 10346)`.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn t1_monobit(bits: &[u8]) -> Result<TestResult> {
+    ensure_bit_len(bits, BLOCK_BITS)?;
+    let ones = count_ones(&bits[..BLOCK_BITS])? as f64;
+    Ok(TestResult::new(
+        "T1 monobit",
+        ones,
+        ones > 9654.0 && ones < 10346.0,
+        "9654 < ones < 10346",
+    ))
+}
+
+/// T2 poker test: χ²-like statistic over 5000 non-overlapping 4-bit blocks, accepted in
+/// `(1.03, 57.4)`.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn t2_poker(bits: &[u8]) -> Result<TestResult> {
+    ensure_bit_len(bits, BLOCK_BITS)?;
+    let blocks = blocks_as_integers(&bits[..BLOCK_BITS], 4)?;
+    let mut counts = [0u64; 16];
+    for b in blocks {
+        counts[b as usize] += 1;
+    }
+    let sum_sq: f64 = counts.iter().map(|&c| (c * c) as f64).sum();
+    let statistic = 16.0 / 5000.0 * sum_sq - 5000.0;
+    Ok(TestResult::new(
+        "T2 poker",
+        statistic,
+        statistic > 1.03 && statistic < 57.4,
+        "1.03 < X < 57.4",
+    ))
+}
+
+/// Acceptance intervals of the T3 runs test, indexed by run length 1..=6 (6 collects all
+/// longer runs).  The same interval applies to runs of zeros and runs of ones.
+pub const T3_BOUNDS: [(u64, u64); 6] = [
+    (2267, 2733),
+    (1079, 1421),
+    (502, 748),
+    (223, 402),
+    (90, 223),
+    (90, 233),
+];
+
+/// T3 runs test: the number of runs of each length (1–5, and ≥6) of each bit value must
+/// fall inside the specification intervals.
+///
+/// The returned statistic is the number of violated intervals (0 when the test passes).
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn t3_runs(bits: &[u8]) -> Result<TestResult> {
+    ensure_bit_len(bits, BLOCK_BITS)?;
+    let window = &bits[..BLOCK_BITS];
+    // Count runs separately for zeros and ones.
+    let mut counts = [[0u64; 6]; 2];
+    let runs = run_lengths(window)?;
+    let mut value = window[0] as usize;
+    for len in runs {
+        let idx = len.min(6) - 1;
+        counts[value][idx] += 1;
+        value ^= 1;
+    }
+    let mut violations = 0u64;
+    for value_counts in &counts {
+        for (idx, &(lo, hi)) in T3_BOUNDS.iter().enumerate() {
+            let c = value_counts[idx];
+            if c < lo || c > hi {
+                violations += 1;
+            }
+        }
+    }
+    Ok(TestResult::new(
+        "T3 runs",
+        violations as f64,
+        violations == 0,
+        "all 12 run-length counts inside the specification intervals",
+    ))
+}
+
+/// T4 long-run test: no run of length 34 or more may occur in 20 000 bits.
+///
+/// The statistic is the length of the longest run observed.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn t4_long_run(bits: &[u8]) -> Result<TestResult> {
+    ensure_bit_len(bits, BLOCK_BITS)?;
+    let longest = run_lengths(&bits[..BLOCK_BITS])?
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    Ok(TestResult::new(
+        "T4 long run",
+        longest as f64,
+        longest < 34,
+        "longest run < 34",
+    ))
+}
+
+/// T5 autocorrelation test.
+///
+/// The shift `τ* ∈ [1, 5000]` maximizing the deviation of
+/// `Z_τ = Σ_{i=0}^{4999} b_i ⊕ b_{i+τ}` from 2500 is selected on the first half of the
+/// block; the test statistic is then recomputed with `τ*` on the second half and must lie
+/// in `(2326, 2674)`.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn t5_autocorrelation(bits: &[u8]) -> Result<TestResult> {
+    ensure_bit_len(bits, BLOCK_BITS)?;
+    let window = &bits[..BLOCK_BITS];
+    let half = BLOCK_BITS / 2;
+    let mut best_tau = 1usize;
+    let mut best_dev = -1.0f64;
+    for tau in 1..=5000usize {
+        let z: u64 = (0..5000)
+            .map(|i| (window[i] ^ window[i + tau]) as u64)
+            .sum();
+        let dev = (z as f64 - 2500.0).abs();
+        if dev > best_dev {
+            best_dev = dev;
+            best_tau = tau;
+        }
+    }
+    let z_star: u64 = (0..5000)
+        .map(|i| (window[half + i] ^ window[half + i + best_tau]) as u64)
+        .sum();
+    let statistic = z_star as f64;
+    Ok(TestResult::new(
+        format!("T5 autocorrelation (tau = {best_tau})"),
+        statistic,
+        statistic > 2326.0 && statistic < 2674.0,
+        "2326 < Z < 2674",
+    ))
+}
+
+/// Runs T1–T5 on one 20 000-bit block and returns the individual results.
+///
+/// # Errors
+///
+/// Returns an error when fewer than 20 000 bits are provided.
+pub fn run_t1_to_t5(bits: &[u8]) -> Result<Vec<TestResult>> {
+    Ok(vec![
+        t1_monobit(bits)?,
+        t2_poker(bits)?,
+        t3_runs(bits)?,
+        t4_long_run(bits)?,
+        t5_autocorrelation(bits)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    fn biased_bits(len: usize, p_one: f64, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| u8::from(rng.gen_bool(p_one)))
+            .collect()
+    }
+
+    #[test]
+    fn good_random_bits_pass_t1_to_t5() {
+        let bits = random_bits(BLOCK_BITS, 1);
+        for result in run_t1_to_t5(&bits).unwrap() {
+            assert!(result.passed, "{} failed: {}", result.name, result.statistic);
+        }
+    }
+
+    #[test]
+    fn t1_rejects_biased_bits() {
+        let bits = biased_bits(BLOCK_BITS, 0.55, 2);
+        assert!(!t1_monobit(&bits).unwrap().passed);
+    }
+
+    #[test]
+    fn t2_rejects_structured_blocks() {
+        // Repeating the nibble pattern 0xA gives a degenerate poker distribution.
+        let bits: Vec<u8> = (0..BLOCK_BITS).map(|i| (0xAu8 >> (3 - i % 4)) & 1).collect();
+        assert!(!t2_poker(&bits).unwrap().passed);
+    }
+
+    #[test]
+    fn t3_rejects_alternating_bits() {
+        // Strict alternation produces 10 000 runs of length one for each value.
+        let bits: Vec<u8> = (0..BLOCK_BITS).map(|i| (i % 2) as u8).collect();
+        assert!(!t3_runs(&bits).unwrap().passed);
+    }
+
+    #[test]
+    fn t4_rejects_a_long_run() {
+        let mut bits = random_bits(BLOCK_BITS, 3);
+        for bit in bits.iter_mut().skip(500).take(40) {
+            *bit = 1;
+        }
+        let result = t4_long_run(&bits).unwrap();
+        assert!(!result.passed);
+        assert!(result.statistic >= 40.0);
+    }
+
+    #[test]
+    fn t5_rejects_periodic_bits() {
+        // Period-37 sequence: the autocorrelation at τ = 37 collapses to zero.
+        let base = random_bits(37, 4);
+        let bits: Vec<u8> = (0..BLOCK_BITS).map(|i| base[i % 37]).collect();
+        assert!(!t5_autocorrelation(&bits).unwrap().passed);
+    }
+
+    #[test]
+    fn t0_detects_repeated_blocks() {
+        // Reduced-size variant: 256 blocks of 16 bits from a counter are disjoint...
+        let mut bits = Vec::new();
+        for i in 0..256u32 {
+            for shift in (0..16).rev() {
+                bits.push(((i >> shift) & 1) as u8);
+            }
+        }
+        assert!(t0_disjointness_with(&bits, 16, 256).unwrap().passed);
+        // ...but repeating one block breaks disjointness.
+        let first_block: Vec<u8> = bits[..16].to_vec();
+        bits.splice(16..32, first_block);
+        let result = t0_disjointness_with(&bits, 16, 256).unwrap();
+        assert!(!result.passed);
+        assert_eq!(result.statistic, 1.0);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(t1_monobit(&[0, 1]).is_err());
+        assert!(t2_poker(&[1; 100]).is_err());
+        assert!(t0_disjointness_with(&[0, 1, 0, 1], 2, 1).is_err());
+        assert!(t0_disjointness(&[0; 100]).is_err());
+        let mut bits = vec![0u8; BLOCK_BITS];
+        bits[5] = 3;
+        assert!(t1_monobit(&bits).is_err());
+    }
+}

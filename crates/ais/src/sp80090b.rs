@@ -1,0 +1,214 @@
+//! NIST SP 800-90B style continuous health tests.
+//!
+//! These are the lightweight tests an entropy source runs permanently on its raw output:
+//!
+//! * **repetition count test** — catches a source that gets stuck on one value,
+//! * **adaptive proportion test** — catches a large loss of entropy (one value becoming
+//!   far too frequent) over a sliding window.
+//!
+//! Both are parameterized by the claimed min-entropy per sample `H` and a false-positive
+//! exponent (the cutoffs are chosen so that a healthy source fails with probability about
+//! `2^-20` per window, the SP 800-90B recommendation).
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::ensure_bits;
+use crate::{AisError, Result, TestResult};
+
+/// Cutoff of the repetition count test: `C = 1 + ⌈20 / H⌉` for a false-positive
+/// probability of `2⁻²⁰` per sample.
+///
+/// # Errors
+///
+/// Returns an error when `min_entropy_per_sample` is not in `(0, 1]` (for binary
+/// samples).
+pub fn repetition_count_cutoff(min_entropy_per_sample: f64) -> Result<u64> {
+    check_entropy(min_entropy_per_sample)?;
+    Ok(1 + (20.0 / min_entropy_per_sample).ceil() as u64)
+}
+
+/// Runs the repetition count test over a full bit sequence.
+///
+/// The statistic is the longest run of identical bits; the test fails as soon as a run
+/// reaches the cutoff.
+///
+/// # Errors
+///
+/// Returns an error for an empty sequence, non-bit samples, or an invalid entropy claim.
+pub fn repetition_count_test(bits: &[u8], min_entropy_per_sample: f64) -> Result<TestResult> {
+    ensure_bits(bits)?;
+    if bits.is_empty() {
+        return Err(AisError::SequenceTooShort { len: 0, needed: 1 });
+    }
+    let cutoff = repetition_count_cutoff(min_entropy_per_sample)?;
+    let mut longest = 1u64;
+    let mut current = 1u64;
+    for w in bits.windows(2) {
+        if w[0] == w[1] {
+            current += 1;
+            longest = longest.max(current);
+        } else {
+            current = 1;
+        }
+    }
+    Ok(TestResult::new(
+        "SP800-90B repetition count",
+        longest as f64,
+        longest < cutoff,
+        format!("longest run < {cutoff}"),
+    ))
+}
+
+/// Window size of the adaptive proportion test for binary sources.
+pub const ADAPTIVE_PROPORTION_WINDOW: usize = 1024;
+
+/// Cutoff of the adaptive proportion test for binary sources, derived from the binomial
+/// tail so a healthy source with min-entropy `H` fails with probability ≈ `2⁻²⁰` per
+/// window.
+///
+/// # Errors
+///
+/// Returns an error when `min_entropy_per_sample` is not in `(0, 1]`.
+pub fn adaptive_proportion_cutoff(min_entropy_per_sample: f64) -> Result<u64> {
+    check_entropy(min_entropy_per_sample)?;
+    // The most likely value has probability at most p = 2^{-H}.  Use a normal
+    // approximation of Binomial(W, p) and a 2^-20 ≈ 4.45 σ one-sided bound.
+    let p = 2.0f64.powf(-min_entropy_per_sample);
+    let w = ADAPTIVE_PROPORTION_WINDOW as f64;
+    let mean = w * p;
+    let std = (w * p * (1.0 - p)).sqrt();
+    Ok((mean + 4.45 * std).ceil().min(w) as u64)
+}
+
+/// Outcome of the adaptive proportion test over every disjoint window of the sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveProportionOutcome {
+    /// Per-window counts of the window's first sample value.
+    pub window_counts: Vec<u64>,
+    /// The cutoff applied to each window.
+    pub cutoff: u64,
+    /// Aggregated verdict.
+    pub result: TestResult,
+}
+
+/// Runs the adaptive proportion test: in every disjoint 1024-bit window, the number of
+/// occurrences of the window's first sample must stay below the cutoff.
+///
+/// # Errors
+///
+/// Returns an error when fewer than one full window of bits is provided or the entropy
+/// claim is invalid.
+pub fn adaptive_proportion_test(
+    bits: &[u8],
+    min_entropy_per_sample: f64,
+) -> Result<AdaptiveProportionOutcome> {
+    ensure_bits(bits)?;
+    if bits.len() < ADAPTIVE_PROPORTION_WINDOW {
+        return Err(AisError::SequenceTooShort {
+            len: bits.len(),
+            needed: ADAPTIVE_PROPORTION_WINDOW,
+        });
+    }
+    let cutoff = adaptive_proportion_cutoff(min_entropy_per_sample)?;
+    let mut window_counts = Vec::new();
+    let mut worst = 0u64;
+    for window in bits.chunks_exact(ADAPTIVE_PROPORTION_WINDOW) {
+        let target = window[0];
+        let count = window.iter().filter(|&&b| b == target).count() as u64;
+        worst = worst.max(count);
+        window_counts.push(count);
+    }
+    let passed = worst < cutoff;
+    Ok(AdaptiveProportionOutcome {
+        window_counts,
+        cutoff,
+        result: TestResult::new(
+            "SP800-90B adaptive proportion",
+            worst as f64,
+            passed,
+            format!("max per-window count < {cutoff}"),
+        ),
+    })
+}
+
+fn check_entropy(min_entropy_per_sample: f64) -> Result<()> {
+    if !(min_entropy_per_sample > 0.0 && min_entropy_per_sample <= 1.0) {
+        return Err(AisError::InvalidParameter {
+            name: "min_entropy_per_sample",
+            reason: format!("must be in (0, 1] for binary samples, got {min_entropy_per_sample}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    #[test]
+    fn cutoffs_match_the_specification_shape() {
+        assert_eq!(repetition_count_cutoff(1.0).unwrap(), 21);
+        assert_eq!(repetition_count_cutoff(0.5).unwrap(), 41);
+        // Lower claimed entropy means a more permissive adaptive-proportion cutoff.
+        let strict = adaptive_proportion_cutoff(1.0).unwrap();
+        let loose = adaptive_proportion_cutoff(0.3).unwrap();
+        assert!(strict < loose);
+        assert!(strict > 512 && strict < 600, "cutoff {strict}");
+    }
+
+    #[test]
+    fn healthy_bits_pass_both_tests() {
+        let bits = random_bits(64 * ADAPTIVE_PROPORTION_WINDOW, 21);
+        assert!(repetition_count_test(&bits, 1.0).unwrap().passed);
+        let outcome = adaptive_proportion_test(&bits, 1.0).unwrap();
+        assert!(outcome.result.passed);
+        assert_eq!(outcome.window_counts.len(), 64);
+    }
+
+    #[test]
+    fn stuck_source_fails_the_repetition_count_test() {
+        let mut bits = random_bits(10_000, 22);
+        for bit in bits.iter_mut().skip(4000).take(30) {
+            *bit = 1;
+        }
+        assert!(!repetition_count_test(&bits, 1.0).unwrap().passed);
+    }
+
+    #[test]
+    fn biased_source_fails_the_adaptive_proportion_test() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let bits: Vec<u8> = (0..16 * ADAPTIVE_PROPORTION_WINDOW)
+            .map(|_| u8::from(rng.gen_bool(0.75)))
+            .collect();
+        let outcome = adaptive_proportion_test(&bits, 1.0).unwrap();
+        assert!(!outcome.result.passed);
+    }
+
+    #[test]
+    fn biased_source_passes_with_a_matching_entropy_claim() {
+        // The same biased source is acceptable if the claimed min-entropy matches it:
+        // p = 0.75 → min-entropy ≈ 0.415 bits/sample.
+        let mut rng = StdRng::seed_from_u64(24);
+        let bits: Vec<u8> = (0..16 * ADAPTIVE_PROPORTION_WINDOW)
+            .map(|_| u8::from(rng.gen_bool(0.75)))
+            .collect();
+        let outcome = adaptive_proportion_test(&bits, 0.41).unwrap();
+        assert!(outcome.result.passed);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(repetition_count_cutoff(0.0).is_err());
+        assert!(repetition_count_cutoff(1.5).is_err());
+        assert!(repetition_count_test(&[], 1.0).is_err());
+        assert!(adaptive_proportion_test(&random_bits(100, 1), 1.0).is_err());
+        assert!(repetition_count_test(&[0, 1, 2], 1.0).is_err());
+    }
+}

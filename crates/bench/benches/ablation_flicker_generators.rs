@@ -1,0 +1,35 @@
+//! Ablation: the two flicker-FM synthesis back-ends (spectral shaping vs the streaming
+//! Kasdin fractional-difference filter) generating the same jitter statistics at very
+//! different costs — the design choice called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ptrng_osc::jitter::{FlickerSynthesis, JitterGenerator};
+use ptrng_osc::phase::PhaseNoiseModel;
+
+fn bench_flicker_backends(c: &mut Criterion) {
+    let model = PhaseNoiseModel::date14_experiment();
+    let mut group = c.benchmark_group("ablation/flicker_backend");
+    group.sample_size(10);
+    let len = 1usize << 15;
+    for (name, synthesis) in [
+        ("spectral", FlickerSynthesis::Spectral),
+        ("kasdin_1024", FlickerSynthesis::Kasdin { memory: 1024 }),
+        ("kasdin_4096", FlickerSynthesis::Kasdin { memory: 4096 }),
+        ("disabled", FlickerSynthesis::Disabled),
+    ] {
+        let generator = JitterGenerator::with_synthesis(model, synthesis);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &generator, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                g.generate_period_jitter(&mut rng, len).expect("generation succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flicker_backends);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: the two `σ²_N` estimators — the hardware-faithful counter circuit (Eq. 12,
+//! quantized) vs the period-domain evaluation of Eq. 4 — at the same accumulation depth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ptrng_measure::circuit::DifferentialCircuit;
+use ptrng_osc::phase::PhaseNoiseModel;
+
+fn bench_sn_estimators(c: &mut Criterion) {
+    // Exaggerated thermal jitter so the counter estimator operates above its
+    // quantization floor (same regime as the circuit unit tests).
+    let per_osc = PhaseNoiseModel::thermal_only(5.0e5, 1.0e8).expect("valid model");
+    let circuit = DifferentialCircuit::new(per_osc, per_osc);
+    let mut group = c.benchmark_group("ablation/sn_estimator");
+    group.sample_size(10);
+    group.bench_function("counter_circuit_n100_x200", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            circuit
+                .measure_counters(&mut rng, 100, 200)
+                .expect("counter acquisition succeeds")
+        })
+    });
+    group.bench_function("period_domain_n100_20k_periods", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            circuit
+                .measure_period_domain(&mut rng, &[100], 20_000)
+                .expect("period-domain acquisition succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sn_estimators);
+criterion_main!(benches);

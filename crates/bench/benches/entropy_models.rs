@@ -1,0 +1,43 @@
+//! ENTROPY benchmark: cost of the model entropy bounds (naive vs flicker-aware) and of
+//! the empirical estimators (Coron T8, Markov rate) they are compared against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ptrng_ais::procedure_b::t8_entropy_with;
+use ptrng_trng::entropy::{block_entropy, markov_entropy_rate};
+use ptrng_trng::stochastic::EntropyModel;
+
+fn bench_model_bounds(c: &mut Criterion) {
+    let model = EntropyModel::date14_experiment();
+    c.bench_function("entropy/model_bounds_1k_depths", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in (1_000..=1_000_000).step_by(1_000) {
+                acc += model.entropy_bound_naive(n) - model.entropy_bound_thermal(n);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_empirical_estimators(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let bits: Vec<u8> = (0..200_000).map(|_| rng.gen_range(0..=1u8)).collect();
+    let mut group = c.benchmark_group("entropy/empirical");
+    group.sample_size(20);
+    group.bench_function("coron_t8_24k_blocks", |b| {
+        b.iter(|| t8_entropy_with(&bits, 8, 1_000, 24_000, 7.976).expect("t8 succeeds"))
+    });
+    group.bench_function("markov_rate_200k_bits", |b| {
+        b.iter(|| markov_entropy_rate(&bits).expect("estimator succeeds"))
+    });
+    group.bench_function("block_entropy_200k_bits", |b| {
+        b.iter(|| block_entropy(&bits, 8).expect("estimator succeeds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_bounds, bench_empirical_estimators);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! EQ11 benchmark: closed-form evaluation of `σ²_N` (Eq. 11) versus the numerical
+//! quadrature of the spectral integral (Eq. 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ptrng_osc::model::AccumulationModel;
+use ptrng_osc::phase::PhaseNoiseModel;
+
+fn bench_closed_form_vs_numeric(c: &mut Criterion) {
+    let acc = AccumulationModel::new(PhaseNoiseModel::date14_experiment());
+    let mut group = c.benchmark_group("eq11");
+    group.bench_function("closed_form_30k_depths", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for n in 1..=30_000usize {
+                total += acc.sigma2_n(n);
+            }
+            total
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("numeric_integral_single_depth", |b| {
+        b.iter(|| acc.sigma2_n_numeric(5_354).expect("quadrature succeeds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_form_vs_numeric);
+criterion_main!(benches);

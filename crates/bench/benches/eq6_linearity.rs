@@ -1,0 +1,35 @@
+//! EQ6 benchmark: cost of the Bienaymé linearity check on a thermal-only jitter record
+//! (single-depth `σ²_N` evaluation and the independent-prediction comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ptrng_osc::jitter::JitterGenerator;
+use ptrng_osc::phase::PhaseNoiseModel;
+use ptrng_stats::sn::sigma2_n;
+use ptrng_stats::variance::bienayme_check;
+
+fn bench_linearity_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq6/bienayme_check");
+    group.sample_size(20);
+    let model = PhaseNoiseModel::thermal_only(276.04, 103.0e6).expect("valid model");
+    let generator = JitterGenerator::new(model);
+    let mut rng = StdRng::seed_from_u64(3);
+    let jitter = generator
+        .generate_period_jitter(&mut rng, 1 << 16)
+        .expect("generation succeeds");
+    let sigma2 = model.thermal_period_jitter_variance();
+    for n in [16usize, 256, 4_096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let measured = sigma2_n(&jitter, n).expect("sigma2_n");
+                bienayme_check(n, measured, sigma2).expect("check")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linearity_check);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! FIG7 benchmark: cost of acquiring and reducing the `σ²_N` sweep that regenerates the
+//! paper's Fig. 7 (jitter generation + accumulation statistic over log-spaced depths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ptrng_measure::circuit::DifferentialCircuit;
+use ptrng_osc::jitter::JitterGenerator;
+use ptrng_stats::sn::{log_spaced_depths, sigma2_n_sweep, SnSampling};
+
+fn bench_sweep_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/sigma_n_sweep");
+    group.sample_size(10);
+    let circuit = DifferentialCircuit::date14_experiment();
+    let generator = JitterGenerator::new(circuit.relative_model().expect("identical oscillators"));
+    let mut rng = StdRng::seed_from_u64(1);
+    let jitter = generator
+        .generate_period_jitter(&mut rng, 1 << 16)
+        .expect("generation succeeds");
+    let depths = log_spaced_depths(1, 8_192, 25).expect("valid depths");
+    group.bench_function("sweep_25_depths_64k_periods", |b| {
+        b.iter(|| sigma2_n_sweep(&jitter, &depths, SnSampling::Overlapping).expect("sweep"))
+    });
+    group.finish();
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/acquisition");
+    group.sample_size(10);
+    let circuit = DifferentialCircuit::date14_experiment();
+    for record_len in [1usize << 14, 1 << 16] {
+        group.bench_with_input(
+            BenchmarkId::new("period_domain", record_len),
+            &record_len,
+            |b, &len| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    let depths = log_spaced_depths(1, len / 8, 15).expect("valid depths");
+                    circuit
+                        .measure_period_domain(&mut rng, &depths, len)
+                        .expect("acquisition succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_reduction, bench_acquisition);
+criterion_main!(benches);

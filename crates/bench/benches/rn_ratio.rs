@@ -1,0 +1,48 @@
+//! RN benchmark: cost of recovering the ratio `r_N` and the independence threshold from
+//! a measured dataset (fit + derived quantities), the computation an embedded monitor
+//! would re-run periodically.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ptrng_core::independence::IndependenceAnalysis;
+use ptrng_measure::dataset::{DatasetPoint, Sigma2NDataset};
+use ptrng_osc::model::AccumulationModel;
+use ptrng_osc::phase::PhaseNoiseModel;
+
+fn synthetic_dataset(points: usize) -> Sigma2NDataset {
+    let model = PhaseNoiseModel::date14_experiment();
+    let acc = AccumulationModel::new(model);
+    let pts = (1..=points)
+        .map(|i| {
+            let n = i * 1_000;
+            DatasetPoint {
+                n,
+                sigma2_n: acc.sigma2_n(n),
+                samples: 1_000,
+            }
+        })
+        .collect();
+    Sigma2NDataset::new(model.frequency(), "synthetic", pts).expect("valid dataset")
+}
+
+fn bench_independence_analysis(c: &mut Criterion) {
+    let dataset = synthetic_dataset(30);
+    let mut group = c.benchmark_group("rn");
+    group.bench_function("independence_analysis_30_points", |b| {
+        b.iter(|| IndependenceAnalysis::from_dataset(&dataset).expect("analysis succeeds"))
+    });
+    let acc = AccumulationModel::new(PhaseNoiseModel::date14_experiment());
+    group.bench_function("rn_ratio_and_threshold", |b| {
+        b.iter(|| {
+            let mut acc_total = 0.0;
+            for n in (100..=100_000).step_by(100) {
+                acc_total += acc.rn_ratio(n);
+            }
+            (acc_total, acc.independence_threshold(0.95).expect("valid ratio"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_independence_analysis);
+criterion_main!(benches);

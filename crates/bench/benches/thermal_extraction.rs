@@ -1,0 +1,51 @@
+//! THERMAL benchmark: cost of the `σ²_N = a·N + b·N²` fit and the thermal-jitter
+//! extraction (Section IV), i.e. the arithmetic the paper proposes to embed on chip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ptrng_core::thermal::ThermalNoiseEstimate;
+use ptrng_measure::dataset::{DatasetPoint, Sigma2NDataset};
+use ptrng_osc::model::AccumulationModel;
+use ptrng_osc::phase::PhaseNoiseModel;
+use ptrng_stats::fit::sigma_n_fit;
+
+fn synthetic_dataset(points: usize) -> Sigma2NDataset {
+    let model = PhaseNoiseModel::date14_experiment();
+    let acc = AccumulationModel::new(model);
+    let pts = (1..=points)
+        .map(|i| {
+            let n = i * 500;
+            DatasetPoint {
+                n,
+                sigma2_n: acc.sigma2_n(n),
+                samples: 500,
+            }
+        })
+        .collect();
+    Sigma2NDataset::new(model.frequency(), "synthetic", pts).expect("valid dataset")
+}
+
+fn bench_thermal_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal");
+    for points in [8usize, 32, 128] {
+        let dataset = synthetic_dataset(points);
+        group.bench_with_input(
+            BenchmarkId::new("sigma_n_fit", points),
+            &dataset,
+            |b, ds| {
+                let depths = ds.depths();
+                let vars = ds.variances();
+                b.iter(|| sigma_n_fit(&depths, &vars, None).expect("fit succeeds"))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_extraction", points),
+            &dataset,
+            |b, ds| b.iter(|| ThermalNoiseEstimate::from_dataset(ds).expect("extraction succeeds")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thermal_extraction);
+criterion_main!(benches);

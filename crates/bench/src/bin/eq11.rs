@@ -1,0 +1,36 @@
+//! EQ11 — checks the closed form `σ²_N = 2·b_th/f0³·N + 8·ln2·b_fl/f0⁴·N²` (Eq. 11)
+//! against a direct numerical quadrature of the spectral integral (Eq. 9).
+//!
+//! ```text
+//! cargo run --release -p ptrng-bench --bin eq11
+//! ```
+
+use ptrng_osc::model::AccumulationModel;
+use ptrng_osc::phase::PhaseNoiseModel;
+
+fn main() {
+    let acc = AccumulationModel::new(PhaseNoiseModel::date14_experiment());
+    println!("# EQ11: closed form vs numerical integration of Eq. 9 (paper model, f0 = 103 MHz)");
+    println!("{:>8}  {:>14}  {:>14}  {:>12}", "N", "closed form", "numeric", "rel. error");
+    for n in [1usize, 10, 100, 281, 1_000, 5_354, 10_000, 30_000] {
+        let closed = acc.sigma2_n(n);
+        let numeric = acc
+            .sigma2_n_numeric(n)
+            .expect("the quadrature succeeds for positive depths");
+        println!(
+            "{n:>8}  {closed:>14.6e}  {numeric:>14.6e}  {:>12.3e}",
+            (numeric - closed).abs() / closed
+        );
+    }
+
+    println!();
+    println!("thermal / flicker decomposition at selected depths:");
+    println!("{:>8}  {:>14}  {:>14}", "N", "thermal term", "flicker term");
+    for n in [100usize, 1_000, 5_354, 30_000] {
+        println!(
+            "{n:>8}  {:>14.6e}  {:>14.6e}",
+            acc.thermal_component(n),
+            acc.flicker_component(n)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! EQ6 — verifies Bienaymé's identity on a thermal-only source: `σ²_N = 2·N·σ²`
+//! (the linear law that mutual independence of jitter realizations imposes).
+//!
+//! ```text
+//! cargo run --release -p ptrng-bench --bin eq6
+//! ```
+
+use ptrng_bench::acquire_thermal_only_dataset;
+use ptrng_core::independence::IndependenceAnalysis;
+use ptrng_osc::phase::PhaseNoiseModel;
+use ptrng_stats::sn::sigma2_n_independent;
+
+fn main() {
+    let dataset = acquire_thermal_only_dataset(6, 1 << 19, 10_000);
+    let paper = PhaseNoiseModel::date14_experiment();
+    // Relative thermal-only variance per period: b_th/f0^3 (the coefficients of the two
+    // oscillators add back to the paper's relative value).
+    let sigma2 = paper.b_thermal() / paper.frequency().powi(3);
+
+    println!("# EQ6: thermal-only source, sigma^2_N against the Bienaymé prediction 2*N*sigma^2");
+    println!("{:>8}  {:>14}  {:>14}  {:>10}", "N", "measured", "2*N*sigma^2", "ratio");
+    for p in dataset.points() {
+        let predicted = sigma2_n_independent(p.n, sigma2);
+        println!(
+            "{:>8}  {:>14.6e}  {:>14.6e}  {:>10.4}",
+            p.n,
+            p.sigma2_n,
+            predicted,
+            p.sigma2_n / predicted
+        );
+    }
+
+    let analysis = IndependenceAnalysis::from_dataset(&dataset)
+        .expect("the thermal-only dataset is analysable");
+    println!();
+    println!("verdict                      : {:?}", analysis.verdict());
+    println!(
+        "flicker share at max depth   : {:.4} (linear model explains R^2 = {:.5})",
+        analysis.flicker_share_at_max_depth(),
+        analysis.linear_only_r_squared()
+    );
+}

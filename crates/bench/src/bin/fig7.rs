@@ -1,0 +1,42 @@
+//! FIG7 — regenerates the paper's Fig. 7: `σ²_N·f0²` as a function of `N`, measured on
+//! the simulated differential circuit, together with the fitted `a·N + b·N²` curve and
+//! the closed-form model.
+//!
+//! ```text
+//! cargo run --release -p ptrng-bench --bin fig7
+//! ```
+
+use ptrng_bench::{acquire_fig7_dataset, format_fig7_row, DEFAULT_MAX_DEPTH, DEFAULT_RECORD_LEN};
+use ptrng_core::independence::IndependenceAnalysis;
+use ptrng_osc::model::AccumulationModel;
+use ptrng_osc::phase::PhaseNoiseModel;
+
+fn main() {
+    let dataset = acquire_fig7_dataset(2014, DEFAULT_RECORD_LEN, DEFAULT_MAX_DEPTH);
+    let model = AccumulationModel::new(PhaseNoiseModel::date14_experiment());
+    let f0 = dataset.frequency();
+
+    println!("# FIG7: sigma^2_N * f0^2 vs N (measured on the simulated circuit)");
+    println!("# paper fit: 5.36e-6 * N + (5.36e-6/5354) * N^2");
+    println!("{:>8}  {:>14}  {:>14}", "N", "measured", "closed form");
+    for (n, measured) in dataset.normalized_points() {
+        let predicted = model.sigma2_n(n as usize) * f0 * f0;
+        println!("{}", format_fig7_row(n, measured, predicted));
+    }
+
+    let analysis = IndependenceAnalysis::from_dataset(&dataset)
+        .expect("the regenerated dataset is analysable");
+    let fit = analysis.fit();
+    println!();
+    println!(
+        "fitted (normalized)  : sigma^2_N*f0^2 = {:.3e}*N + {:.3e}*N^2   (R^2 = {:.5})",
+        fit.linear * f0 * f0,
+        fit.quadratic * f0 * f0,
+        fit.r_squared
+    );
+    println!(
+        "paper    (normalized): sigma^2_N*f0^2 = 5.360e-6*N + {:.3e}*N^2",
+        5.36e-6 / 5354.0
+    );
+    println!("verdict              : {:?}", analysis.verdict());
+}

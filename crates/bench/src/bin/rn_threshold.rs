@@ -1,0 +1,49 @@
+//! RN — regenerates the thermal-to-total ratio `r_N = K/(K+N)` and the independence
+//! threshold of Section III-E, both from the closed-form model and from a simulated
+//! acquisition.
+//!
+//! ```text
+//! cargo run --release -p ptrng-bench --bin rn_threshold
+//! ```
+
+use ptrng_bench::{acquire_fig7_dataset, DEFAULT_MAX_DEPTH, DEFAULT_RECORD_LEN};
+use ptrng_core::independence::IndependenceAnalysis;
+use ptrng_osc::model::AccumulationModel;
+use ptrng_osc::phase::PhaseNoiseModel;
+
+fn main() {
+    let acc = AccumulationModel::new(PhaseNoiseModel::date14_experiment());
+    println!("# RN: thermal-to-total ratio r_N (model) — the paper reports r_N = 5354/(5354+N)");
+    println!("{:>8}  {:>10}  {:>10}", "N", "model r_N", "5354/(5354+N)");
+    for n in [1usize, 50, 281, 1_000, 5_354, 10_000, 30_000, 100_000] {
+        println!(
+            "{n:>8}  {:>10.4}  {:>10.4}",
+            acc.rn_ratio(n),
+            5354.0 / (5354.0 + n as f64)
+        );
+    }
+    for p in [0.99, 0.95, 0.90, 0.50] {
+        let threshold = acc
+            .independence_threshold(p)
+            .expect("valid ratio")
+            .expect("the paper model has a flicker component");
+        println!("independence threshold (r_N > {:.0}%) : N < {threshold}", p * 100.0);
+    }
+
+    println!();
+    println!("# same quantities recovered from a simulated acquisition");
+    let dataset = acquire_fig7_dataset(7, DEFAULT_RECORD_LEN, DEFAULT_MAX_DEPTH);
+    let analysis = IndependenceAnalysis::from_dataset(&dataset)
+        .expect("the simulated dataset is analysable");
+    println!(
+        "fitted K                 : {:.0}   (paper: 5354)",
+        analysis.fitted_model().rn_constant().unwrap_or(f64::INFINITY)
+    );
+    println!(
+        "fitted threshold (95 %)  : N < {}   (paper: N < 281)",
+        analysis
+            .independence_threshold_95()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "unbounded".to_string())
+    );
+}

@@ -1,0 +1,45 @@
+//! THERMAL — regenerates Section IV-B: extraction of the thermal phase-noise
+//! coefficient `b_th`, the thermal-only period jitter `σ = sqrt(b_th/f0³)` and the
+//! ratio `σ/T0` from a simulated acquisition, compared to the paper's quoted values.
+//!
+//! ```text
+//! cargo run --release -p ptrng-bench --bin thermal_extraction
+//! ```
+
+use ptrng_bench::{acquire_fig7_dataset, DEFAULT_MAX_DEPTH, DEFAULT_RECORD_LEN};
+use ptrng_core::paper;
+use ptrng_core::thermal::ThermalNoiseEstimate;
+
+fn main() {
+    let dataset = acquire_fig7_dataset(41, DEFAULT_RECORD_LEN, DEFAULT_MAX_DEPTH);
+    let estimate = ThermalNoiseEstimate::from_dataset(&dataset)
+        .expect("thermal extraction succeeds on the simulated dataset");
+
+    println!("# THERMAL: thermal-noise extraction (Section IV-B)");
+    println!("{:<28} {:>14} {:>14}", "quantity", "measured", "paper");
+    println!(
+        "{:<28} {:>14.2} {:>14.2}",
+        "b_thermal [Hz]", estimate.b_thermal, paper::B_THERMAL_HZ
+    );
+    println!(
+        "{:<28} {:>14.2} {:>14.2}",
+        "thermal jitter sigma [ps]",
+        estimate.thermal_sigma * 1.0e12,
+        paper::THERMAL_JITTER_SECONDS * 1.0e12
+    );
+    println!(
+        "{:<28} {:>14.3} {:>14.3}",
+        "sigma / T0 [permil]",
+        estimate.jitter_ratio * 1.0e3,
+        paper::THERMAL_JITTER_RATIO * 1.0e3
+    );
+    println!(
+        "{:<28} {:>14.3e} {:>14}",
+        "b_flicker [Hz^2]", estimate.b_flicker, "(not quoted)"
+    );
+    println!("{:<28} {:>14.5}", "fit R^2", estimate.fit_r_squared);
+    let deviation = estimate
+        .relative_deviation_from(paper::THERMAL_JITTER_SECONDS)
+        .expect("the paper reference is positive");
+    println!("{:<28} {:>13.1}%", "deviation from paper sigma", deviation * 100.0);
+}

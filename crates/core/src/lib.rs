@@ -1,0 +1,125 @@
+//! The multilevel P-TRNG stochastic model of Haddad, Teglia, Bernard and Fischer
+//! (DATE 2014) — the workspace's primary contribution crate.
+//!
+//! The crate ties the substrates together into the workflow of the paper:
+//!
+//! 1. **Multilevel modelling** ([`multilevel`]): start from transistor-level noise
+//!    (thermal + flicker drain-current PSDs), convert it through the ISF model into the
+//!    oscillator excess-phase PSD `Sφ(f) = b_th/f² + b_fl/f³`, and predict the
+//!    accumulated-jitter variance `σ²_N` (Eq. 11).
+//! 2. **Independence analysis** ([`independence`]): fit measured `σ²_N` data with
+//!    `a·N + b·N²`, quantify the departure from Bienaymé linearity, recover the ratio
+//!    `r_N = K/(K+N)` and the depth below which jitter realizations may still be treated
+//!    as mutually independent.
+//! 3. **Thermal-jitter extraction** ([`thermal`]): recover `b_th` and the thermal-only
+//!    period jitter `σ = sqrt(b_th/f0³)` — the paper's simple embedded measurement of the
+//!    thermal noise.
+//! 4. **Reporting** ([`report`]): aggregate everything (including the entropy
+//!    implications for an eRO-TRNG) into one serializable analysis report.
+//!
+//! The constants of the paper's own experiment are collected in [`paper`].
+//!
+//! # Example
+//!
+//! ```
+//! use ptrng_core::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Acquire a sigma^2_N dataset from the simulated measurement circuit…
+//! let circuit = DifferentialCircuit::date14_experiment();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let depths = ptrng_stats::sn::log_spaced_depths(1, 512, 12)?;
+//! let dataset = circuit.measure_period_domain(&mut rng, &depths, 1 << 16)?;
+//! // …and analyse it.
+//! let analysis = IndependenceAnalysis::from_dataset(&dataset)?;
+//! assert!(analysis.fitted_model().b_thermal() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod independence;
+pub mod multilevel;
+pub mod paper;
+pub mod report;
+pub mod thermal;
+
+use thiserror::Error;
+
+/// Errors produced by the analysis layer.
+#[derive(Debug, Error)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A parameter was outside its valid domain.
+    #[error("invalid parameter {name}: {reason}")]
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An oscillator-model routine failed.
+    #[error("oscillator model error: {0}")]
+    Osc(#[from] ptrng_osc::OscError),
+    /// A statistics routine failed.
+    #[error("statistics error: {0}")]
+    Stats(#[from] ptrng_stats::StatsError),
+    /// A measurement routine failed.
+    #[error("measurement error: {0}")]
+    Measure(#[from] ptrng_measure::MeasureError),
+    /// A TRNG-model routine failed.
+    #[error("trng model error: {0}")]
+    Trng(#[from] ptrng_trng::TrngError),
+    /// Serialization of a report failed.
+    #[error("serialization error: {0}")]
+    Serialization(#[from] serde_json::Error),
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Commonly used items re-exported for convenience.
+pub mod prelude {
+    pub use crate::independence::{IndependenceAnalysis, IndependenceVerdict};
+    pub use crate::multilevel::MultilevelModel;
+    pub use crate::paper;
+    pub use crate::report::AnalysisReport;
+    pub use crate::thermal::ThermalNoiseEstimate;
+
+    pub use ptrng_measure::campaign::{CampaignConfig, Estimator, MeasurementCampaign};
+    pub use ptrng_measure::circuit::DifferentialCircuit;
+    pub use ptrng_measure::dataset::Sigma2NDataset;
+    pub use ptrng_noise::transistor::MosTransistor;
+    pub use ptrng_osc::jitter::JitterGenerator;
+    pub use ptrng_osc::model::AccumulationModel;
+    pub use ptrng_osc::phase::PhaseNoiseModel;
+    pub use ptrng_osc::ring::RingOscillator;
+    pub use ptrng_trng::ero::{EroTrng, EroTrngConfig};
+    pub use ptrng_trng::stochastic::EntropyModel;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_conversions() {
+        let e: CoreError = ptrng_stats::StatsError::SeriesTooShort { len: 0, needed: 1 }.into();
+        assert!(e.to_string().contains("statistics error"));
+        let e: CoreError = ptrng_osc::OscError::InvalidParameter {
+            name: "x",
+            reason: "bad".to_string(),
+        }
+        .into();
+        assert!(e.to_string().contains("oscillator model error"));
+        let e: CoreError = ptrng_trng::TrngError::InvalidParameter {
+            name: "x",
+            reason: "bad".to_string(),
+        }
+        .into();
+        assert!(e.to_string().contains("trng model error"));
+    }
+}

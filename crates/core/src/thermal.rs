@@ -1,0 +1,157 @@
+//! Thermal-noise extraction (Section IV of the paper).
+//!
+//! Once `σ²_N` has been fitted with `a·N + b·N²`, the thermal phase-noise coefficient is
+//! `b_th = a·f0³/2` and the thermal-only period jitter follows as `σ = sqrt(b_th/f0³)` —
+//! a measurement simple enough to embed in a logic device, which is the practical payoff
+//! the paper advertises.
+
+use serde::{Deserialize, Serialize};
+
+use ptrng_measure::dataset::Sigma2NDataset;
+use ptrng_stats::fit::sigma_n_fit;
+
+use crate::{CoreError, Result};
+
+/// Thermal-noise estimate extracted from a `σ²_N` dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalNoiseEstimate {
+    /// Nominal oscillator frequency `f0` in hertz.
+    pub frequency: f64,
+    /// Thermal phase-noise coefficient `b_th` in hertz.
+    pub b_thermal: f64,
+    /// Flicker phase-noise coefficient `b_fl` in hertz² (0 when no quadratic term was
+    /// detected).
+    pub b_flicker: f64,
+    /// Thermal-only period jitter `σ = sqrt(b_th/f0³)` in seconds.
+    pub thermal_sigma: f64,
+    /// Relative jitter `σ/T0 = σ·f0` (the paper quotes 1.6 ‰).
+    pub jitter_ratio: f64,
+    /// R² of the two-parameter fit the estimate is based on.
+    pub fit_r_squared: f64,
+}
+
+impl ThermalNoiseEstimate {
+    /// Extracts the estimate from a measured dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the dataset has fewer than two points, the fit fails, or
+    /// the fitted thermal coefficient is not positive (no measurable thermal noise).
+    pub fn from_dataset(dataset: &Sigma2NDataset) -> Result<Self> {
+        let depths = dataset.depths();
+        let variances = dataset.variances();
+        let weights = crate::independence::inverse_variance_weights(dataset);
+        let fit = sigma_n_fit(&depths, &variances, Some(&weights))?;
+        let f0 = dataset.frequency();
+        let b_thermal = fit.linear * f0.powi(3) / 2.0;
+        if !(b_thermal > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "dataset",
+                reason: format!(
+                    "the fitted linear coefficient is not positive ({}), thermal noise is \
+                     not measurable from this dataset",
+                    fit.linear
+                ),
+            });
+        }
+        let b_flicker = (fit.quadratic * f0.powi(4) / (8.0 * std::f64::consts::LN_2)).max(0.0);
+        let thermal_sigma = (b_thermal / f0.powi(3)).sqrt();
+        Ok(Self {
+            frequency: f0,
+            b_thermal,
+            b_flicker,
+            thermal_sigma,
+            jitter_ratio: thermal_sigma * f0,
+            fit_r_squared: fit.r_squared,
+        })
+    }
+
+    /// Relative deviation of the extracted thermal jitter from a reference value
+    /// (e.g. an independent measurement, as in the paper's comparison against [19]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `reference_sigma` is not strictly positive.
+    pub fn relative_deviation_from(&self, reference_sigma: f64) -> Result<f64> {
+        if !(reference_sigma > 0.0) || !reference_sigma.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "reference_sigma",
+                reason: format!("must be positive and finite, got {reference_sigma}"),
+            });
+        }
+        Ok((self.thermal_sigma - reference_sigma) / reference_sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptrng_measure::dataset::DatasetPoint;
+    use ptrng_osc::model::AccumulationModel;
+    use ptrng_osc::phase::PhaseNoiseModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exact_dataset(depths: &[usize]) -> Sigma2NDataset {
+        let model = PhaseNoiseModel::date14_experiment();
+        let acc = AccumulationModel::new(model);
+        let points = depths
+            .iter()
+            .map(|&n| DatasetPoint {
+                n,
+                sigma2_n: acc.sigma2_n(n),
+                samples: 2000,
+            })
+            .collect();
+        Sigma2NDataset::new(model.frequency(), "synthetic", points).unwrap()
+    }
+
+    #[test]
+    fn exact_dataset_reproduces_the_paper_numbers() {
+        let dataset = exact_dataset(&[100, 1000, 5000, 10_000, 30_000]);
+        let estimate = ThermalNoiseEstimate::from_dataset(&dataset).unwrap();
+        assert!((estimate.b_thermal - 276.04).abs() / 276.04 < 1e-6);
+        assert!((estimate.thermal_sigma - 15.89e-12).abs() < 0.05e-12);
+        assert!((estimate.jitter_ratio - 1.6e-3).abs() < 0.05e-3);
+        assert!(estimate.fit_r_squared > 0.999_999);
+        assert!(estimate.b_flicker > 0.0);
+    }
+
+    #[test]
+    fn simulated_measurement_recovers_the_thermal_jitter() {
+        let circuit = ptrng_measure::circuit::DifferentialCircuit::date14_experiment();
+        let mut rng = StdRng::seed_from_u64(21);
+        let depths = ptrng_stats::sn::log_spaced_depths(8, 2048, 12).unwrap();
+        let dataset = circuit
+            .measure_period_domain(&mut rng, &depths, 1 << 17)
+            .unwrap();
+        let estimate = ThermalNoiseEstimate::from_dataset(&dataset).unwrap();
+        let deviation = estimate.relative_deviation_from(15.89e-12).unwrap();
+        assert!(
+            deviation.abs() < 0.25,
+            "thermal sigma {} deviates by {deviation}",
+            estimate.thermal_sigma
+        );
+    }
+
+    #[test]
+    fn relative_deviation_is_signed() {
+        let dataset = exact_dataset(&[100, 1000, 10_000]);
+        let estimate = ThermalNoiseEstimate::from_dataset(&dataset).unwrap();
+        assert!(estimate.relative_deviation_from(10.0e-12).unwrap() > 0.0);
+        assert!(estimate.relative_deviation_from(20.0e-12).unwrap() < 0.0);
+        assert!(estimate.relative_deviation_from(0.0).is_err());
+    }
+
+    #[test]
+    fn extraction_fails_without_a_thermal_component() {
+        // A flat-zero dataset carries no measurable thermal contribution at all.
+        let points = vec![
+            DatasetPoint { n: 10, sigma2_n: 0.0, samples: 10 },
+            DatasetPoint { n: 100, sigma2_n: 0.0, samples: 10 },
+            DatasetPoint { n: 1000, sigma2_n: 0.0, samples: 10 },
+        ];
+        let dataset = Sigma2NDataset::new(1.0e8, "synthetic", points).unwrap();
+        assert!(ThermalNoiseEstimate::from_dataset(&dataset).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! `σ²_N` vs `N` acquisition datasets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MeasureError, Result};
+
+/// One acquired point: the estimated variance of `s_N` at accumulation depth `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetPoint {
+    /// Accumulation depth `N` (number of reference periods per window).
+    pub n: usize,
+    /// Estimated `σ²_N` in s².
+    pub sigma2_n: f64,
+    /// Number of `s_N` realizations behind the estimate.
+    pub samples: usize,
+}
+
+/// A full `σ²_N` vs `N` sweep, as produced by an acquisition campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sigma2NDataset {
+    frequency: f64,
+    estimator: String,
+    points: Vec<DatasetPoint>,
+}
+
+impl Sigma2NDataset {
+    /// Creates a dataset for an oscillator of nominal frequency `frequency`, sorting the
+    /// points by depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the frequency is not positive, the point list is empty, a
+    /// variance is negative/non-finite, or two points share a depth.
+    pub fn new(
+        frequency: f64,
+        estimator: impl Into<String>,
+        mut points: Vec<DatasetPoint>,
+    ) -> Result<Self> {
+        if !(frequency > 0.0) || !frequency.is_finite() {
+            return Err(MeasureError::InvalidParameter {
+                name: "frequency",
+                reason: format!("must be positive and finite, got {frequency}"),
+            });
+        }
+        if points.is_empty() {
+            return Err(MeasureError::InvalidParameter {
+                name: "points",
+                reason: "at least one point is required".to_string(),
+            });
+        }
+        for p in &points {
+            if !p.sigma2_n.is_finite() || p.sigma2_n < 0.0 {
+                return Err(MeasureError::InvalidParameter {
+                    name: "points",
+                    reason: format!("sigma2_n at depth {} must be non-negative and finite", p.n),
+                });
+            }
+            if p.n == 0 {
+                return Err(MeasureError::InvalidParameter {
+                    name: "points",
+                    reason: "accumulation depths must be at least 1".to_string(),
+                });
+            }
+        }
+        points.sort_by_key(|p| p.n);
+        if points.windows(2).any(|w| w[0].n == w[1].n) {
+            return Err(MeasureError::InvalidParameter {
+                name: "points",
+                reason: "duplicate accumulation depth".to_string(),
+            });
+        }
+        Ok(Self {
+            frequency,
+            estimator: estimator.into(),
+            points,
+        })
+    }
+
+    /// Nominal frequency `f0` of the counted oscillator, in hertz.
+    pub fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    /// Human-readable name of the estimator that produced the dataset.
+    pub fn estimator(&self) -> &str {
+        &self.estimator
+    }
+
+    /// The acquired points, sorted by depth.
+    pub fn points(&self) -> &[DatasetPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the dataset has no points (never the case after construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The accumulation depths as `f64`, in ascending order.
+    pub fn depths(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.n as f64).collect()
+    }
+
+    /// The `σ²_N` estimates in the same order as [`Sigma2NDataset::depths`].
+    pub fn variances(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.sigma2_n).collect()
+    }
+
+    /// Per-point sample counts, usable as weights for a weighted fit.
+    pub fn sample_weights(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.samples as f64).collect()
+    }
+
+    /// The points normalized as in the paper's Fig. 7: `(N, σ²_N·f0²)`.
+    pub fn normalized_points(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.n as f64, p.sigma2_n * self.frequency * self.frequency))
+            .collect()
+    }
+
+    /// Serializes the dataset to pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization fails (it cannot for this type).
+    pub fn to_json(&self) -> Result<String> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserializes a dataset from JSON produced by [`Sigma2NDataset::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the JSON is malformed or violates the dataset invariants.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let raw: Sigma2NDataset = serde_json::from_str(json)?;
+        Self::new(raw.frequency, raw.estimator, raw.points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_points() -> Vec<DatasetPoint> {
+        vec![
+            DatasetPoint {
+                n: 100,
+                sigma2_n: 2.0e-18,
+                samples: 500,
+            },
+            DatasetPoint {
+                n: 1,
+                sigma2_n: 1.0e-20,
+                samples: 1000,
+            },
+            DatasetPoint {
+                n: 10,
+                sigma2_n: 1.5e-19,
+                samples: 800,
+            },
+        ]
+    }
+
+    #[test]
+    fn construction_sorts_points_by_depth() {
+        let ds = Sigma2NDataset::new(103.0e6, "period-domain", demo_points()).unwrap();
+        let depths: Vec<usize> = ds.points().iter().map(|p| p.n).collect();
+        assert_eq!(depths, vec![1, 10, 100]);
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.estimator(), "period-domain");
+    }
+
+    #[test]
+    fn accessors_produce_parallel_vectors() {
+        let ds = Sigma2NDataset::new(1.0e8, "counter", demo_points()).unwrap();
+        assert_eq!(ds.depths(), vec![1.0, 10.0, 100.0]);
+        assert_eq!(ds.variances().len(), 3);
+        assert_eq!(ds.sample_weights(), vec![1000.0, 800.0, 500.0]);
+        let norm = ds.normalized_points();
+        assert!((norm[0].1 - 1.0e-20 * 1.0e16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = Sigma2NDataset::new(103.0e6, "counter", demo_points()).unwrap();
+        let json = ds.to_json().unwrap();
+        let back = Sigma2NDataset::from_json(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn construction_rejects_invalid_inputs() {
+        assert!(Sigma2NDataset::new(0.0, "x", demo_points()).is_err());
+        assert!(Sigma2NDataset::new(1.0e8, "x", vec![]).is_err());
+        let mut bad = demo_points();
+        bad[0].sigma2_n = -1.0;
+        assert!(Sigma2NDataset::new(1.0e8, "x", bad).is_err());
+        let mut zero_depth = demo_points();
+        zero_depth[0].n = 0;
+        assert!(Sigma2NDataset::new(1.0e8, "x", zero_depth).is_err());
+        let mut dup = demo_points();
+        dup[0].n = 10;
+        assert!(Sigma2NDataset::new(1.0e8, "x", dup).is_err());
+    }
+
+    #[test]
+    fn from_json_revalidates() {
+        let ds = Sigma2NDataset::new(1.0e8, "counter", demo_points()).unwrap();
+        let json = ds.to_json().unwrap().replace("2e-18", "-2e-18");
+        assert!(Sigma2NDataset::from_json(&json).is_err());
+        assert!(Sigma2NDataset::from_json("not json").is_err());
+    }
+}

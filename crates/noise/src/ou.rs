@@ -1,0 +1,279 @@
+//! Ornstein–Uhlenbeck (Lorentzian) processes and banks of them.
+//!
+//! A single OU process has a Lorentzian PSD `S(f) = 4·σ²·τ / (1 + (2πfτ)²)`; a bank of
+//! OU processes with corner frequencies spaced logarithmically and powers weighted
+//! appropriately approximates `1/f` noise over the covered band.  This gives an
+//! independent, physically motivated route to flicker-like noise (superposition of
+//! generation–recombination centers), useful for cross-checking the Kasdin generator.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::white::standard_normal;
+use crate::{check_positive, NoiseError, NoiseSource, Result};
+
+/// A discrete-time Ornstein–Uhlenbeck (exponentially correlated Gaussian) process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrnsteinUhlenbeck {
+    /// Stationary standard deviation of the process.
+    std_dev: f64,
+    /// Correlation time in seconds.
+    correlation_time: f64,
+    sample_rate: f64,
+    decay: f64,
+    innovation_std: f64,
+    state: f64,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Creates an OU process with stationary standard deviation `std_dev`, correlation
+    /// time `correlation_time` (s), sampled at `sample_rate` (Hz).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any parameter is not strictly positive.
+    pub fn new(std_dev: f64, correlation_time: f64, sample_rate: f64) -> Result<Self> {
+        let std_dev = check_positive("std_dev", std_dev)?;
+        let correlation_time = check_positive("correlation_time", correlation_time)?;
+        let sample_rate = check_positive("sample_rate", sample_rate)?;
+        let dt = 1.0 / sample_rate;
+        let decay = (-dt / correlation_time).exp();
+        let innovation_std = std_dev * (1.0 - decay * decay).sqrt();
+        Ok(Self {
+            std_dev,
+            correlation_time,
+            sample_rate,
+            decay,
+            innovation_std,
+            state: 0.0,
+        })
+    }
+
+    /// Stationary standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Correlation time in seconds.
+    pub fn correlation_time(&self) -> f64 {
+        self.correlation_time
+    }
+
+    /// Corner frequency `1/(2πτ)` of the Lorentzian PSD.
+    pub fn corner_frequency(&self) -> f64 {
+        1.0 / (2.0 * std::f64::consts::PI * self.correlation_time)
+    }
+
+    /// One-sided Lorentzian PSD `4σ²τ / (1 + (2πfτ)²)` at frequency `f ≥ 0`.
+    pub fn psd(&self, frequency: f64) -> f64 {
+        let x = 2.0 * std::f64::consts::PI * frequency * self.correlation_time;
+        4.0 * self.std_dev * self.std_dev * self.correlation_time / (1.0 + x * x)
+    }
+
+    /// Theoretical lag-`k` autocorrelation `exp(-k·dt/τ)`.
+    pub fn autocorrelation_at_lag(&self, lag: usize) -> f64 {
+        self.decay.powi(lag as i32)
+    }
+
+    /// Resets the internal state to zero.
+    pub fn reset(&mut self) {
+        self.state = 0.0;
+    }
+}
+
+impl NoiseSource for OrnsteinUhlenbeck {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> f64 {
+        self.state = self.decay * self.state + self.innovation_std * standard_normal(rng);
+        self.state
+    }
+
+    fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+}
+
+/// A bank of OU processes whose superposition approximates `1/f` noise between
+/// `f_low` and `f_high`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LorentzianBank {
+    processes: Vec<OrnsteinUhlenbeck>,
+    sample_rate: f64,
+}
+
+impl LorentzianBank {
+    /// Builds a bank of `per_decade`-per-decade OU processes with corner frequencies
+    /// spanning `[f_low, f_high]`, scaled so that the summed PSD approximates
+    /// `h1/f` over that band.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the band is empty or non-positive, `per_decade == 0`,
+    /// `h1 <= 0`, or `sample_rate <= 0`.
+    pub fn one_over_f(
+        h1: f64,
+        f_low: f64,
+        f_high: f64,
+        per_decade: usize,
+        sample_rate: f64,
+    ) -> Result<Self> {
+        let h1 = check_positive("h1", h1)?;
+        let f_low = check_positive("f_low", f_low)?;
+        let f_high = check_positive("f_high", f_high)?;
+        let sample_rate = check_positive("sample_rate", sample_rate)?;
+        if f_high <= f_low {
+            return Err(NoiseError::InvalidParameter {
+                name: "f_high",
+                reason: format!("must exceed f_low = {f_low}, got {f_high}"),
+            });
+        }
+        if per_decade == 0 {
+            return Err(NoiseError::InvalidParameter {
+                name: "per_decade",
+                reason: "at least one process per decade is required".to_string(),
+            });
+        }
+        let decades = (f_high / f_low).log10();
+        let count = ((decades * per_decade as f64).ceil() as usize).max(1);
+        let ratio = (f_high / f_low).powf(1.0 / count as f64);
+        let mut processes = Vec::with_capacity(count);
+        // Superposing Lorentzians with log-spaced corners (spacing `ratio`) and equal
+        // variances σ² gives, in the continuum limit, S(f) ≈ σ²/(f·ln ratio) in-band.
+        // Choose σ² so the in-band level equals h1/f.
+        let sigma2 = h1 * ratio.ln();
+        for i in 0..count {
+            let corner = f_low * ratio.powf(i as f64 + 0.5);
+            let tau = 1.0 / (2.0 * std::f64::consts::PI * corner);
+            processes.push(OrnsteinUhlenbeck::new(sigma2.sqrt(), tau, sample_rate)?);
+        }
+        Ok(Self {
+            processes,
+            sample_rate,
+        })
+    }
+
+    /// Number of OU processes in the bank.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Returns `true` when the bank contains no process (never the case for a
+    /// successfully constructed bank).
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Theoretical summed PSD of the bank at frequency `f`.
+    pub fn psd(&self, frequency: f64) -> f64 {
+        self.processes.iter().map(|p| p.psd(frequency)).sum()
+    }
+}
+
+impl NoiseSource for LorentzianBank {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> f64 {
+        self.processes.iter_mut().map(|p| p.sample(rng)).sum()
+    }
+
+    fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ou_stationary_variance_matches_configuration() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ou = OrnsteinUhlenbeck::new(2.0, 1.0e-3, 1.0e5).unwrap();
+        let samples = ou.generate(&mut rng, 200_000);
+        let var = ptrng_stats::descriptive::sample_variance(&samples).unwrap();
+        assert!((var - 4.0).abs() / 4.0 < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn ou_autocorrelation_decays_exponentially() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let fs = 1.0e4;
+        let tau = 5.0e-3;
+        let mut ou = OrnsteinUhlenbeck::new(1.0, tau, fs).unwrap();
+        let samples = ou.generate(&mut rng, 300_000);
+        let ac = ptrng_stats::autocorr::autocorrelation(&samples, 100).unwrap();
+        for lag in [10usize, 25, 50] {
+            let expected = ou.autocorrelation_at_lag(lag);
+            let got = ac.autocorrelation[lag];
+            assert!(
+                (got - expected).abs() < 0.08,
+                "lag {lag}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn ou_psd_is_lorentzian() {
+        let ou = OrnsteinUhlenbeck::new(1.5, 1.0e-3, 1.0e6).unwrap();
+        let dc = ou.psd(0.0);
+        assert!((dc - 4.0 * 2.25 * 1.0e-3).abs() / dc < 1e-12);
+        let corner = ou.corner_frequency();
+        assert!((ou.psd(corner) - dc / 2.0).abs() / dc < 1e-9);
+        assert!(ou.psd(100.0 * corner) < dc / 1000.0);
+    }
+
+    #[test]
+    fn lorentzian_bank_psd_follows_one_over_f_in_band() {
+        let h1 = 1.0e-6;
+        let bank = LorentzianBank::one_over_f(h1, 10.0, 1.0e5, 3, 1.0e6).unwrap();
+        assert!(bank.len() >= 12);
+        for f in [100.0, 1.0e3, 1.0e4] {
+            let expected = h1 / f;
+            let got = bank.psd(f);
+            assert!(
+                (got - expected).abs() / expected < 0.35,
+                "f = {f}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn lorentzian_bank_sampled_spectrum_has_slope_near_minus_one() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let fs = 1.0e5;
+        let mut bank = LorentzianBank::one_over_f(1.0e-4, 10.0, 1.0e4, 4, fs).unwrap();
+        let samples = bank.generate(&mut rng, 1 << 15);
+        let est = ptrng_stats::spectral::welch_psd(
+            &samples,
+            fs,
+            2048,
+            ptrng_stats::window::Window::Hann,
+        )
+        .unwrap();
+        let (slope, _) = est.log_log_slope(100.0, 5.0e3).unwrap();
+        assert!((slope + 1.0).abs() < 0.35, "slope {slope}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ou = OrnsteinUhlenbeck::new(1.0, 1.0, 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = ou.generate(&mut rng, 100);
+        ou.reset();
+        let mut rng_a = StdRng::seed_from_u64(2);
+        let a = ou.generate(&mut rng_a, 8);
+        ou.reset();
+        let mut rng_b = StdRng::seed_from_u64(2);
+        let b = ou.generate(&mut rng_b, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(OrnsteinUhlenbeck::new(0.0, 1.0, 1.0).is_err());
+        assert!(OrnsteinUhlenbeck::new(1.0, 0.0, 1.0).is_err());
+        assert!(OrnsteinUhlenbeck::new(1.0, 1.0, 0.0).is_err());
+        assert!(LorentzianBank::one_over_f(1.0, 10.0, 5.0, 3, 1.0).is_err());
+        assert!(LorentzianBank::one_over_f(1.0, 10.0, 100.0, 0, 1.0).is_err());
+        assert!(LorentzianBank::one_over_f(0.0, 10.0, 100.0, 3, 1.0).is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! Power-law power-spectral-density algebra.
+//!
+//! All PSDs appearing in the paper are sums of power-law terms `c·f^e`: the drain-current
+//! noise (`e ∈ {0, -1}`), the oscillator excess-phase PSD (`e ∈ {-2, -3}`, Eq. 10), and
+//! the fractional-frequency PSD derived from it.  [`PowerLawPsd`] represents such sums
+//! exactly and supports evaluation, addition, scaling, exponent shifts and band-limited
+//! integration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{check_positive, NoiseError, Result};
+
+/// A single term `coefficient · f^exponent` of a power-law PSD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawTerm {
+    /// Non-negative coefficient `c` (units depend on the modelled quantity).
+    pub coefficient: f64,
+    /// Integer exponent `e` of the frequency.
+    pub exponent: i32,
+}
+
+impl PowerLawTerm {
+    /// Creates a term `coefficient · f^exponent`.
+    pub fn new(coefficient: f64, exponent: i32) -> Self {
+        Self {
+            coefficient,
+            exponent,
+        }
+    }
+
+    /// Evaluates the term at frequency `f`.
+    pub fn evaluate(&self, frequency: f64) -> f64 {
+        self.coefficient * frequency.powi(self.exponent)
+    }
+}
+
+/// A sum of power-law terms, e.g. `b_th/f² + b_fl/f³`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerLawPsd {
+    terms: Vec<PowerLawTerm>,
+}
+
+impl PowerLawPsd {
+    /// Creates an empty (identically zero) PSD.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a PSD from a list of terms, merging terms that share an exponent.
+    pub fn from_terms(terms: Vec<PowerLawTerm>) -> Self {
+        let mut psd = Self::new();
+        for t in terms {
+            psd.add_term(t);
+        }
+        psd
+    }
+
+    /// A single white (frequency-independent) term.
+    pub fn white(level: f64) -> Self {
+        Self::from_terms(vec![PowerLawTerm::new(level, 0)])
+    }
+
+    /// A single `c/f` term.
+    pub fn one_over_f(coefficient: f64) -> Self {
+        Self::from_terms(vec![PowerLawTerm::new(coefficient, -1)])
+    }
+
+    /// Adds a term, merging it with an existing term of the same exponent.
+    pub fn add_term(&mut self, term: PowerLawTerm) {
+        if term.coefficient == 0.0 {
+            return;
+        }
+        if let Some(existing) = self.terms.iter_mut().find(|t| t.exponent == term.exponent) {
+            existing.coefficient += term.coefficient;
+        } else {
+            self.terms.push(term);
+            self.terms.sort_by_key(|t| t.exponent);
+        }
+    }
+
+    /// The terms of the PSD, sorted by increasing exponent.
+    pub fn terms(&self) -> &[PowerLawTerm] {
+        &self.terms
+    }
+
+    /// Coefficient of the term with the given exponent (0 if absent).
+    pub fn coefficient(&self, exponent: i32) -> f64 {
+        self.terms
+            .iter()
+            .find(|t| t.exponent == exponent)
+            .map_or(0.0, |t| t.coefficient)
+    }
+
+    /// Evaluates the PSD at frequency `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `f` is not strictly positive and the PSD contains negative
+    /// exponents (which diverge at DC).
+    pub fn evaluate(&self, frequency: f64) -> Result<f64> {
+        if self.terms.iter().any(|t| t.exponent < 0) {
+            check_positive("frequency", frequency)?;
+        } else if !frequency.is_finite() || frequency < 0.0 {
+            return Err(NoiseError::InvalidParameter {
+                name: "frequency",
+                reason: format!("must be non-negative and finite, got {frequency}"),
+            });
+        }
+        Ok(self.terms.iter().map(|t| t.evaluate(frequency)).sum())
+    }
+
+    /// Returns the sum of this PSD and another (independent noise sources add in power).
+    pub fn sum(&self, other: &PowerLawPsd) -> PowerLawPsd {
+        let mut out = self.clone();
+        for t in &other.terms {
+            out.add_term(*t);
+        }
+        out
+    }
+
+    /// Returns this PSD with every coefficient multiplied by `gain` (e.g. a transfer
+    /// function magnitude squared that is frequency independent).
+    pub fn scaled(&self, gain: f64) -> PowerLawPsd {
+        PowerLawPsd {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| PowerLawTerm::new(t.coefficient * gain, t.exponent))
+                .collect(),
+        }
+    }
+
+    /// Returns this PSD multiplied by `gain·f^shift` (a power-law transfer function),
+    /// e.g. the `1/f²` conversion from frequency noise to phase noise.
+    pub fn shifted(&self, gain: f64, shift: i32) -> PowerLawPsd {
+        PowerLawPsd {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| PowerLawTerm::new(t.coefficient * gain, t.exponent + shift))
+                .collect(),
+        }
+    }
+
+    /// Integrates the PSD over `[f_lo, f_hi]` analytically term by term.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the band is empty or non-positive.
+    pub fn integrate_band(&self, f_lo: f64, f_hi: f64) -> Result<f64> {
+        let lo = check_positive("f_lo", f_lo)?;
+        let hi = check_positive("f_hi", f_hi)?;
+        if hi <= lo {
+            return Err(NoiseError::InvalidParameter {
+                name: "f_hi",
+                reason: format!("must exceed f_lo = {lo}, got {hi}"),
+            });
+        }
+        let mut total = 0.0;
+        for t in &self.terms {
+            total += match t.exponent {
+                -1 => t.coefficient * (hi / lo).ln(),
+                e => {
+                    let p = e as f64 + 1.0;
+                    t.coefficient * (hi.powf(p) - lo.powf(p)) / p
+                }
+            };
+        }
+        Ok(total)
+    }
+
+    /// Returns `true` when the PSD has no terms.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl FromIterator<PowerLawTerm> for PowerLawPsd {
+    fn from_iter<I: IntoIterator<Item = PowerLawTerm>>(iter: I) -> Self {
+        Self::from_terms(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, rel: f64) {
+        let scale = a.abs().max(b.abs()).max(1e-300);
+        assert!((a - b).abs() / scale <= rel, "{a} vs {b}");
+    }
+
+    #[test]
+    fn terms_with_same_exponent_merge() {
+        let psd = PowerLawPsd::from_terms(vec![
+            PowerLawTerm::new(1.0, -2),
+            PowerLawTerm::new(2.0, -2),
+            PowerLawTerm::new(3.0, 0),
+        ]);
+        assert_eq!(psd.terms().len(), 2);
+        assert_eq!(psd.coefficient(-2), 3.0);
+        assert_eq!(psd.coefficient(0), 3.0);
+        assert_eq!(psd.coefficient(-3), 0.0);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let psd = PowerLawPsd::from_terms(vec![PowerLawTerm::new(0.0, -1)]);
+        assert!(psd.is_zero());
+    }
+
+    #[test]
+    fn evaluate_combines_terms() {
+        let psd = PowerLawPsd::from_terms(vec![
+            PowerLawTerm::new(4.0, 0),
+            PowerLawTerm::new(8.0, -1),
+        ]);
+        assert_close(psd.evaluate(2.0).unwrap(), 4.0 + 4.0, 1e-12);
+        assert_close(psd.evaluate(8.0).unwrap(), 4.0 + 1.0, 1e-12);
+    }
+
+    #[test]
+    fn evaluate_guards_against_dc_divergence() {
+        let psd = PowerLawPsd::one_over_f(1.0);
+        assert!(psd.evaluate(0.0).is_err());
+        let white = PowerLawPsd::white(1.0);
+        assert_eq!(white.evaluate(0.0).unwrap(), 1.0);
+        assert!(white.evaluate(-1.0).is_err());
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let a = PowerLawPsd::white(1.0);
+        let b = PowerLawPsd::one_over_f(2.0);
+        let s = a.sum(&b);
+        assert_close(s.evaluate(2.0).unwrap(), 1.0 + 1.0, 1e-12);
+        let scaled = s.scaled(3.0);
+        assert_close(scaled.evaluate(2.0).unwrap(), 6.0, 1e-12);
+    }
+
+    #[test]
+    fn shifted_applies_power_law_transfer() {
+        // White current noise through a 1/f² conversion becomes 1/f² phase noise.
+        let white = PowerLawPsd::white(5.0);
+        let phase = white.shifted(0.5, -2);
+        assert_eq!(phase.terms().len(), 1);
+        assert_eq!(phase.terms()[0].exponent, -2);
+        assert_close(phase.evaluate(10.0).unwrap(), 2.5 / 100.0, 1e-12);
+    }
+
+    #[test]
+    fn integrate_band_matches_analytic_results() {
+        // ∫ c df = c·(hi-lo); ∫ c/f df = c·ln(hi/lo); ∫ c/f² df = c·(1/lo - 1/hi).
+        let psd = PowerLawPsd::from_terms(vec![
+            PowerLawTerm::new(2.0, 0),
+            PowerLawTerm::new(3.0, -1),
+            PowerLawTerm::new(4.0, -2),
+        ]);
+        let got = psd.integrate_band(1.0, 10.0).unwrap();
+        let expected = 2.0 * 9.0 + 3.0 * (10.0f64).ln() + 4.0 * (1.0 - 0.1);
+        assert_close(got, expected, 1e-12);
+    }
+
+    #[test]
+    fn integrate_band_rejects_bad_bands() {
+        let psd = PowerLawPsd::white(1.0);
+        assert!(psd.integrate_band(0.0, 1.0).is_err());
+        assert!(psd.integrate_band(2.0, 1.0).is_err());
+        assert!(psd.integrate_band(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn from_iterator_collects_terms() {
+        let psd: PowerLawPsd = [PowerLawTerm::new(1.0, -3), PowerLawTerm::new(2.0, -2)]
+            .into_iter()
+            .collect();
+        assert_eq!(psd.terms().len(), 2);
+        assert_eq!(psd.terms()[0].exponent, -3);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn sum_is_pointwise_addition(
+                c1 in 1e-6f64..1e6, e1 in -3i32..2,
+                c2 in 1e-6f64..1e6, e2 in -3i32..2,
+                f in 0.1f64..1e6,
+            ) {
+                let a = PowerLawPsd::from_terms(vec![PowerLawTerm::new(c1, e1)]);
+                let b = PowerLawPsd::from_terms(vec![PowerLawTerm::new(c2, e2)]);
+                let s = a.sum(&b);
+                let lhs = s.evaluate(f).unwrap();
+                let rhs = a.evaluate(f).unwrap() + b.evaluate(f).unwrap();
+                prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1e-12));
+            }
+
+            #[test]
+            fn integration_is_additive_over_adjacent_bands(
+                c in 1e-3f64..1e3, e in -3i32..2,
+                lo in 0.1f64..10.0, mid_frac in 0.1f64..0.9, hi in 20.0f64..1e4,
+            ) {
+                let psd = PowerLawPsd::from_terms(vec![PowerLawTerm::new(c, e)]);
+                let mid = lo + mid_frac * (hi - lo);
+                let whole = psd.integrate_band(lo, hi).unwrap();
+                let parts = psd.integrate_band(lo, mid).unwrap() + psd.integrate_band(mid, hi).unwrap();
+                prop_assert!((whole - parts).abs() <= 1e-9 * whole.abs().max(1e-12));
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Block synthesis of Gaussian noise with an arbitrary target PSD by spectral shaping.
+//!
+//! The generator draws independent complex Gaussian Fourier coefficients, scales each bin
+//! `k` by `sqrt(S(f_k)·f_s·N/2)` (one-sided PSD convention), enforces Hermitian symmetry
+//! and inverse-transforms.  This is exact for any target PSD down to the record's
+//! resolution bandwidth `f_s/N` and serves as a cross-check for the streaming generators
+//! in [`crate::flicker`] and [`crate::ou`].
+
+use rand::RngCore;
+
+use ptrng_stats::fft::{ifft, next_power_of_two, Complex};
+
+use crate::psd::PowerLawPsd;
+use crate::white::standard_normal;
+use crate::{check_positive, NoiseError, Result};
+
+/// Generates one block of `len` samples (rounded up to a power of two) whose one-sided
+/// PSD follows the closure `psd(f)` at sample rate `sample_rate`.
+///
+/// The closure is evaluated at the positive FFT bin frequencies only; the DC component of
+/// the output is forced to zero.
+///
+/// # Errors
+///
+/// Returns an error when `len < 4`, `sample_rate <= 0`, or the target PSD returns a
+/// negative or non-finite value at any evaluated frequency.
+pub fn synthesize_with(
+    rng: &mut dyn RngCore,
+    len: usize,
+    sample_rate: f64,
+    mut psd: impl FnMut(f64) -> f64,
+) -> Result<Vec<f64>> {
+    if len < 4 {
+        return Err(NoiseError::InvalidParameter {
+            name: "len",
+            reason: format!("at least 4 samples are required, got {len}"),
+        });
+    }
+    let sample_rate = check_positive("sample_rate", sample_rate)?;
+    let n = next_power_of_two(len);
+    let df = sample_rate / n as f64;
+    let mut spectrum = vec![Complex::zero(); n];
+    for k in 1..=n / 2 {
+        let f = k as f64 * df;
+        let level = psd(f);
+        if !level.is_finite() || level < 0.0 {
+            return Err(NoiseError::InvalidParameter {
+                name: "psd",
+                reason: format!("target PSD must be non-negative and finite, got {level} at {f} Hz"),
+            });
+        }
+        // Var(|X_k|²)/N² · 2/(fs·N) = S(f): draw X_k with std sqrt(S·fs·N/2) per quadrature
+        // component /sqrt(2).
+        let amplitude = (level * sample_rate * n as f64 / 2.0).sqrt();
+        let (re, im) = if k == n / 2 {
+            // Nyquist bin must be real.
+            (standard_normal(rng) * amplitude, 0.0)
+        } else {
+            (
+                standard_normal(rng) * amplitude / std::f64::consts::SQRT_2,
+                standard_normal(rng) * amplitude / std::f64::consts::SQRT_2,
+            )
+        };
+        spectrum[k] = Complex::new(re, im);
+        if k != n / 2 {
+            spectrum[n - k] = spectrum[k].conj();
+        }
+    }
+    let time = ifft(&spectrum)?;
+    Ok(time.into_iter().take(len).map(|c| c.re).collect())
+}
+
+/// Generates one block of samples whose one-sided PSD follows a [`PowerLawPsd`].
+///
+/// # Errors
+///
+/// Returns the same errors as [`synthesize_with`], plus any evaluation error of the PSD
+/// (e.g. a negative-exponent PSD evaluated at a non-positive frequency, which cannot
+/// happen for the strictly positive bin frequencies used here).
+pub fn synthesize_power_law(
+    rng: &mut dyn RngCore,
+    len: usize,
+    sample_rate: f64,
+    psd: &PowerLawPsd,
+) -> Result<Vec<f64>> {
+    let mut failure: Option<NoiseError> = None;
+    let out = synthesize_with(rng, len, sample_rate, |f| match psd.evaluate(f) {
+        Ok(v) => v,
+        Err(e) => {
+            failure = Some(e);
+            f64::NAN
+        }
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psd::PowerLawTerm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use ptrng_stats::spectral::welch_psd;
+    use ptrng_stats::window::Window;
+
+    #[test]
+    fn white_target_reproduces_flat_psd_and_variance() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let fs = 1.0e6;
+        let level = 2.0e-6;
+        let samples = synthesize_with(&mut rng, 1 << 15, fs, |_| level).unwrap();
+        assert_eq!(samples.len(), 1 << 15);
+        let est = welch_psd(&samples, fs, 2048, Window::Hann).unwrap();
+        let mean_psd = est.psd.iter().sum::<f64>() / est.psd.len() as f64;
+        assert!(
+            (mean_psd - level).abs() / level < 0.15,
+            "mean PSD {mean_psd} vs {level}"
+        );
+        // Integrated power ≈ level·fs/2.
+        let var = ptrng_stats::descriptive::sample_variance(&samples).unwrap();
+        let expected = level * fs / 2.0;
+        assert!((var - expected).abs() / expected < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn one_over_f_squared_target_has_slope_minus_two() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let fs = 1.0e6;
+        let psd = PowerLawPsd::from_terms(vec![PowerLawTerm::new(1.0, -2)]);
+        let samples = synthesize_power_law(&mut rng, 1 << 15, fs, &psd).unwrap();
+        let est = welch_psd(&samples, fs, 4096, Window::Hann).unwrap();
+        let (slope, _) = est.log_log_slope(fs / 500.0, fs / 10.0).unwrap();
+        assert!((slope + 2.0).abs() < 0.3, "slope {slope}");
+    }
+
+    #[test]
+    fn phase_noise_mixture_shows_both_slopes() {
+        // S(f) = b_th/f² + b_fl/f³ with a crossover in the middle of the record's band:
+        // below the crossover the slope approaches -3, above it approaches -2.
+        let mut rng = StdRng::seed_from_u64(33);
+        let fs = 1.0e6;
+        let b_th = 1.0;
+        let crossover = 3.0e3;
+        let b_fl = b_th * crossover;
+        let psd = PowerLawPsd::from_terms(vec![
+            PowerLawTerm::new(b_th, -2),
+            PowerLawTerm::new(b_fl, -3),
+        ]);
+        let samples = synthesize_power_law(&mut rng, 1 << 16, fs, &psd).unwrap();
+        let est = welch_psd(&samples, fs, 8192, Window::Hann).unwrap();
+        let (low_slope, _) = est.log_log_slope(200.0, 1.0e3).unwrap();
+        let (high_slope, _) = est.log_log_slope(3.0e4, 3.0e5).unwrap();
+        assert!(low_slope < -2.4, "low-band slope {low_slope}");
+        assert!(high_slope > -2.6, "high-band slope {high_slope}");
+        assert!(low_slope < high_slope);
+    }
+
+    #[test]
+    fn deterministic_under_a_fixed_seed() {
+        let fs = 1.0e3;
+        let mut rng1 = StdRng::seed_from_u64(77);
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let a = synthesize_with(&mut rng1, 256, fs, |f| 1.0 / f).unwrap();
+        let b = synthesize_with(&mut rng2, 256, fs, |f| 1.0 / f).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(synthesize_with(&mut rng, 2, 1.0, |_| 1.0).is_err());
+        assert!(synthesize_with(&mut rng, 64, 0.0, |_| 1.0).is_err());
+        assert!(synthesize_with(&mut rng, 64, 1.0, |_| -1.0).is_err());
+        assert!(synthesize_with(&mut rng, 64, 1.0, |_| f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! White Gaussian noise generation with a calibrated one-sided PSD level.
+//!
+//! Thermal drain-current noise is white: its samples are independent and identically
+//! distributed.  Sampled at rate `f_s`, a discrete white process with per-sample
+//! variance `σ²` has one-sided PSD `S = 2·σ²/f_s`; the constructors below convert in
+//! both directions.
+
+use rand::RngCore;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::{check_non_negative, check_positive, NoiseError, NoiseSource, Result};
+
+/// A stationary white Gaussian noise source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WhiteNoise {
+    mean: f64,
+    std_dev: f64,
+    sample_rate: f64,
+}
+
+impl WhiteNoise {
+    /// Creates a white noise source with per-sample standard deviation `std_dev` at
+    /// sample rate `sample_rate` (Hz).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `std_dev` is negative or `sample_rate` is not positive.
+    pub fn new(std_dev: f64, sample_rate: f64) -> Result<Self> {
+        Ok(Self {
+            mean: 0.0,
+            std_dev: check_non_negative("std_dev", std_dev)?,
+            sample_rate: check_positive("sample_rate", sample_rate)?,
+        })
+    }
+
+    /// Creates a source whose one-sided PSD equals `psd_level` (unit²/Hz) at sample rate
+    /// `sample_rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `psd_level` is negative or `sample_rate` is not positive.
+    pub fn from_psd(psd_level: f64, sample_rate: f64) -> Result<Self> {
+        let level = check_non_negative("psd_level", psd_level)?;
+        let fs = check_positive("sample_rate", sample_rate)?;
+        Ok(Self {
+            mean: 0.0,
+            std_dev: (level * fs / 2.0).sqrt(),
+            sample_rate: fs,
+        })
+    }
+
+    /// Returns a copy with a non-zero mean (e.g. a bias current with noise on top).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `mean` is not finite.
+    pub fn with_mean(mut self, mean: f64) -> Result<Self> {
+        if !mean.is_finite() {
+            return Err(NoiseError::InvalidParameter {
+                name: "mean",
+                reason: "must be finite".to_string(),
+            });
+        }
+        self.mean = mean;
+        Ok(self)
+    }
+
+    /// Per-sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Per-sample variance.
+    pub fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+
+    /// Mean of the process.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// One-sided PSD level `2·σ²/f_s` in unit²/Hz.
+    pub fn psd_level(&self) -> f64 {
+        2.0 * self.variance() / self.sample_rate
+    }
+}
+
+impl NoiseSource for WhiteNoise {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        let normal = Normal::new(self.mean, self.std_dev)
+            .expect("std_dev validated at construction");
+        normal.sample(&mut RngCoreAdapter(rng))
+    }
+
+    fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+}
+
+/// Adapter so `rand_distr` distributions (which need `Rng`) can sample from a
+/// `&mut dyn RngCore`.
+struct RngCoreAdapter<'a>(&'a mut dyn RngCore);
+
+impl RngCore for RngCoreAdapter<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+/// Draws one standard Gaussian variate from a dynamic RNG.
+///
+/// Shared helper for the other generators in this crate.
+pub(crate) fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    let normal = Normal::new(0.0, 1.0).expect("unit normal is always valid");
+    normal.sample(&mut RngCoreAdapter(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_statistics_match_configuration() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut src = WhiteNoise::new(2.5, 1.0e6).unwrap().with_mean(10.0).unwrap();
+        let samples = src.generate(&mut rng, 100_000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (samples.len() as f64 - 1.0);
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 6.25).abs() / 6.25 < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn psd_level_round_trips() {
+        let src = WhiteNoise::from_psd(4.0e-12, 2.0e6).unwrap();
+        assert!((src.psd_level() - 4.0e-12).abs() / 4.0e-12 < 1e-12);
+        assert!((src.variance() - 4.0e-12 * 1.0e6).abs() < 1e-18);
+        assert_eq!(src.sample_rate(), 2.0e6);
+    }
+
+    #[test]
+    fn measured_psd_matches_configured_level() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fs = 1.0e6;
+        let mut src = WhiteNoise::from_psd(8.0e-6, fs).unwrap();
+        let samples = src.generate(&mut rng, 1 << 15);
+        let est = ptrng_stats::spectral::welch_psd(
+            &samples,
+            fs,
+            2048,
+            ptrng_stats::window::Window::Hann,
+        )
+        .unwrap();
+        let mean_psd = est.psd.iter().sum::<f64>() / est.psd.len() as f64;
+        assert!(
+            (mean_psd - 8.0e-6).abs() / 8.0e-6 < 0.15,
+            "measured {mean_psd}"
+        );
+    }
+
+    #[test]
+    fn zero_std_dev_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut src = WhiteNoise::new(0.0, 1.0).unwrap().with_mean(7.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(src.sample(&mut rng), 7.0);
+        }
+    }
+
+    #[test]
+    fn fill_and_generate_agree_under_the_same_seed() {
+        let mut src = WhiteNoise::new(1.0, 1.0).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let via_generate = src.generate(&mut rng1, 32);
+        let mut via_fill = vec![0.0; 32];
+        src.fill(&mut rng2, &mut via_fill);
+        assert_eq!(via_generate, via_fill);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(WhiteNoise::new(-1.0, 1.0).is_err());
+        assert!(WhiteNoise::new(1.0, 0.0).is_err());
+        assert!(WhiteNoise::from_psd(-1.0, 1.0).is_err());
+        assert!(WhiteNoise::new(1.0, 1.0).unwrap().with_mean(f64::NAN).is_err());
+    }
+}

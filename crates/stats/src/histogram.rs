@@ -1,0 +1,291 @@
+//! Histograms and empirical distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ensure_finite, ensure_len, Result, StatsError};
+
+/// A fixed-width histogram over a closed interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins covering `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `bins == 0`, the bounds are not finite, or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                reason: "at least one bin is required".to_string(),
+            });
+        }
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return Err(StatsError::InvalidParameter {
+                name: "bounds",
+                reason: format!("need finite lo < hi, got [{lo}, {hi}]"),
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+            total: 0,
+        })
+    }
+
+    /// Creates a histogram whose bounds are taken from the minimum and maximum of `data`
+    /// and fills it with the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty or non-finite data, zero bins, or constant data.
+    pub fn from_data(data: &[f64], bins: usize) -> Result<Self> {
+        ensure_len(data, 1)?;
+        ensure_finite(data)?;
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if hi <= lo {
+            return Err(StatsError::InvalidParameter {
+                name: "data",
+                reason: "all samples are identical".to_string(),
+            });
+        }
+        let mut h = Self::new(lo, hi, bins)?;
+        for &x in data {
+            h.add(x);
+        }
+        Ok(h)
+    }
+
+    /// Adds one sample.  Samples outside the bounds are tallied in the under/overflow
+    /// counters rather than dropped.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.below += 1;
+            return;
+        }
+        if x > self.hi {
+            self.above += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut idx = ((x - self.lo) / width) as usize;
+        if idx >= self.counts.len() {
+            idx = self.counts.len() - 1; // x == hi lands in the last bin
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples added (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below the lower bound.
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// Samples above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.above
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Normalized densities (integrate to ≈1 over the covered range).
+    pub fn densities(&self) -> Vec<f64> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / (in_range as f64 * width))
+            .collect()
+    }
+}
+
+/// Empirical cumulative distribution function of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the ECDF from a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty or non-finite sample.
+    pub fn new(data: &[f64]) -> Result<Self> {
+        ensure_len(data, 1)?;
+        ensure_finite(data)?;
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples are comparable"));
+        Ok(Self { sorted })
+    }
+
+    /// Evaluates the ECDF at `x` (fraction of samples `<= x`).
+    pub fn evaluate(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of samples behind the ECDF.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the ECDF was built from zero samples (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample underlying the ECDF.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_uniform_data_evenly() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let h = Histogram::from_data(&data, 10).unwrap();
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        for &c in h.counts() {
+            assert!((c as i64 - 100).abs() <= 1, "count {c}");
+        }
+    }
+
+    #[test]
+    fn histogram_boundary_values() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.add(0.0);
+        h.add(1.0);
+        h.add(-0.1);
+        h.add(1.1);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_densities_integrate_to_one() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin()).collect();
+        let h = Histogram::from_data(&data, 20).unwrap();
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = (hi - lo) / 20.0;
+        let integral: f64 = h.densities().iter().map(|d| d * width).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bin_centers_are_monotone() {
+        let h = Histogram::new(-2.0, 2.0, 8).unwrap();
+        for i in 1..8 {
+            assert!(h.bin_center(i) > h.bin_center(i - 1));
+        }
+        assert!((h.bin_center(0) - (-1.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+        assert!(Histogram::from_data(&[], 4).is_err());
+        assert!(Histogram::from_data(&[3.0, 3.0], 4).is_err());
+    }
+
+    #[test]
+    fn ecdf_basic_properties() {
+        let cdf = EmpiricalCdf::new(&[3.0, 1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(cdf.len(), 4);
+        assert!(!cdf.is_empty());
+        assert_eq!(cdf.evaluate(0.0), 0.0);
+        assert_eq!(cdf.evaluate(1.0), 0.25);
+        assert_eq!(cdf.evaluate(2.5), 0.5);
+        assert_eq!(cdf.evaluate(10.0), 1.0);
+        assert_eq!(cdf.sorted_samples(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn ecdf_rejects_bad_input() {
+        assert!(EmpiricalCdf::new(&[]).is_err());
+        assert!(EmpiricalCdf::new(&[f64::NAN]).is_err());
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn ecdf_is_monotone(data in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+                let cdf = EmpiricalCdf::new(&data).unwrap();
+                let mut prev = 0.0;
+                for x in (-1000..1000).step_by(100) {
+                    let v = cdf.evaluate(x as f64);
+                    prop_assert!(v >= prev);
+                    prop_assert!((0.0..=1.0).contains(&v));
+                    prev = v;
+                }
+            }
+
+            #[test]
+            fn histogram_conserves_samples(
+                data in proptest::collection::vec(-10.0f64..10.0, 2..200),
+                bins in 1usize..32,
+            ) {
+                prop_assume!(data.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                    > data.iter().cloned().fold(f64::INFINITY, f64::min));
+                let h = Histogram::from_data(&data, bins).unwrap();
+                let in_bins: u64 = h.counts().iter().sum();
+                prop_assert_eq!(in_bins + h.underflow() + h.overflow(), data.len() as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Variance identities used to test mutual independence of jitter realizations.
+//!
+//! The DATE 2014 paper rests on the contraposition of **Bienaymé's identity**: if the
+//! realizations `J(t_i)` are mutually independent (hence uncorrelated), then the variance
+//! of any ±1-weighted sum of `2N` consecutive realizations equals the sum of the
+//! individual variances, i.e. `σ²_N = 2·N·σ²` (Eq. 6).  If the measured `σ²_N` deviates
+//! from that linear law, the realizations cannot be independent.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::sample_variance;
+use crate::{ensure_finite, ensure_len, Result, StatsError};
+
+/// Outcome of a Bienaymé linearity check at a single accumulation depth `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BienaymeCheck {
+    /// Accumulation depth `N` (the statistic uses `2N` consecutive realizations).
+    pub n: usize,
+    /// Measured variance of the accumulated statistic, `σ²_N`.
+    pub measured: f64,
+    /// Variance predicted under mutual independence, `2·N·σ²`.
+    pub predicted_independent: f64,
+    /// Relative excess `(measured - predicted) / predicted`.
+    pub relative_excess: f64,
+}
+
+impl BienaymeCheck {
+    /// Returns `true` when the measured variance exceeds the independent prediction by
+    /// more than `tolerance` (relative), i.e. when Bienaymé's identity is violated.
+    pub fn violates(&self, tolerance: f64) -> bool {
+        self.relative_excess > tolerance
+    }
+}
+
+/// Compares a measured accumulated variance against the value predicted by Bienaymé's
+/// identity for independent realizations with per-sample variance `sigma2`.
+///
+/// # Errors
+///
+/// Returns an error when `n == 0`, `sigma2 <= 0`, or either variance is not finite.
+pub fn bienayme_check(n: usize, measured_sigma2_n: f64, sigma2: f64) -> Result<BienaymeCheck> {
+    if n == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "n",
+            reason: "accumulation depth must be at least 1".to_string(),
+        });
+    }
+    if !(sigma2 > 0.0) || !sigma2.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "sigma2",
+            reason: format!("per-sample variance must be positive and finite, got {sigma2}"),
+        });
+    }
+    if !measured_sigma2_n.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "measured_sigma2_n",
+            reason: "must be finite".to_string(),
+        });
+    }
+    let predicted = 2.0 * n as f64 * sigma2;
+    Ok(BienaymeCheck {
+        n,
+        measured: measured_sigma2_n,
+        predicted_independent: predicted,
+        relative_excess: (measured_sigma2_n - predicted) / predicted,
+    })
+}
+
+/// Variance of the sum of `block` consecutive samples, estimated from non-overlapping
+/// blocks of the series.
+///
+/// For an i.i.d. series this equals `block · Var(x)`; positive correlation inflates it,
+/// negative correlation deflates it.  This is the direct empirical counterpart of the
+/// left-hand side of Bienaymé's identity.
+///
+/// # Errors
+///
+/// Returns an error when `block == 0`, when fewer than two complete blocks fit in the
+/// series, or when the series contains non-finite samples.
+pub fn block_sum_variance(series: &[f64], block: usize) -> Result<f64> {
+    if block == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "block",
+            reason: "block length must be at least 1".to_string(),
+        });
+    }
+    ensure_finite(series)?;
+    ensure_len(series, 2 * block)?;
+    let sums: Vec<f64> = series
+        .chunks_exact(block)
+        .map(|chunk| chunk.iter().sum::<f64>())
+        .collect();
+    sample_variance(&sums)
+}
+
+/// Ratio of the block-sum variance to `block · Var(x)`.
+///
+/// Equals ≈1 for independent samples, >1 for positively correlated samples (e.g. flicker
+/// noise contributions), <1 for negatively correlated samples.
+///
+/// # Errors
+///
+/// Propagates the errors of [`block_sum_variance`] and of the per-sample variance
+/// estimate; additionally fails when the per-sample variance is zero.
+pub fn variance_ratio(series: &[f64], block: usize) -> Result<f64> {
+    let per_sample = sample_variance(series)?;
+    if per_sample == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "series",
+            reason: "per-sample variance is zero".to_string(),
+        });
+    }
+    let block_var = block_sum_variance(series, block)?;
+    Ok(block_var / (block as f64 * per_sample))
+}
+
+/// Pooled (weighted) variance of several groups, each summarised by `(count, variance)`.
+///
+/// # Errors
+///
+/// Returns an error if no group has at least two samples or if a variance is negative
+/// or non-finite.
+pub fn pooled_variance(groups: &[(u64, f64)]) -> Result<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(count, var) in groups {
+        if !var.is_finite() || var < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "groups",
+                reason: format!("variance must be finite and non-negative, got {var}"),
+            });
+        }
+        if count >= 2 {
+            num += (count as f64 - 1.0) * var;
+            den += count as f64 - 1.0;
+        }
+    }
+    if den == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "groups",
+            reason: "no group with at least two samples".to_string(),
+        });
+    }
+    Ok(num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bienayme_check_detects_excess() {
+        let check = bienayme_check(10, 30.0, 1.0).unwrap();
+        assert_eq!(check.predicted_independent, 20.0);
+        assert!((check.relative_excess - 0.5).abs() < 1e-12);
+        assert!(check.violates(0.2));
+        assert!(!check.violates(0.6));
+    }
+
+    #[test]
+    fn bienayme_check_rejects_bad_inputs() {
+        assert!(bienayme_check(0, 1.0, 1.0).is_err());
+        assert!(bienayme_check(1, 1.0, 0.0).is_err());
+        assert!(bienayme_check(1, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn block_sum_variance_linear_for_alternating_series() {
+        // Alternating +1/-1: blocks of 2 sum to 0, so the block-sum variance collapses —
+        // a strongly negatively correlated series violates linearity downward.
+        let series: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let v = block_sum_variance(&series, 2).unwrap();
+        assert!(v.abs() < 1e-12);
+        let ratio = variance_ratio(&series, 2).unwrap();
+        assert!(ratio < 0.1);
+    }
+
+    #[test]
+    fn variance_ratio_near_one_for_pseudo_iid() {
+        // A xorshift-style pseudo-random sequence behaves like i.i.d. for this purpose.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let series: Vec<f64> = (0..8192)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1_000_003) as f64 / 1_000_003.0 - 0.5
+            })
+            .collect();
+        let ratio = variance_ratio(&series, 8).unwrap();
+        assert!((ratio - 1.0).abs() < 0.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn variance_ratio_large_for_random_walk_increment_reuse() {
+        // A strongly positively correlated series: slowly varying ramp repeated in blocks.
+        let series: Vec<f64> = (0..1024).map(|i| (i / 64) as f64).collect();
+        let ratio = variance_ratio(&series, 32).unwrap();
+        assert!(ratio > 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn block_sum_variance_rejects_degenerate_inputs() {
+        assert!(block_sum_variance(&[1.0, 2.0], 0).is_err());
+        assert!(block_sum_variance(&[1.0, 2.0, 3.0], 2).is_err());
+    }
+
+    #[test]
+    fn pooled_variance_weights_by_dof() {
+        let pooled = pooled_variance(&[(3, 2.0), (5, 4.0)]).unwrap();
+        // (2*2 + 4*4) / (2 + 4) = 20/6
+        assert!((pooled - 20.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_variance_rejects_empty_and_negative() {
+        assert!(pooled_variance(&[(1, 1.0)]).is_err());
+        assert!(pooled_variance(&[(3, -1.0)]).is_err());
+    }
+}

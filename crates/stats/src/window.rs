@@ -1,0 +1,95 @@
+//! Window (taper) functions for spectral estimation.
+
+use serde::{Deserialize, Serialize};
+
+/// Taper applied to a segment before computing a periodogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Window {
+    /// No taper (boxcar).
+    Rectangular,
+    /// Hann window `0.5 - 0.5·cos(2πn/(N-1))` — the default for Welch estimation.
+    #[default]
+    Hann,
+    /// Hamming window `0.54 - 0.46·cos(2πn/(N-1))`.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+impl Window {
+    /// Evaluates the window at sample `i` of a length-`len` segment.
+    ///
+    /// Returns 1.0 for degenerate lengths (`len <= 1`).
+    pub fn coefficient(self, i: usize, len: usize) -> f64 {
+        if len <= 1 {
+            return 1.0;
+        }
+        let x = 2.0 * std::f64::consts::PI * i as f64 / (len - 1) as f64;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * x.cos(),
+            Window::Hamming => 0.54 - 0.46 * x.cos(),
+            Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+        }
+    }
+
+    /// Returns the vector of window coefficients for a segment of length `len`.
+    pub fn coefficients(self, len: usize) -> Vec<f64> {
+        (0..len).map(|i| self.coefficient(i, len)).collect()
+    }
+
+    /// Sum of squared coefficients, used for PSD power normalization.
+    pub fn power(self, len: usize) -> f64 {
+        self.coefficients(len).iter().map(|c| c * c).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        let w = Window::Rectangular.coefficients(8);
+        assert!(w.iter().all(|&c| c == 1.0));
+        assert_eq!(Window::Rectangular.power(8), 8.0);
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_center_is_one() {
+        let w = Window::Hann.coefficients(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints_are_small_but_nonzero() {
+        let w = Window::Hamming.coefficients(11);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[10] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_is_nonnegative() {
+        let w = Window::Blackman.coefficients(64);
+        assert!(w.iter().all(|&c| c >= -1e-12));
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert_eq!(Window::Hann.coefficient(0, 0), 1.0);
+        assert_eq!(Window::Hann.coefficient(0, 1), 1.0);
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for win in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let w = win.coefficients(33);
+            for i in 0..w.len() {
+                assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12);
+            }
+        }
+    }
+}

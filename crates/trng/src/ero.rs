@@ -1,0 +1,272 @@
+//! The elementary ring-oscillator TRNG: sampler and digitizer.
+//!
+//! `Osc1` (the *sampled* oscillator) runs freely; a D flip-flop captures its logic level
+//! on every `division`-th rising edge of `Osc2` (the *sampling* oscillator).  The
+//! captured level is the raw random bit.  Entropy comes from the relative jitter
+//! accumulated over one sampling interval; increasing `division` accumulates more jitter
+//! per bit at the cost of throughput.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use ptrng_osc::jitter::JitterGenerator;
+use ptrng_osc::phase::PhaseNoiseModel;
+
+use crate::{Result, TrngError};
+
+/// Configuration of an elementary RO-TRNG.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EroTrngConfig {
+    /// Phase-noise model of the sampled oscillator (`Osc1`).
+    pub sampled: PhaseNoiseModel,
+    /// Phase-noise model of the sampling oscillator (`Osc2`).
+    pub sampling: PhaseNoiseModel,
+    /// Frequency-division factor applied to the sampling oscillator (`≥ 1`); one bit is
+    /// produced every `division` periods of `Osc2`.
+    pub division: u32,
+    /// Duty cycle of the sampled oscillator's square wave, in `(0, 1)`.
+    pub duty_cycle: f64,
+}
+
+impl EroTrngConfig {
+    /// A configuration mirroring the paper's experiment: two 103 MHz oscillators carrying
+    /// the fitted relative phase noise, with the given division factor.
+    pub fn date14_experiment(division: u32) -> Self {
+        let relative = PhaseNoiseModel::date14_experiment();
+        let per_osc = PhaseNoiseModel::new(
+            relative.b_thermal() / 2.0,
+            relative.b_flicker() / 2.0,
+            relative.frequency(),
+        )
+        .expect("halved paper coefficients are valid");
+        // A small deliberate frequency offset between the rings avoids pathological
+        // phase locking of the ideal (noise-free) part of the simulation.
+        let sampling = PhaseNoiseModel::new(
+            per_osc.b_thermal(),
+            per_osc.b_flicker(),
+            relative.frequency() * 0.9993,
+        )
+        .expect("offset frequency is valid");
+        Self {
+            sampled: per_osc,
+            sampling,
+            division,
+            duty_cycle: 0.5,
+        }
+    }
+}
+
+/// The elementary RO-TRNG simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EroTrng {
+    config: EroTrngConfig,
+    sampled: JitterGenerator,
+    sampling: JitterGenerator,
+}
+
+impl EroTrng {
+    /// Creates a generator from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `division == 0` or the duty cycle is outside `(0, 1)`.
+    pub fn new(config: EroTrngConfig) -> Result<Self> {
+        if config.division == 0 {
+            return Err(TrngError::InvalidParameter {
+                name: "division",
+                reason: "the division factor must be at least 1".to_string(),
+            });
+        }
+        if !(config.duty_cycle > 0.0 && config.duty_cycle < 1.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "duty_cycle",
+                reason: format!("must be in (0, 1), got {}", config.duty_cycle),
+            });
+        }
+        Ok(Self {
+            config,
+            sampled: JitterGenerator::new(config.sampled),
+            sampling: JitterGenerator::new(config.sampling),
+        })
+    }
+
+    /// The configuration of the generator.
+    pub fn config(&self) -> &EroTrngConfig {
+        &self.config
+    }
+
+    /// Nominal bit rate in bits per second.
+    pub fn bit_rate(&self) -> f64 {
+        self.config.sampling.frequency() / self.config.division as f64
+    }
+
+    /// Generates `count` raw bits.
+    ///
+    /// The simulation generates `count·division` periods of the sampling oscillator and a
+    /// matching record of the sampled oscillator, then captures the sampled oscillator's
+    /// logic level at each divided sampling edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `count == 0` or the underlying jitter generation fails.
+    ///
+    /// # Memory
+    ///
+    /// The period records are held in memory: roughly
+    /// `16 bytes × count × division × (1 + f_sampled/f_sampling)`.
+    pub fn generate_bits(&self, rng: &mut dyn RngCore, count: usize) -> Result<Vec<u8>> {
+        if count == 0 {
+            return Err(TrngError::InvalidParameter {
+                name: "count",
+                reason: "at least one bit must be requested".to_string(),
+            });
+        }
+        let division = self.config.division as usize;
+        let sampling_periods = (count * division).max(4);
+        let sampling_edges = self.sampling.generate_edges(rng, 0.0, sampling_periods)?;
+        let duration = sampling_edges
+            .last_time()
+            .expect("edge series contains at least the starting edge");
+        let ratio = self.config.sampled.frequency() / self.config.sampling.frequency();
+        let sampled_periods =
+            ((sampling_periods as f64) * ratio * 1.02) as usize + 16;
+        let sampled_edges = self.sampled.generate_edges(rng, 0.0, sampled_periods)?;
+        if sampled_edges.last_time().unwrap_or(0.0) < duration {
+            return Err(TrngError::InvalidParameter {
+                name: "sampled",
+                reason: "sampled-oscillator record ended before the sampling record".to_string(),
+            });
+        }
+
+        let sampled_times = sampled_edges.times();
+        let mut bits = Vec::with_capacity(count);
+        for k in 1..=count {
+            let edge_index = k * division;
+            if edge_index >= sampling_edges.len() {
+                break;
+            }
+            let t = sampling_edges.times()[edge_index];
+            // Position of t inside the sampled oscillator's current period.
+            let idx = sampled_times.partition_point(|&x| x <= t);
+            if idx == 0 || idx >= sampled_times.len() {
+                break;
+            }
+            let start = sampled_times[idx - 1];
+            let end = sampled_times[idx];
+            let fraction = (t - start) / (end - start);
+            bits.push(u8::from(fraction < self.config.duty_cycle));
+        }
+        if bits.len() < count {
+            return Err(TrngError::InvalidParameter {
+                name: "count",
+                reason: "internal record was too short to produce every requested bit".to_string(),
+            });
+        }
+        Ok(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn jittery_config(division: u32) -> EroTrngConfig {
+        // Strongly jittery oscillators so that even small divisions decorrelate the bits.
+        let sampled = PhaseNoiseModel::new(5.0e5, 0.0, 103.0e6).unwrap();
+        let sampling = PhaseNoiseModel::new(5.0e5, 0.0, 102.4e6).unwrap();
+        EroTrngConfig {
+            sampled,
+            sampling,
+            division,
+            duty_cycle: 0.5,
+        }
+    }
+
+    #[test]
+    fn generates_the_requested_number_of_bits() {
+        let trng = EroTrng::new(jittery_config(4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let bits = trng.generate_bits(&mut rng, 5000).unwrap();
+        assert_eq!(bits.len(), 5000);
+        assert!(bits.iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn bits_are_roughly_balanced_for_a_jittery_source() {
+        let trng = EroTrng::new(jittery_config(8)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let bits = trng.generate_bits(&mut rng, 20_000).unwrap();
+        let ones: usize = bits.iter().map(|&b| b as usize).sum();
+        let p = ones as f64 / bits.len() as f64;
+        assert!((p - 0.5).abs() < 0.05, "p(1) = {p}");
+    }
+
+    #[test]
+    fn deterministic_under_a_seed() {
+        let trng = EroTrng::new(jittery_config(4)).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(3);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        assert_eq!(
+            trng.generate_bits(&mut rng1, 1000).unwrap(),
+            trng.generate_bits(&mut rng2, 1000).unwrap()
+        );
+    }
+
+    #[test]
+    fn larger_division_reduces_serial_correlation() {
+        // With almost no jitter per sampling period, adjacent bits are strongly
+        // correlated; accumulating more periods per bit (larger division) weakens the
+        // correlation.  This is the qualitative motivation for jitter accumulation.
+        let weak_jitter = |division| EroTrngConfig {
+            sampled: PhaseNoiseModel::new(2.0e3, 0.0, 103.0e6).unwrap(),
+            sampling: PhaseNoiseModel::new(2.0e3, 0.0, 102.9e6).unwrap(),
+            division,
+            duty_cycle: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let fast = EroTrng::new(weak_jitter(1)).unwrap();
+        let slow = EroTrng::new(weak_jitter(64)).unwrap();
+        let bits_fast: Vec<f64> = fast
+            .generate_bits(&mut rng, 20_000)
+            .unwrap()
+            .iter()
+            .map(|&b| b as f64)
+            .collect();
+        let bits_slow: Vec<f64> = slow
+            .generate_bits(&mut rng, 5_000)
+            .unwrap()
+            .iter()
+            .map(|&b| b as f64)
+            .collect();
+        let r_fast = ptrng_stats::autocorr::lag1_autocorrelation(&bits_fast).unwrap().abs();
+        let r_slow = ptrng_stats::autocorr::lag1_autocorrelation(&bits_slow).unwrap().abs();
+        assert!(
+            r_slow < r_fast,
+            "expected accumulation to reduce |lag-1 autocorrelation|: fast {r_fast}, slow {r_slow}"
+        );
+    }
+
+    #[test]
+    fn date14_configuration_produces_bits() {
+        let trng = EroTrng::new(EroTrngConfig::date14_experiment(16)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let bits = trng.generate_bits(&mut rng, 2000).unwrap();
+        assert_eq!(bits.len(), 2000);
+        assert!((trng.bit_rate() - 103.0e6 * 0.9993 / 16.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn constructor_and_request_validation() {
+        let mut config = jittery_config(4);
+        config.division = 0;
+        assert!(EroTrng::new(config).is_err());
+        let mut config = jittery_config(4);
+        config.duty_cycle = 1.0;
+        assert!(EroTrng::new(config).is_err());
+        let trng = EroTrng::new(jittery_config(4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(trng.generate_bits(&mut rng, 0).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Elementary ring-oscillator TRNG (eRO-TRNG) and its stochastic models.
+//!
+//! The generator studied by the paper (Fig. 4) samples the output of one free-running
+//! ring oscillator with a D flip-flop clocked by a second ring oscillator (optionally
+//! divided), producing a raw binary sequence whose entropy stems from the accumulated
+//! relative jitter of the two rings.  This crate provides:
+//!
+//! * [`ero`] — the sampler/digitizer producing the raw binary sequence,
+//! * [`postprocess`] — algebraic post-processing (XOR decimation, von Neumann, parity),
+//! * [`entropy`] — empirical entropy estimators for bit sequences,
+//! * [`stochastic`] — entropy-per-bit bounds: the classical thermal-only ("independent
+//!   jitter") model and the flicker-aware correction motivated by the paper,
+//! * [`online`] — the embedded online test sketched in the paper's conclusion: monitor
+//!   the thermal-noise contribution to the jitter via the `σ²_N` counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod entropy;
+pub mod ero;
+pub mod online;
+pub mod postprocess;
+pub mod stochastic;
+
+use thiserror::Error;
+
+/// Errors produced by the TRNG models.
+#[derive(Debug, Clone, PartialEq, Error)]
+#[non_exhaustive]
+pub enum TrngError {
+    /// A parameter was outside its valid domain.
+    #[error("invalid parameter {name}: {reason}")]
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An oscillator-model routine failed.
+    #[error("oscillator model error: {0}")]
+    Osc(#[from] ptrng_osc::OscError),
+    /// A statistical routine failed.
+    #[error("statistics error: {0}")]
+    Stats(#[from] ptrng_stats::StatsError),
+    /// A statistical-test routine failed.
+    #[error("test battery error: {0}")]
+    Ais(#[from] ptrng_ais::AisError),
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TrngError>;
+
+pub(crate) fn check_positive(name: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(TrngError::InvalidParameter {
+            name,
+            reason: format!("must be positive and finite, got {value}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_conversions() {
+        let e: TrngError = ptrng_osc::OscError::InvalidParameter {
+            name: "x",
+            reason: "bad".to_string(),
+        }
+        .into();
+        assert!(e.to_string().contains("oscillator model error"));
+        let e: TrngError = ptrng_stats::StatsError::SeriesTooShort { len: 0, needed: 1 }.into();
+        assert!(e.to_string().contains("statistics error"));
+        let e: TrngError = ptrng_ais::AisError::SequenceTooShort { len: 0, needed: 1 }.into();
+        assert!(e.to_string().contains("test battery error"));
+    }
+
+    #[test]
+    fn check_positive_rejects_non_positive() {
+        assert!(check_positive("x", 1.0).is_ok());
+        assert!(check_positive("x", 0.0).is_err());
+        assert!(check_positive("x", f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Embedded online test: monitor the thermal-noise contribution on line and detect an
+//! attack that suppresses the relative jitter (the paper's proposed AIS 31 online test).
+//!
+//! The example commissions the test from a healthy acquisition, then replays three
+//! scenarios: a healthy device, a device whose thermal noise has collapsed (e.g. a
+//! frequency-injection lock), and a stuck digitizer caught by the total-failure check.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example embedded_online_test
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ptrng::measure::circuit::DifferentialCircuit;
+use ptrng::osc::phase::PhaseNoiseModel;
+use ptrng::stats::sn::log_spaced_depths;
+use ptrng::trng::online::{total_failure_check, OnlineTestConfig, OnlineThermalTest};
+
+fn acquire_points(
+    circuit: &DifferentialCircuit,
+    seed: u64,
+) -> Result<(Vec<f64>, Vec<f64>), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let depths = log_spaced_depths(16, 4_096, 10)?;
+    let dataset = circuit.measure_period_domain(&mut rng, &depths, 1 << 17)?;
+    Ok((dataset.depths(), dataset.variances()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Commissioning: the healthy device defines the reference thermal jitter.
+    let healthy = DifferentialCircuit::date14_experiment();
+    let reference_sigma = healthy.relative_model()?.thermal_period_jitter();
+    let config = OnlineTestConfig::new(103.0e6, reference_sigma, 0.5)?;
+    let test = OnlineThermalTest::new(config);
+    println!("commissioned reference thermal jitter: {:.2} ps", reference_sigma * 1.0e12);
+
+    // Scenario 1: healthy device.
+    let (depths, variances) = acquire_points(&healthy, 1)?;
+    let outcome = test.evaluate_points(&depths, &variances)?;
+    println!(
+        "healthy device   : sigma = {:.2} ps, ratio = {:.2}, alarm = {}",
+        outcome.estimated_thermal_sigma * 1.0e12,
+        outcome.ratio_to_reference,
+        outcome.alarm
+    );
+
+    // Scenario 2: an attack locks the rings together and squeezes the relative thermal
+    // jitter by a factor 30 (the flicker component barely matters here).
+    let paper = PhaseNoiseModel::date14_experiment();
+    let attacked_model = PhaseNoiseModel::new(
+        paper.b_thermal() / 900.0,
+        paper.b_flicker() / 900.0,
+        paper.frequency(),
+    )?;
+    let per_osc = PhaseNoiseModel::new(
+        attacked_model.b_thermal() / 2.0,
+        attacked_model.b_flicker() / 2.0,
+        attacked_model.frequency(),
+    )?;
+    let attacked = DifferentialCircuit::new(per_osc, per_osc);
+    let (depths, variances) = acquire_points(&attacked, 2)?;
+    let outcome = test.evaluate_points(&depths, &variances)?;
+    println!(
+        "attacked device  : sigma = {:.2} ps, ratio = {:.2}, alarm = {}",
+        outcome.estimated_thermal_sigma * 1.0e12,
+        outcome.ratio_to_reference,
+        outcome.alarm
+    );
+
+    // Scenario 3: a stuck digitizer output, caught by the total-failure check within a
+    // few dozen samples.
+    let mut stuck_bits = vec![0u8, 1, 0, 1, 1, 0];
+    stuck_bits.extend(std::iter::repeat(1).take(64));
+    let verdict = total_failure_check(&stuck_bits, 0.9)?;
+    println!(
+        "stuck digitizer  : repetition-count statistic = {}, passed = {}",
+        verdict.statistic, verdict.passed
+    );
+    Ok(())
+}

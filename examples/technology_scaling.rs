@@ -1,0 +1,51 @@
+//! Technology-scaling study: the paper's closing remark made quantitative.
+//!
+//! Flicker drain-current noise scales as `1/(W·L²)`, so shrinking the transistor
+//! geometry raises the flicker share of the oscillator phase noise.  Starting from the
+//! multilevel model (device → ISF → phase noise → accumulated jitter), this example
+//! prints, for a range of geometry scalings, the constant `K` of `r_N = K/(K+N)`, the
+//! 95 % independence threshold, and the accumulation depth an eRO-TRNG needs to reach
+//! 0.997 bit of (flicker-aware) entropy per raw bit.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example technology_scaling
+//! ```
+
+use ptrng::core::multilevel::MultilevelModel;
+use ptrng::noise::transistor::MosTransistor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reference = MosTransistor::typical_130nm();
+    println!("# starting point: a 130 nm-class inverter transistor, 3-stage ring at 103 MHz");
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>10}  {:>12}  {:>14}",
+        "geometry", "b_th [Hz]", "b_fl [Hz^2]", "K", "N (r_N>95%)", "N for H>=0.997"
+    );
+    for scale in [1.0f64, 0.8, 0.6, 0.5, 0.35, 0.25] {
+        let device = reference.scaled_geometry(scale)?;
+        let model = MultilevelModel::from_device(device, 3, 103.0e6)?;
+        let relative = model.relative();
+        let (_, _, k, threshold) = model.headline_numbers()?;
+        let entropy_depth = model.entropy().minimum_depth_for_entropy(0.997)?;
+        println!(
+            "{:>9.0}%  {:>12.2}  {:>12.3e}  {:>10.0}  {:>12}  {:>14}",
+            scale * 100.0,
+            relative.b_thermal(),
+            relative.b_flicker(),
+            k.unwrap_or(f64::INFINITY),
+            threshold.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            entropy_depth
+        );
+    }
+    println!();
+    println!(
+        "Shrinking the geometry leaves b_th untouched but inflates b_fl as 1/(W·L^2): the\n\
+         independence window (N with r_N > 95%) closes, exactly the trend the paper\n\
+         predicts for future technology nodes.  The required accumulation depth for a\n\
+         given entropy target is driven by the thermal part only and therefore stays put —\n\
+         but measuring that thermal part gets harder, which is the paper's 'paradox'."
+    );
+    Ok(())
+}

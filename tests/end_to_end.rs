@@ -1,0 +1,131 @@
+//! End-to-end integration tests spanning the whole workspace: simulated measurement →
+//! statistics → fit → analysis report, checked against the paper's published numbers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ptrng::core::independence::{IndependenceAnalysis, IndependenceVerdict};
+use ptrng::core::multilevel::MultilevelModel;
+use ptrng::core::report::{validate_report, AnalysisReport};
+use ptrng::core::thermal::ThermalNoiseEstimate;
+use ptrng::measure::campaign::{CampaignConfig, Estimator, MeasurementCampaign};
+use ptrng::measure::circuit::DifferentialCircuit;
+use ptrng::osc::model::AccumulationModel;
+use ptrng::osc::phase::PhaseNoiseModel;
+use ptrng::stats::sn::log_spaced_depths;
+
+fn assert_rel(a: f64, b: f64, rel: f64) {
+    let scale = a.abs().max(b.abs()).max(1e-300);
+    assert!((a - b).abs() / scale <= rel, "{a} vs {b} (rel {rel})");
+}
+
+#[test]
+fn paper_constants_are_consistent_across_crates() {
+    let model = PhaseNoiseModel::date14_experiment();
+    assert_eq!(model.frequency(), ptrng::core::paper::FREQUENCY_HZ);
+    assert_eq!(model.b_thermal(), ptrng::core::paper::B_THERMAL_HZ);
+    assert_rel(
+        model.thermal_period_jitter(),
+        ptrng::core::paper::THERMAL_JITTER_SECONDS,
+        5e-3,
+    );
+    let acc = AccumulationModel::new(model);
+    assert_eq!(
+        acc.independence_threshold(0.95).unwrap(),
+        Some(ptrng::core::paper::INDEPENDENCE_THRESHOLD_95),
+    );
+}
+
+#[test]
+fn simulated_campaign_recovers_the_paper_fit() {
+    // Period-domain campaign over the same circuit as the paper's experiment.
+    let circuit = DifferentialCircuit::date14_experiment();
+    let config = CampaignConfig {
+        depths: log_spaced_depths(8, 8_192, 14).unwrap(),
+        estimator: Estimator::PeriodDomain { record_len: 1 << 18 },
+        seed: 1234,
+    };
+    let dataset = MeasurementCampaign::new(circuit, config).unwrap().run().unwrap();
+
+    // Thermal extraction lands near 15.89 ps.
+    let thermal = ThermalNoiseEstimate::from_dataset(&dataset).unwrap();
+    assert_rel(thermal.thermal_sigma, 15.89e-12, 0.3);
+    assert_rel(thermal.jitter_ratio, 1.6e-3, 0.3);
+
+    // The independence analysis flags dependence and reports a finite threshold.
+    let analysis = IndependenceAnalysis::from_dataset(&dataset).unwrap();
+    assert_eq!(analysis.verdict(), IndependenceVerdict::DependentBeyondThreshold);
+    let threshold = analysis.independence_threshold_95().unwrap();
+    assert!(
+        (50..3_000).contains(&threshold),
+        "threshold {threshold} should be of the order of the paper's 281"
+    );
+}
+
+#[test]
+fn thermal_only_campaign_is_declared_independent() {
+    let per_osc = PhaseNoiseModel::thermal_only(138.02, 103.0e6).unwrap();
+    let circuit = DifferentialCircuit::new(per_osc, per_osc);
+    let config = CampaignConfig {
+        depths: log_spaced_depths(4, 2_048, 10).unwrap(),
+        estimator: Estimator::PeriodDomain { record_len: 1 << 17 },
+        seed: 5,
+    };
+    let dataset = MeasurementCampaign::new(circuit, config).unwrap().run().unwrap();
+    let analysis = IndependenceAnalysis::from_dataset(&dataset).unwrap();
+    assert_eq!(
+        analysis.verdict(),
+        IndependenceVerdict::ConsistentWithIndependence
+    );
+}
+
+#[test]
+fn closed_form_and_simulation_agree_over_the_sweep() {
+    let circuit = DifferentialCircuit::date14_experiment();
+    let acc = AccumulationModel::new(circuit.relative_model().unwrap());
+    let mut rng = StdRng::seed_from_u64(77);
+    let depths = vec![4usize, 16, 64, 256, 1024];
+    let dataset = circuit
+        .measure_period_domain(&mut rng, &depths, 1 << 17)
+        .unwrap();
+    for p in dataset.points() {
+        assert_rel(p.sigma2_n, acc.sigma2_n(p.n), 0.35);
+    }
+}
+
+#[test]
+fn full_report_round_trips_and_validates() {
+    let circuit = DifferentialCircuit::date14_experiment();
+    let mut rng = StdRng::seed_from_u64(99);
+    let depths = log_spaced_depths(8, 4_096, 12).unwrap();
+    let dataset = circuit
+        .measure_period_domain(&mut rng, &depths, 1 << 17)
+        .unwrap();
+    let report = AnalysisReport::from_dataset(&dataset, &[1_000, 20_000]).unwrap();
+    validate_report(&report).unwrap();
+    let json = report.to_json().unwrap();
+    let back = AnalysisReport::from_json(&json).unwrap();
+    assert_eq!(report.verdict, back.verdict);
+    assert_eq!(report.entropy.len(), 2);
+    assert!(report.entropy[1].naive_bound >= report.entropy[1].thermal_bound);
+    assert!(report.to_text().contains("thermal period jitter"));
+}
+
+#[test]
+fn multilevel_pipeline_predicts_what_the_simulation_measures() {
+    // Build a multilevel model from a device, simulate the corresponding circuit, and
+    // check prediction vs measurement at a few depths.
+    let model = MultilevelModel::date14_experiment();
+    let per_osc = *model.per_oscillator();
+    let circuit = DifferentialCircuit::new(per_osc, per_osc);
+    let mut rng = StdRng::seed_from_u64(11);
+    let depths = vec![8usize, 64, 512];
+    let dataset = circuit
+        .measure_period_domain(&mut rng, &depths, 1 << 16)
+        .unwrap();
+    let predicted = model.predicted_sigma2_n(&depths);
+    for (point, (n, expected)) in dataset.points().iter().zip(predicted) {
+        assert_eq!(point.n, n);
+        assert_rel(point.sigma2_n, expected, 0.4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-crate statistical consistency checks: the same physical quantity computed
+//! through independent code paths must agree.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ptrng::ais::battery::{run_battery, BatteryConfig};
+use ptrng::measure::circuit::DifferentialCircuit;
+use ptrng::osc::jitter::JitterGenerator;
+use ptrng::osc::phase::PhaseNoiseModel;
+use ptrng::stats::allan::overlapping_allan_variance;
+use ptrng::stats::sn::{sigma2_n, SnSampling};
+use ptrng::stats::spectral::welch_psd;
+use ptrng::stats::window::Window;
+use ptrng::trng::postprocess::von_neumann;
+
+fn assert_rel(a: f64, b: f64, rel: f64) {
+    let scale = a.abs().max(b.abs()).max(1e-300);
+    assert!((a - b).abs() / scale <= rel, "{a} vs {b} (rel {rel})");
+}
+
+/// `s_N` is exactly the second difference of the accumulated time error, so its variance
+/// must equal `2·(N·T0)²·σ²_y(N·T0)` where `σ²_y` is the overlapping Allan variance.
+#[test]
+fn sigma2_n_matches_the_allan_variance_route() {
+    let model = PhaseNoiseModel::date14_experiment();
+    let generator = JitterGenerator::new(model);
+    let mut rng = StdRng::seed_from_u64(314);
+    let jitter = generator.generate_period_jitter(&mut rng, 1 << 16).unwrap();
+
+    // Accumulated time error x_k = sum of the first k jitter realizations.
+    let mut phase = Vec::with_capacity(jitter.len() + 1);
+    phase.push(0.0);
+    let mut acc = 0.0;
+    for j in &jitter {
+        acc += j;
+        phase.push(acc);
+    }
+    let tau0 = model.period();
+    for n in [4usize, 32, 256, 1024] {
+        let via_sn = sigma2_n(&jitter, n).unwrap();
+        let avar = overlapping_allan_variance(&phase, tau0, n).unwrap();
+        let via_allan = 2.0 * (n as f64 * tau0).powi(2) * avar;
+        assert_rel(via_sn, via_allan, 0.05);
+    }
+}
+
+/// The one-sided PSD of the generated fractional-frequency process must show the
+/// configured `1/f` (flicker-FM) slope in the band where flicker dominates.
+#[test]
+fn generated_jitter_has_the_configured_spectral_shape() {
+    // Flicker-dominated model so the slope is unambiguous.
+    let f0 = 1.0e8;
+    let model = PhaseNoiseModel::new(1.0, 5.0e6, f0).unwrap();
+    let generator = JitterGenerator::new(model);
+    let mut rng = StdRng::seed_from_u64(2718);
+    let jitter = generator.generate_period_jitter(&mut rng, 1 << 16).unwrap();
+    // Fractional frequency per period: y_k ≈ -J_k·f0... (sign does not matter for the PSD).
+    let y: Vec<f64> = jitter.iter().map(|j| j * f0).collect();
+    let est = welch_psd(&y, f0, 4096, Window::Hann).unwrap();
+    let (slope, _) = est.log_log_slope(f0 / 1000.0, f0 / 20.0).unwrap();
+    assert!(
+        (slope + 1.0).abs() < 0.3,
+        "flicker-FM fractional frequency must have a 1/f PSD, slope {slope}"
+    );
+}
+
+/// The von Neumann corrector turns a biased-but-independent raw sequence into one that
+/// passes the full statistical battery.
+#[test]
+fn von_neumann_output_of_a_biased_source_passes_the_battery() {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(1618);
+    let biased: Vec<u8> = (0..600_000).map(|_| u8::from(rng.gen_bool(0.65))).collect();
+    let raw_report = run_battery(&biased, &BatteryConfig::default()).unwrap();
+    assert!(!raw_report.all_passed(), "the biased raw sequence must fail");
+
+    let corrected = von_neumann(&biased).unwrap();
+    assert!(corrected.len() >= 20_000, "need one full test block after correction");
+    let report = run_battery(&corrected, &BatteryConfig::default()).unwrap();
+    assert!(
+        report.all_passed(),
+        "von Neumann output should pass, failures: {:?}",
+        report.failures()
+    );
+}
+
+/// The counter circuit's quantization floor is of the predicted order (≈ 0.5/f0²): a
+/// nearly noiseless oscillator pair still shows that residual variance, and it is what
+/// hides the thermal term at small depths (the paper's measurement difficulty).
+#[test]
+fn counter_quantization_floor_has_the_predicted_order() {
+    let per_osc = PhaseNoiseModel::new(1.0e-3, 0.0, 1.0e8).unwrap();
+    let circuit = DifferentialCircuit::new(per_osc, per_osc);
+    let mut rng = StdRng::seed_from_u64(42);
+    let run = circuit.measure_counters(&mut rng, 64, 400).unwrap();
+    let floor = circuit.quantization_floor();
+    assert!(
+        run.sigma2_n > floor / 50.0 && run.sigma2_n < floor * 4.0,
+        "measured {} vs predicted floor {}",
+        run.sigma2_n,
+        floor
+    );
+}
+
+/// Overlapping and disjoint `s_N` sampling estimate the same variance (the former with
+/// more, correlated, samples).
+#[test]
+fn overlapping_and_disjoint_sampling_agree() {
+    let model = PhaseNoiseModel::thermal_only(276.04, 103.0e6).unwrap();
+    let generator = JitterGenerator::new(model);
+    let mut rng = StdRng::seed_from_u64(99);
+    let jitter = generator.generate_period_jitter(&mut rng, 1 << 17).unwrap();
+    for n in [8usize, 64] {
+        let overlapping =
+            ptrng::stats::sn::sigma2_n_with(&jitter, n, SnSampling::Overlapping).unwrap();
+        let disjoint = ptrng::stats::sn::sigma2_n_with(&jitter, n, SnSampling::Disjoint).unwrap();
+        assert_rel(overlapping, disjoint, 0.15);
+    }
+}
