@@ -117,7 +117,12 @@ pub fn long_run(bits: &[u8]) -> Result<TestResult> {
 ///
 /// Returns an error when fewer than 20 000 bits are provided.
 pub fn run_all(bits: &[u8]) -> Result<Vec<TestResult>> {
-    Ok(vec![monobit(bits)?, poker(bits)?, runs(bits)?, long_run(bits)?])
+    Ok(vec![
+        monobit(bits)?,
+        poker(bits)?,
+        runs(bits)?,
+        long_run(bits)?,
+    ])
 }
 
 #[cfg(test)]
@@ -135,7 +140,11 @@ mod tests {
     fn random_bits_pass_all_fips_tests() {
         let bits = random_bits(FIPS_BLOCK_BITS, 11);
         for result in run_all(&bits).unwrap() {
-            assert!(result.passed, "{} failed ({})", result.name, result.statistic);
+            assert!(
+                result.passed,
+                "{} failed ({})",
+                result.name, result.statistic
+            );
         }
     }
 

@@ -238,16 +238,18 @@ mod tests {
 
     fn biased_bits(len: usize, p_one: f64, seed: u64) -> Vec<u8> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..len)
-            .map(|_| u8::from(rng.gen_bool(p_one)))
-            .collect()
+        (0..len).map(|_| u8::from(rng.gen_bool(p_one))).collect()
     }
 
     #[test]
     fn good_random_bits_pass_t1_to_t5() {
         let bits = random_bits(BLOCK_BITS, 1);
         for result in run_t1_to_t5(&bits).unwrap() {
-            assert!(result.passed, "{} failed: {}", result.name, result.statistic);
+            assert!(
+                result.passed,
+                "{} failed: {}",
+                result.name, result.statistic
+            );
         }
     }
 
@@ -260,7 +262,9 @@ mod tests {
     #[test]
     fn t2_rejects_structured_blocks() {
         // Repeating the nibble pattern 0xA gives a degenerate poker distribution.
-        let bits: Vec<u8> = (0..BLOCK_BITS).map(|i| (0xAu8 >> (3 - i % 4)) & 1).collect();
+        let bits: Vec<u8> = (0..BLOCK_BITS)
+            .map(|i| (0xAu8 >> (3 - i % 4)) & 1)
+            .collect();
         assert!(!t2_poker(&bits).unwrap().passed);
     }
 

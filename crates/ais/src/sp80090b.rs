@@ -16,15 +16,32 @@ use crate::bits::ensure_bits;
 use crate::{AisError, Result, TestResult};
 
 /// Cutoff of the repetition count test: `C = 1 + ⌈20 / H⌉` for a false-positive
-/// probability of `2⁻²⁰` per sample.
+/// probability of `2⁻²⁰` per sample (the SP 800-90B example calibration).
 ///
 /// # Errors
 ///
 /// Returns an error when `min_entropy_per_sample` is not in `(0, 1]` (for binary
 /// samples).
 pub fn repetition_count_cutoff(min_entropy_per_sample: f64) -> Result<u64> {
+    repetition_count_cutoff_with(min_entropy_per_sample, 20.0)
+}
+
+/// [`repetition_count_cutoff`] with a configurable false-positive exponent `e`:
+/// `C = 1 + ⌈e / H⌉` targets a false alarm probability of about `2⁻ᵉ` per sample.
+/// High-throughput consumers (streaming many mebibits) want `e` well above the spec's
+/// example value of 20, or false repetition-count alarms become routine.
+///
+/// # Errors
+///
+/// Returns an error when the entropy claim is not in `(0, 1]` or the exponent is not
+/// finite and at least 1.
+pub fn repetition_count_cutoff_with(
+    min_entropy_per_sample: f64,
+    false_positive_exponent: f64,
+) -> Result<u64> {
     check_entropy(min_entropy_per_sample)?;
-    Ok(1 + (20.0 / min_entropy_per_sample).ceil() as u64)
+    check_exponent(false_positive_exponent)?;
+    Ok(1 + (false_positive_exponent / min_entropy_per_sample).ceil() as u64)
 }
 
 /// Runs the repetition count test over a full bit sequence.
@@ -70,14 +87,32 @@ pub const ADAPTIVE_PROPORTION_WINDOW: usize = 1024;
 ///
 /// Returns an error when `min_entropy_per_sample` is not in `(0, 1]`.
 pub fn adaptive_proportion_cutoff(min_entropy_per_sample: f64) -> Result<u64> {
+    adaptive_proportion_cutoff_with(min_entropy_per_sample, 20.0)
+}
+
+/// [`adaptive_proportion_cutoff`] with a configurable false-positive exponent `e`:
+/// the cutoff targets a false alarm probability of about `2⁻ᵉ` per window.
+///
+/// # Errors
+///
+/// Returns an error when the entropy claim is not in `(0, 1]` or the exponent is not
+/// finite and at least 1.
+pub fn adaptive_proportion_cutoff_with(
+    min_entropy_per_sample: f64,
+    false_positive_exponent: f64,
+) -> Result<u64> {
     check_entropy(min_entropy_per_sample)?;
+    check_exponent(false_positive_exponent)?;
     // The most likely value has probability at most p = 2^{-H}.  Use a normal
-    // approximation of Binomial(W, p) and a 2^-20 ≈ 4.45 σ one-sided bound.
+    // approximation of Binomial(W, p) with a one-sided z-bound of
+    // z = sqrt(2·ln2·e), a (slightly conservative) upper bound on the normal
+    // quantile at tail mass 2^-e.
     let p = 2.0f64.powf(-min_entropy_per_sample);
     let w = ADAPTIVE_PROPORTION_WINDOW as f64;
     let mean = w * p;
     let std = (w * p * (1.0 - p)).sqrt();
-    Ok((mean + 4.45 * std).ceil().min(w) as u64)
+    let z = (2.0 * std::f64::consts::LN_2 * false_positive_exponent).sqrt();
+    Ok((mean + z * std).ceil().min(w) as u64)
 }
 
 /// Outcome of the adaptive proportion test over every disjoint window of the sequence.
@@ -129,6 +164,16 @@ pub fn adaptive_proportion_test(
             format!("max per-window count < {cutoff}"),
         ),
     })
+}
+
+fn check_exponent(false_positive_exponent: f64) -> Result<()> {
+    if !(false_positive_exponent.is_finite() && false_positive_exponent >= 1.0) {
+        return Err(AisError::InvalidParameter {
+            name: "false_positive_exponent",
+            reason: format!("must be finite and at least 1, got {false_positive_exponent}"),
+        });
+    }
+    Ok(())
 }
 
 fn check_entropy(min_entropy_per_sample: f64) -> Result<()> {

@@ -24,7 +24,8 @@ fn bench_flicker_backends(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &generator, |b, g| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(5);
-                g.generate_period_jitter(&mut rng, len).expect("generation succeeds")
+                g.generate_period_jitter(&mut rng, len)
+                    .expect("generation succeeds")
             })
         });
     }

@@ -1,0 +1,65 @@
+//! ENGINE benchmark: end-to-end throughput of the sharded generation runtime.
+//!
+//! Two sweeps: the calibrated stochastic-model source isolates the runtime overhead
+//! (sharding, health monitoring, packing, channel) and shows multi-shard scaling; the
+//! physically-simulated eRO-TRNG shows the cost of the edge-level simulation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ptrng_engine::health::HealthConfig;
+use ptrng_engine::pool::{Engine, EngineConfig};
+use ptrng_engine::source::{JitterProfile, SourceSpec};
+
+fn stream_budget(spec: SourceSpec, shards: usize, budget: u64) -> usize {
+    let config = EngineConfig::new(spec)
+        .shards(shards)
+        .seed(1)
+        .budget_bytes(Some(budget))
+        .health(HealthConfig::default().without_startup_battery());
+    let mut engine = Engine::spawn(config).expect("engine spawns");
+    let bytes = engine.read_to_end().expect("healthy stream");
+    engine.join().expect("workers join");
+    bytes.len()
+}
+
+fn bench_model_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/model_1MiB");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let n = stream_budget(SourceSpec::model(0.5).unwrap(), shards, 1 << 20);
+                    assert_eq!(n, 1 << 20);
+                    n
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ero_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/ero_div8_64KiB");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let spec = SourceSpec::ero(8, JitterProfile::Strong).unwrap();
+                    let n = stream_budget(spec, shards, 64 << 10);
+                    assert_eq!(n, 64 << 10);
+                    n
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_scaling, bench_ero_scaling);
+criterion_main!(benches);

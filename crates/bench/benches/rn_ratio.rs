@@ -38,7 +38,10 @@ fn bench_independence_analysis(c: &mut Criterion) {
             for n in (100..=100_000).step_by(100) {
                 acc_total += acc.rn_ratio(n);
             }
-            (acc_total, acc.independence_threshold(0.95).expect("valid ratio"))
+            (
+                acc_total,
+                acc.independence_threshold(0.95).expect("valid ratio"),
+            )
         })
     });
     group.finish();

@@ -11,7 +11,10 @@ use ptrng_osc::phase::PhaseNoiseModel;
 fn main() {
     let acc = AccumulationModel::new(PhaseNoiseModel::date14_experiment());
     println!("# EQ11: closed form vs numerical integration of Eq. 9 (paper model, f0 = 103 MHz)");
-    println!("{:>8}  {:>14}  {:>14}  {:>12}", "N", "closed form", "numeric", "rel. error");
+    println!(
+        "{:>8}  {:>14}  {:>14}  {:>12}",
+        "N", "closed form", "numeric", "rel. error"
+    );
     for n in [1usize, 10, 100, 281, 1_000, 5_354, 10_000, 30_000] {
         let closed = acc.sigma2_n(n);
         let numeric = acc

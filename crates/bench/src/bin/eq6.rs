@@ -18,7 +18,10 @@ fn main() {
     let sigma2 = paper.b_thermal() / paper.frequency().powi(3);
 
     println!("# EQ6: thermal-only source, sigma^2_N against the Bienaymé prediction 2*N*sigma^2");
-    println!("{:>8}  {:>14}  {:>14}  {:>10}", "N", "measured", "2*N*sigma^2", "ratio");
+    println!(
+        "{:>8}  {:>14}  {:>14}  {:>10}",
+        "N", "measured", "2*N*sigma^2", "ratio"
+    );
     for p in dataset.points() {
         let predicted = sigma2_n_independent(p.n, sigma2);
         println!(

@@ -27,17 +27,23 @@ fn main() {
             .independence_threshold(p)
             .expect("valid ratio")
             .expect("the paper model has a flicker component");
-        println!("independence threshold (r_N > {:.0}%) : N < {threshold}", p * 100.0);
+        println!(
+            "independence threshold (r_N > {:.0}%) : N < {threshold}",
+            p * 100.0
+        );
     }
 
     println!();
     println!("# same quantities recovered from a simulated acquisition");
     let dataset = acquire_fig7_dataset(7, DEFAULT_RECORD_LEN, DEFAULT_MAX_DEPTH);
-    let analysis = IndependenceAnalysis::from_dataset(&dataset)
-        .expect("the simulated dataset is analysable");
+    let analysis =
+        IndependenceAnalysis::from_dataset(&dataset).expect("the simulated dataset is analysable");
     println!(
         "fitted K                 : {:.0}   (paper: 5354)",
-        analysis.fitted_model().rn_constant().unwrap_or(f64::INFINITY)
+        analysis
+            .fitted_model()
+            .rn_constant()
+            .unwrap_or(f64::INFINITY)
     );
     println!(
         "fitted threshold (95 %)  : N < {}   (paper: N < 281)",

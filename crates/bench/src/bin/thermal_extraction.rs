@@ -19,7 +19,9 @@ fn main() {
     println!("{:<28} {:>14} {:>14}", "quantity", "measured", "paper");
     println!(
         "{:<28} {:>14.2} {:>14.2}",
-        "b_thermal [Hz]", estimate.b_thermal, paper::B_THERMAL_HZ
+        "b_thermal [Hz]",
+        estimate.b_thermal,
+        paper::B_THERMAL_HZ
     );
     println!(
         "{:<28} {:>14.2} {:>14.2}",
@@ -41,5 +43,9 @@ fn main() {
     let deviation = estimate
         .relative_deviation_from(paper::THERMAL_JITTER_SECONDS)
         .expect("the paper reference is positive");
-    println!("{:<28} {:>13.1}%", "deviation from paper sigma", deviation * 100.0);
+    println!(
+        "{:<28} {:>13.1}%",
+        "deviation from paper sigma",
+        deviation * 100.0
+    );
 }

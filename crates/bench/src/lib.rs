@@ -42,7 +42,11 @@ pub fn acquire_fig7_dataset(seed: u64, record_len: usize, max_depth: usize) -> S
 /// # Panics
 ///
 /// Panics when the simulation fails (cannot happen for the built-in parameters).
-pub fn acquire_thermal_only_dataset(seed: u64, record_len: usize, max_depth: usize) -> Sigma2NDataset {
+pub fn acquire_thermal_only_dataset(
+    seed: u64,
+    record_len: usize,
+    max_depth: usize,
+) -> Sigma2NDataset {
     let paper = PhaseNoiseModel::date14_experiment();
     let per_osc = PhaseNoiseModel::thermal_only(paper.b_thermal() / 2.0, paper.frequency())
         .expect("paper coefficients are valid");

@@ -222,7 +222,10 @@ mod tests {
         let depths: Vec<usize> = vec![100, 500, 1000, 5000, 10_000, 20_000, 30_000];
         let dataset = dataset_from_model(model, &depths);
         let analysis = IndependenceAnalysis::from_dataset(&dataset).unwrap();
-        assert_eq!(analysis.verdict(), IndependenceVerdict::DependentBeyondThreshold);
+        assert_eq!(
+            analysis.verdict(),
+            IndependenceVerdict::DependentBeyondThreshold
+        );
         assert_eq!(analysis.independence_threshold_95(), Some(281));
         assert!((analysis.fitted_model().b_thermal() - 276.04).abs() / 276.04 < 1e-3);
         assert!((analysis.rn_ratio(5354) - 0.5).abs() < 1e-3);
@@ -268,8 +271,14 @@ mod tests {
         let dataset = dataset_from_model(model, &[10, 50, 100, 200]);
         let strict = IndependenceAnalysis::with_tolerance(&dataset, 0.01).unwrap();
         let loose = IndependenceAnalysis::with_tolerance(&dataset, 0.5).unwrap();
-        assert_eq!(strict.verdict(), IndependenceVerdict::DependentBeyondThreshold);
-        assert_eq!(loose.verdict(), IndependenceVerdict::ConsistentWithIndependence);
+        assert_eq!(
+            strict.verdict(),
+            IndependenceVerdict::DependentBeyondThreshold
+        );
+        assert_eq!(
+            loose.verdict(),
+            IndependenceVerdict::ConsistentWithIndependence
+        );
     }
 
     #[test]
@@ -280,10 +289,11 @@ mod tests {
         assert!(jitter_series_looks_independent(&jitter, 20, 0.01).unwrap());
 
         // Strongly flicker-dominated jitter is serially correlated.
-        let flicker_heavy = JitterGenerator::new(
-            PhaseNoiseModel::new(10.0, 5.0e7, 103.0e6).unwrap(),
-        );
-        let jitter = flicker_heavy.generate_period_jitter(&mut rng, 20_000).unwrap();
+        let flicker_heavy =
+            JitterGenerator::new(PhaseNoiseModel::new(10.0, 5.0e7, 103.0e6).unwrap());
+        let jitter = flicker_heavy
+            .generate_period_jitter(&mut rng, 20_000)
+            .unwrap();
         assert!(!jitter_series_looks_independent(&jitter, 20, 0.01).unwrap());
     }
 

@@ -161,8 +161,7 @@ mod tests {
         assert!(model.per_oscillator().b_flicker() > 0.0);
         // Relative coefficients are exactly twice the per-oscillator ones.
         assert!(
-            (model.relative().b_thermal() - 2.0 * model.per_oscillator().b_thermal()).abs()
-                < 1e-12
+            (model.relative().b_thermal() - 2.0 * model.per_oscillator().b_thermal()).abs() < 1e-12
         );
         let sweep = model.predicted_sigma2_n(&[1, 10, 100]);
         assert_eq!(sweep.len(), 3);
@@ -187,10 +186,7 @@ mod tests {
     fn entropy_model_is_consistent_with_the_relative_noise() {
         let model = MultilevelModel::date14_experiment();
         let entropy = model.entropy();
-        assert_eq!(
-            entropy.relative().b_thermal(),
-            model.relative().b_thermal()
-        );
+        assert_eq!(entropy.relative().b_thermal(), model.relative().b_thermal());
         assert!(entropy.entropy_bound_thermal(100_000) > 0.0);
     }
 

@@ -120,10 +120,22 @@ impl AnalysisReport {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("estimator                 : {}\n", self.estimator));
-        out.push_str(&format!("points / max depth        : {} / {}\n", self.dataset_points, self.max_depth));
-        out.push_str(&format!("frequency                 : {:.3} MHz\n", self.frequency / 1.0e6));
-        out.push_str(&format!("b_thermal                 : {:.2} Hz\n", self.b_thermal));
-        out.push_str(&format!("b_flicker                 : {:.3e} Hz^2\n", self.b_flicker));
+        out.push_str(&format!(
+            "points / max depth        : {} / {}\n",
+            self.dataset_points, self.max_depth
+        ));
+        out.push_str(&format!(
+            "frequency                 : {:.3} MHz\n",
+            self.frequency / 1.0e6
+        ));
+        out.push_str(&format!(
+            "b_thermal                 : {:.2} Hz\n",
+            self.b_thermal
+        ));
+        out.push_str(&format!(
+            "b_flicker                 : {:.3e} Hz^2\n",
+            self.b_flicker
+        ));
         out.push_str(&format!(
             "thermal period jitter     : {:.2} ps ({:.2} permil of T0)\n",
             self.thermal_sigma * 1.0e12,
@@ -218,7 +230,10 @@ mod tests {
         assert!((report.b_thermal - 276.04).abs() / 276.04 < 1e-3);
         assert!((report.thermal_sigma - 15.89e-12).abs() < 0.05e-12);
         assert_eq!(report.independence_threshold_95, Some(281));
-        assert_eq!(report.verdict, IndependenceVerdict::DependentBeyondThreshold);
+        assert_eq!(
+            report.verdict,
+            IndependenceVerdict::DependentBeyondThreshold
+        );
         assert_eq!(report.entropy.len(), 2);
         assert!(report.entropy[1].overestimation > 0.0);
         validate_report(&report).unwrap();
@@ -232,7 +247,10 @@ mod tests {
         // Floating-point fields may lose the last ulp through the JSON text form.
         assert_eq!(report.estimator, back.estimator);
         assert_eq!(report.verdict, back.verdict);
-        assert_eq!(report.independence_threshold_95, back.independence_threshold_95);
+        assert_eq!(
+            report.independence_threshold_95,
+            back.independence_threshold_95
+        );
         assert!((report.b_thermal - back.b_thermal).abs() / report.b_thermal < 1e-12);
         assert!((report.thermal_sigma - back.thermal_sigma).abs() / report.thermal_sigma < 1e-9);
         let text = report.to_string();

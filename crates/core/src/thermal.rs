@@ -44,7 +44,7 @@ impl ThermalNoiseEstimate {
         let fit = sigma_n_fit(&depths, &variances, Some(&weights))?;
         let f0 = dataset.frequency();
         let b_thermal = fit.linear * f0.powi(3) / 2.0;
-        if !(b_thermal > 0.0) {
+        if b_thermal.is_nan() || b_thermal <= 0.0 {
             return Err(CoreError::InvalidParameter {
                 name: "dataset",
                 reason: format!(
@@ -73,7 +73,7 @@ impl ThermalNoiseEstimate {
     ///
     /// Returns an error when `reference_sigma` is not strictly positive.
     pub fn relative_deviation_from(&self, reference_sigma: f64) -> Result<f64> {
-        if !(reference_sigma > 0.0) || !reference_sigma.is_finite() {
+        if reference_sigma <= 0.0 || !reference_sigma.is_finite() {
             return Err(CoreError::InvalidParameter {
                 name: "reference_sigma",
                 reason: format!("must be positive and finite, got {reference_sigma}"),
@@ -147,9 +147,21 @@ mod tests {
     fn extraction_fails_without_a_thermal_component() {
         // A flat-zero dataset carries no measurable thermal contribution at all.
         let points = vec![
-            DatasetPoint { n: 10, sigma2_n: 0.0, samples: 10 },
-            DatasetPoint { n: 100, sigma2_n: 0.0, samples: 10 },
-            DatasetPoint { n: 1000, sigma2_n: 0.0, samples: 10 },
+            DatasetPoint {
+                n: 10,
+                sigma2_n: 0.0,
+                samples: 10,
+            },
+            DatasetPoint {
+                n: 100,
+                sigma2_n: 0.0,
+                samples: 10,
+            },
+            DatasetPoint {
+                n: 1000,
+                sigma2_n: 0.0,
+                samples: 10,
+            },
         ];
         let dataset = Sigma2NDataset::new(1.0e8, "synthetic", points).unwrap();
         assert!(ThermalNoiseEstimate::from_dataset(&dataset).is_err());

@@ -1,0 +1,248 @@
+//! `ptrngd` — stream entropy from a sharded simulated P-TRNG to stdout or a file.
+//!
+//! ```text
+//! ptrngd --shards 4 --source ero:16 --budget 1MiB > random.bin
+//! ```
+//!
+//! Exit codes: 0 on success, 1 on usage/configuration errors, 2 when a health alarm
+//! terminated generation.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ptrng_engine::health::HealthConfig;
+use ptrng_engine::pool::{Engine, EngineConfig, PostProcess};
+use ptrng_engine::source::SourceSpec;
+
+const USAGE: &str = "\
+ptrngd — sharded entropy generation daemon (simulated P-TRNG)
+
+USAGE:
+    ptrngd [OPTIONS]
+
+OPTIONS:
+    --shards N          worker shards, one source each            [default: 4]
+    --source SPEC       ero[:DIV[:PROFILE]] | xor:K[:DIV[:PROFILE]] |
+                        div:D1,D2,...[:PROFILE] | model[:P_ONE]   [default: ero:16]
+                        PROFILE = strong | date14
+    --budget SIZE       stop after SIZE output bytes (e.g. 4096, 512KiB, 1MiB, 2GiB);
+                        omit to stream until interrupted
+    --seed N            base seed; shard i derives its own        [default: 0]
+    --batch-bits N      raw bits per batch per shard              [default: 8192]
+    --post P            none | xor:K | vn                         [default: none]
+    --no-startup        skip the FIPS 140-2 startup battery
+    --min-entropy H     override the model-backed entropy claim used for the
+                        SP 800-90B cutoffs (0 < H <= 1)
+    --out PATH          write bytes to PATH instead of stdout
+    --stats             print a per-shard metrics summary to stderr
+    --help              show this help
+";
+
+struct Args {
+    shards: usize,
+    source: String,
+    budget: Option<u64>,
+    seed: u64,
+    batch_bits: usize,
+    post: PostProcess,
+    startup_battery: bool,
+    min_entropy: Option<f64>,
+    out: Option<String>,
+    stats: bool,
+}
+
+impl Args {
+    fn defaults() -> Self {
+        Self {
+            shards: 4,
+            source: "ero:16".to_string(),
+            budget: None,
+            seed: 0,
+            batch_bits: 8192,
+            post: PostProcess::None,
+            startup_battery: true,
+            min_entropy: None,
+            out: None,
+            stats: false,
+        }
+    }
+}
+
+fn parse_size(text: &str) -> Result<u64, String> {
+    let lower = text.trim().to_ascii_lowercase();
+    let lower = lower.as_str();
+    let (digits, multiplier) = if let Some(d) = lower.strip_suffix("gib") {
+        (d, 1u64 << 30)
+    } else if let Some(d) = lower.strip_suffix("mib") {
+        (d, 1u64 << 20)
+    } else if let Some(d) = lower.strip_suffix("kib") {
+        (d, 1u64 << 10)
+    } else if let Some(d) = lower.strip_suffix('b') {
+        (d, 1)
+    } else {
+        (lower, 1)
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(multiplier))
+        .ok_or_else(|| format!("invalid size `{text}` (expected e.g. 4096, 512KiB, 1MiB)"))
+}
+
+fn parse_post(text: &str) -> Result<PostProcess, String> {
+    match text {
+        "none" => Ok(PostProcess::None),
+        "vn" => Ok(PostProcess::VonNeumann),
+        other => match other.strip_prefix("xor:") {
+            Some(k) => k
+                .parse::<usize>()
+                .map(PostProcess::XorDecimate)
+                .map_err(|_| format!("invalid xor factor in `{other}`")),
+            None => Err(format!(
+                "unknown post-processing `{other}` (none, xor:K, vn)"
+            )),
+        },
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut args = Args::defaults();
+    let mut it = argv.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--shards" => {
+                args.shards = value(&mut it, "--shards")?
+                    .parse()
+                    .map_err(|_| "invalid --shards".to_string())?;
+            }
+            "--source" => args.source = value(&mut it, "--source")?,
+            "--budget" => args.budget = Some(parse_size(&value(&mut it, "--budget")?)?),
+            "--seed" => {
+                args.seed = value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed".to_string())?;
+            }
+            "--batch-bits" => {
+                args.batch_bits = value(&mut it, "--batch-bits")?
+                    .parse()
+                    .map_err(|_| "invalid --batch-bits".to_string())?;
+            }
+            "--post" => args.post = parse_post(&value(&mut it, "--post")?)?,
+            "--no-startup" => args.startup_battery = false,
+            "--min-entropy" => {
+                args.min_entropy = Some(
+                    value(&mut it, "--min-entropy")?
+                        .parse()
+                        .map_err(|_| "invalid --min-entropy".to_string())?,
+                );
+            }
+            "--out" => args.out = Some(value(&mut it, "--out")?),
+            "--stats" => args.stats = true,
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn run(args: Args) -> Result<u64, (u8, String)> {
+    let spec = SourceSpec::parse(&args.source).map_err(|e| (1, e.to_string()))?;
+    let mut health = HealthConfig::default();
+    if !args.startup_battery {
+        health = health.without_startup_battery();
+    }
+    if let Some(claim) = args.min_entropy {
+        health = health.with_min_entropy(claim);
+    }
+    let config = EngineConfig::new(spec)
+        .shards(args.shards)
+        .seed(args.seed)
+        .batch_bits(args.batch_bits)
+        .budget_bytes(args.budget)
+        .post(args.post)
+        .health(health);
+
+    // BufWriter matters here: batches are ~1 KiB and stdout is otherwise
+    // line-buffered, which would flush on every 0x0A byte of random output.
+    let mut sink: Box<dyn Write> = match &args.out {
+        Some(path) => Box::new(std::io::BufWriter::with_capacity(
+            256 * 1024,
+            std::fs::File::create(path).map_err(|e| (1, format!("cannot create `{path}`: {e}")))?,
+        )),
+        None => Box::new(std::io::BufWriter::with_capacity(
+            256 * 1024,
+            std::io::stdout().lock(),
+        )),
+    };
+
+    let started = Instant::now();
+    let mut engine = Engine::spawn(config).map_err(|e| (1, e.to_string()))?;
+    let mut written = 0u64;
+    let mut alarm: Option<String> = None;
+    for batch in engine.stream_mut() {
+        match batch {
+            Ok(batch) => {
+                sink.write_all(&batch.bytes)
+                    .map_err(|e| (1, format!("write failed: {e}")))?;
+                written += batch.bytes.len() as u64;
+            }
+            Err(e) => {
+                alarm.get_or_insert(e.to_string());
+            }
+        }
+    }
+    sink.flush()
+        .map_err(|e| (1, format!("flush failed: {e}")))?;
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if args.stats {
+        let snap = engine.metrics().snapshot();
+        eprintln!(
+            "ptrngd: {written} bytes in {elapsed:.2}s ({:.2} MiB/s), {} raw bits, {} batches, {} alarms",
+            written as f64 / elapsed.max(1e-9) / (1024.0 * 1024.0),
+            snap.total_raw_bits,
+            snap.total_batches,
+            snap.alarms,
+        );
+        for shard in &snap.per_shard {
+            eprintln!(
+                "ptrngd:   shard {}: {} bytes, {} raw bits, {} batches",
+                shard.shard, shard.output_bytes, shard.raw_bits, shard.batches
+            );
+        }
+    }
+    engine.join().map_err(|e| (1, e.to_string()))?;
+    match alarm {
+        Some(reason) => Err((2, reason)),
+        None => Ok(written),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv) {
+        Ok(None) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(args)) => match run(args) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err((code, message)) => {
+                eprintln!("ptrngd: {message}");
+                ExitCode::from(code)
+            }
+        },
+        Err(message) => {
+            eprintln!("ptrngd: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

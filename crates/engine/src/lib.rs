@@ -1,0 +1,129 @@
+//! Sharded high-throughput entropy generation runtime.
+//!
+//! The analysis crates of this workspace study a P-TRNG's stochastic model; this crate
+//! *runs* one at scale.  It turns the simulated generators into a serving system:
+//!
+//! * [`source`] — the [`source::EntropySource`] trait plus pluggable implementations:
+//!   the paper's eRO-TRNG, an XOR-of-K multi-ring combiner, a divided-sampler variant
+//!   sweeping accumulation depths across the paper's `r_N = K/(K+N)` regime, and a fast
+//!   calibrated stochastic-model source for scale testing,
+//! * [`pool`] — a sharded worker pool: one independently-seeded source per shard, each
+//!   feeding a bounded byte channel with batching and backpressure,
+//! * [`stream`] — the consumer side: ordered batches of packed bytes with shard
+//!   attribution and a hard byte budget,
+//! * [`health`] — continuous health monitoring per shard: a FIPS 140-2 startup battery,
+//!   SP 800-90B repetition-count and adaptive-proportion tests on the raw bits, and the
+//!   paper's `σ²_N` thermal-jitter online test, composed into a latching alarm state
+//!   machine (with flicker-aware debouncing of the thermal estimate),
+//! * [`metrics`] — lock-free per-shard counters and serializable snapshots.
+//!
+//! The `ptrngd` binary wraps the pool into a CLI that streams raw or post-processed
+//! bytes to stdout or a file.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ptrng_engine::pool::{Engine, EngineConfig};
+//! use ptrng_engine::source::SourceSpec;
+//!
+//! # fn main() -> ptrng_engine::Result<()> {
+//! let config = EngineConfig::new(SourceSpec::parse("model")?)
+//!     .shards(2)
+//!     .budget_bytes(Some(4096))
+//!     .seed(7);
+//! let mut engine = Engine::spawn(config)?;
+//! let bytes = engine.read_to_end()?;
+//! engine.join()?;
+//! assert_eq!(bytes.len(), 4096);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod metrics;
+pub mod pool;
+pub mod source;
+pub mod stream;
+
+use thiserror::Error;
+
+/// Errors produced by the generation runtime.
+#[derive(Debug, Error)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A parameter was outside its valid domain.
+    #[error("invalid parameter {name}: {reason}")]
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A source specification string could not be parsed.
+    #[error("invalid source spec `{spec}`: {reason}")]
+    SpecParse {
+        /// The offending specification string.
+        spec: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A shard's health monitor raised an alarm.
+    #[error("health alarm on shard {shard}: {reason}")]
+    HealthAlarm {
+        /// Index of the alarming shard.
+        shard: usize,
+        /// Human-readable alarm reason.
+        reason: String,
+    },
+    /// A shard worker terminated abnormally.
+    #[error("shard worker {shard} panicked")]
+    WorkerPanicked {
+        /// Index of the dead shard.
+        shard: usize,
+    },
+    /// A TRNG-model routine failed.
+    #[error("trng model error: {0}")]
+    Trng(#[from] ptrng_trng::TrngError),
+    /// An oscillator-model routine failed.
+    #[error("oscillator model error: {0}")]
+    Osc(#[from] ptrng_osc::OscError),
+    /// A statistical-test routine failed.
+    #[error("test battery error: {0}")]
+    Ais(#[from] ptrng_ais::AisError),
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
+    pub use crate::metrics::MetricsSnapshot;
+    pub use crate::pool::{Engine, EngineConfig, PostProcess};
+    pub use crate::source::{EntropySource, JitterProfile, SourceSpec};
+    pub use crate::stream::Batch;
+    pub use crate::{EngineError, Result};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_readable_messages() {
+        let e = EngineError::HealthAlarm {
+            shard: 3,
+            reason: "thermal collapse".to_string(),
+        };
+        assert!(e.to_string().contains("shard 3"));
+        let e: EngineError = ptrng_osc::OscError::InvalidParameter {
+            name: "x",
+            reason: "bad".to_string(),
+        }
+        .into();
+        assert!(e.to_string().contains("oscillator model error"));
+    }
+}

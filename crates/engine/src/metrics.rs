@@ -1,0 +1,131 @@
+//! Lock-free runtime counters with serializable snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-shard counters, updated by the worker without locks.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    raw_bits: AtomicU64,
+    output_bytes: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl ShardMetrics {
+    pub(crate) fn record_batch(&self, raw_bits: u64, output_bytes: u64) {
+        self.raw_bits.fetch_add(raw_bits, Ordering::Relaxed);
+        self.output_bytes.fetch_add(output_bytes, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, shard: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            raw_bits: self.raw_bits.load(Ordering::Relaxed),
+            output_bytes: self.output_bytes.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Engine-wide counters shared between workers and the consumer.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    shards: Vec<ShardMetrics>,
+    alarms: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Creates zeroed counters for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
+            alarms: AtomicU64::new(0),
+        }
+    }
+
+    /// The per-shard counters.
+    pub(crate) fn shard(&self, index: usize) -> &ShardMetrics {
+        &self.shards[index]
+    }
+
+    pub(crate) fn record_alarm(&self) {
+        self.alarms.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let per_shard: Vec<ShardSnapshot> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.snapshot(i))
+            .collect();
+        MetricsSnapshot {
+            total_raw_bits: per_shard.iter().map(|s| s.raw_bits).sum(),
+            total_output_bytes: per_shard.iter().map(|s| s.output_bytes).sum(),
+            total_batches: per_shard.iter().map(|s| s.batches).sum(),
+            alarms: self.alarms.load(Ordering::Relaxed),
+            per_shard,
+        }
+    }
+}
+
+/// Snapshot of one shard's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Raw bits drawn from the source.
+    pub raw_bits: u64,
+    /// Output bytes published after post-processing and packing.
+    pub output_bytes: u64,
+    /// Batches published.
+    pub batches: u64,
+}
+
+/// Snapshot of the whole engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Sum of raw bits across shards.
+    pub total_raw_bits: u64,
+    /// Sum of output bytes across shards.
+    pub total_output_bytes: u64,
+    /// Sum of published batches across shards.
+    pub total_batches: u64,
+    /// Number of shards that alarmed.
+    pub alarms: u64,
+    /// Per-shard breakdown.
+    pub per_shard: Vec<ShardSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_aggregate_per_shard_counters() {
+        let metrics = EngineMetrics::new(2);
+        metrics.shard(0).record_batch(800, 100);
+        metrics.shard(1).record_batch(1600, 200);
+        metrics.shard(1).record_batch(800, 100);
+        metrics.record_alarm();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.total_raw_bits, 3200);
+        assert_eq!(snap.total_output_bytes, 400);
+        assert_eq!(snap.total_batches, 3);
+        assert_eq!(snap.alarms, 1);
+        assert_eq!(snap.per_shard[1].batches, 2);
+    }
+
+    #[test]
+    fn snapshots_serialize_and_round_trip() {
+        let metrics = EngineMetrics::new(1);
+        metrics.shard(0).record_batch(8, 1);
+        let snap = metrics.snapshot();
+        let value = serde::Serialize::to_value(&snap);
+        let back: MetricsSnapshot = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(snap, back);
+    }
+}

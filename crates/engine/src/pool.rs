@@ -1,0 +1,594 @@
+//! The sharded worker pool: one independently-seeded source per shard, each feeding
+//! the bounded batch channel through its own health monitor.
+//!
+//! Design notes:
+//!
+//! * **Sharding** — shard `i` builds its source from `derive_seed(seed, i)`, so shards
+//!   are statistically independent streams of the same configured generator (the
+//!   software analogue of instantiating the same RO-TRNG design N times on a die).
+//! * **Backpressure** — workers publish into a bounded `sync_channel`; when the
+//!   consumer lags, workers block on `send` instead of buffering unboundedly.
+//! * **Budgets** — an optional byte budget is claimed atomically per batch across all
+//!   shards; workers stop as soon as the budget is spent.
+//! * **Health gating** — raw bits pass through the shard's [`HealthMonitor`] *before*
+//!   post-processing; output is withheld until the startup battery passes, and an
+//!   alarm terminates the shard with an error on the stream.
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use serde::{Deserialize, Serialize};
+
+use ptrng_trng::postprocess::{von_neumann, xor_decimate};
+
+use crate::health::{HealthConfig, HealthMonitor, HealthState};
+use crate::metrics::EngineMetrics;
+use crate::source::{derive_seed, EntropySource, SourceSpec};
+use crate::stream::{Batch, BitPacker, ByteBudget, ByteStream, Message};
+use crate::{EngineError, Result};
+
+/// Algebraic post-processing applied to the raw bits of each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PostProcess {
+    /// Publish the raw bits.
+    None,
+    /// XOR non-overlapping groups of `factor` bits (factor-of-`factor` decimation).
+    XorDecimate(usize),
+    /// Von Neumann debiasing (variable-rate, bias-free output).
+    VonNeumann,
+}
+
+impl PostProcess {
+    fn apply(&self, bits: &[u8]) -> Result<Vec<u8>> {
+        match self {
+            PostProcess::None => Ok(bits.to_vec()),
+            PostProcess::XorDecimate(factor) => Ok(xor_decimate(bits, *factor)?),
+            PostProcess::VonNeumann => Ok(von_neumann(bits)?),
+        }
+    }
+}
+
+/// Configuration of a sharded engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of shards (worker threads), each with an independently-seeded source.
+    pub shards: usize,
+    /// The source every shard instantiates.
+    pub spec: SourceSpec,
+    /// Base seed; shard `i` uses `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Raw bits generated per batch per shard.
+    pub batch_bits: usize,
+    /// Bounded channel capacity, in batches.
+    pub queue_batches: usize,
+    /// Optional total output budget in bytes (across all shards).
+    pub budget_bytes: Option<u64>,
+    /// Post-processing applied after health checking.
+    pub post: PostProcess,
+    /// Health-monitor configuration shared by every shard.
+    pub health: HealthConfig,
+    /// When a thermal online test is configured, run one `σ²_N` counter sweep every
+    /// this many generated batches per shard.
+    pub thermal_check_batches: usize,
+}
+
+impl EngineConfig {
+    /// A configuration with defaults: 1 shard, 8192-bit batches, a 4-batch queue, no
+    /// budget, no post-processing, default health monitoring.
+    pub fn new(spec: SourceSpec) -> Self {
+        Self {
+            shards: 1,
+            spec,
+            seed: 0,
+            batch_bits: 8192,
+            queue_batches: 4,
+            budget_bytes: None,
+            post: PostProcess::None,
+            health: HealthConfig::default(),
+            thermal_check_batches: 64,
+        }
+    }
+
+    /// Sets the shard count.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-shard batch size in raw bits.
+    #[must_use]
+    pub fn batch_bits(mut self, bits: usize) -> Self {
+        self.batch_bits = bits;
+        self
+    }
+
+    /// Sets the total output budget in bytes.
+    #[must_use]
+    pub fn budget_bytes(mut self, budget: Option<u64>) -> Self {
+        self.budget_bytes = budget;
+        self
+    }
+
+    /// Sets the post-processing stage.
+    #[must_use]
+    pub fn post(mut self, post: PostProcess) -> Self {
+        self.post = post;
+        self
+    }
+
+    /// Sets the health configuration.
+    #[must_use]
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(EngineError::InvalidParameter {
+                name: "shards",
+                reason: "at least one shard is required".to_string(),
+            });
+        }
+        if self.batch_bits < 8 {
+            return Err(EngineError::InvalidParameter {
+                name: "batch_bits",
+                reason: "batches must hold at least 8 bits".to_string(),
+            });
+        }
+        if let PostProcess::XorDecimate(factor) = self.post {
+            if factor == 0 || !self.batch_bits.is_multiple_of(factor) {
+                return Err(EngineError::InvalidParameter {
+                    name: "post",
+                    reason: format!(
+                        "xor decimation factor {factor} must be nonzero and divide batch_bits ({})",
+                        self.batch_bits
+                    ),
+                });
+            }
+        }
+        if self.queue_batches == 0 {
+            return Err(EngineError::InvalidParameter {
+                name: "queue_batches",
+                reason: "the queue must hold at least one batch".to_string(),
+            });
+        }
+        if self.thermal_check_batches == 0 {
+            return Err(EngineError::InvalidParameter {
+                name: "thermal_check_batches",
+                reason: "the thermal sweep interval must be at least one batch".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A running sharded engine.
+pub struct Engine {
+    stream: ByteStream,
+    metrics: Arc<EngineMetrics>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Builds every shard's source, spawns the workers, and returns the handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid configuration or when a source rejects its
+    /// parameters (fails fast, before any thread starts).
+    pub fn spawn(config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        // Build all sources first so configuration errors surface synchronously.
+        let sources: Vec<Box<dyn EntropySource>> = (0..config.shards)
+            .map(|shard| config.spec.build(derive_seed(config.seed, shard as u64)))
+            .collect::<Result<_>>()?;
+        if config.health.thermal.is_some() {
+            if let Some(source) = sources.iter().find(|s| !s.supports_thermal_sweep()) {
+                return Err(EngineError::InvalidParameter {
+                    name: "health.thermal",
+                    reason: format!(
+                        "source `{}` has no σ²_N counter sweep; the thermal online test \
+                         cannot monitor it",
+                        source.label()
+                    ),
+                });
+            }
+        }
+        let monitors: Vec<HealthMonitor> = sources
+            .iter()
+            .map(|source| HealthMonitor::new(&config.health, source.entropy_per_bit()))
+            .collect::<Result<_>>()?;
+
+        let (tx, rx) = sync_channel::<Message>(config.queue_batches);
+        let metrics = Arc::new(EngineMetrics::new(config.shards));
+        let budget = Arc::new(ByteBudget::new(config.budget_bytes));
+
+        let mut workers = Vec::with_capacity(config.shards);
+        for (shard, (source, monitor)) in sources.into_iter().zip(monitors).enumerate() {
+            let worker = ShardWorker {
+                shard,
+                source,
+                monitor,
+                post: config.post,
+                batch_bits: config.batch_bits,
+                thermal_check_batches: config.thermal_check_batches,
+                budget: Arc::clone(&budget),
+                metrics: Arc::clone(&metrics),
+                tx: tx.clone(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("ptrng-shard-{shard}"))
+                .spawn(move || worker.run())
+                .map_err(|e| EngineError::InvalidParameter {
+                    name: "shards",
+                    reason: format!("failed to spawn worker thread: {e}"),
+                })?;
+            workers.push(handle);
+        }
+        drop(tx);
+
+        Ok(Self {
+            stream: ByteStream::new(rx, config.shards),
+            metrics,
+            workers,
+        })
+    }
+
+    /// The batch stream (also reachable by iterating over `&mut Engine`).
+    pub fn stream_mut(&mut self) -> &mut ByteStream {
+        &mut self.stream
+    }
+
+    /// Shared runtime counters.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Drains the stream into one byte vector (see [`ByteStream::read_to_end`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first alarm raised by any shard.
+    pub fn read_to_end(&mut self) -> Result<Vec<u8>> {
+        self.stream.read_to_end()
+    }
+
+    /// Waits for every worker to terminate.
+    ///
+    /// Call after draining the stream (or dropping interest in it): workers blocked on
+    /// a full queue unblock as soon as the receiver is dropped or drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a worker panicked.
+    pub fn join(self) -> Result<()> {
+        // Dropping the stream first closes the channel, unblocking workers that are
+        // still trying to publish.
+        drop(self.stream);
+        for (shard, handle) in self.workers.into_iter().enumerate() {
+            handle
+                .join()
+                .map_err(|_| EngineError::WorkerPanicked { shard })?;
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for Engine {
+    type Item = Result<Batch>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.stream.next()
+    }
+}
+
+struct ShardWorker {
+    shard: usize,
+    source: Box<dyn EntropySource>,
+    monitor: HealthMonitor,
+    post: PostProcess,
+    batch_bits: usize,
+    thermal_check_batches: usize,
+    budget: Arc<ByteBudget>,
+    metrics: Arc<EngineMetrics>,
+    tx: SyncSender<Message>,
+}
+
+impl ShardWorker {
+    fn run(mut self) {
+        match self.generate() {
+            Ok(()) => {
+                let _ = self.tx.send(Message::ShardDone(self.shard));
+            }
+            Err(WorkerExit::Alarm(reason)) => {
+                self.metrics.record_alarm();
+                let _ = self.tx.send(Message::Alarm {
+                    shard: self.shard,
+                    reason,
+                });
+            }
+            Err(WorkerExit::ConsumerGone) => {
+                let _ = self.tx.send(Message::ShardDone(self.shard));
+            }
+            Err(WorkerExit::Source(error)) => {
+                // Surface simulation failures through the alarm path: the shard can no
+                // longer vouch for its output.
+                self.metrics.record_alarm();
+                let _ = self.tx.send(Message::Alarm {
+                    shard: self.shard,
+                    reason: format!("source failure: {error}"),
+                });
+            }
+        }
+    }
+
+    fn generate(&mut self) -> std::result::Result<(), WorkerExit> {
+        let mut raw = vec![0u8; self.batch_bits];
+        let mut packer = BitPacker::new();
+        // Post-processed bits accepted while the startup battery is still judging.
+        let mut holdback: Vec<u8> = Vec::new();
+        let mut raw_bits_unpublished = 0u64;
+        let mut batches_since_sweep = 0usize;
+
+        loop {
+            if self.budget.exhausted() {
+                return Ok(());
+            }
+            self.source
+                .fill_bits(&mut raw)
+                .map_err(WorkerExit::Source)?;
+            raw_bits_unpublished += raw.len() as u64;
+
+            // Thermal online test: periodically acquire a σ²_N counter sweep from the
+            // source's physical model (validated available at spawn).
+            if self.monitor.has_thermal() {
+                if batches_since_sweep == 0 {
+                    let depths = crate::source::THERMAL_SWEEP_DEPTHS;
+                    if let Some(variances) = self
+                        .source
+                        .sigma2_sweep(&depths)
+                        .map_err(WorkerExit::Source)?
+                    {
+                        let depth_values: Vec<f64> = depths.iter().map(|&n| n as f64).collect();
+                        self.monitor
+                            .observe_sigma2_points(&depth_values, &variances)
+                            .map_err(WorkerExit::Source)?;
+                        if let HealthState::Alarmed(reason) = self.monitor.state() {
+                            return Err(WorkerExit::Alarm(reason.to_string()));
+                        }
+                    }
+                }
+                batches_since_sweep = (batches_since_sweep + 1) % self.thermal_check_batches;
+            }
+
+            // SP 800-90B continuous tests run on the raw noise-source bits...
+            self.monitor
+                .observe_bits(&raw)
+                .map_err(WorkerExit::Source)?;
+            if let HealthState::Alarmed(reason) = self.monitor.state() {
+                return Err(WorkerExit::Alarm(reason.to_string()));
+            }
+
+            // ...while the FIPS startup battery judges the conditioned output.
+            let processed = self.post.apply(&raw).map_err(WorkerExit::Source)?;
+            self.monitor
+                .observe_output_bits(&processed)
+                .map_err(WorkerExit::Source)?;
+            if let HealthState::Alarmed(reason) = self.monitor.state() {
+                return Err(WorkerExit::Alarm(reason.to_string()));
+            }
+            if matches!(self.monitor.state(), HealthState::Startup) {
+                holdback.extend_from_slice(&processed);
+                continue;
+            }
+            if !holdback.is_empty() {
+                let cleared = std::mem::take(&mut holdback);
+                packer.push_bits(&cleared);
+            }
+            packer.push_bits(&processed);
+
+            let bytes = packer.drain_bytes();
+            if bytes.is_empty() {
+                continue;
+            }
+            let granted = self.budget.claim(bytes.len());
+            if granted == 0 {
+                return Ok(());
+            }
+            let batch = Batch {
+                shard: self.shard,
+                bytes: bytes[..granted].to_vec(),
+                raw_bits: raw_bits_unpublished as usize,
+            };
+            self.metrics
+                .shard(self.shard)
+                .record_batch(raw_bits_unpublished, granted as u64);
+            raw_bits_unpublished = 0;
+            self.publish(batch)?;
+            if granted < bytes.len() {
+                // Budget boundary hit mid-batch; the tail is discarded by design.
+                return Ok(());
+            }
+        }
+    }
+
+    /// Blocking send: a worker parked on a full queue is woken by the channel both
+    /// when the consumer drains a slot and when the receiver is dropped.
+    fn publish(&self, batch: Batch) -> std::result::Result<(), WorkerExit> {
+        self.tx
+            .send(Message::Batch(batch))
+            .map_err(|_| WorkerExit::ConsumerGone)
+    }
+}
+
+enum WorkerExit {
+    Alarm(String),
+    ConsumerGone,
+    Source(EngineError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::JitterProfile;
+    use crate::stream::unpack_bits;
+
+    fn model_config() -> EngineConfig {
+        EngineConfig::new(SourceSpec::model(0.5).unwrap())
+            .seed(11)
+            .health(HealthConfig::default().without_startup_battery())
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let mut engine =
+            Engine::spawn(model_config().shards(3).budget_bytes(Some(10_000))).unwrap();
+        let bytes = engine.read_to_end().unwrap();
+        assert_eq!(bytes.len(), 10_000);
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.total_output_bytes, 10_000);
+        assert_eq!(snap.alarms, 0);
+        engine.join().unwrap();
+    }
+
+    #[test]
+    fn shards_produce_distinct_streams() {
+        let mut engine =
+            Engine::spawn(model_config().shards(4).budget_bytes(Some(16_384))).unwrap();
+        let mut per_shard: Vec<Vec<u8>> = vec![Vec::new(); 4];
+        for batch in engine.stream_mut() {
+            let batch = batch.unwrap();
+            per_shard[batch.shard].extend_from_slice(&batch.bytes);
+        }
+        engine.join().unwrap();
+        for shard in &per_shard {
+            assert!(
+                !shard.is_empty(),
+                "every shard contributes under fair backpressure"
+            );
+        }
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let len = per_shard[a].len().min(per_shard[b].len()).min(64);
+                assert_ne!(
+                    &per_shard[a][..len],
+                    &per_shard[b][..len],
+                    "shards {a} and {b} emitted identical prefixes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic_per_seed_and_shard() {
+        let run = || {
+            let mut engine =
+                Engine::spawn(model_config().shards(2).budget_bytes(Some(4096))).unwrap();
+            let mut per_shard: Vec<Vec<u8>> = vec![Vec::new(); 2];
+            for batch in engine.stream_mut() {
+                let batch = batch.unwrap();
+                per_shard[batch.shard].extend_from_slice(&batch.bytes);
+            }
+            engine.join().unwrap();
+            per_shard
+        };
+        let a = run();
+        let b = run();
+        // Interleaving is nondeterministic; per-shard prefixes are not.
+        for (x, y) in a.iter().zip(&b) {
+            let len = x.len().min(y.len());
+            assert_eq!(&x[..len], &y[..len]);
+        }
+    }
+
+    #[test]
+    fn stuck_source_alarms_through_the_stream() {
+        // p_one ≈ 1: the repetition-count test must fire almost immediately, and the
+        // claimed entropy (0.05 floor) sets a finite cutoff.
+        let config = EngineConfig::new(SourceSpec::model(0.9999).unwrap())
+            .seed(3)
+            .health(HealthConfig::default().without_startup_battery())
+            .budget_bytes(Some(1 << 20));
+        let mut engine = Engine::spawn(config).unwrap();
+        let result = engine.read_to_end();
+        assert!(
+            matches!(result, Err(EngineError::HealthAlarm { .. })),
+            "{result:?}"
+        );
+        assert_eq!(engine.metrics().snapshot().alarms, 1);
+        engine.join().unwrap();
+    }
+
+    #[test]
+    fn startup_battery_gates_publication() {
+        // With the battery enabled the first published byte appears only after 20 000
+        // raw bits were vetted; a tiny budget still gets served from the cleared
+        // holdback.
+        let config = EngineConfig::new(SourceSpec::model(0.5).unwrap())
+            .seed(5)
+            .budget_bytes(Some(64));
+        let mut engine = Engine::spawn(config).unwrap();
+        let bytes = engine.read_to_end().unwrap();
+        assert_eq!(bytes.len(), 64);
+        let snap = engine.metrics().snapshot();
+        assert!(
+            snap.total_raw_bits >= 20_000,
+            "publication before the startup battery finished ({} raw bits)",
+            snap.total_raw_bits
+        );
+        engine.join().unwrap();
+    }
+
+    #[test]
+    fn xor_decimation_shrinks_output_accordingly() {
+        let config = model_config()
+            .post(PostProcess::XorDecimate(4))
+            .budget_bytes(Some(1024));
+        let mut engine = Engine::spawn(config).unwrap();
+        let bytes = engine.read_to_end().unwrap();
+        assert_eq!(bytes.len(), 1024);
+        let snap = engine.metrics().snapshot();
+        // 4 raw bits per output bit → at least 4 × 8 × 1024 raw bits.
+        assert!(snap.total_raw_bits >= 4 * 8 * 1024);
+        engine.join().unwrap();
+    }
+
+    #[test]
+    fn ero_shards_generate_plausible_bits() {
+        let spec = SourceSpec::ero(4, JitterProfile::Strong).unwrap();
+        let config = EngineConfig::new(spec)
+            .shards(2)
+            .seed(1)
+            .batch_bits(4096)
+            .budget_bytes(Some(2048))
+            .health(HealthConfig::default().without_startup_battery());
+        let mut engine = Engine::spawn(config).unwrap();
+        let bytes = engine.read_to_end().unwrap();
+        engine.join().unwrap();
+        assert_eq!(bytes.len(), 2048);
+        let bits = unpack_bits(&bytes);
+        let ones: usize = bits.iter().map(|&b| b as usize).sum();
+        let p = ones as f64 / bits.len() as f64;
+        assert!((p - 0.5).abs() < 0.06, "p(1) = {p}");
+    }
+
+    #[test]
+    fn invalid_configurations_fail_fast() {
+        assert!(Engine::spawn(model_config().shards(0)).is_err());
+        assert!(Engine::spawn(model_config().batch_bits(4)).is_err());
+        assert!(Engine::spawn(model_config().post(PostProcess::XorDecimate(3))).is_err());
+        let mut bad_queue = model_config();
+        bad_queue.queue_batches = 0;
+        assert!(Engine::spawn(bad_queue).is_err());
+    }
+}

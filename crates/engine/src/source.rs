@@ -1,0 +1,748 @@
+//! Pluggable entropy sources for the generation runtime.
+//!
+//! Every shard of the pool owns one [`EntropySource`] built from a shared
+//! [`SourceSpec`] and a per-shard seed.  Besides the paper's plain eRO-TRNG, two
+//! scenario sources exercise the regimes the paper analyses — an XOR-of-K multi-ring
+//! combiner and a divided-sampler sweep over accumulation depths spanning the
+//! `r_N = K/(K+N)` transition — plus a calibrated stochastic-model source that trades
+//! physical fidelity for raw speed (per-shard entropy accounting in the spirit of
+//! Saarinen's bit-pattern analysis: the claimed min-entropy per bit is derived from the
+//! model, not assumed to be 1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use ptrng_osc::jitter::JitterGenerator;
+use ptrng_osc::phase::PhaseNoiseModel;
+use ptrng_stats::sn::{sigma2_n_sweep, SnSampling};
+use ptrng_trng::ero::{EroTrng, EroTrngConfig};
+use ptrng_trng::stochastic::EntropyModel;
+
+use crate::{EngineError, Result};
+
+/// A producer of raw random bits (one `0`/`1` byte per bit).
+///
+/// Implementations own their RNG state, so a boxed source is self-contained and can be
+/// moved onto a shard worker thread.
+pub trait EntropySource: Send {
+    /// Short human-readable description of the source.
+    fn label(&self) -> String;
+
+    /// Nominal output bit rate of the modelled hardware, in bits per second.
+    fn nominal_bit_rate(&self) -> f64;
+
+    /// Model-backed claim for the min-entropy per raw bit, in `(0, 1]`.
+    ///
+    /// The health layer calibrates its SP 800-90B cutoffs from this claim.
+    fn entropy_per_bit(&self) -> f64;
+
+    /// Fills `out` with raw bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the underlying simulation fails.
+    fn fill_bits(&mut self, out: &mut [u8]) -> Result<()>;
+
+    /// Whether [`EntropySource::sigma2_sweep`] produces data — i.e. whether the source
+    /// exposes the paper's on-chip `σ²_N` counter-sweep measurement that the thermal
+    /// online test consumes.  Sources without a physical model (e.g. the calibrated
+    /// stochastic-model fast path) return `false`, and configuring a thermal test on
+    /// them is rejected at engine spawn.
+    fn supports_thermal_sweep(&self) -> bool {
+        false
+    }
+
+    /// Acquires one `σ²_N` sweep over `depths` (the software analogue of reading the
+    /// embedded counter at several accumulation depths), returning the per-depth
+    /// variances, or `None` when the source has no physical model to measure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the underlying simulation fails.
+    fn sigma2_sweep(&mut self, depths: &[usize]) -> Result<Option<Vec<f64>>> {
+        let _ = depths;
+        Ok(None)
+    }
+}
+
+/// Accumulation depths the pool sweeps when a thermal online test is configured.
+pub const THERMAL_SWEEP_DEPTHS: [usize; 5] = [256, 512, 1024, 2048, 4096];
+
+/// Periods of relative jitter simulated per thermal sweep (must comfortably exceed the
+/// largest sweep depth for a usable overlapping-window variance estimate).
+const THERMAL_SWEEP_RECORD_LEN: usize = 1 << 15;
+
+/// Jitter profile of the simulated ring pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JitterProfile {
+    /// The paper's fitted DATE 2014 experiment (thermal + flicker, 103 MHz rings).
+    Date14,
+    /// A deliberately jitter-rich design whose raw bits approach full entropy at small
+    /// division factors (the profile used by the workspace's integration tests).
+    Strong,
+}
+
+impl JitterProfile {
+    /// Builds the eRO-TRNG configuration for this profile at the given division.
+    pub fn ero_config(self, division: u32) -> Result<EroTrngConfig> {
+        match self {
+            JitterProfile::Date14 => Ok(EroTrngConfig::date14_experiment(division)),
+            JitterProfile::Strong => {
+                let sampled = PhaseNoiseModel::new(1.2e6, 0.0, 103.0e6)?;
+                let sampling = PhaseNoiseModel::new(1.2e6, 0.0, 102.3e6)?;
+                Ok(EroTrngConfig {
+                    sampled,
+                    sampling,
+                    division,
+                    duty_cycle: 0.5,
+                })
+            }
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            JitterProfile::Date14 => "date14",
+            JitterProfile::Strong => "strong",
+        }
+    }
+}
+
+/// Declarative description of a source; `build` instantiates it with a shard seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceSpec {
+    /// A single elementary RO-TRNG.
+    Ero {
+        /// Frequency-division factor (accumulation depth per bit).
+        division: u32,
+        /// Jitter profile of the ring pair.
+        profile: JitterProfile,
+    },
+    /// XOR of `rings` independent eRO-TRNGs sampled at the same division.
+    XorRing {
+        /// Number of independent rings combined.
+        rings: usize,
+        /// Division factor shared by every ring.
+        division: u32,
+        /// Jitter profile of every ring pair.
+        profile: JitterProfile,
+    },
+    /// A divided-sampler sweep: consecutive batches rotate through the division
+    /// factors, spanning the paper's `r_N = K/(K+N)` thermal-to-flicker transition.
+    DividedSampler {
+        /// Division factors visited in round-robin order.
+        divisions: Vec<u32>,
+        /// Jitter profile of the ring pair.
+        profile: JitterProfile,
+    },
+    /// Calibrated stochastic-model source: i.i.d. bits with the given probability of
+    /// one.  No physical simulation — the fast path for scale and failure-injection
+    /// testing.
+    Model {
+        /// Probability of emitting a one, in `(0, 1)`.
+        p_one: f64,
+    },
+}
+
+impl SourceSpec {
+    /// Parses a CLI-style specification:
+    ///
+    /// * `ero[:DIVISION[:PROFILE]]` (default division 16, profile `strong`),
+    /// * `xor:RINGS[:DIVISION[:PROFILE]]` (default division 8),
+    /// * `div:D1,D2,...[:PROFILE]` — divided-sampler sweep,
+    /// * `model[:P_ONE]` (default 0.5),
+    ///
+    /// where `PROFILE` is `strong` or `date14`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown kinds or out-of-domain parameters.
+    pub fn parse(spec: &str) -> Result<Self> {
+        let err = |reason: &str| EngineError::SpecParse {
+            spec: spec.to_string(),
+            reason: reason.to_string(),
+        };
+        let mut parts = spec.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        let parse_profile = |s: &str| match s {
+            "strong" => Ok(JitterProfile::Strong),
+            "date14" => Ok(JitterProfile::Date14),
+            other => Err(err(&format!("unknown profile `{other}`"))),
+        };
+        match kind {
+            "ero" => {
+                let division = match rest.first() {
+                    Some(d) => d
+                        .parse::<u32>()
+                        .map_err(|_| err("division must be an integer"))?,
+                    None => 16,
+                };
+                let profile = match rest.get(1) {
+                    Some(p) => parse_profile(p)?,
+                    None => JitterProfile::Strong,
+                };
+                Self::ero(division, profile)
+            }
+            "xor" => {
+                let rings = rest
+                    .first()
+                    .ok_or_else(|| err("xor needs a ring count, e.g. `xor:4`"))?
+                    .parse::<usize>()
+                    .map_err(|_| err("ring count must be an integer"))?;
+                let division = match rest.get(1) {
+                    Some(d) => d
+                        .parse::<u32>()
+                        .map_err(|_| err("division must be an integer"))?,
+                    None => 8,
+                };
+                let profile = match rest.get(2) {
+                    Some(p) => parse_profile(p)?,
+                    None => JitterProfile::Strong,
+                };
+                Self::xor_ring(rings, division, profile)
+            }
+            "div" => {
+                let list = rest
+                    .first()
+                    .ok_or_else(|| err("div needs a division list, e.g. `div:4,16,64`"))?;
+                let divisions = list
+                    .split(',')
+                    .map(|d| {
+                        d.parse::<u32>()
+                            .map_err(|_| err("divisions must be integers"))
+                    })
+                    .collect::<Result<Vec<u32>>>()?;
+                let profile = match rest.get(1) {
+                    Some(p) => parse_profile(p)?,
+                    None => JitterProfile::Strong,
+                };
+                Self::divided_sampler(divisions, profile)
+            }
+            "model" => {
+                let p_one = match rest.first() {
+                    Some(p) => p.parse::<f64>().map_err(|_| err("p_one must be a float"))?,
+                    None => 0.5,
+                };
+                Self::model(p_one)
+            }
+            other => Err(err(&format!(
+                "unknown source kind `{other}` (expected ero, xor, div or model)"
+            ))),
+        }
+    }
+
+    /// A validated [`SourceSpec::Ero`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `division == 0`.
+    pub fn ero(division: u32, profile: JitterProfile) -> Result<Self> {
+        check_division(division)?;
+        Ok(SourceSpec::Ero { division, profile })
+    }
+
+    /// A validated [`SourceSpec::XorRing`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `rings == 0` or `division == 0`.
+    pub fn xor_ring(rings: usize, division: u32, profile: JitterProfile) -> Result<Self> {
+        if rings == 0 {
+            return Err(EngineError::InvalidParameter {
+                name: "rings",
+                reason: "at least one ring is required".to_string(),
+            });
+        }
+        check_division(division)?;
+        Ok(SourceSpec::XorRing {
+            rings,
+            division,
+            profile,
+        })
+    }
+
+    /// A validated [`SourceSpec::DividedSampler`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the division list is empty or contains zero.
+    pub fn divided_sampler(divisions: Vec<u32>, profile: JitterProfile) -> Result<Self> {
+        if divisions.is_empty() {
+            return Err(EngineError::InvalidParameter {
+                name: "divisions",
+                reason: "at least one division factor is required".to_string(),
+            });
+        }
+        for &d in &divisions {
+            check_division(d)?;
+        }
+        Ok(SourceSpec::DividedSampler { divisions, profile })
+    }
+
+    /// A validated [`SourceSpec::Model`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `p_one` is not strictly inside `(0, 1)`.
+    pub fn model(p_one: f64) -> Result<Self> {
+        if !(p_one > 0.0 && p_one < 1.0) {
+            return Err(EngineError::InvalidParameter {
+                name: "p_one",
+                reason: format!("must be in (0, 1), got {p_one}"),
+            });
+        }
+        Ok(SourceSpec::Model { p_one })
+    }
+
+    /// Instantiates the source with a seed (each shard passes a distinct one).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the underlying models reject the configuration.
+    pub fn build(&self, seed: u64) -> Result<Box<dyn EntropySource>> {
+        match self {
+            SourceSpec::Ero { division, profile } => {
+                Ok(Box::new(EroSource::new(*division, *profile, seed)?))
+            }
+            SourceSpec::XorRing {
+                rings,
+                division,
+                profile,
+            } => Ok(Box::new(XorRingSource::new(
+                *rings, *division, *profile, seed,
+            )?)),
+            SourceSpec::DividedSampler { divisions, profile } => Ok(Box::new(
+                DividedSamplerSource::new(divisions.clone(), *profile, seed)?,
+            )),
+            SourceSpec::Model { p_one } => Ok(Box::new(ModelSource::new(*p_one, seed)?)),
+        }
+    }
+}
+
+fn check_division(division: u32) -> Result<()> {
+    if division == 0 {
+        return Err(EngineError::InvalidParameter {
+            name: "division",
+            reason: "the division factor must be at least 1".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Entropy claim of one eRO-TRNG configuration, from the flicker-aware stochastic model.
+fn ero_entropy_claim(config: &EroTrngConfig) -> Result<f64> {
+    let relative = config.sampled.relative_to(&config.sampling)?;
+    let model = EntropyModel::new(relative);
+    let bound = model.entropy_bound_thermal(config.division.max(1) as usize);
+    // The health layer needs a usable claim in (0, 1]; floor pathological bounds.
+    Ok(bound.clamp(0.05, 1.0))
+}
+
+/// Adapter for the workspace's [`EroTrng`] simulator.
+///
+/// Each call to [`EntropySource::fill_bits`] simulates a fresh edge record, so
+/// consecutive batches are independent realizations of the same stationary process.
+pub struct EroSource {
+    trng: EroTrng,
+    rng: StdRng,
+    relative_jitter: JitterGenerator,
+    entropy_claim: f64,
+    division: u32,
+    profile: JitterProfile,
+}
+
+impl EroSource {
+    /// Creates the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid division or profile configuration.
+    pub fn new(division: u32, profile: JitterProfile, seed: u64) -> Result<Self> {
+        let config = profile.ero_config(division)?;
+        let entropy_claim = ero_entropy_claim(&config)?;
+        let relative = config.sampled.relative_to(&config.sampling)?;
+        Ok(Self {
+            trng: EroTrng::new(config)?,
+            rng: StdRng::seed_from_u64(seed),
+            relative_jitter: JitterGenerator::new(relative),
+            entropy_claim,
+            division,
+            profile,
+        })
+    }
+}
+
+impl EntropySource for EroSource {
+    fn label(&self) -> String {
+        format!(
+            "ero(division={}, profile={})",
+            self.division,
+            self.profile.name()
+        )
+    }
+
+    fn nominal_bit_rate(&self) -> f64 {
+        self.trng.bit_rate()
+    }
+
+    fn entropy_per_bit(&self) -> f64 {
+        self.entropy_claim
+    }
+
+    fn fill_bits(&mut self, out: &mut [u8]) -> Result<()> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        let bits = self.trng.generate_bits(&mut self.rng, out.len())?;
+        out.copy_from_slice(&bits);
+        Ok(())
+    }
+
+    fn supports_thermal_sweep(&self) -> bool {
+        true
+    }
+
+    /// Simulates one embedded counter sweep: a fresh record of the relative period
+    /// jitter reduced to `σ²_N` at each requested depth.
+    fn sigma2_sweep(&mut self, depths: &[usize]) -> Result<Option<Vec<f64>>> {
+        let jitter = self
+            .relative_jitter
+            .generate_period_jitter(&mut self.rng, THERMAL_SWEEP_RECORD_LEN)?;
+        let points = sigma2_n_sweep(&jitter, depths, SnSampling::Overlapping)
+            .map_err(ptrng_trng::TrngError::from)?;
+        Ok(Some(points.iter().map(|p| p.sigma2_n).collect()))
+    }
+}
+
+/// XOR of K independent eRO-TRNGs: the classical multi-ring architecture.
+///
+/// XOR-ing independent raw streams composes their biases multiplicatively, so the
+/// entropy claim improves with every ring (`1 - h` shrinks roughly by its own factor
+/// per ring), at K times the simulation cost.
+pub struct XorRingSource {
+    rings: Vec<EroSource>,
+    scratch: Vec<u8>,
+    entropy_claim: f64,
+}
+
+impl XorRingSource {
+    /// Creates the source; every ring pair gets its own derived seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `rings == 0` or the ring configuration is invalid.
+    pub fn new(rings: usize, division: u32, profile: JitterProfile, seed: u64) -> Result<Self> {
+        if rings == 0 {
+            return Err(EngineError::InvalidParameter {
+                name: "rings",
+                reason: "at least one ring is required".to_string(),
+            });
+        }
+        let sources = (0..rings)
+            .map(|k| EroSource::new(division, profile, derive_seed(seed, 0x7269_6e67 + k as u64)))
+            .collect::<Result<Vec<_>>>()?;
+        let single = sources[0].entropy_per_bit();
+        let entropy_claim = (1.0 - (1.0 - single).powi(rings as i32)).clamp(0.05, 1.0);
+        Ok(Self {
+            rings: sources,
+            scratch: Vec::new(),
+            entropy_claim,
+        })
+    }
+}
+
+impl EntropySource for XorRingSource {
+    fn label(&self) -> String {
+        format!("xor({} × {})", self.rings.len(), self.rings[0].label())
+    }
+
+    fn nominal_bit_rate(&self) -> f64 {
+        // All rings run in lockstep; the combined rate is one ring's rate.
+        self.rings[0].nominal_bit_rate()
+    }
+
+    fn entropy_per_bit(&self) -> f64 {
+        self.entropy_claim
+    }
+
+    fn fill_bits(&mut self, out: &mut [u8]) -> Result<()> {
+        let (first, others) = self.rings.split_first_mut().expect("at least one ring");
+        first.fill_bits(out)?;
+        self.scratch.resize(out.len(), 0);
+        for ring in others {
+            ring.fill_bits(&mut self.scratch)?;
+            for (bit, extra) in out.iter_mut().zip(&self.scratch) {
+                *bit ^= extra;
+            }
+        }
+        Ok(())
+    }
+
+    fn supports_thermal_sweep(&self) -> bool {
+        true
+    }
+
+    /// All rings share one design; the sweep monitors the first (the on-chip test
+    /// hardware is typically attached to a single representative ring pair).
+    fn sigma2_sweep(&mut self, depths: &[usize]) -> Result<Option<Vec<f64>>> {
+        self.rings[0].sigma2_sweep(depths)
+    }
+}
+
+/// Divided-sampler sweep: successive batches rotate through a list of division factors.
+///
+/// With depth `N` per bit, the paper's autocorrelation ratio is `r_N = K/(K+N)`; a
+/// sweep across decades of `N` therefore exercises the generator on both sides of the
+/// thermal-dominated (`N ≪ K`) and flicker-dominated (`N ≫ K`) regimes within one
+/// stream.
+pub struct DividedSamplerSource {
+    stages: Vec<EroSource>,
+    next_stage: usize,
+    entropy_claim: f64,
+}
+
+impl DividedSamplerSource {
+    /// Creates the source; every stage gets its own derived seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty division list or invalid configuration.
+    pub fn new(divisions: Vec<u32>, profile: JitterProfile, seed: u64) -> Result<Self> {
+        if divisions.is_empty() {
+            return Err(EngineError::InvalidParameter {
+                name: "divisions",
+                reason: "at least one division factor is required".to_string(),
+            });
+        }
+        let stages = divisions
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| EroSource::new(d, profile, derive_seed(seed, 0x6469_7600 + k as u64)))
+            .collect::<Result<Vec<_>>>()?;
+        // The stream is only as strong as its weakest stage.
+        let entropy_claim = stages
+            .iter()
+            .map(EroSource::entropy_per_bit)
+            .fold(1.0f64, f64::min);
+        Ok(Self {
+            stages,
+            next_stage: 0,
+            entropy_claim,
+        })
+    }
+
+    /// The division factor the next batch will use.
+    pub fn next_division(&self) -> u32 {
+        self.stages[self.next_stage].division
+    }
+}
+
+impl EntropySource for DividedSamplerSource {
+    fn label(&self) -> String {
+        let divisions: Vec<String> = self.stages.iter().map(|s| s.division.to_string()).collect();
+        format!(
+            "divided-sampler(divisions=[{}], profile={})",
+            divisions.join(","),
+            self.stages[0].profile.name()
+        )
+    }
+
+    fn nominal_bit_rate(&self) -> f64 {
+        // Harmonic mean over the sweep: total periods per emitted bit averaged.
+        let inverse_sum: f64 = self.stages.iter().map(|s| 1.0 / s.nominal_bit_rate()).sum();
+        self.stages.len() as f64 / inverse_sum
+    }
+
+    fn entropy_per_bit(&self) -> f64 {
+        self.entropy_claim
+    }
+
+    fn fill_bits(&mut self, out: &mut [u8]) -> Result<()> {
+        let stage = self.next_stage;
+        self.next_stage = (self.next_stage + 1) % self.stages.len();
+        self.stages[stage].fill_bits(out)
+    }
+
+    fn supports_thermal_sweep(&self) -> bool {
+        true
+    }
+
+    /// Every stage samples the same ring pair, so any stage's relative-jitter sweep is
+    /// representative; use the first.
+    fn sigma2_sweep(&mut self, depths: &[usize]) -> Result<Option<Vec<f64>>> {
+        self.stages[0].sigma2_sweep(depths)
+    }
+}
+
+/// Calibrated stochastic-model source: i.i.d. Bernoulli bits, no physical simulation.
+pub struct ModelSource {
+    p_one: f64,
+    rng: StdRng,
+    entropy_claim: f64,
+}
+
+impl ModelSource {
+    /// Creates the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `p_one` is not strictly inside `(0, 1)`.
+    pub fn new(p_one: f64, seed: u64) -> Result<Self> {
+        if !(p_one > 0.0 && p_one < 1.0) {
+            return Err(EngineError::InvalidParameter {
+                name: "p_one",
+                reason: format!("must be in (0, 1), got {p_one}"),
+            });
+        }
+        // Min-entropy of a Bernoulli(p) bit: -log2(max(p, 1-p)).
+        let entropy_claim = (-p_one.max(1.0 - p_one).log2()).clamp(0.05, 1.0);
+        Ok(Self {
+            p_one,
+            rng: StdRng::seed_from_u64(seed),
+            entropy_claim,
+        })
+    }
+}
+
+impl EntropySource for ModelSource {
+    fn label(&self) -> String {
+        format!("model(p_one={})", self.p_one)
+    }
+
+    fn nominal_bit_rate(&self) -> f64 {
+        // Not hardware-backed; report an effectively unlimited nominal rate.
+        f64::INFINITY
+    }
+
+    fn entropy_per_bit(&self) -> f64 {
+        self.entropy_claim
+    }
+
+    fn fill_bits(&mut self, out: &mut [u8]) -> Result<()> {
+        for slot in out.iter_mut() {
+            *slot = u8::from(self.rng.gen_bool(self.p_one));
+        }
+        Ok(())
+    }
+}
+
+pub use ptrng_stats::seed::derive_seed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_round_trips_every_kind() {
+        assert_eq!(
+            SourceSpec::parse("ero").unwrap(),
+            SourceSpec::Ero {
+                division: 16,
+                profile: JitterProfile::Strong
+            }
+        );
+        assert_eq!(
+            SourceSpec::parse("ero:4:date14").unwrap(),
+            SourceSpec::Ero {
+                division: 4,
+                profile: JitterProfile::Date14
+            }
+        );
+        assert_eq!(
+            SourceSpec::parse("xor:3").unwrap(),
+            SourceSpec::XorRing {
+                rings: 3,
+                division: 8,
+                profile: JitterProfile::Strong
+            }
+        );
+        assert_eq!(
+            SourceSpec::parse("div:4,16,64").unwrap(),
+            SourceSpec::DividedSampler {
+                divisions: vec![4, 16, 64],
+                profile: JitterProfile::Strong
+            }
+        );
+        assert_eq!(
+            SourceSpec::parse("model:0.52").unwrap(),
+            SourceSpec::Model { p_one: 0.52 }
+        );
+    }
+
+    #[test]
+    fn spec_parsing_rejects_nonsense() {
+        assert!(SourceSpec::parse("laser").is_err());
+        assert!(SourceSpec::parse("ero:0").is_err());
+        assert!(SourceSpec::parse("ero:16:weak").is_err());
+        assert!(SourceSpec::parse("xor").is_err());
+        assert!(SourceSpec::parse("xor:0").is_err());
+        assert!(SourceSpec::parse("div:").is_err());
+        assert!(SourceSpec::parse("model:1.5").is_err());
+    }
+
+    #[test]
+    fn model_source_matches_its_bias() {
+        let mut src = ModelSource::new(0.25, 9).unwrap();
+        let mut bits = vec![0u8; 40_000];
+        src.fill_bits(&mut bits).unwrap();
+        let ones: usize = bits.iter().map(|&b| b as usize).sum();
+        let p = ones as f64 / bits.len() as f64;
+        assert!((p - 0.25).abs() < 0.02, "p = {p}");
+        assert!((src.entropy_per_bit() - 0.415).abs() < 0.01);
+    }
+
+    #[test]
+    fn distinct_seeds_produce_distinct_streams() {
+        let mut a = ModelSource::new(0.5, 1).unwrap();
+        let mut b = ModelSource::new(0.5, 2).unwrap();
+        let mut bits_a = vec![0u8; 256];
+        let mut bits_b = vec![0u8; 256];
+        a.fill_bits(&mut bits_a).unwrap();
+        b.fill_bits(&mut bits_b).unwrap();
+        assert_ne!(bits_a, bits_b);
+    }
+
+    #[test]
+    fn ero_source_produces_bits_and_a_sane_claim() {
+        let mut src = EroSource::new(8, JitterProfile::Strong, 3).unwrap();
+        let mut bits = vec![0u8; 2_000];
+        src.fill_bits(&mut bits).unwrap();
+        assert!(bits.iter().all(|&b| b <= 1));
+        let h = src.entropy_per_bit();
+        assert!(h > 0.05 && h <= 1.0, "claim {h}");
+        assert!(src.label().contains("strong"));
+        assert!(src.nominal_bit_rate() > 1.0e6);
+    }
+
+    #[test]
+    fn xor_source_combines_rings() {
+        let mut src = XorRingSource::new(2, 4, JitterProfile::Strong, 5).unwrap();
+        let mut bits = vec![0u8; 1_000];
+        src.fill_bits(&mut bits).unwrap();
+        assert!(bits.iter().all(|&b| b <= 1));
+        let single = EroSource::new(4, JitterProfile::Strong, 5).unwrap();
+        assert!(src.entropy_per_bit() >= single.entropy_per_bit());
+    }
+
+    #[test]
+    fn divided_sampler_rotates_stages() {
+        let mut src = DividedSamplerSource::new(vec![2, 8], JitterProfile::Strong, 7).unwrap();
+        assert_eq!(src.next_division(), 2);
+        let mut bits = vec![0u8; 64];
+        src.fill_bits(&mut bits).unwrap();
+        assert_eq!(src.next_division(), 8);
+        src.fill_bits(&mut bits).unwrap();
+        assert_eq!(src.next_division(), 2);
+    }
+
+    #[test]
+    fn derived_seeds_are_decorrelated() {
+        let seeds: Vec<u64> = (0..64).map(|k| derive_seed(42, k)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+}

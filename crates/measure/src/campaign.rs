@@ -10,6 +10,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use ptrng_stats::seed::derive_seed;
 use ptrng_stats::sn::log_spaced_depths;
 
 use crate::circuit::DifferentialCircuit;
@@ -121,7 +122,8 @@ impl MeasurementCampaign {
                     .depths
                     .par_iter()
                     .map(|&n| {
-                        let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, n));
+                        let mut rng =
+                            StdRng::seed_from_u64(derive_seed(self.config.seed, n as u64));
                         let run = self.circuit.measure_counters(&mut rng, n, windows)?;
                         Ok(DatasetPoint {
                             n,
@@ -144,14 +146,6 @@ impl MeasurementCampaign {
     }
 }
 
-/// Derives a per-depth sub-seed from the campaign base seed (splitmix64 step).
-fn derive_seed(base: u64, n: usize) -> u64 {
-    let mut z = base ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,12 +162,17 @@ mod tests {
         let circuit = DifferentialCircuit::date14_experiment();
         let config = CampaignConfig {
             depths: vec![1, 8, 32, 128],
-            estimator: Estimator::PeriodDomain { record_len: 1 << 16 },
+            estimator: Estimator::PeriodDomain {
+                record_len: 1 << 16,
+            },
             seed: 42,
         };
         let campaign = MeasurementCampaign::new(circuit, config.clone()).unwrap();
         let a = campaign.run().unwrap();
-        let b = MeasurementCampaign::new(circuit, config).unwrap().run().unwrap();
+        let b = MeasurementCampaign::new(circuit, config)
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(a, b);
         let acc = AccumulationModel::new(circuit.relative_model().unwrap());
         for p in a.points() {
@@ -192,7 +191,10 @@ mod tests {
             estimator: Estimator::CounterCircuit { windows: 300 },
             seed: 7,
         };
-        let dataset = MeasurementCampaign::new(circuit, config).unwrap().run().unwrap();
+        let dataset = MeasurementCampaign::new(circuit, config)
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(dataset.len(), 3);
         assert_eq!(dataset.estimator(), "counter-circuit");
         let acc = AccumulationModel::new(circuit.relative_model().unwrap());
@@ -247,7 +249,7 @@ mod tests {
 
     #[test]
     fn derived_seeds_differ_between_depths() {
-        let seeds: Vec<u64> = (1..100).map(|n| derive_seed(12345, n)).collect();
+        let seeds: Vec<u64> = (1..100u64).map(|n| derive_seed(12345, n)).collect();
         let mut unique = seeds.clone();
         unique.sort_unstable();
         unique.dedup();

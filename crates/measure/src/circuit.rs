@@ -226,8 +226,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let run = circuit.measure_counters(&mut rng, 10, 200).unwrap();
         let floor = circuit.quantization_floor();
-        let true_sigma2 =
-            AccumulationModel::new(circuit.relative_model().unwrap()).sigma2_n(10);
+        let true_sigma2 = AccumulationModel::new(circuit.relative_model().unwrap()).sigma2_n(10);
         assert!(true_sigma2 < floor / 100.0);
         assert!(run.sigma2_n < 4.0 * floor);
         assert!(run.sigma2_n > floor / 100.0);

@@ -85,7 +85,7 @@ pub fn counts_to_sn(counts: &[u64], f0: f64) -> Result<Vec<f64>> {
             reason: format!("need at least two counter values, got {}", counts.len()),
         });
     }
-    if !(f0 > 0.0) || !f0.is_finite() {
+    if f0 <= 0.0 || !f0.is_finite() {
         return Err(MeasureError::InvalidParameter {
             name: "f0",
             reason: format!("must be positive and finite, got {f0}"),

@@ -36,7 +36,7 @@ impl Sigma2NDataset {
         estimator: impl Into<String>,
         mut points: Vec<DatasetPoint>,
     ) -> Result<Self> {
-        if !(frequency > 0.0) || !frequency.is_finite() {
+        if frequency <= 0.0 || !frequency.is_finite() {
             return Err(MeasureError::InvalidParameter {
                 name: "frequency",
                 reason: format!("must be positive and finite, got {frequency}"),

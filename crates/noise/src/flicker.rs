@@ -41,7 +41,7 @@ impl FlickerNoise {
     /// Returns an error when `alpha` is outside `(0, 2]`, `driving_std_dev` or
     /// `sample_rate` is not positive, or `memory < 2`.
     pub fn new(alpha: f64, driving_std_dev: f64, sample_rate: f64, memory: usize) -> Result<Self> {
-        if !(alpha > 0.0 && alpha <= 2.0) || !alpha.is_finite() {
+        if alpha <= 0.0 || alpha > 2.0 || !alpha.is_finite() {
             return Err(NoiseError::InvalidParameter {
                 name: "alpha",
                 reason: format!("spectral exponent must be in (0, 2], got {alpha}"),
@@ -94,8 +94,8 @@ impl FlickerNoise {
         let level = check_positive("level", level)?;
         let sample_rate = check_positive("sample_rate", sample_rate)?;
         // S(f) = σ_w²·(2/fs)·(fs/2πf)^α  ⇒  σ_w² = level·fs/2·(2π/fs)^α
-        let sigma_w2 = level * sample_rate / 2.0
-            * (2.0 * std::f64::consts::PI / sample_rate).powf(alpha);
+        let sigma_w2 =
+            level * sample_rate / 2.0 * (2.0 * std::f64::consts::PI / sample_rate).powf(alpha);
         Self::new(alpha, sigma_w2.sqrt(), sample_rate, memory)
     }
 
@@ -122,7 +122,9 @@ impl FlickerNoise {
     /// Returns an error when `f` is not strictly positive.
     pub fn nominal_psd(&self, frequency: f64) -> Result<f64> {
         let f = check_positive("frequency", frequency)?;
-        Ok(self.driving_std_dev * self.driving_std_dev * (2.0 / self.sample_rate)
+        Ok(self.driving_std_dev
+            * self.driving_std_dev
+            * (2.0 / self.sample_rate)
             * (self.sample_rate / (2.0 * std::f64::consts::PI * f)).powf(self.alpha))
     }
 
@@ -186,13 +188,9 @@ mod tests {
         let fs = 1.0e6;
         let mut src = FlickerNoise::from_one_over_f_level(1e-9, fs, 4096).unwrap();
         let samples = src.generate(&mut rng, 1 << 16);
-        let est = ptrng_stats::spectral::welch_psd(
-            &samples,
-            fs,
-            4096,
-            ptrng_stats::window::Window::Hann,
-        )
-        .unwrap();
+        let est =
+            ptrng_stats::spectral::welch_psd(&samples, fs, 4096, ptrng_stats::window::Window::Hann)
+                .unwrap();
         // Fit the slope over a band well inside [fs/memory, fs/2].
         let (slope, _) = est.log_log_slope(fs / 1000.0, fs / 10.0).unwrap();
         assert!((slope + 1.0).abs() < 0.25, "slope {slope}");
@@ -205,13 +203,9 @@ mod tests {
         let h1 = 4.0e-8;
         let mut src = FlickerNoise::from_one_over_f_level(h1, fs, 4096).unwrap();
         let samples = src.generate(&mut rng, 1 << 16);
-        let est = ptrng_stats::spectral::welch_psd(
-            &samples,
-            fs,
-            4096,
-            ptrng_stats::window::Window::Hann,
-        )
-        .unwrap();
+        let est =
+            ptrng_stats::spectral::welch_psd(&samples, fs, 4096, ptrng_stats::window::Window::Hann)
+                .unwrap();
         // Compare the measured PSD against h1/f at a mid-band frequency by averaging the
         // ratio over a decade.
         let mut ratio_acc = 0.0;
@@ -244,7 +238,10 @@ mod tests {
         let mut src = FlickerNoise::new(1.0, 1.0, 1.0, 1024).unwrap();
         let samples = src.generate(&mut rng, 20_000);
         let r1 = ptrng_stats::autocorr::lag1_autocorrelation(&samples).unwrap();
-        assert!(r1 > 0.3, "flicker noise must be positively correlated, r1 = {r1}");
+        assert!(
+            r1 > 0.3,
+            "flicker noise must be positively correlated, r1 = {r1}"
+        );
         let lb = ptrng_stats::hypothesis::ljung_box(&samples, 20, 0.01).unwrap();
         assert!(lb.rejected());
     }
@@ -269,6 +266,9 @@ mod tests {
         assert!(FlickerNoise::new(1.0, 1.0, 1.0, 1).is_err());
         assert!(FlickerNoise::from_one_over_f_level(0.0, 1.0, 16).is_err());
         assert!(FlickerNoise::from_psd_level(1.0, -1.0, 1.0, 16).is_err());
-        assert!(FlickerNoise::new(1.0, 1.0, 1.0, 16).unwrap().nominal_psd(0.0).is_err());
+        assert!(FlickerNoise::new(1.0, 1.0, 1.0, 16)
+            .unwrap()
+            .nominal_psd(0.0)
+            .is_err());
     }
 }

@@ -242,13 +242,9 @@ mod tests {
         let fs = 1.0e5;
         let mut bank = LorentzianBank::one_over_f(1.0e-4, 10.0, 1.0e4, 4, fs).unwrap();
         let samples = bank.generate(&mut rng, 1 << 15);
-        let est = ptrng_stats::spectral::welch_psd(
-            &samples,
-            fs,
-            2048,
-            ptrng_stats::window::Window::Hann,
-        )
-        .unwrap();
+        let est =
+            ptrng_stats::spectral::welch_psd(&samples, fs, 2048, ptrng_stats::window::Window::Hann)
+                .unwrap();
         let (slope, _) = est.log_log_slope(100.0, 5.0e3).unwrap();
         assert!((slope + 1.0).abs() < 0.35, "slope {slope}");
     }

@@ -211,10 +211,8 @@ mod tests {
 
     #[test]
     fn evaluate_combines_terms() {
-        let psd = PowerLawPsd::from_terms(vec![
-            PowerLawTerm::new(4.0, 0),
-            PowerLawTerm::new(8.0, -1),
-        ]);
+        let psd =
+            PowerLawPsd::from_terms(vec![PowerLawTerm::new(4.0, 0), PowerLawTerm::new(8.0, -1)]);
         assert_close(psd.evaluate(2.0).unwrap(), 4.0 + 4.0, 1e-12);
         assert_close(psd.evaluate(8.0).unwrap(), 4.0 + 1.0, 1e-12);
     }

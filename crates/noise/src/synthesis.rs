@@ -46,7 +46,9 @@ pub fn synthesize_with(
         if !level.is_finite() || level < 0.0 {
             return Err(NoiseError::InvalidParameter {
                 name: "psd",
-                reason: format!("target PSD must be non-negative and finite, got {level} at {f} Hz"),
+                reason: format!(
+                    "target PSD must be non-negative and finite, got {level} at {f} Hz"
+                ),
             });
         }
         // Var(|X_k|²)/N² · 2/(fs·N) = S(f): draw X_k with std sqrt(S·fs·N/2) per quadrature

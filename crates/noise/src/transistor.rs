@@ -176,8 +176,7 @@ mod tests {
     #[test]
     fn flicker_psd_formula_and_scaling() {
         let t = MosTransistor::new(300.0, 1.0e-3, 1.0e-4, 1.0e-6, 1.0e-7, 1.0e-3).unwrap();
-        let expected_at_1hz =
-            1.0e-3 * BOLTZMANN * 300.0 * 1.0e-8 / (1.0e-6 * 1.0e-14);
+        let expected_at_1hz = 1.0e-3 * BOLTZMANN * 300.0 * 1.0e-8 / (1.0e-6 * 1.0e-14);
         let got = t.flicker_current_psd(1.0).unwrap();
         assert!((got - expected_at_1hz).abs() / expected_at_1hz < 1e-12);
         // 1/f scaling.

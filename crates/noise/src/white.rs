@@ -92,8 +92,8 @@ impl NoiseSource for WhiteNoise {
         if self.std_dev == 0.0 {
             return self.mean;
         }
-        let normal = Normal::new(self.mean, self.std_dev)
-            .expect("std_dev validated at construction");
+        let normal =
+            Normal::new(self.mean, self.std_dev).expect("std_dev validated at construction");
         normal.sample(&mut RngCoreAdapter(rng))
     }
 
@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn sample_statistics_match_configuration() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut src = WhiteNoise::new(2.5, 1.0e6).unwrap().with_mean(10.0).unwrap();
+        let mut src = WhiteNoise::new(2.5, 1.0e6)
+            .unwrap()
+            .with_mean(10.0)
+            .unwrap();
         let samples = src.generate(&mut rng, 100_000);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
@@ -161,13 +164,9 @@ mod tests {
         let fs = 1.0e6;
         let mut src = WhiteNoise::from_psd(8.0e-6, fs).unwrap();
         let samples = src.generate(&mut rng, 1 << 15);
-        let est = ptrng_stats::spectral::welch_psd(
-            &samples,
-            fs,
-            2048,
-            ptrng_stats::window::Window::Hann,
-        )
-        .unwrap();
+        let est =
+            ptrng_stats::spectral::welch_psd(&samples, fs, 2048, ptrng_stats::window::Window::Hann)
+                .unwrap();
         let mean_psd = est.psd.iter().sum::<f64>() / est.psd.len() as f64;
         assert!(
             (mean_psd - 8.0e-6).abs() / 8.0e-6 < 0.15,
@@ -200,6 +199,9 @@ mod tests {
         assert!(WhiteNoise::new(-1.0, 1.0).is_err());
         assert!(WhiteNoise::new(1.0, 0.0).is_err());
         assert!(WhiteNoise::from_psd(-1.0, 1.0).is_err());
-        assert!(WhiteNoise::new(1.0, 1.0).unwrap().with_mean(f64::NAN).is_err());
+        assert!(WhiteNoise::new(1.0, 1.0)
+            .unwrap()
+            .with_mean(f64::NAN)
+            .is_err());
     }
 }

@@ -34,7 +34,7 @@ impl EdgeSeries {
         let mut t = t0;
         times.push(t);
         for (i, &p) in periods.iter().enumerate() {
-            if !(p > 0.0) || !p.is_finite() {
+            if p <= 0.0 || !p.is_finite() {
                 return Err(OscError::InvalidParameter {
                     name: "periods",
                     reason: format!("period {i} is not strictly positive ({p})"),

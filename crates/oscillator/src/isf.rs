@@ -129,15 +129,16 @@ impl IsfModel {
     /// Returns an error when `f` is not positive or `m` exceeds the stored harmonics.
     pub fn conversion_gain(&self, harmonic: usize, offset_frequency: f64) -> Result<f64> {
         let f = check_positive("offset_frequency", offset_frequency)?;
-        let d = self.fourier_coefficients.get(harmonic).ok_or_else(|| {
-            OscError::InvalidParameter {
-                name: "harmonic",
-                reason: format!(
-                    "only {} coefficients are stored, requested {harmonic}",
-                    self.fourier_coefficients.len()
-                ),
-            }
-        })?;
+        let d =
+            self.fourier_coefficients
+                .get(harmonic)
+                .ok_or_else(|| OscError::InvalidParameter {
+                    name: "harmonic",
+                    reason: format!(
+                        "only {} coefficients are stored, requested {harmonic}",
+                        self.fourier_coefficients.len()
+                    ),
+                })?;
         Ok(d / (2.0 * self.load_capacitance * self.supply_voltage * f))
     }
 
@@ -160,8 +161,11 @@ impl IsfModel {
                 reason: "must be non-negative and finite".to_string(),
             });
         }
-        let denom = 4.0 * self.load_capacitance * self.load_capacitance
-            * self.supply_voltage * self.supply_voltage;
+        let denom = 4.0
+            * self.load_capacitance
+            * self.load_capacitance
+            * self.supply_voltage
+            * self.supply_voltage;
         Ok(n_devices as f64 * thermal_current_psd * self.sum_squared_coefficients() / denom)
     }
 
@@ -185,8 +189,11 @@ impl IsfModel {
             });
         }
         let d0 = self.dc_coefficient();
-        let denom = 4.0 * self.load_capacitance * self.load_capacitance
-            * self.supply_voltage * self.supply_voltage;
+        let denom = 4.0
+            * self.load_capacitance
+            * self.load_capacitance
+            * self.supply_voltage
+            * self.supply_voltage;
         Ok(n_devices as f64 * flicker_coefficient * d0 * d0 / denom)
     }
 

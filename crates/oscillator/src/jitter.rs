@@ -236,7 +236,9 @@ mod tests {
             JitterGenerator::with_synthesis(model, FlickerSynthesis::Kasdin { memory: 4096 });
         let mut rng_a = StdRng::seed_from_u64(105);
         let mut rng_b = StdRng::seed_from_u64(106);
-        let ja = spectral.generate_period_jitter(&mut rng_a, 1 << 16).unwrap();
+        let ja = spectral
+            .generate_period_jitter(&mut rng_a, 1 << 16)
+            .unwrap();
         let jb = kasdin.generate_period_jitter(&mut rng_b, 1 << 16).unwrap();
         for n in [8usize, 64, 512] {
             let va = sigma2_n(&ja, n).unwrap();
@@ -248,10 +250,11 @@ mod tests {
     #[test]
     fn disabled_flicker_reduces_to_thermal_only() {
         let model = PhaseNoiseModel::date14_experiment();
-        let gen_disabled =
-            JitterGenerator::with_synthesis(model, FlickerSynthesis::Disabled);
+        let gen_disabled = JitterGenerator::with_synthesis(model, FlickerSynthesis::Disabled);
         let mut rng = StdRng::seed_from_u64(107);
-        let jitter = gen_disabled.generate_period_jitter(&mut rng, 100_000).unwrap();
+        let jitter = gen_disabled
+            .generate_period_jitter(&mut rng, 100_000)
+            .unwrap();
         let sigma2 = model.thermal_period_jitter_variance();
         let measured = sigma2_n(&jitter, 512).unwrap();
         assert_rel(measured, sigma2_n_independent(512, sigma2), 0.2);

@@ -38,7 +38,8 @@ impl AccumulationModel {
     /// Flicker contribution `σ²_{N,fl} = 8·ln2·b_fl/f0⁴·N²` (quadratic in `N`).
     pub fn flicker_component(&self, n: usize) -> f64 {
         8.0 * std::f64::consts::LN_2 * self.model.b_flicker() / self.model.frequency().powi(4)
-            * (n as f64) * (n as f64)
+            * (n as f64)
+            * (n as f64)
     }
 
     /// Closed-form accumulated variance `σ²_N` (Eq. 11).
@@ -161,7 +162,11 @@ mod tests {
         let thermal_n1 = acc.thermal_component(1) * (103.0e6f64).powi(2);
         assert_rel(thermal_n1, 5.36e-6, 2e-3);
         // At N = K = 5354 thermal and flicker contributions are equal.
-        assert_rel(acc.thermal_component(5354), acc.flicker_component(5354), 1e-3);
+        assert_rel(
+            acc.thermal_component(5354),
+            acc.flicker_component(5354),
+            1e-3,
+        );
     }
 
     #[test]
@@ -184,8 +189,7 @@ mod tests {
 
     #[test]
     fn independence_threshold_edge_cases() {
-        let thermal =
-            AccumulationModel::new(PhaseNoiseModel::thermal_only(100.0, 1.0e8).unwrap());
+        let thermal = AccumulationModel::new(PhaseNoiseModel::thermal_only(100.0, 1.0e8).unwrap());
         assert_eq!(thermal.independence_threshold(0.95).unwrap(), None);
         let acc = AccumulationModel::new(PhaseNoiseModel::date14_experiment());
         assert!(acc.independence_threshold(0.0).is_err());
@@ -249,7 +253,11 @@ mod tests {
         assert_eq!(sweep.len(), 3);
         assert!(sweep[2].1 > sweep[1].1);
         let f0 = acc.phase_noise().frequency();
-        assert_rel(acc.sigma2_n_normalized(10), acc.sigma2_n(10) * f0 * f0, 1e-12);
+        assert_rel(
+            acc.sigma2_n_normalized(10),
+            acc.sigma2_n(10) * f0 * f0,
+            1e-12,
+        );
     }
 
     #[test]

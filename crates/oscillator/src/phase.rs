@@ -161,8 +161,10 @@ impl PhaseNoiseModel {
     /// Returns `None` for a thermal-only model (`r_N ≡ 1`).
     pub fn rn_constant(&self) -> Option<f64> {
         if self.b_flicker > 0.0 {
-            Some(2.0 * self.b_thermal * self.frequency
-                / (8.0 * std::f64::consts::LN_2 * self.b_flicker))
+            Some(
+                2.0 * self.b_thermal * self.frequency
+                    / (8.0 * std::f64::consts::LN_2 * self.b_flicker),
+            )
         } else {
             None
         }

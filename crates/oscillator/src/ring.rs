@@ -115,10 +115,13 @@ impl RingOscillatorBuilder {
     /// Returns an error when the stage count is even or zero, no timing information is
     /// available, or any electrical parameter is invalid.
     pub fn build(self) -> Result<RingOscillator> {
-        if self.stages == 0 || self.stages % 2 == 0 {
+        if self.stages == 0 || self.stages.is_multiple_of(2) {
             return Err(OscError::InvalidParameter {
                 name: "stages",
-                reason: format!("a classical ring needs an odd number of stages, got {}", self.stages),
+                reason: format!(
+                    "a classical ring needs an odd number of stages, got {}",
+                    self.stages
+                ),
             });
         }
         let stage_delay = match (self.stage_delay, self.frequency) {
@@ -261,8 +264,14 @@ mod tests {
     fn builder_rejects_bad_electrical_parameters() {
         assert!(RingOscillator::builder().stage_delay(0.0).build().is_err());
         assert!(RingOscillator::builder().frequency(-1.0).build().is_err());
-        assert!(RingOscillator::builder().load_capacitance(0.0).build().is_err());
-        assert!(RingOscillator::builder().supply_voltage(0.0).build().is_err());
+        assert!(RingOscillator::builder()
+            .load_capacitance(0.0)
+            .build()
+            .is_err());
+        assert!(RingOscillator::builder()
+            .supply_voltage(0.0)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -285,10 +294,7 @@ mod tests {
 
     #[test]
     fn isf_reflects_configuration() {
-        let osc = RingOscillator::builder()
-            .isf(8, 0.3)
-            .build()
-            .unwrap();
+        let osc = RingOscillator::builder().isf(8, 0.3).build().unwrap();
         let isf = osc.isf().unwrap();
         assert_eq!(isf.fourier_coefficients().len(), 9);
         assert_eq!(isf.dc_coefficient(), 0.3);

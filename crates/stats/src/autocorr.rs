@@ -134,7 +134,7 @@ mod tests {
         let series = pseudo_random(4096, 99);
         let long = autocorrelation(&series, 20).unwrap(); // FFT path (len > 2048)
         let short = autocorrelation(&series[..2000], 20).unwrap(); // direct path
-        // They analyse different lengths, so only check internal consistency of each.
+                                                                   // They analyse different lengths, so only check internal consistency of each.
         assert!((long.autocorrelation[0] - 1.0).abs() < 1e-12);
         assert!((short.autocorrelation[0] - 1.0).abs() < 1e-12);
 
@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn moving_average_series_is_positively_correlated_at_lag1() {
         let base = pseudo_random(10_000, 7);
-        let smoothed: Vec<f64> = base.windows(4).map(|w| w.iter().sum::<f64>() / 4.0).collect();
+        let smoothed: Vec<f64> = base
+            .windows(4)
+            .map(|w| w.iter().sum::<f64>() / 4.0)
+            .collect();
         let r1 = lag1_autocorrelation(&smoothed).unwrap();
         assert!(r1 > 0.5, "lag-1 autocorrelation {r1}");
         let ac = autocorrelation(&smoothed, 10).unwrap();
@@ -169,7 +172,9 @@ mod tests {
 
     #[test]
     fn alternating_series_is_negatively_correlated() {
-        let series: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let series: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r1 = lag1_autocorrelation(&series).unwrap();
         assert!((r1 + 1.0).abs() < 0.01, "lag-1 autocorrelation {r1}");
     }

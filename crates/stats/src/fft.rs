@@ -286,7 +286,9 @@ mod tests {
         let k0 = 5;
         let x: Vec<Complex> = (0..n)
             .map(|i| {
-                Complex::from_real((2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+                Complex::from_real(
+                    (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos(),
+                )
             })
             .collect();
         let spec = fft(&x).unwrap();

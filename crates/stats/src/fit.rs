@@ -186,8 +186,10 @@ pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<
         b.swap(col, pivot);
         for row in col + 1..n {
             let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (entry, pivot_entry) in rest[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *entry -= factor * pivot_entry;
             }
             b[row] -= factor * b[col];
         }

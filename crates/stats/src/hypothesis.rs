@@ -98,13 +98,8 @@ pub fn chi_squared_gof(
 ///
 /// Returns an error for samples with fewer than 8 points, non-finite values,
 /// `std_dev <= 0`, or an invalid `alpha`.
-pub fn ks_test_normal(
-    sample: &[f64],
-    mean: f64,
-    std_dev: f64,
-    alpha: f64,
-) -> Result<TestOutcome> {
-    if !(std_dev > 0.0) || !std_dev.is_finite() || !mean.is_finite() {
+pub fn ks_test_normal(sample: &[f64], mean: f64, std_dev: f64, alpha: f64) -> Result<TestOutcome> {
+    if std_dev <= 0.0 || !std_dev.is_finite() || !mean.is_finite() {
         return Err(StatsError::InvalidParameter {
             name: "std_dev/mean",
             reason: "mean must be finite and std_dev positive".to_string(),
@@ -122,7 +117,7 @@ pub fn ks_test_normal(
 /// Returns an error for samples with fewer than 8 points, non-finite values, `hi <= lo`,
 /// or an invalid `alpha`.
 pub fn ks_test_uniform(sample: &[f64], lo: f64, hi: f64, alpha: f64) -> Result<TestOutcome> {
-    if !(hi > lo) || !lo.is_finite() || !hi.is_finite() {
+    if hi <= lo || !lo.is_finite() || !hi.is_finite() {
         return Err(StatsError::InvalidParameter {
             name: "lo/hi",
             reason: "need finite lo < hi".to_string(),
@@ -368,7 +363,9 @@ mod tests {
 
     #[test]
     fn runs_test_rejects_alternating_sequence() {
-        let sample: Vec<f64> = (0..500).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let sample: Vec<f64> = (0..500)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let outcome = runs_test(&sample, 0.01).unwrap();
         assert!(outcome.rejected());
         assert!(outcome.statistic > 0.0, "too many runs gives a positive z");

@@ -11,8 +11,8 @@
 //! * [`fit`] — least-squares fitting, including the paper's `σ²_N = a·N + b·N²` fit,
 //! * [`autocorr`] — autocovariance / autocorrelation estimation,
 //! * [`hypothesis`] — χ², Kolmogorov–Smirnov, Ljung–Box and runs tests,
-//! * [`descriptive`], [`variance`], [`histogram`], [`special`], [`window`] — supporting
-//!   numerical building blocks.
+//! * [`descriptive`], [`variance`], [`histogram`], [`special`], [`window`], [`seed`] —
+//!   supporting numerical building blocks.
 //!
 //! # Example
 //!
@@ -42,6 +42,7 @@ pub mod fft;
 pub mod fit;
 pub mod histogram;
 pub mod hypothesis;
+pub mod seed;
 pub mod sn;
 pub mod special;
 pub mod spectral;

@@ -24,8 +24,7 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
             .exp();
     if x >= 0.0 {
         ans
@@ -52,10 +51,10 @@ pub fn normal_pdf(x: f64) -> f64 {
 /// Natural logarithm of the gamma function (Lanczos approximation, g = 7, n = 9).
 pub fn ln_gamma(x: f64) -> f64 {
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,

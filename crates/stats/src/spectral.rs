@@ -26,7 +26,10 @@ pub struct PsdEstimate {
 impl PsdEstimate {
     /// Returns `(frequency, psd)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.frequencies.iter().copied().zip(self.psd.iter().copied())
+        self.frequencies
+            .iter()
+            .copied()
+            .zip(self.psd.iter().copied())
     }
 
     /// Total power obtained by integrating the one-sided PSD over frequency
@@ -147,7 +150,7 @@ fn validate(series: &[f64], sample_rate: f64, min_len: usize) -> Result<()> {
             needed: min_len,
         });
     }
-    if !(sample_rate > 0.0) || !sample_rate.is_finite() {
+    if sample_rate <= 0.0 || !sample_rate.is_finite() {
         return Err(StatsError::InvalidParameter {
             name: "sample_rate",
             reason: format!("must be positive and finite, got {sample_rate}"),

@@ -45,7 +45,7 @@ pub fn bienayme_check(n: usize, measured_sigma2_n: f64, sigma2: f64) -> Result<B
             reason: "accumulation depth must be at least 1".to_string(),
         });
     }
-    if !(sigma2 > 0.0) || !sigma2.is_finite() {
+    if sigma2 <= 0.0 || !sigma2.is_finite() {
         return Err(StatsError::InvalidParameter {
             name: "sigma2",
             reason: format!("per-sample variance must be positive and finite, got {sigma2}"),
@@ -168,7 +168,9 @@ mod tests {
     fn block_sum_variance_linear_for_alternating_series() {
         // Alternating +1/-1: blocks of 2 sum to 0, so the block-sum variance collapses —
         // a strongly negatively correlated series violates linearity downward.
-        let series: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let series: Vec<f64> = (0..256)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let v = block_sum_variance(&series, 2).unwrap();
         assert!(v.abs() < 1e-12);
         let ratio = variance_ratio(&series, 2).unwrap();

@@ -184,9 +184,15 @@ mod tests {
         let h_bias = shannon_entropy_from_bias(&bits).unwrap();
         let h_markov = markov_entropy_rate(&bits).unwrap();
         let h_block = block_entropy(&bits, 8).unwrap();
-        assert!(h_bias > 0.99, "bias estimator sees a balanced sequence ({h_bias})");
+        assert!(
+            h_bias > 0.99,
+            "bias estimator sees a balanced sequence ({h_bias})"
+        );
         assert!((h_markov - binary_entropy(0.9).unwrap()).abs() < 0.01);
-        assert!(h_block < 0.75, "block estimator must see the dependence ({h_block})");
+        assert!(
+            h_block < 0.75,
+            "block estimator must see the dependence ({h_block})"
+        );
     }
 
     #[test]

@@ -128,8 +128,7 @@ impl EroTrng {
             .last_time()
             .expect("edge series contains at least the starting edge");
         let ratio = self.config.sampled.frequency() / self.config.sampling.frequency();
-        let sampled_periods =
-            ((sampling_periods as f64) * ratio * 1.02) as usize + 16;
+        let sampled_periods = ((sampling_periods as f64) * ratio * 1.02) as usize + 16;
         let sampled_edges = self.sampled.generate_edges(rng, 0.0, sampled_periods)?;
         if sampled_edges.last_time().unwrap_or(0.0) < duration {
             return Err(TrngError::InvalidParameter {
@@ -240,8 +239,12 @@ mod tests {
             .iter()
             .map(|&b| b as f64)
             .collect();
-        let r_fast = ptrng_stats::autocorr::lag1_autocorrelation(&bits_fast).unwrap().abs();
-        let r_slow = ptrng_stats::autocorr::lag1_autocorrelation(&bits_slow).unwrap().abs();
+        let r_fast = ptrng_stats::autocorr::lag1_autocorrelation(&bits_fast)
+            .unwrap()
+            .abs();
+        let r_slow = ptrng_stats::autocorr::lag1_autocorrelation(&bits_slow)
+            .unwrap()
+            .abs();
         assert!(
             r_slow < r_fast,
             "expected accumulation to reduce |lag-1 autocorrelation|: fast {r_fast}, slow {r_slow}"

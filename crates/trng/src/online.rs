@@ -114,7 +114,10 @@ impl OnlineThermalTest {
     ///
     /// Returns an error when fewer than two depths are usable (each needs at least three
     /// counter values).
-    pub fn evaluate_counts(&self, counts_per_depth: &[(usize, Vec<u64>)]) -> Result<OnlineTestOutcome> {
+    pub fn evaluate_counts(
+        &self,
+        counts_per_depth: &[(usize, Vec<u64>)],
+    ) -> Result<OnlineTestOutcome> {
         let f0 = self.config.frequency;
         let mut depths = Vec::new();
         let mut variances = Vec::new();
@@ -159,7 +162,10 @@ mod tests {
     fn healthy_points(scale: f64) -> (Vec<f64>, Vec<f64>) {
         let acc = AccumulationModel::new(PhaseNoiseModel::date14_experiment());
         let depths: Vec<f64> = vec![1000.0, 2000.0, 5000.0, 10_000.0, 20_000.0];
-        let sigma2: Vec<f64> = depths.iter().map(|&n| acc.sigma2_n(n as usize) * scale).collect();
+        let sigma2: Vec<f64> = depths
+            .iter()
+            .map(|&n| acc.sigma2_n(n as usize) * scale)
+            .collect();
         (depths, sigma2)
     }
 
@@ -223,7 +229,11 @@ mod tests {
             let sigma_counts = (acc.sigma2_n(n)).sqrt() * f0;
             let mut counts = vec![1_000_000u64];
             for i in 0..40 {
-                let delta = if i % 2 == 0 { sigma_counts } else { -sigma_counts };
+                let delta = if i % 2 == 0 {
+                    sigma_counts
+                } else {
+                    -sigma_counts
+                };
                 let prev = *counts.last().expect("non-empty") as f64;
                 counts.push((prev + delta).round() as u64);
             }
@@ -259,7 +269,7 @@ mod tests {
     #[test]
     fn total_failure_check_detects_a_stuck_output() {
         let mut bits = vec![0u8, 1, 1, 0, 1, 0, 0, 1];
-        bits.extend(std::iter::repeat(1).take(64));
+        bits.extend(std::iter::repeat_n(1, 64));
         let result = total_failure_check(&bits, 0.9).unwrap();
         assert!(!result.passed);
         let ok = total_failure_check(&[0, 1, 0, 1, 1, 0, 1, 0, 0, 1], 0.9).unwrap();

@@ -76,7 +76,7 @@ pub fn xor_output_bias(epsilon: f64, factor: usize) -> Result<f64> {
             reason: "the decimation factor must be at least 1".to_string(),
         });
     }
-    if !(epsilon.abs() <= 0.5) {
+    if epsilon.is_nan() || epsilon.abs() > 0.5 {
         return Err(TrngError::InvalidParameter {
             name: "epsilon",
             reason: format!("a bit bias cannot exceed 0.5 in magnitude, got {epsilon}"),
@@ -118,21 +118,31 @@ mod tests {
         let biased: Vec<u8> = (0..400_000).map(|_| u8::from(rng.gen_bool(0.7))).collect();
         let out = von_neumann(&biased).unwrap();
         // Throughput: 2·p·(1-p) = 0.42 pairs kept → about 21 % of the input bit count.
-        assert!(out.len() > 70_000 && out.len() < 95_000, "len {}", out.len());
+        assert!(
+            out.len() > 70_000 && out.len() < 95_000,
+            "len {}",
+            out.len()
+        );
         let p_out = out.iter().map(|&b| b as f64).sum::<f64>() / out.len() as f64;
         assert!((p_out - 0.5).abs() < 0.01, "p_out {p_out}");
     }
 
     #[test]
     fn von_neumann_mapping_is_exact() {
-        assert_eq!(von_neumann(&[0, 1, 1, 0, 0, 0, 1, 1, 1, 0]).unwrap(), vec![0, 1, 1]);
+        assert_eq!(
+            von_neumann(&[0, 1, 1, 0, 0, 0, 1, 1, 1, 0]).unwrap(),
+            vec![0, 1, 1]
+        );
         assert_eq!(von_neumann(&[0, 0, 1, 1]).unwrap(), Vec::<u8>::new());
     }
 
     #[test]
     fn block_parity_is_xor_decimation() {
         let bits = [1u8, 1, 0, 0, 1, 0];
-        assert_eq!(block_parity(&bits, 2).unwrap(), xor_decimate(&bits, 2).unwrap());
+        assert_eq!(
+            block_parity(&bits, 2).unwrap(),
+            xor_decimate(&bits, 2).unwrap()
+        );
     }
 
     #[test]

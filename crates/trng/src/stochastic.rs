@@ -177,7 +177,10 @@ mod tests {
         let n = 10_000;
         let q = model.quality_factor(model.accumulated_variance_thermal(n));
         let expected = (1.6e-3f64).powi(2) * n as f64;
-        assert!((q - expected).abs() / expected < 0.05, "q {q} vs {expected}");
+        assert!(
+            (q - expected).abs() / expected < 0.05,
+            "q {q} vs {expected}"
+        );
     }
 
     #[test]
@@ -198,8 +201,7 @@ mod tests {
         let model = EntropyModel::date14_experiment();
         assert!(model.minimum_depth_for_entropy(0.0).is_err());
         assert!(model.minimum_depth_for_entropy(1.0).is_err());
-        let no_thermal =
-            EntropyModel::new(PhaseNoiseModel::new(0.0, 1.0e6, 1.0e8).unwrap());
+        let no_thermal = EntropyModel::new(PhaseNoiseModel::new(0.0, 1.0e6, 1.0e8).unwrap());
         assert!(no_thermal.minimum_depth_for_entropy(0.5).is_err());
     }
 

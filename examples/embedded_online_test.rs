@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference_sigma = healthy.relative_model()?.thermal_period_jitter();
     let config = OnlineTestConfig::new(103.0e6, reference_sigma, 0.5)?;
     let test = OnlineThermalTest::new(config);
-    println!("commissioned reference thermal jitter: {:.2} ps", reference_sigma * 1.0e12);
+    println!(
+        "commissioned reference thermal jitter: {:.2} ps",
+        reference_sigma * 1.0e12
+    );
 
     // Scenario 1: healthy device.
     let (depths, variances) = acquire_points(&healthy, 1)?;
@@ -73,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Scenario 3: a stuck digitizer output, caught by the total-failure check within a
     // few dozen samples.
     let mut stuck_bits = vec![0u8, 1, 0, 1, 1, 0];
-    stuck_bits.extend(std::iter::repeat(1).take(64));
+    stuck_bits.extend(std::iter::repeat_n(1, 64));
     let verdict = total_failure_check(&stuck_bits, 0.9)?;
     println!(
         "stuck digitizer  : repetition-count statistic = {}, passed = {}",

@@ -34,16 +34,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Raw bits and the statistical battery.
     let mut rng = StdRng::seed_from_u64(99);
     let raw = trng.generate_bits(&mut rng, 60_000)?;
-    println!("raw bias                : {:.4}", raw.iter().map(|&b| b as f64).sum::<f64>() / raw.len() as f64);
-    println!("raw Shannon (bias)      : {:.4} bit/bit", shannon_entropy_from_bias(&raw)?);
-    println!("raw Markov rate         : {:.4} bit/bit", markov_entropy_rate(&raw)?);
-    println!("raw 8-bit block entropy : {:.4} bit/bit", block_entropy(&raw, 8)?);
+    println!(
+        "raw bias                : {:.4}",
+        raw.iter().map(|&b| b as f64).sum::<f64>() / raw.len() as f64
+    );
+    println!(
+        "raw Shannon (bias)      : {:.4} bit/bit",
+        shannon_entropy_from_bias(&raw)?
+    );
+    println!(
+        "raw Markov rate         : {:.4} bit/bit",
+        markov_entropy_rate(&raw)?
+    );
+    println!(
+        "raw 8-bit block entropy : {:.4} bit/bit",
+        block_entropy(&raw, 8)?
+    );
     let battery = run_battery(&raw, &BatteryConfig::default())?;
     println!(
         "statistical battery     : {}/{} tests passed {}",
         battery.results.iter().filter(|r| r.passed).count(),
         battery.len(),
-        if battery.all_passed() { "(all good)" } else { "" }
+        if battery.all_passed() {
+            "(all good)"
+        } else {
+            ""
+        }
     );
     for failure in battery.failures() {
         println!("    failed: {failure}");

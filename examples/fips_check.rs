@@ -1,0 +1,59 @@
+//! Run the FIPS 140-2 battery over a file of packed random bytes (e.g. `ptrngd`
+//! output): every full 20 000-bit block is tested.
+//!
+//! ```text
+//! cargo run --release --example fips_check -- random.bin
+//! ```
+
+use std::process::ExitCode;
+
+use ptrng::ais::fips;
+use ptrng::engine::stream::unpack_bits;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: fips_check <file>");
+        return ExitCode::FAILURE;
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("fips_check: cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bits = unpack_bits(&bytes);
+    let blocks: Vec<&[u8]> = bits.chunks_exact(fips::FIPS_BLOCK_BITS).collect();
+    if blocks.is_empty() {
+        eprintln!(
+            "fips_check: need at least {} bits ({} bytes), got {}",
+            fips::FIPS_BLOCK_BITS,
+            fips::FIPS_BLOCK_BITS / 8,
+            bits.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut failed_blocks = 0usize;
+    for (index, block) in blocks.iter().enumerate() {
+        let results = fips::run_all(block).expect("block has the required length");
+        let failures: Vec<String> = results
+            .iter()
+            .filter(|r| !r.passed)
+            .map(|r| format!("{} ({})", r.name, r.statistic))
+            .collect();
+        if !failures.is_empty() {
+            failed_blocks += 1;
+            println!("block {index}: FAIL — {}", failures.join(", "));
+        }
+    }
+    println!(
+        "{}/{} blocks passed the FIPS 140-2 battery",
+        blocks.len() - failed_blocks,
+        blocks.len()
+    );
+    if failed_blocks == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

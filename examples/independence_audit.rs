@@ -23,7 +23,11 @@ use ptrng::osc::jitter::JitterGenerator;
 use ptrng::osc::phase::PhaseNoiseModel;
 use ptrng::stats::sn::{log_spaced_depths, sigma2_n_sweep, SnSampling};
 
-fn audit(name: &str, model: PhaseNoiseModel, rng: &mut StdRng) -> Result<(), Box<dyn std::error::Error>> {
+fn audit(
+    name: &str,
+    model: PhaseNoiseModel,
+    rng: &mut StdRng,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("--- {name} ---");
     let generator = JitterGenerator::new(model);
     let jitter = generator.generate_period_jitter(rng, 1 << 18)?;
@@ -31,7 +35,11 @@ fn audit(name: &str, model: PhaseNoiseModel, rng: &mut StdRng) -> Result<(), Box
     let depths = log_spaced_depths(4, 16_384, 14)?;
     let points = sigma2_n_sweep(&jitter, &depths, SnSampling::Overlapping)?
         .into_iter()
-        .map(|p| DatasetPoint { n: p.n, sigma2_n: p.sigma2_n, samples: p.samples })
+        .map(|p| DatasetPoint {
+            n: p.n,
+            sigma2_n: p.sigma2_n,
+            samples: p.samples,
+        })
         .collect();
     let dataset = Sigma2NDataset::new(model.frequency(), "period-domain", points)?;
 
@@ -54,7 +62,14 @@ fn audit(name: &str, model: PhaseNoiseModel, rng: &mut StdRng) -> Result<(), Box
         None => println!("independence (r_N > 95%): every depth (no flicker detected)"),
     }
     let ljung_box_ok = jitter_series_looks_independent(&jitter[..20_000], 20, 0.01)?;
-    println!("Ljung-Box on raw jitter : {}", if ljung_box_ok { "no serial correlation" } else { "serial correlation detected" });
+    println!(
+        "Ljung-Box on raw jitter : {}",
+        if ljung_box_ok {
+            "no serial correlation"
+        } else {
+            "serial correlation detected"
+        }
+    );
     println!();
     Ok(())
 }
@@ -63,7 +78,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
     let paper = PhaseNoiseModel::date14_experiment();
     let thermal_only = PhaseNoiseModel::thermal_only(paper.b_thermal(), paper.frequency())?;
-    audit("thermal noise only (independent jitter)", thermal_only, &mut rng)?;
-    audit("thermal + flicker (the paper's experiment)", paper, &mut rng)?;
+    audit(
+        "thermal noise only (independent jitter)",
+        thermal_only,
+        &mut rng,
+    )?;
+    audit(
+        "thermal + flicker (the paper's experiment)",
+        paper,
+        &mut rng,
+    )?;
     Ok(())
 }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Acquire sigma^2_N over three decades of accumulation depths.
     let depths = log_spaced_depths(8, 8_192, 16)?;
-    println!("acquiring sigma^2_N at {} depths (period-domain estimator)…", depths.len());
+    println!(
+        "acquiring sigma^2_N at {} depths (period-domain estimator)…",
+        depths.len()
+    );
     let dataset = circuit.measure_period_domain(&mut rng, &depths, 1 << 18)?;
 
     // Analyse: fit, independence verdict, thermal extraction, entropy implications.
@@ -28,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{report}");
 
     // Compare the recovered numbers against the values quoted in the paper.
-    println!("paper reference            : b_th = {} Hz, sigma = {} ps, K = {}",
+    println!(
+        "paper reference            : b_th = {} Hz, sigma = {} ps, K = {}",
         ptrng::core::paper::B_THERMAL_HZ,
         ptrng::core::paper::THERMAL_JITTER_SECONDS * 1.0e12,
         ptrng::core::paper::RN_CONSTANT,

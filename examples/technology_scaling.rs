@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             relative.b_thermal(),
             relative.b_flicker(),
             k.unwrap_or(f64::INFINITY),
-            threshold.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            threshold
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
             entropy_depth
         );
     }

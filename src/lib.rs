@@ -13,6 +13,7 @@
 //! | [`trng`] | the eRO-TRNG, post-processing, entropy estimators and bounds, online test |
 //! | [`ais`] | AIS 31 / FIPS 140-2 / SP 800-90B statistical test batteries |
 //! | [`core`] | the multilevel model, independence analysis, thermal extraction, reports |
+//! | [`engine`] | sharded entropy generation runtime: pluggable sources, worker pool, continuous health monitoring, `ptrngd` CLI |
 //!
 //! # Quickstart
 //!
@@ -37,16 +38,23 @@
 
 pub use ptrng_ais as ais;
 pub use ptrng_core as core;
+pub use ptrng_engine as engine;
 pub use ptrng_measure as measure;
 pub use ptrng_noise as noise;
 pub use ptrng_osc as osc;
 pub use ptrng_stats as stats;
 pub use ptrng_trng as trng;
 
-/// Commonly used items, re-exported from [`ptrng_core::prelude`] plus the report type.
+/// Commonly used items, re-exported from [`ptrng_core::prelude`] plus the report type
+/// and the generation runtime.
 pub mod prelude {
     pub use ptrng_core::prelude::*;
     pub use ptrng_core::report::AnalysisReport;
+    // Engine types (the crate's `Result`/`EngineError` stay namespaced to avoid
+    // shadowing the analysis crates' aliases).
+    pub use ptrng_engine::health::{HealthConfig, HealthMonitor, HealthState};
+    pub use ptrng_engine::pool::{Engine, EngineConfig, PostProcess};
+    pub use ptrng_engine::source::{EntropySource, JitterProfile, SourceSpec};
 }
 
 #[cfg(test)]
@@ -61,5 +69,6 @@ mod tests {
         let _ = crate::trng::postprocess::xor_output_bias(0.1, 2).unwrap();
         let _ = crate::ais::procedure_a::BLOCK_BITS;
         let _ = crate::core::paper::RN_CONSTANT;
+        let _ = crate::engine::source::SourceSpec::parse("model");
     }
 }

@@ -1,0 +1,240 @@
+//! Integration tests of the generation runtime: sharded streaming, budget accounting,
+//! shard independence, statistical quality of the emitted bytes, and the health layer's
+//! reaction to a frequency-injection-style jitter collapse.
+
+use ptrng::ais::fips;
+use ptrng::engine::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
+use ptrng::engine::pool::{Engine, EngineConfig, PostProcess};
+use ptrng::engine::source::{JitterProfile, SourceSpec};
+use ptrng::engine::stream::unpack_bits;
+use ptrng::engine::EngineError;
+use ptrng::osc::model::AccumulationModel;
+use ptrng::osc::phase::PhaseNoiseModel;
+use ptrng::trng::online::OnlineTestConfig;
+
+const MEBIBYTE: u64 = 1 << 20;
+
+/// The acceptance scenario: a 4-shard engine streams a full mebibyte; distinct shards
+/// emit distinct streams (independent seeding) and the aggregate passes the FIPS
+/// 140-2 battery.
+#[test]
+fn four_shards_stream_a_mebibyte_that_passes_fips() {
+    let config = EngineConfig::new(SourceSpec::model(0.5).unwrap())
+        .shards(4)
+        .seed(2014)
+        .budget_bytes(Some(MEBIBYTE));
+    let mut engine = Engine::spawn(config).unwrap();
+
+    let mut total = Vec::with_capacity(MEBIBYTE as usize);
+    let mut per_shard: Vec<Vec<u8>> = vec![Vec::new(); 4];
+    for batch in engine.stream_mut() {
+        let batch = batch.expect("no alarm expected from an unbiased source");
+        per_shard[batch.shard].extend_from_slice(&batch.bytes);
+        total.extend_from_slice(&batch.bytes);
+    }
+    engine.join().unwrap();
+
+    // Budget exact to the byte, across all shards.
+    assert_eq!(total.len() as u64, MEBIBYTE);
+
+    // Every shard contributed, and no two shards emitted the same prefix.
+    for (i, shard) in per_shard.iter().enumerate() {
+        assert!(
+            shard.len() > 1024,
+            "shard {i} starved ({} bytes)",
+            shard.len()
+        );
+    }
+    for a in 0..per_shard.len() {
+        for b in (a + 1)..per_shard.len() {
+            let len = per_shard[a].len().min(per_shard[b].len());
+            assert_ne!(
+                per_shard[a][..len],
+                per_shard[b][..len],
+                "shards {a}/{b} identical"
+            );
+        }
+    }
+
+    // FIPS 140-2 battery over consecutive 20 000-bit blocks of the aggregate stream.
+    let bits = unpack_bits(&total[..(5 * fips::FIPS_BLOCK_BITS) / 8]);
+    for (block_idx, block) in bits.chunks_exact(fips::FIPS_BLOCK_BITS).enumerate() {
+        for result in fips::run_all(block).unwrap() {
+            assert!(
+                result.passed,
+                "block {block_idx}: {} failed with statistic {}",
+                result.name, result.statistic
+            );
+        }
+    }
+}
+
+/// The physically-simulated source also streams through the full pipeline: XOR
+/// post-processing cleans the residual bias of a small-division eRO-TRNG far enough to
+/// pass the startup battery and the continuous tests.
+#[test]
+fn simulated_ero_shards_survive_health_monitoring() {
+    let spec = SourceSpec::ero(8, JitterProfile::Strong).unwrap();
+    let config = EngineConfig::new(spec)
+        .shards(2)
+        .seed(7)
+        .batch_bits(8192)
+        // Factor 4: adjacent-bit XOR (factor 2) would convert the raw stream's ~1%
+        // lag-1 correlation into output bias near the FIPS monobit boundary.
+        .post(PostProcess::XorDecimate(4))
+        // Startup battery on: the first 20 000 output bits are vetted before publishing.
+        .budget_bytes(Some(8 * 1024));
+    let mut engine = Engine::spawn(config).unwrap();
+    let bytes = engine.read_to_end().expect("healthy source must not alarm");
+    let snapshot = engine.metrics().snapshot();
+    engine.join().unwrap();
+
+    assert_eq!(bytes.len(), 8 * 1024);
+    assert!(
+        snapshot.total_raw_bits >= 2 * 20_000,
+        "startup battery was skipped"
+    );
+    let bits = unpack_bits(&bytes);
+    let ones: usize = bits.iter().map(|&b| b as usize).sum();
+    let p = ones as f64 / bits.len() as f64;
+    assert!(
+        (p - 0.5).abs() < 0.02,
+        "post-processed bias too large: p(1) = {p}"
+    );
+}
+
+/// The divided-sampler sweep exercises several accumulation depths in one stream and
+/// still produces plausible bytes.
+#[test]
+fn divided_sampler_sweep_streams() {
+    let spec = SourceSpec::divided_sampler(vec![4, 8, 16], JitterProfile::Strong).unwrap();
+    let config = EngineConfig::new(spec)
+        .seed(3)
+        .batch_bits(4096)
+        .budget_bytes(Some(2048))
+        .health(HealthConfig::default().without_startup_battery());
+    let mut engine = Engine::spawn(config).unwrap();
+    let bytes = engine.read_to_end().unwrap();
+    engine.join().unwrap();
+    assert_eq!(bytes.len(), 2048);
+    let bits = unpack_bits(&bytes);
+    let ones: usize = bits.iter().map(|&b| b as usize).sum();
+    let p = ones as f64 / bits.len() as f64;
+    assert!((p - 0.5).abs() < 0.06, "p(1) = {p}");
+}
+
+/// A heavily biased source is rejected by the engine's continuous tests and surfaces
+/// as a stream error, not silent bad output.
+#[test]
+fn biased_source_alarms_instead_of_streaming() {
+    let config = EngineConfig::new(SourceSpec::model(0.95).unwrap())
+        .seed(1)
+        .budget_bytes(Some(MEBIBYTE))
+        .health(
+            HealthConfig::default()
+                .without_startup_battery()
+                .with_min_entropy(0.999),
+        );
+    let mut engine = Engine::spawn(config).unwrap();
+    let result = engine.read_to_end();
+    engine.join().unwrap();
+    assert!(
+        matches!(result, Err(EngineError::HealthAlarm { shard: 0, .. })),
+        "expected a health alarm, got {result:?}"
+    );
+}
+
+/// The thermal online test is wired through the engine itself: shard workers
+/// periodically acquire `σ²_N` counter sweeps from the source's physical model.  With
+/// a commissioning reference matching the design, the stream flows; with a reference
+/// ten times the actual jitter (i.e. the deployed rings accumulate 100× less jitter
+/// variance than commissioned — a locked/injected device), the shard alarms.
+#[test]
+fn engine_runs_the_thermal_online_test_against_its_sources() {
+    let sampled = PhaseNoiseModel::new(1.2e6, 0.0, 103.0e6).unwrap();
+    let sampling = PhaseNoiseModel::new(1.2e6, 0.0, 102.3e6).unwrap();
+    let relative = sampled.relative_to(&sampling).unwrap();
+    let spec = SourceSpec::ero(2, JitterProfile::Strong).unwrap();
+
+    let run = |reference: f64| {
+        let thermal = OnlineTestConfig::new(relative.frequency(), reference, 0.5).unwrap();
+        let mut config = EngineConfig::new(spec.clone())
+            .seed(11)
+            .batch_bits(4096)
+            .budget_bytes(Some(2048))
+            .health(
+                HealthConfig::default()
+                    .without_startup_battery()
+                    .with_thermal(thermal),
+            );
+        config.thermal_check_batches = 1;
+        let mut engine = Engine::spawn(config).unwrap();
+        let result = engine.read_to_end();
+        engine.join().unwrap();
+        result
+    };
+
+    let healthy = run(relative.thermal_period_jitter());
+    assert_eq!(healthy.unwrap().len(), 2048);
+
+    let attacked = run(relative.thermal_period_jitter() * 10.0);
+    match attacked {
+        Err(EngineError::HealthAlarm { reason, .. }) => {
+            assert!(reason.contains("thermal"), "unexpected alarm: {reason}");
+        }
+        other => panic!("expected a thermal alarm, got {other:?}"),
+    }
+}
+
+/// A thermal test on a source without a physical model is rejected up front instead of
+/// being silently ignored.
+#[test]
+fn thermal_test_on_model_source_fails_fast() {
+    let model = PhaseNoiseModel::date14_experiment();
+    let thermal =
+        OnlineTestConfig::new(model.frequency(), model.thermal_period_jitter(), 0.5).unwrap();
+    let config = EngineConfig::new(SourceSpec::model(0.5).unwrap())
+        .health(HealthConfig::default().with_thermal(thermal));
+    match Engine::spawn(config) {
+        Err(EngineError::InvalidParameter { name, .. }) => assert_eq!(name, "health.thermal"),
+        Err(other) => panic!("unexpected error: {other}"),
+        Ok(_) => panic!("thermal test on a model source must be rejected"),
+    }
+}
+
+/// The paper's attack scenario: frequency injection locks the rings, collapsing the
+/// thermal component of the relative jitter.  Feeding the monitor `σ²_N` sweeps scaled
+/// down 100× must trip the (debounced) thermal alarm.
+#[test]
+fn frequency_injection_style_jitter_collapse_trips_the_alarm() {
+    let model = PhaseNoiseModel::date14_experiment();
+    let reference = model.thermal_period_jitter();
+    let thermal = OnlineTestConfig::new(model.frequency(), reference, 0.5).unwrap();
+    let config = HealthConfig::default()
+        .without_startup_battery()
+        .with_thermal(thermal);
+    let mut monitor = HealthMonitor::new(&config, 1.0).unwrap();
+
+    let acc = AccumulationModel::new(model);
+    let depths: Vec<f64> = vec![1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0];
+    let healthy: Vec<f64> = depths.iter().map(|&n| acc.sigma2_n(n as usize)).collect();
+    let attacked: Vec<f64> = healthy.iter().map(|v| v * 0.01).collect();
+
+    monitor.observe_sigma2_points(&depths, &healthy).unwrap();
+    assert_eq!(monitor.state(), &HealthState::Healthy);
+
+    // The attack persists across evaluations → suspect, then latched alarm.
+    monitor.observe_sigma2_points(&depths, &attacked).unwrap();
+    assert_eq!(monitor.state(), &HealthState::Suspect { strikes: 1 });
+    monitor.observe_sigma2_points(&depths, &attacked).unwrap();
+    match monitor.state() {
+        HealthState::Alarmed(AlarmReason::ThermalCollapse { ratio }) => {
+            assert!(
+                *ratio < 0.2,
+                "collapsed ratio should be far below threshold: {ratio}"
+            );
+        }
+        other => panic!("expected a latched thermal alarm, got {other:?}"),
+    }
+    assert!(!monitor.may_publish());
+}

@@ -73,10 +73,16 @@ fn von_neumann_output_of_a_biased_source_passes_the_battery() {
     let mut rng = StdRng::seed_from_u64(1618);
     let biased: Vec<u8> = (0..600_000).map(|_| u8::from(rng.gen_bool(0.65))).collect();
     let raw_report = run_battery(&biased, &BatteryConfig::default()).unwrap();
-    assert!(!raw_report.all_passed(), "the biased raw sequence must fail");
+    assert!(
+        !raw_report.all_passed(),
+        "the biased raw sequence must fail"
+    );
 
     let corrected = von_neumann(&biased).unwrap();
-    assert!(corrected.len() >= 20_000, "need one full test block after correction");
+    assert!(
+        corrected.len() >= 20_000,
+        "need one full test block after correction"
+    );
     let report = run_battery(&corrected, &BatteryConfig::default()).unwrap();
     assert!(
         report.all_passed(),

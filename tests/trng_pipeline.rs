@@ -47,9 +47,21 @@ fn generated_bits_pass_the_statistical_battery() {
         "failures on simulated eRO-TRNG output: {:?}",
         report.failures()
     );
-    assert!(ptrng::ais::procedure_b::t6_uniform_bias(&bits, bits.len()).unwrap().passed);
-    assert!(ptrng::ais::procedure_b::t6_conditional_bias(&bits, bits.len()).unwrap().passed);
-    assert!(ptrng::ais::procedure_b::t7_transition_homogeneity(&bits, bits.len()).unwrap().passed);
+    assert!(
+        ptrng::ais::procedure_b::t6_uniform_bias(&bits, bits.len())
+            .unwrap()
+            .passed
+    );
+    assert!(
+        ptrng::ais::procedure_b::t6_conditional_bias(&bits, bits.len())
+            .unwrap()
+            .passed
+    );
+    assert!(
+        ptrng::ais::procedure_b::t7_transition_homogeneity(&bits, bits.len())
+            .unwrap()
+            .passed
+    );
 }
 
 #[test]
@@ -66,7 +78,10 @@ fn weak_accumulation_is_caught_by_the_battery() {
     let mut rng = StdRng::seed_from_u64(17);
     let bits = trng.generate_bits(&mut rng, 40_000).unwrap();
     let report = run_battery(&bits, &BatteryConfig::default()).unwrap();
-    assert!(!report.all_passed(), "a low-entropy source must not pass the battery");
+    assert!(
+        !report.all_passed(),
+        "a low-entropy source must not pass the battery"
+    );
 }
 
 #[test]
@@ -92,7 +107,10 @@ fn post_processing_improves_a_marginal_source() {
     let vn = von_neumann(&raw).unwrap();
     if vn.len() >= 1_000 {
         let bias = shannon_entropy_from_bias(&vn).unwrap();
-        assert!(bias > 0.99, "von Neumann output should be unbiased ({bias})");
+        assert!(
+            bias > 0.99,
+            "von Neumann output should be unbiased ({bias})"
+        );
     }
 }
 
@@ -104,7 +122,9 @@ fn entropy_bounds_track_the_monobit_quality_of_the_simulated_generator() {
     assert!(entropy_model.entropy_bound_thermal(2_000_000) > 0.99);
     let trng = EroTrng::new(strong_jitter_config()).unwrap();
     let mut rng = StdRng::seed_from_u64(19);
-    let bits = trng.generate_bits(&mut rng, procedure_a::BLOCK_BITS).unwrap();
+    let bits = trng
+        .generate_bits(&mut rng, procedure_a::BLOCK_BITS)
+        .unwrap();
     assert!(procedure_a::t1_monobit(&bits).unwrap().passed);
 }
 
@@ -123,7 +143,11 @@ fn online_test_commissioned_from_one_circuit_flags_a_degraded_one() {
     let outcome = test
         .evaluate_points(&dataset.depths(), &dataset.variances())
         .unwrap();
-    assert!(!outcome.alarm, "healthy ratio {}", outcome.ratio_to_reference);
+    assert!(
+        !outcome.alarm,
+        "healthy ratio {}",
+        outcome.ratio_to_reference
+    );
 
     // Degraded: thermal noise collapsed by a factor 100 in variance.
     let paper = PhaseNoiseModel::date14_experiment();
@@ -140,5 +164,9 @@ fn online_test_commissioned_from_one_circuit_flags_a_degraded_one() {
     let outcome = test
         .evaluate_points(&dataset.depths(), &dataset.variances())
         .unwrap();
-    assert!(outcome.alarm, "degraded ratio {}", outcome.ratio_to_reference);
+    assert!(
+        outcome.alarm,
+        "degraded ratio {}",
+        outcome.ratio_to_reference
+    );
 }

@@ -1,0 +1,254 @@
+//! Workspace-local stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the macro/`Criterion`/group/`Bencher` API surface the workspace's
+//! benchmarks use, backed by a plain wall-clock measurement loop: per benchmark it
+//! warms up, auto-tunes an iteration batch so one sample costs ≥ ~2 ms, then reports
+//! min/mean/max over the configured sample count.  No statistics beyond that — the
+//! point is comparable relative numbers in an offline build, not criterion's full
+//! analysis.  Passing `--test` (as `cargo test --benches` does) runs each benchmark
+//! body exactly once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                flag if flag.starts_with("--") => {}
+                positional => filter = Some(positional.to_string()),
+            }
+        }
+        Self {
+            filter,
+            test_mode,
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run(&id.into().id, sample_size, &mut f);
+        self
+    }
+
+    fn run(&mut self, full_id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            test_mode: self.test_mode,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) => println!(
+                "{full_id:<50} time: [{} {} {}]  ({} samples)",
+                format_ns(report.min),
+                format_ns(report.mean),
+                format_ns(report.max),
+                sample_size
+            ),
+            None if self.test_mode => println!("{full_id:<50} ok (test mode)"),
+            None => {}
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.into().id);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run(&full_id, sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+struct Report {
+    min: f64,
+    mean: f64,
+    max: f64,
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `f`, calling it in auto-tuned batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up and batch tuning: grow the batch until one batch costs >= 2 ms.
+        let mut batch: u64 = 1;
+        let batch_budget = Duration::from_millis(2);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_budget || batch >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                8
+            } else {
+                (batch_budget.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 8) as u64
+            };
+            batch = batch.saturating_mul(grow);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.report = Some(Report { min, mean, max });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,328 @@
+//! Workspace-local stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the subset this workspace's property tests use: `proptest! { #[test] fn
+//! name(arg in strategy, ...) { body } }` with numeric range strategies and
+//! `proptest::collection::vec`, plus `prop_assert!`, `prop_assert_eq!` and
+//! `prop_assume!`.  Each test runs [`CASES`] deterministic pseudo-random cases (no
+//! shrinking; the failing inputs are printed instead).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases sampled per property test.
+pub const CASES: usize = 48;
+
+/// Maximum number of `prop_assume!` rejections before a test gives up.
+pub const MAX_REJECTS: usize = 4096;
+
+/// Deterministic splitmix64 generator driving strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed (derived from the test name by `proptest!`).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Returns the next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform draw from `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Derives the deterministic seed for a named property test.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name keeps runs reproducible across processes.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A source of pseudo-random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128 * width) >> 64) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128 * width) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (rng.next_unit() as $t) * (self.end - self.start)
+            }
+        }
+    )+};
+}
+
+impl_float_strategy!(f32, f64);
+
+/// Always returns a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies ([`vec`]).
+pub mod collection {
+    use super::{Range, RangeInclusive, Strategy, TestRng};
+
+    /// Length specifications accepted by [`vec`]: a range or a fixed length.
+    pub trait SizeRange {
+        /// Draws one length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            self.clone().sample(rng)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            self.clone().sample(rng)
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element` and whose length is drawn
+    /// from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-case verdict plumbing used by the macros.
+pub mod test_runner {
+    /// Why a case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case violated a `prop_assume!` precondition; it is re-drawn, not failed.
+        Reject,
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    /// Outcome of one sampled case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Everything needed to write `proptest!` tests.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy};
+}
+
+/// Defines property tests: samples each argument from its strategy [`CASES`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::TestRng::new($crate::seed_for(stringify!($name)));
+            let mut executed = 0usize;
+            let mut rejected = 0usize;
+            while executed < $crate::CASES {
+                assert!(
+                    rejected < $crate::MAX_REJECTS,
+                    "proptest `{}` rejected {} cases in a row; assumptions are too strict",
+                    stringify!($name),
+                    rejected
+                );
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome: $crate::test_runner::TestCaseResult = {
+                    let run = || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    };
+                    run()
+                };
+                match outcome {
+                    Ok(()) => executed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => rejected += 1,
+                    Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "proptest `{}` failed: {}\ninputs: {:#?}",
+                            stringify!($name),
+                            message,
+                            ($((stringify!($arg), &$arg),)+)
+                        );
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+/// Skips the current case (re-drawing its inputs) when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -2.0f64..2.0, b in 0u8..=1) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(b <= 1);
+        }
+
+        #[test]
+        fn vectors_have_requested_lengths(v in collection::vec(0.0f64..1.0, 2..17)) {
+            prop_assert!(v.len() >= 2 && v.len() < 17);
+            prop_assume!(!v.is_empty());
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
+        assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,79 @@
+//! Deterministic generators ([`StdRng`]).
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seedable generator.
+///
+/// Implemented as xoshiro256++ (Blackman & Vigna) — fast, tiny state, and passes the
+/// statistical batteries this workspace throws at it.  Unlike the real `rand::rngs::StdRng`
+/// (ChaCha12) it is **not** cryptographically secure; the workspace only uses it to drive
+/// reproducible physical-noise simulations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s.iter().all(|&w| w == 0) {
+            // The all-zero state is a fixed point of xoshiro; re-derive a non-zero one.
+            let mut state = 0x9e37_79b9_7f4a_7c15;
+            for word in &mut s {
+                *word = crate::splitmix64(&mut state);
+            }
+        }
+        let mut rng = Self { s };
+        // Discard a few outputs so closely related seeds decorrelate.
+        for _ in 0..8 {
+            rng.step();
+        }
+        rng
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.step().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.step().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Workspace-local stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate: just the [`Normal`] distribution and the re-exported [`Distribution`] trait,
+//! which is all this workspace uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+    /// The mean was not finite.
+    MeanTooSmall,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalError::BadVariance => f.write_str("standard deviation is invalid"),
+            NormalError::MeanTooSmall => f.write_str("mean is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `std_dev` is negative or either parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    /// Box–Muller transform: two uniforms per variate (the sibling variate is
+    /// discarded, keeping sampling stateless and reproducible).
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let scale = 1.0 / (1u64 << 53) as f64;
+        // u1 in (0, 1] so that ln(u1) is finite.
+        let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * scale;
+        let u2 = (rng.next_u64() >> 11) as f64 * scale;
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std_dev * r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match_parameters() {
+        let normal = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() / 4.0 < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn tails_are_gaussian() {
+        // P(|Z| > 2) ≈ 0.0455 for a standard normal.
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let beyond = (0..n)
+            .filter(|_| normal.sample(&mut rng).abs() > 2.0)
+            .count();
+        let p = beyond as f64 / n as f64;
+        assert!((p - 0.0455).abs() < 0.005, "tail mass {p}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+}

@@ -1,0 +1,149 @@
+//! Workspace-local stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! Provides the `par_iter().map(..).collect()` pipeline the workspace uses, running the
+//! closure over slice elements on `std::thread::scope` workers (one chunk per available
+//! core) and reassembling results in input order.  This is not a work-stealing pool —
+//! fine for the coarse-grained campaign sweeps it backs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The rayon-style import surface (`use rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types whose contents can be iterated in parallel by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element reference type.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<'a, &'a T> {
+        ParIter::from_items(self.iter().collect())
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<'a, &'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Parallel iterator over borrowed elements.
+pub struct ParIter<'a, I> {
+    items: Vec<I>,
+    // Tie the borrow of the source collection to the iterator.
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<I> ParIter<'_, I> {
+    fn from_items(items: Vec<I>) -> Self {
+        Self {
+            items,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct ParMap<'a, I, F> {
+    items: Vec<I>,
+    f: F,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a, I: Send + Sync> ParIter<'a, I> {
+    /// Applies `f` to every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, I, F>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'a, I: Send + Sync, F> ParMap<'a, I, F> {
+    /// Runs the map on scoped worker threads and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.items.len().max(1));
+        let f = &self.f;
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(self.items.len(), || None);
+        if threads <= 1 {
+            for (slot, item) in slots.iter_mut().zip(self.items) {
+                *slot = Some(f(item));
+            }
+        } else {
+            let chunk_len = self.items.len().div_ceil(threads);
+            let mut items = self.items;
+            std::thread::scope(|scope| {
+                let mut slot_chunks = slots.chunks_mut(chunk_len);
+                let mut item_chunks: Vec<Vec<I>> = Vec::new();
+                while !items.is_empty() {
+                    let take = chunk_len.min(items.len());
+                    item_chunks.push(items.drain(..take).collect());
+                }
+                for chunk in item_chunks {
+                    let slot_chunk = slot_chunks.next().expect("one slot chunk per item chunk");
+                    scope.spawn(move || {
+                        for (slot, item) in slot_chunk.iter_mut().zip(chunk) {
+                            *slot = Some(f(item));
+                        }
+                    });
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot filled by a worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_preserve_input_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_vectors_works() {
+        let input = vec![1u32, 2, 3];
+        let results: Vec<Result<u32, String>> = input.par_iter().map(|&x| Ok(x + 1)).collect();
+        assert_eq!(results, vec![Ok(2), Ok(3), Ok(4)]);
+    }
+
+    #[test]
+    fn empty_input_collects_to_empty() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

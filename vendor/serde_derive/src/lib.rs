@@ -1,0 +1,191 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the sibling
+//! `serde` stand-in's [`Value`] tree without `syn`/`quote` (neither is available
+//! offline): the item is parsed directly from the `proc_macro` token stream.  Supported
+//! shapes — everything this workspace derives on — are non-generic structs (named,
+//! tuple, unit) and enums whose variants are unit, tuple, or struct-like.  Field
+//! attributes (`#[serde(...)]`) are not supported and doc comments are ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Data, Item, ItemKind};
+
+/// Derives `serde::Serialize` (value-tree serialization).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree deserialization).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse::parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!(\"serde_derive: {msg}\");")
+            .parse()
+            .expect("compile_error is valid Rust"),
+    }
+}
+
+fn serialize_data(receiver_fields: &[String], data: &Data) -> String {
+    match data {
+        Data::Unit => "::serde::Value::Null".to_string(),
+        Data::Unnamed(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value({})", receiver_fields[i]))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .zip(receiver_fields)
+                .map(|(f, recv)| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({recv}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(data) => {
+            let receivers: Vec<String> = match data {
+                Data::Unit => Vec::new(),
+                Data::Unnamed(n) => (0..*n).map(|i| format!("&self.{i}")).collect(),
+                Data::Named(fields) => fields.iter().map(|f| format!("&self.{f}")).collect(),
+            };
+            serialize_data(&receivers, data)
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.data {
+                    Data::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ));
+                    }
+                    Data::Unnamed(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("e_{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(e_0)".to_string()
+                        } else {
+                            serialize_data(&binds, &v.data)
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), {payload})]),",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Data::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let payload = serialize_data(fields, &v.data);
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), {payload})]),"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn deserialize_data(constructor: &str, context: &str, source: &str, data: &Data) -> String {
+    match data {
+        Data::Unit => format!("::std::result::Result::Ok({constructor})"),
+        Data::Unnamed(n) => {
+            if *n == 1 {
+                return format!(
+                    "::std::result::Result::Ok({constructor}(::serde::Deserialize::from_value({source})?))"
+                );
+            }
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = {source}.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for `{context}`\"))?; \
+                 if items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong tuple arity for `{context}`\")); }} \
+                 ::std::result::Result::Ok({constructor}({items})) }}",
+                items = items.join(", ")
+            )
+        }
+        Data::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::obj_field(entries, \"{context}\", \"{f}\")?"))
+                .collect();
+            format!(
+                "{{ let entries = {source}.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for `{context}`\"))?; \
+                 ::std::result::Result::Ok({constructor} {{ {inits} }}) }}",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(data) => deserialize_data(name, name, "v", data),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.data {
+                    Data::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    data => {
+                        let context = format!("{name}::{vname}");
+                        let inner = deserialize_data(&context, &context, "payload", data);
+                        data_arms.push_str(&format!("\"{vname}\" => {inner},"));
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for `{name}`\"))), }}, \
+                 ::serde::Value::Object(tagged) if tagged.len() == 1 => {{ \
+                     let (tag, payload) = &tagged[0]; \
+                     match tag.as_str() {{ {data_arms} other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for `{name}`\"))), }} \
+                 }}, \
+                 other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unexpected value for enum `{name}`: {{other:?}}\"))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+pub(crate) fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+pub(crate) fn is_group(tok: &TokenTree, delim: Delimiter) -> bool {
+    matches!(tok, TokenTree::Group(g) if g.delimiter() == delim)
+}

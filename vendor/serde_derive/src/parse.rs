@@ -1,0 +1,202 @@
+//! Minimal derive-input parser over raw `proc_macro` token trees.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+use crate::{is_group, is_punct};
+
+/// Shape of a struct body or an enum variant body.
+pub enum Data {
+    /// No fields (`struct S;` or `Variant`).
+    Unit,
+    /// Tuple fields, by count (`Variant(A, B)`).
+    Unnamed(usize),
+    /// Named fields (`Variant { a: A }`).
+    Named(Vec<String>),
+}
+
+/// One enum variant.
+pub struct Variant {
+    pub name: String,
+    pub data: Data,
+}
+
+/// The parsed item kind.
+pub enum ItemKind {
+    Struct(Data),
+    Enum(Vec<Variant>),
+}
+
+/// A parsed derive input.
+pub struct Item {
+    pub name: String,
+    pub kind: ItemKind,
+}
+
+/// Parses a derive input item (struct or enum).
+pub fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".to_string()),
+    };
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err("generic types are not supported".to_string());
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let data = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    parse_unnamed_fields(g.stream())?
+                }
+                Some(t) if is_punct(t, ';') => Data::Unit,
+                _ => return Err("unsupported struct body".to_string()),
+            };
+            Ok(Item {
+                name,
+                kind: ItemKind::Struct(data),
+            })
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err("expected enum body".to_string()),
+            };
+            Ok(Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(body)?),
+            })
+        }
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Skips outer attributes (`#[...]`), including doc comments.
+pub fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while toks.get(*i).is_some_and(|t| is_punct(t, '#')) {
+        *i += 1;
+        if toks
+            .get(*i)
+            .is_some_and(|t| is_group(t, Delimiter::Bracket))
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+pub fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if toks
+            .get(*i)
+            .is_some_and(|t| is_group(t, Delimiter::Parenthesis))
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past one type, tracking angle-bracket depth so embedded commas don't end the
+/// field early.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = toks.get(*i) {
+        match tok {
+            t if is_punct(t, '<') => angle_depth += 1,
+            t if is_punct(t, '>') => angle_depth -= 1,
+            t if is_punct(t, ',') && angle_depth == 0 => break,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Data, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        if !toks.get(i).is_some_and(|t| is_punct(t, ':')) {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_type(&toks, &mut i);
+        i += 1; // consume the separating comma (or step past the end)
+        fields.push(name);
+    }
+    Ok(Data::Named(fields))
+}
+
+fn parse_unnamed_fields(body: TokenStream) -> Result<Data, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        i += 1;
+        count += 1;
+    }
+    Ok(if count == 0 {
+        Data::Unit
+    } else {
+        Data::Unnamed(count)
+    })
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let data = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                parse_unnamed_fields(g.stream())?
+            }
+            _ => Data::Unit,
+        };
+        // Skip a discriminant (`= expr`) and the trailing comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, data });
+    }
+    Ok(variants)
+}

@@ -1,0 +1,11 @@
+//! Workspace-local stand-in for [`thiserror`](https://crates.io/crates/thiserror).
+//!
+//! Re-exports the `#[derive(Error)]` macro from the sibling `thiserror_impl` stand-in,
+//! which supports the subset used by this workspace: enums with `#[error("...")]`
+//! display attributes (named-field and positional interpolation) and `#[from]` /
+//! `#[source]` fields.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use thiserror_impl::Error;

@@ -1,0 +1,411 @@
+//! Workspace-local stand-in for `thiserror-impl`.
+//!
+//! Hand-rolled `#[derive(Error)]` over raw `proc_macro` tokens (no `syn`/`quote`
+//! offline).  Supports the shapes this workspace uses: error **enums** whose variants
+//! carry `#[error("format string")]` attributes interpolating named fields (`{name}`)
+//! or positional tuple fields (`{0}`), plus `#[from]`/`#[source]` field markers that
+//! generate `std::error::Error::source` and `From` impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: Option<String>,
+    ty: String,
+    is_from: bool,
+    is_source: bool,
+}
+
+struct Variant {
+    name: String,
+    fmt: String,
+    named: bool,
+    fields: Vec<Field>,
+}
+
+/// Derives `Display`, `std::error::Error` and `From` impls for an error enum.
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(code) => code
+            .parse()
+            .expect("thiserror derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!(\"thiserror: {msg}\");")
+            .parse()
+            .expect("compile_error is valid Rust"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let (name, variants) = parse_enum(input)?;
+    let mut out = String::new();
+    out.push_str(&gen_display(&name, &variants));
+    out.push_str(&gen_error_impl(&name, &variants));
+    out.push_str(&gen_from_impls(&name, &variants));
+    Ok(out)
+}
+
+fn gen_display(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        if v.named {
+            let referenced = referenced_names(&v.fmt);
+            let binds: Vec<String> = v
+                .fields
+                .iter()
+                .filter_map(|f| f.name.clone())
+                .filter(|n| referenced.contains(n))
+                .collect();
+            let pattern = if binds.is_empty() {
+                format!("{name}::{vname} {{ .. }}")
+            } else {
+                format!("{name}::{vname} {{ {}, .. }}", binds.join(", "))
+            };
+            arms.push_str(&format!(
+                "{pattern} => ::std::write!(f, \"{fmt}\"),",
+                fmt = v.fmt
+            ));
+        } else if v.fields.is_empty() {
+            arms.push_str(&format!(
+                "{name}::{vname} => ::std::write!(f, \"{fmt}\"),",
+                fmt = v.fmt
+            ));
+        } else {
+            let (rewritten, positions) = rewrite_positional(&v.fmt);
+            let binds: Vec<String> = (0..v.fields.len())
+                .map(|i| {
+                    if positions.contains(&i) {
+                        format!("e_{i}")
+                    } else {
+                        "_".to_string()
+                    }
+                })
+                .collect();
+            arms.push_str(&format!(
+                "{name}::{vname}({binds}) => ::std::write!(f, \"{rewritten}\"),",
+                binds = binds.join(", ")
+            ));
+        }
+    }
+    format!(
+        "impl ::std::fmt::Display for {name} {{ \
+         fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{ \
+         match self {{ {arms} }} }} }}"
+    )
+}
+
+fn gen_error_impl(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    let mut uncovered = false;
+    for v in variants {
+        let vname = &v.name;
+        let source_idx = v.fields.iter().position(|f| f.is_from || f.is_source);
+        let Some(idx) = source_idx else {
+            uncovered = true;
+            continue;
+        };
+        if v.named {
+            let field = v.fields[idx]
+                .name
+                .as_deref()
+                .expect("named field has a name");
+            arms.push_str(&format!(
+                "{name}::{vname} {{ {field}: cause, .. }} => \
+                 ::std::option::Option::Some(cause as &(dyn ::std::error::Error + 'static)),"
+            ));
+        } else {
+            let binds: Vec<String> = (0..v.fields.len())
+                .map(|i| {
+                    if i == idx {
+                        "cause".to_string()
+                    } else {
+                        "_".to_string()
+                    }
+                })
+                .collect();
+            arms.push_str(&format!(
+                "{name}::{vname}({binds}) => \
+                 ::std::option::Option::Some(cause as &(dyn ::std::error::Error + 'static)),",
+                binds = binds.join(", ")
+            ));
+        }
+    }
+    if arms.is_empty() {
+        return format!("impl ::std::error::Error for {name} {{}}");
+    }
+    if uncovered {
+        arms.push_str("_ => ::std::option::Option::None,");
+    }
+    format!(
+        "impl ::std::error::Error for {name} {{ \
+         fn source(&self) -> ::std::option::Option<&(dyn ::std::error::Error + 'static)> {{ \
+         match self {{ {arms} }} }} }}"
+    )
+}
+
+fn gen_from_impls(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::new();
+    for v in variants {
+        let from_fields: Vec<&Field> = v.fields.iter().filter(|f| f.is_from).collect();
+        if from_fields.is_empty() {
+            continue;
+        }
+        // thiserror requires the #[from] variant to have exactly one field.
+        let field = from_fields[0];
+        let vname = &v.name;
+        let constructor = match &field.name {
+            Some(fname) => format!("{name}::{vname} {{ {fname}: value }}"),
+            None => format!("{name}::{vname}(value)"),
+        };
+        out.push_str(&format!(
+            "impl ::std::convert::From<{ty}> for {name} {{ \
+             fn from(value: {ty}) -> Self {{ {constructor} }} }}",
+            ty = field.ty
+        ));
+    }
+    out
+}
+
+/// Collects the identifiers referenced by `{ident}` / `{ident:spec}` interpolations.
+fn referenced_names(fmt: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for_each_interpolation(fmt, |name| {
+        if !name.is_empty() && !name.chars().all(|c| c.is_ascii_digit()) {
+            names.push(name.to_string());
+        }
+    });
+    names
+}
+
+/// Rewrites positional interpolations `{N}` into `{e_N}` and reports which positions
+/// were referenced.
+fn rewrite_positional(fmt: &str) -> (String, Vec<usize>) {
+    let mut out = String::new();
+    let mut positions = Vec::new();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == '{' {
+            if chars.peek() == Some(&'{') {
+                out.push('{');
+                chars.next();
+                continue;
+            }
+            let mut name = String::new();
+            while let Some(&next) = chars.peek() {
+                if next == ':' || next == '}' {
+                    break;
+                }
+                name.push(next);
+                chars.next();
+            }
+            if !name.is_empty() && name.chars().all(|ch| ch.is_ascii_digit()) {
+                let idx: usize = name.parse().expect("digits parse as usize");
+                positions.push(idx);
+                out.push_str(&format!("e_{idx}"));
+            } else {
+                out.push_str(&name);
+            }
+        } else if c == '}' && chars.peek() == Some(&'}') {
+            out.push('}');
+            chars.next();
+        }
+    }
+    (out, positions)
+}
+
+fn for_each_interpolation(fmt: &str, mut visit: impl FnMut(&str)) {
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '{' {
+            if chars.peek() == Some(&'{') {
+                chars.next();
+                continue;
+            }
+            let mut name = String::new();
+            while let Some(&next) = chars.peek() {
+                if next == ':' || next == '}' {
+                    break;
+                }
+                name.push(next);
+                chars.next();
+            }
+            visit(&name);
+        } else if c == '}' && chars.peek() == Some(&'}') {
+            chars.next();
+        }
+    }
+}
+
+// ---- token-level parsing -------------------------------------------------------------
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Captured attribute: path identifier plus the raw contents of its parenthesized
+/// argument list (empty for marker attributes like `#[from]`).
+struct Attr {
+    path: String,
+    args: Vec<TokenTree>,
+}
+
+fn collect_attrs(toks: &[TokenTree], i: &mut usize) -> Vec<Attr> {
+    let mut attrs = Vec::new();
+    while toks.get(*i).is_some_and(|t| is_punct(t, '#')) {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                let args = match inner.get(1) {
+                    Some(TokenTree::Group(args)) => args.stream().into_iter().collect(),
+                    _ => Vec::new(),
+                };
+                attrs.push(Attr {
+                    path: id.to_string(),
+                    args,
+                });
+            }
+            *i += 1;
+        }
+    }
+    attrs
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn collect_type(toks: &[TokenTree], i: &mut usize) -> String {
+    let mut angle_depth = 0i32;
+    let mut ty = Vec::new();
+    while let Some(tok) = toks.get(*i) {
+        match tok {
+            t if is_punct(t, '<') => angle_depth += 1,
+            t if is_punct(t, '>') => angle_depth -= 1,
+            t if is_punct(t, ',') && angle_depth == 0 => break,
+            _ => {}
+        }
+        ty.push(tok.clone());
+        *i += 1;
+    }
+    TokenStream::from_iter(ty).to_string()
+}
+
+fn parse_enum(input: TokenStream) -> Result<(String, Vec<Variant>), String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let _ = collect_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => i += 1,
+        _ => return Err("only enums are supported".to_string()),
+    }
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected enum name".to_string()),
+    };
+    i += 1;
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err("expected enum body (generic enums are not supported)".to_string()),
+    };
+    let variants = parse_variants(body)?;
+    Ok((name, variants))
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let attrs = collect_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let fmt = attrs
+            .iter()
+            .find(|a| a.path == "error")
+            .and_then(|a| match a.args.first() {
+                Some(TokenTree::Literal(lit)) => Some(literal_inner_text(&lit.to_string())),
+                _ => None,
+            })
+            .ok_or_else(|| format!("variant `{name}` is missing #[error(\"...\")]"))?;
+        let (named, fields) = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                (true, parse_fields(g.stream(), true)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                (false, parse_fields(g.stream(), false)?)
+            }
+            _ => (false, Vec::new()),
+        };
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant {
+            name,
+            fmt,
+            named,
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+fn parse_fields(body: TokenStream, named: bool) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = collect_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = if named {
+            let field_name = match toks.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(other) => return Err(format!("expected field name, found `{other}`")),
+                None => break,
+            };
+            i += 1;
+            if !toks.get(i).is_some_and(|t| is_punct(t, ':')) {
+                return Err(format!("expected `:` after field `{field_name}`"));
+            }
+            i += 1;
+            Some(field_name)
+        } else {
+            None
+        };
+        let ty = collect_type(&toks, &mut i);
+        i += 1;
+        fields.push(Field {
+            name,
+            ty,
+            is_from: attrs.iter().any(|a| a.path == "from"),
+            is_source: attrs.iter().any(|a| a.path == "source"),
+        });
+    }
+    Ok(fields)
+}
+
+/// Strips the surrounding quotes from a string-literal token, keeping the escape
+/// sequences of the inner text intact.
+fn literal_inner_text(lit: &str) -> String {
+    lit.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map_or_else(|| lit.to_string(), ToString::to_string)
+}
