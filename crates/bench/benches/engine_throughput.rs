@@ -1,8 +1,15 @@
 //! ENGINE benchmark: end-to-end throughput of the sharded generation runtime.
 //!
-//! Two sweeps: the calibrated stochastic-model source isolates the runtime overhead
+//! Three sweeps: the calibrated stochastic-model source isolates the runtime overhead
 //! (sharding, health monitoring, packing, channel) and shows multi-shard scaling; the
-//! physically-simulated eRO-TRNG shows the cost of the edge-level simulation itself.
+//! physically-simulated eRO-TRNG shows the cost of the edge-level simulation itself,
+//! at the CLI-default division 16 and the smaller division 8.
+//!
+//! Trajectory (1-CPU container, single shard, `ero:16:strong`): PR 1's per-sample
+//! scalar pipeline streamed ~0.09 MB/s; the PR 2 block pipeline (telescoped thermal
+//! sampler + incremental bit packing + zero-copy post-processing) streams ~1.1 MB/s.
+//! `cargo run --release -p ptrng-bench --bin engine_snapshot` regenerates the numbers
+//! into `BENCH_ENGINE.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -61,5 +68,24 @@ fn bench_ero_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_model_scaling, bench_ero_scaling);
+fn bench_ero_default_division(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/ero_div16_256KiB");
+    group.sample_size(10);
+    group.bench_function("1shard", |b| {
+        b.iter(|| {
+            let spec = SourceSpec::ero(16, JitterProfile::Strong).unwrap();
+            let n = stream_budget(spec, 1, 256 << 10);
+            assert_eq!(n, 256 << 10);
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_scaling,
+    bench_ero_scaling,
+    bench_ero_default_division
+);
 criterion_main!(benches);

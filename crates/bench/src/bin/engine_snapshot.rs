@@ -1,0 +1,239 @@
+//! ENGINE-SNAPSHOT: measures the generation pipeline's headline throughputs and writes
+//! them to `BENCH_ENGINE.json`, so successive PRs can track the trajectory without
+//! re-running the full Criterion suite.
+//!
+//! ```text
+//! cargo run --release -p ptrng-bench --bin engine_snapshot
+//! ```
+//!
+//! Every entry is a small wall-clock measurement (median of a few repetitions) of a
+//! fixed workload; the `baseline_pr1` block records the same quantities measured on the
+//! PR 1 code (per-sample scalar pipeline) on this container for reference.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use ptrng_engine::health::HealthConfig;
+use ptrng_engine::pool::{Engine, EngineConfig};
+use ptrng_engine::source::{JitterProfile, SourceSpec, THERMAL_SWEEP_DEPTHS};
+use ptrng_noise::flicker::FlickerNoise;
+use ptrng_noise::white::fill_standard_normal;
+use ptrng_noise::NoiseSource;
+use ptrng_osc::jitter::{JitterGenerator, JitterSampler};
+use ptrng_stats::sn::{sigma2_n_sweep, sigma2_n_sweep_windowed, SnSampling};
+use ptrng_trng::ero::{EroTrng, EroTrngConfig};
+
+#[derive(Serialize)]
+struct Snapshot {
+    schema_version: u32,
+    engine: EngineNumbers,
+    source: SourceNumbers,
+    flicker: FlickerNumbers,
+    sweep: SweepNumbers,
+    thermal_sweep: ThermalSweepNumbers,
+    baseline_pr1: Baseline,
+}
+
+/// End-to-end cost of one engine thermal check — a fresh 32k relative-jitter record
+/// reduced to `σ²_N` at the five thermal depths — comparing the PR 1 ingredients
+/// (one-shot `generate_period_jitter` + windowed sweep) with the block pipeline
+/// (persistent `JitterSampler` fill + fused prefix-sum sweep).
+#[derive(Serialize)]
+struct ThermalSweepNumbers {
+    legacy_us: f64,
+    block_us: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EngineNumbers {
+    /// End-to-end `ero:16:strong` single-shard throughput through health + packing,
+    /// in output MB/s.
+    ero_strong_div16_1shard_mb_s: f64,
+    /// Calibrated stochastic-model source, single shard, output MB/s.
+    model_1shard_mb_s: f64,
+}
+
+#[derive(Serialize)]
+struct SourceNumbers {
+    /// Telescoped thermal-only sampler, raw Mbit/s (division 16, strong profile).
+    ero_telescoped_div16_mbit_s: f64,
+    /// Record-based (flicker) sampler at the paper's configuration, raw Mbit/s.
+    ero_record_date14_div16_mbit_s: f64,
+}
+
+#[derive(Serialize)]
+struct FlickerNumbers {
+    /// FFT overlap-save block path, ns per sample (memory 4096).
+    fft_ns_per_sample: f64,
+    /// Scalar FIR reference, ns per sample (memory 4096).
+    scalar_ns_per_sample: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SweepNumbers {
+    /// Fused prefix-sum sweep over the thermal depths (32k record), microseconds.
+    fused_us: f64,
+    /// Windowed reference implementation, microseconds.
+    windowed_us: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    /// PR 1 `ptrngd --shards 1 --budget 256KiB` on this container: ~2.78 s.
+    ero_strong_div16_1shard_mb_s: f64,
+    /// PR 1 per-sample eRO source: 8192 bits in ~11 ms.
+    ero_source_div16_mbit_s: f64,
+}
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn engine_mb_s(spec: SourceSpec, budget: u64) -> f64 {
+    let secs = median_secs(3, || {
+        let config = EngineConfig::new(spec.clone())
+            .shards(1)
+            .seed(1)
+            .budget_bytes(Some(budget))
+            .health(HealthConfig::default().without_startup_battery());
+        let mut engine = Engine::spawn(config).expect("engine spawns");
+        let bytes = engine.read_to_end().expect("healthy stream");
+        assert_eq!(bytes.len() as u64, budget);
+        engine.join().expect("workers join");
+    });
+    budget as f64 / secs / 1.0e6
+}
+
+fn source_mbit_s(config: EroTrngConfig, bits_per_call: usize, calls: usize) -> f64 {
+    let trng = EroTrng::new(config).expect("valid config");
+    let mut sampler = trng.sampler().expect("sampler builds");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut bits = vec![0u8; bits_per_call];
+    // Warm-up sizes the scratch buffers.
+    sampler.fill_bits(&mut rng, &mut bits).expect("bits flow");
+    let secs = median_secs(3, || {
+        for _ in 0..calls {
+            sampler.fill_bits(&mut rng, &mut bits).expect("bits flow");
+        }
+    });
+    (bits_per_call * calls) as f64 / secs / 1.0e6
+}
+
+fn flicker_numbers() -> FlickerNumbers {
+    let len = 1usize << 15;
+    let mut out = vec![0.0; len];
+    let mut src = FlickerNoise::new(1.0, 1.0, 1.0e6, 4096).expect("valid filter");
+    let mut rng = StdRng::seed_from_u64(5);
+    let fft = median_secs(5, || src.fill_block(&mut rng, &mut out)) / len as f64 * 1.0e9;
+    let scalar = median_secs(3, || src.fill_scalar(&mut rng, &mut out)) / len as f64 * 1.0e9;
+    FlickerNumbers {
+        fft_ns_per_sample: fft,
+        scalar_ns_per_sample: scalar,
+        speedup: scalar / fft,
+    }
+}
+
+fn sweep_numbers() -> SweepNumbers {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut jitter = vec![0.0; 1 << 15];
+    fill_standard_normal(&mut rng, &mut jitter);
+    let depths = THERMAL_SWEEP_DEPTHS;
+    let fused = median_secs(41, || {
+        sigma2_n_sweep(&jitter, &depths, SnSampling::Overlapping).expect("sweep fits");
+    }) * 1.0e6;
+    let windowed = median_secs(41, || {
+        sigma2_n_sweep_windowed(&jitter, &depths, SnSampling::Overlapping).expect("sweep fits");
+    }) * 1.0e6;
+    SweepNumbers {
+        fused_us: fused,
+        windowed_us: windowed,
+        speedup: windowed / fused,
+    }
+}
+
+fn thermal_sweep_numbers() -> ThermalSweepNumbers {
+    // The engine's relative model for the strong profile (thermal-only), its record
+    // length and its sweep depths.
+    let config = strong_config(16);
+    let relative = config
+        .sampled
+        .relative_to(&config.sampling)
+        .expect("compatible models");
+    let record_len = 1usize << 15;
+    let depths = THERMAL_SWEEP_DEPTHS;
+    let generator = JitterGenerator::new(relative);
+    let mut rng = StdRng::seed_from_u64(11);
+    let legacy = median_secs(5, || {
+        let jitter = generator
+            .generate_period_jitter(&mut rng, record_len)
+            .expect("jitter flows");
+        sigma2_n_sweep_windowed(&jitter, &depths, SnSampling::Overlapping).expect("sweep fits");
+    }) * 1.0e6;
+    let mut sampler = JitterSampler::new(generator).expect("sampler builds");
+    let mut jitter = vec![0.0; record_len];
+    let block = median_secs(5, || {
+        sampler
+            .fill_period_jitter(&mut rng, &mut jitter)
+            .expect("jitter flows");
+        sigma2_n_sweep(&jitter, &depths, SnSampling::Overlapping).expect("sweep fits");
+    }) * 1.0e6;
+    ThermalSweepNumbers {
+        legacy_us: legacy,
+        block_us: block,
+        speedup: legacy / block,
+    }
+}
+
+/// The engine's `strong` jitter profile at the given division — taken from the engine
+/// itself so the snapshot always measures the workload the engine actually runs.
+fn strong_config(division: u32) -> EroTrngConfig {
+    JitterProfile::Strong
+        .ero_config(division)
+        .expect("valid profile")
+}
+
+fn main() {
+    let snapshot = Snapshot {
+        schema_version: 1,
+        engine: EngineNumbers {
+            ero_strong_div16_1shard_mb_s: engine_mb_s(
+                SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"),
+                256 << 10,
+            ),
+            model_1shard_mb_s: engine_mb_s(SourceSpec::model(0.5).expect("valid spec"), 1 << 20),
+        },
+        source: SourceNumbers {
+            ero_telescoped_div16_mbit_s: source_mbit_s(strong_config(16), 1 << 17, 4),
+            ero_record_date14_div16_mbit_s: source_mbit_s(
+                EroTrngConfig::date14_experiment(16),
+                1 << 14,
+                2,
+            ),
+        },
+        flicker: flicker_numbers(),
+        sweep: sweep_numbers(),
+        thermal_sweep: thermal_sweep_numbers(),
+        baseline_pr1: Baseline {
+            ero_strong_div16_1shard_mb_s: 0.092,
+            ero_source_div16_mbit_s: 0.74,
+        },
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    std::fs::write("BENCH_ENGINE.json", format!("{json}\n")).expect("snapshot written");
+    println!("{json}");
+}

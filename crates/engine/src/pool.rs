@@ -20,7 +20,7 @@ use std::thread::JoinHandle;
 
 use serde::{Deserialize, Serialize};
 
-use ptrng_trng::postprocess::{von_neumann, xor_decimate};
+use ptrng_trng::postprocess::{von_neumann_into, xor_decimate_into};
 
 use crate::health::{HealthConfig, HealthMonitor, HealthState};
 use crate::metrics::EngineMetrics;
@@ -40,11 +40,19 @@ pub enum PostProcess {
 }
 
 impl PostProcess {
-    fn apply(&self, bits: &[u8]) -> Result<Vec<u8>> {
+    /// Applies the stage into `scratch` and returns the processed bits — `raw` itself
+    /// for [`PostProcess::None`], so the common case is copy- and allocation-free.
+    fn apply<'a>(&self, raw: &'a [u8], scratch: &'a mut Vec<u8>) -> Result<&'a [u8]> {
         match self {
-            PostProcess::None => Ok(bits.to_vec()),
-            PostProcess::XorDecimate(factor) => Ok(xor_decimate(bits, *factor)?),
-            PostProcess::VonNeumann => Ok(von_neumann(bits)?),
+            PostProcess::None => Ok(raw),
+            PostProcess::XorDecimate(factor) => {
+                xor_decimate_into(raw, *factor, scratch)?;
+                Ok(scratch)
+            }
+            PostProcess::VonNeumann => {
+                von_neumann_into(raw, scratch)?;
+                Ok(scratch)
+            }
         }
     }
 }
@@ -334,6 +342,8 @@ impl ShardWorker {
 
     fn generate(&mut self) -> std::result::Result<(), WorkerExit> {
         let mut raw = vec![0u8; self.batch_bits];
+        // Post-processing scratch, reused across batches.
+        let mut post_scratch: Vec<u8> = Vec::new();
         let mut packer = BitPacker::new();
         // Post-processed bits accepted while the startup battery is still judging.
         let mut holdback: Vec<u8> = Vec::new();
@@ -380,22 +390,25 @@ impl ShardWorker {
             }
 
             // ...while the FIPS startup battery judges the conditioned output.
-            let processed = self.post.apply(&raw).map_err(WorkerExit::Source)?;
+            let processed = self
+                .post
+                .apply(&raw, &mut post_scratch)
+                .map_err(WorkerExit::Source)?;
             self.monitor
-                .observe_output_bits(&processed)
+                .observe_output_bits(processed)
                 .map_err(WorkerExit::Source)?;
             if let HealthState::Alarmed(reason) = self.monitor.state() {
                 return Err(WorkerExit::Alarm(reason.to_string()));
             }
             if matches!(self.monitor.state(), HealthState::Startup) {
-                holdback.extend_from_slice(&processed);
+                holdback.extend_from_slice(processed);
                 continue;
             }
             if !holdback.is_empty() {
-                let cleared = std::mem::take(&mut holdback);
-                packer.push_bits(&cleared);
+                packer.push_bits(&holdback);
+                holdback.clear();
             }
-            packer.push_bits(&processed);
+            packer.push_bits(processed);
 
             let bytes = packer.drain_bytes();
             if bytes.is_empty() {

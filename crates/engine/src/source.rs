@@ -13,10 +13,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use ptrng_osc::jitter::JitterGenerator;
+use ptrng_osc::jitter::{JitterGenerator, JitterSampler};
 use ptrng_osc::phase::PhaseNoiseModel;
 use ptrng_stats::sn::{sigma2_n_sweep, SnSampling};
-use ptrng_trng::ero::{EroTrng, EroTrngConfig};
+use ptrng_trng::ero::{EroSampler, EroTrng, EroTrngConfig};
 use ptrng_trng::stochastic::EntropyModel;
 
 use crate::{EngineError, Result};
@@ -342,12 +342,16 @@ fn ero_entropy_claim(config: &EroTrngConfig) -> Result<f64> {
 
 /// Adapter for the workspace's [`EroTrng`] simulator.
 ///
-/// Each call to [`EntropySource::fill_bits`] simulates a fresh edge record, so
-/// consecutive batches are independent realizations of the same stationary process.
+/// The source holds a persistent [`EroSampler`] (continuous oscillator phase for
+/// thermal-only profiles, reusable record scratch otherwise) and a persistent
+/// [`JitterSampler`] plus jitter buffer for the `σ²_N` counter sweep, so steady-state
+/// batch generation performs no per-call allocation.
 pub struct EroSource {
     trng: EroTrng,
+    sampler: EroSampler,
     rng: StdRng,
-    relative_jitter: JitterGenerator,
+    relative_jitter: JitterSampler,
+    sweep_scratch: Vec<f64>,
     entropy_claim: f64,
     division: u32,
     profile: JitterProfile,
@@ -363,10 +367,15 @@ impl EroSource {
         let config = profile.ero_config(division)?;
         let entropy_claim = ero_entropy_claim(&config)?;
         let relative = config.sampled.relative_to(&config.sampling)?;
+        let trng = EroTrng::new(config)?;
+        let sampler = trng.sampler()?;
         Ok(Self {
-            trng: EroTrng::new(config)?,
+            trng,
+            sampler,
             rng: StdRng::seed_from_u64(seed),
-            relative_jitter: JitterGenerator::new(relative),
+            relative_jitter: JitterSampler::new(JitterGenerator::new(relative))
+                .map_err(ptrng_trng::TrngError::from)?,
+            sweep_scratch: Vec::new(),
             entropy_claim,
             division,
             profile,
@@ -392,11 +401,7 @@ impl EntropySource for EroSource {
     }
 
     fn fill_bits(&mut self, out: &mut [u8]) -> Result<()> {
-        if out.is_empty() {
-            return Ok(());
-        }
-        let bits = self.trng.generate_bits(&mut self.rng, out.len())?;
-        out.copy_from_slice(&bits);
+        self.sampler.fill_bits(&mut self.rng, out)?;
         Ok(())
     }
 
@@ -405,12 +410,14 @@ impl EntropySource for EroSource {
     }
 
     /// Simulates one embedded counter sweep: a fresh record of the relative period
-    /// jitter reduced to `σ²_N` at each requested depth.
+    /// jitter (into the persistent scratch buffer) reduced to `σ²_N` at each requested
+    /// depth by the fused prefix-sum sweep.
     fn sigma2_sweep(&mut self, depths: &[usize]) -> Result<Option<Vec<f64>>> {
-        let jitter = self
-            .relative_jitter
-            .generate_period_jitter(&mut self.rng, THERMAL_SWEEP_RECORD_LEN)?;
-        let points = sigma2_n_sweep(&jitter, depths, SnSampling::Overlapping)
+        self.sweep_scratch.resize(THERMAL_SWEEP_RECORD_LEN, 0.0);
+        self.relative_jitter
+            .fill_period_jitter(&mut self.rng, &mut self.sweep_scratch)
+            .map_err(ptrng_trng::TrngError::from)?;
+        let points = sigma2_n_sweep(&self.sweep_scratch, depths, SnSampling::Overlapping)
             .map_err(ptrng_trng::TrngError::from)?;
         Ok(Some(points.iter().map(|p| p.sigma2_n).collect()))
     }

@@ -105,9 +105,17 @@ impl Iterator for ByteStream {
 }
 
 /// Accumulates raw bits and drains packed bytes (MSB-first within each byte).
+///
+/// Bits are packed into bytes as they arrive, so the buffer holds one byte per eight
+/// pushed bits (instead of one byte per bit) and draining is a buffer handoff rather
+/// than a repacking pass.
 #[derive(Debug, Default)]
 pub struct BitPacker {
-    pending: Vec<u8>,
+    packed: Vec<u8>,
+    /// Partially-filled byte, bits entering from the LSB side.
+    current: u8,
+    /// Number of valid bits in `current` (0..8).
+    filled: u8,
 }
 
 impl BitPacker {
@@ -118,27 +126,32 @@ impl BitPacker {
 
     /// Appends raw bits (one `0`/`1` per byte).
     pub fn push_bits(&mut self, bits: &[u8]) {
-        self.pending.extend_from_slice(bits);
+        // One exact reservation per drained batch (drain_bytes hands the buffer off),
+        // instead of repeated doubling growth from zero.
+        self.packed.reserve(bits.len() / 8 + 1);
+        let mut current = self.current;
+        let mut filled = self.filled;
+        for &bit in bits {
+            current = (current << 1) | (bit & 1);
+            filled += 1;
+            if filled == 8 {
+                self.packed.push(current);
+                current = 0;
+                filled = 0;
+            }
+        }
+        self.current = current;
+        self.filled = filled;
     }
 
     /// Number of buffered bits not yet drained.
     pub fn pending_bits(&self) -> usize {
-        self.pending.len()
+        self.packed.len() * 8 + self.filled as usize
     }
 
     /// Drains as many full bytes as are available, keeping the remainder bits.
     pub fn drain_bytes(&mut self) -> Vec<u8> {
-        let full_bytes = self.pending.len() / 8;
-        let mut out = Vec::with_capacity(full_bytes);
-        for chunk in self.pending.chunks_exact(8) {
-            let mut byte = 0u8;
-            for &bit in chunk {
-                byte = (byte << 1) | (bit & 1);
-            }
-            out.push(byte);
-        }
-        self.pending.drain(..full_bytes * 8);
-        out
+        std::mem::take(&mut self.packed)
     }
 }
 

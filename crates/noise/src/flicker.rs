@@ -11,10 +11,31 @@
 //! for `f ≪ f_s`.  The filter's impulse response is computed by the stable recursion
 //! `h_0 = 1`, `h_k = h_{k-1}·(k - 1 + α/2)/k` and truncated to a configurable memory
 //! length; the truncation sets the lowest frequency at which the `1/f^α` law holds.
+//!
+//! # Block generation: FFT overlap-save
+//!
+//! Two equivalent evaluation paths share one filter state (the ring buffer of the last
+//! `memory` innovations):
+//!
+//! * the **scalar reference path** ([`FlickerNoise::sample`] / [`FlickerNoise::fill_scalar`])
+//!   computes each output as a direct `O(memory)` FIR dot product, and
+//! * the **block path** ([`NoiseSource::fill_block`], also behind [`NoiseSource::fill`]
+//!   and [`NoiseSource::generate`]) evaluates the same convolution by FFT overlap-save:
+//!   blocks of `B = N - memory + 1` fresh innovations are extended with the last
+//!   `memory - 1` innovations of the state, transformed with a preplanned size-`N` FFT
+//!   (`N = 2^⌈log₂ 2·memory⌉`), multiplied by the precomputed tap spectrum and
+//!   inverse-transformed — `O(log N)` per sample instead of `O(memory)`.
+//!
+//! Both paths consume the **identical innovation stream** (one single-draw Gaussian per
+//! sample, in order), so they agree to floating-point accuracy (`~1e-13` relative) and
+//! are interchangeable mid-stream; the scalar path is retained as the reference for
+//! equivalence tests and is also used automatically for requests too short to amortize
+//! a transform.
 
 use rand::RngCore;
-use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use serde::{obj_field, DeError, Deserialize, Serialize, Value};
+
+use ptrng_stats::fft::{next_power_of_two, Complex, FftPlan};
 
 use crate::white::standard_normal;
 use crate::{check_positive, NoiseError, NoiseSource, Result};
@@ -23,13 +44,52 @@ use crate::{check_positive, NoiseError, NoiseSource, Result};
 pub const DEFAULT_MEMORY: usize = 8192;
 
 /// A streaming generator of `1/f^α` noise.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlickerNoise {
     alpha: f64,
     driving_std_dev: f64,
     sample_rate: f64,
     taps: Vec<f64>,
-    history: VecDeque<f64>,
+    /// Ring buffer of the last `taps.len()` innovations; `history[(head + k) % len]` is
+    /// the innovation at lag `k` (0 = most recent).  Slots never written are zero, which
+    /// makes the convolution over the full ring exactly equal to the short-history sum.
+    history: Vec<f64>,
+    head: usize,
+    /// Lazily-built overlap-save engine (preplanned FFT, tap spectrum, scratch); not
+    /// serialized, rebuilt on demand.
+    engine: Option<OverlapSave>,
+}
+
+/// Preplanned overlap-save convolution state.
+#[derive(Debug, Clone)]
+struct OverlapSave {
+    plan: FftPlan,
+    /// FFT of the taps, zero-padded to the plan length.
+    taps_fft: Vec<Complex>,
+    /// Scratch block, reused across calls.
+    buf: Vec<Complex>,
+    /// Fresh samples produced per transform: `plan.len() - taps + 1`.
+    block: usize,
+}
+
+impl OverlapSave {
+    fn build(taps: &[f64]) -> Self {
+        let l = taps.len();
+        let n = next_power_of_two(2 * l);
+        let plan = FftPlan::new(n).expect("power-of-two FFT length");
+        let mut taps_fft = vec![Complex::zero(); n];
+        for (slot, &h) in taps_fft.iter_mut().zip(taps.iter()) {
+            *slot = Complex::from_real(h);
+        }
+        plan.forward(&mut taps_fft)
+            .expect("buffer sized to the plan");
+        Self {
+            plan,
+            taps_fft,
+            buf: vec![Complex::zero(); n],
+            block: n - l + 1,
+        }
+    }
 }
 
 impl FlickerNoise {
@@ -66,7 +126,9 @@ impl FlickerNoise {
             driving_std_dev,
             sample_rate,
             taps,
-            history: VecDeque::with_capacity(memory),
+            history: vec![0.0; memory],
+            head: 0,
+            engine: None,
         })
     }
 
@@ -135,26 +197,191 @@ impl FlickerNoise {
 
     /// Discards the filter history, restarting the process from an all-zero state.
     pub fn reset(&mut self) {
-        self.history.clear();
+        self.history.fill(0.0);
+        self.head = 0;
+    }
+
+    /// Fills `out` through the scalar `O(memory)`-per-sample FIR path.
+    ///
+    /// This is the reference implementation the FFT block path is tested against; both
+    /// consume the same innovation stream and share the same filter state.
+    pub fn fill_scalar(&mut self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+
+    #[inline]
+    fn push_innovation(&mut self, innovation: f64) {
+        self.head = if self.head == 0 {
+            self.history.len() - 1
+        } else {
+            self.head - 1
+        };
+        self.history[self.head] = innovation;
+    }
+
+    /// FIR dot product with the most recent innovation at lag 0.
+    #[inline]
+    fn convolve_latest(&self) -> f64 {
+        let split = self.history.len() - self.head;
+        let mut acc = 0.0;
+        for (h, w) in self.taps[..split].iter().zip(&self.history[self.head..]) {
+            acc += h * w;
+        }
+        for (h, w) in self.taps[split..].iter().zip(&self.history[..self.head]) {
+            acc += h * w;
+        }
+        acc
+    }
+
+    /// Whether a transform pays off for `len` fresh samples: compares the FIR cost
+    /// `len·memory` against the (empirically scaled) cost of one FFT round trip.
+    fn fft_pays_off(&self, len: usize) -> bool {
+        let l = self.taps.len();
+        let n = next_power_of_two(2 * l);
+        let log2_n = n.trailing_zeros() as usize;
+        len * l > 8 * n * log2_n
+    }
+
+    fn fill_block_fft(&mut self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        if self.engine.is_none() {
+            self.engine = Some(OverlapSave::build(&self.taps));
+        }
+        let l = self.taps.len();
+        let block = self.engine.as_ref().expect("built above").block;
+        let mut start = 0;
+        while start < out.len() {
+            let chunk_len = block.min(out.len() - start);
+            let chunk = &mut out[start..start + chunk_len];
+            // The chunk doubles as innovation storage until the engine overwrites it
+            // with outputs.
+            for slot in chunk.iter_mut() {
+                *slot = standard_normal(rng) * self.driving_std_dev;
+            }
+            let engine = self.engine.as_mut().expect("built above");
+            let n = engine.plan.len();
+            // Overlap-save input: the last `memory - 1` state innovations (oldest
+            // first) followed by the fresh chunk, zero-padded to the plan length.
+            for (j, slot) in engine.buf[..l - 1].iter_mut().enumerate() {
+                let lag = l - 2 - j;
+                *slot = Complex::from_real(self.history[(self.head + lag) % l]);
+            }
+            for (slot, &x) in engine.buf[l - 1..].iter_mut().zip(chunk.iter()) {
+                *slot = Complex::from_real(x);
+            }
+            for slot in engine.buf[l - 1 + chunk_len..n].iter_mut() {
+                *slot = Complex::zero();
+            }
+            engine
+                .plan
+                .forward(&mut engine.buf)
+                .expect("buffer sized to the plan");
+            for (x, h) in engine.buf.iter_mut().zip(engine.taps_fft.iter()) {
+                *x = *x * *h;
+            }
+            engine
+                .plan
+                .inverse(&mut engine.buf)
+                .expect("buffer sized to the plan");
+            // Commit the fresh innovations to the ring, then overwrite the chunk with
+            // the valid convolution outputs (positions memory-1 .. memory-1+chunk).
+            for i in 0..chunk_len {
+                let innovation = out[start + i];
+                self.push_innovation(innovation);
+            }
+            let engine = self.engine.as_ref().expect("built above");
+            for (slot, val) in out[start..start + chunk_len]
+                .iter_mut()
+                .zip(engine.buf[l - 1..].iter())
+            {
+                *slot = val.re;
+            }
+            start += chunk_len;
+        }
     }
 }
 
 impl NoiseSource for FlickerNoise {
+    #[inline]
     fn sample(&mut self, rng: &mut dyn RngCore) -> f64 {
         let innovation = standard_normal(rng) * self.driving_std_dev;
-        if self.history.len() == self.taps.len() {
-            self.history.pop_back();
+        self.push_innovation(innovation);
+        self.convolve_latest()
+    }
+
+    /// Block generation is the default evaluation path (`fill` forwards to
+    /// [`NoiseSource::fill_block`]); use [`FlickerNoise::fill_scalar`] for the scalar
+    /// reference.
+    fn fill(&mut self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        self.fill_block(rng, out);
+    }
+
+    fn fill_block(&mut self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        if self.fft_pays_off(out.len()) {
+            self.fill_block_fft(rng, out);
+        } else {
+            self.fill_scalar(rng, out);
         }
-        self.history.push_front(innovation);
-        self.history
-            .iter()
-            .zip(self.taps.iter())
-            .map(|(w, h)| w * h)
-            .sum()
     }
 
     fn sample_rate(&self) -> f64 {
         self.sample_rate
+    }
+}
+
+impl Serialize for FlickerNoise {
+    fn to_value(&self) -> Value {
+        let l = self.history.len();
+        // Newest-first, matching the serialized order of the original VecDeque state.
+        let history: Vec<f64> = (0..l).map(|k| self.history[(self.head + k) % l]).collect();
+        Value::Object(vec![
+            ("alpha".to_string(), self.alpha.to_value()),
+            (
+                "driving_std_dev".to_string(),
+                self.driving_std_dev.to_value(),
+            ),
+            ("sample_rate".to_string(), self.sample_rate.to_value()),
+            ("taps".to_string(), self.taps.to_value()),
+            ("history".to_string(), history.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FlickerNoise {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::custom("expected object for FlickerNoise"))?;
+        let alpha: f64 = obj_field(obj, "FlickerNoise", "alpha")?;
+        let driving_std_dev: f64 = obj_field(obj, "FlickerNoise", "driving_std_dev")?;
+        let sample_rate: f64 = obj_field(obj, "FlickerNoise", "sample_rate")?;
+        let taps: Vec<f64> = obj_field(obj, "FlickerNoise", "taps")?;
+        let history: Vec<f64> = obj_field(obj, "FlickerNoise", "history")?;
+        if taps.len() < 2 || taps.iter().any(|h| !h.is_finite()) {
+            return Err(DeError::custom(format!(
+                "taps must be at least 2 finite coefficients, got {} entries",
+                taps.len()
+            )));
+        }
+        let mut src = FlickerNoise::new(alpha, driving_std_dev, sample_rate, taps.len())
+            .map_err(|e| DeError::custom(format!("invalid FlickerNoise state: {e}")))?;
+        // Honor the payload's coefficients verbatim (like the previous derived
+        // Deserialize): they normally match the Kasdin recursion, but hand-tuned
+        // filters must round-trip unchanged.
+        src.taps = taps;
+        if history.len() > src.taps.len() {
+            return Err(DeError::custom(format!(
+                "history of length {} exceeds the {} filter taps",
+                history.len(),
+                src.taps.len()
+            )));
+        }
+        // Replay newest-first history into the ring: push oldest first.
+        for &innovation in history.iter().rev() {
+            src.push_innovation(innovation);
+        }
+        Ok(src)
     }
 }
 
@@ -255,6 +482,85 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(11);
         let second = src.generate(&mut rng2, 16);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn fft_block_path_matches_the_scalar_fir_path() {
+        // Identical innovation streams: both paths draw one single Gaussian per sample
+        // in order, so the only difference is FFT round-off.
+        for memory in [33usize, 256, 2048] {
+            let mut scalar = FlickerNoise::new(1.0, 1.0, 1.0e6, memory).unwrap();
+            let mut fft = scalar.clone();
+            let mut rng_a = StdRng::seed_from_u64(42);
+            let mut rng_b = StdRng::seed_from_u64(42);
+            let len = 3 * memory + 17;
+            let mut want = vec![0.0; len];
+            scalar.fill_scalar(&mut rng_a, &mut want);
+            let mut got = vec![0.0; len];
+            fft.fill_block_fft(&mut rng_b, &mut got);
+            for (i, (a, b)) in want.iter().zip(got.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "memory {memory}, sample {i}: scalar {a} vs fft {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_and_scalar_paths_share_one_filter_state() {
+        // Mixing the two evaluation paths mid-stream must continue the same process.
+        let mut mixed = FlickerNoise::new(1.2, 0.7, 1.0, 128).unwrap();
+        let mut scalar = mixed.clone();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let mut head = vec![0.0; 300];
+        mixed.fill_block_fft(&mut rng_a, &mut head);
+        let tail_via_scalar: Vec<f64> = (0..64).map(|_| mixed.sample(&mut rng_a)).collect();
+        let mut reference = vec![0.0; 300 + 64];
+        scalar.fill_scalar(&mut rng_b, &mut reference);
+        for (i, (a, b)) in head
+            .iter()
+            .chain(tail_via_scalar.iter())
+            .zip(reference.iter())
+            .enumerate()
+        {
+            assert!((a - b).abs() < 1e-12, "sample {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn short_requests_fall_back_to_the_scalar_path() {
+        let src = FlickerNoise::new(1.0, 1.0, 1.0, 4096).unwrap();
+        assert!(!src.fft_pays_off(16));
+        assert!(src.fft_pays_off(1 << 16));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_stream() {
+        let mut src = FlickerNoise::new(1.0, 2.0, 1.0e3, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut warmup = vec![0.0; 100];
+        src.fill(&mut rng, &mut warmup);
+        let mut restored = FlickerNoise::from_value(&src.to_value()).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(14);
+        let mut rng_b = StdRng::seed_from_u64(14);
+        let a = src.generate(&mut rng_a, 32);
+        let b = restored.generate(&mut rng_b, 32);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+        assert!(FlickerNoise::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn serde_honors_hand_tuned_taps() {
+        // Coefficients that do not follow the Kasdin recursion must round-trip
+        // verbatim rather than being recomputed from alpha.
+        let mut src = FlickerNoise::new(1.0, 1.0, 1.0, 8).unwrap();
+        src.taps[3] = 0.123_456;
+        let restored = FlickerNoise::from_value(&src.to_value()).unwrap();
+        assert_eq!(restored.taps(), src.taps());
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! * [`psd`] — an algebra of power-law PSDs `Σ_i c_i·f^{e_i}`,
 //! * [`white`] — white Gaussian noise generation with a calibrated one-sided PSD level,
 //! * [`flicker`] — streaming `1/f^α` noise via the Kasdin–Walter fractional-difference
-//!   filter,
+//!   filter, evaluated by FFT overlap-save blocks on the fast path (the scalar FIR
+//!   remains as the test reference — see the module docs for the scheme),
 //! * [`ou`] — Ornstein–Uhlenbeck (Lorentzian) processes and banks of them, an
 //!   alternative route to band-limited `1/f` noise,
 //! * [`synthesis`] — block generation of noise with an arbitrary target PSD by spectral
@@ -84,6 +85,19 @@ pub trait NoiseSource {
         for slot in out {
             *slot = self.sample(rng);
         }
+    }
+
+    /// Fills `out` with consecutive samples using the source's fastest block algorithm.
+    ///
+    /// The default forwards to the per-sample [`NoiseSource::fill`].  Implementations
+    /// may override it with a block-based scheme (FFT convolution, paired Gaussian
+    /// draws, …) that produces the **same process distribution** but is free to consume
+    /// the RNG in a different order than the scalar path, so `fill` and `fill_block`
+    /// outputs generally differ realization-by-realization.  [`crate::flicker`] is the
+    /// exception: its block path consumes the identical innovation stream and matches
+    /// the scalar filter to floating-point accuracy.
+    fn fill_block(&mut self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        self.fill(rng, out);
     }
 
     /// Generates `len` consecutive samples into a new vector.

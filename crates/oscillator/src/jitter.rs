@@ -18,8 +18,8 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 use ptrng_noise::flicker::FlickerNoise;
-use ptrng_noise::synthesis::synthesize_with;
-use ptrng_noise::white::WhiteNoise;
+use ptrng_noise::synthesis::{synthesize_with, SpectralSynthesizer};
+use ptrng_noise::white::{fill_standard_normal, WhiteNoise};
 use ptrng_noise::NoiseSource;
 
 use crate::edges::EdgeSeries;
@@ -148,6 +148,164 @@ impl JitterGenerator {
     ) -> Result<EdgeSeries> {
         let periods = self.generate_periods(rng, len)?;
         EdgeSeries::from_periods(start_time, &periods)
+    }
+}
+
+/// Persistent block sampler for one oscillator's jitter/period/edge series.
+///
+/// [`JitterGenerator`]'s `generate_*` methods are one-shot: every call allocates fresh
+/// vectors and (for the spectral back-end) re-plans an FFT.  `JitterSampler` is the
+/// hot-path counterpart: it owns the synthesis state (preplanned [`SpectralSynthesizer`]
+/// scratch, or a persistent Kasdin filter) and writes straight into caller buffers, so a
+/// steady stream of same-sized blocks performs no allocation.
+///
+/// Differences from the one-shot API, by design:
+///
+/// * Gaussian draws use the paired Box–Muller batch primitive, so realizations differ
+///   from `generate_*` under the same seed (the process distribution is identical).
+/// * With the Kasdin back-end the filter history persists across calls: consecutive
+///   blocks are one continuous `1/f` process rather than independent restarts.
+#[derive(Debug, Clone)]
+pub struct JitterSampler {
+    generator: JitterGenerator,
+    synth: SpectralSynthesizer,
+    kasdin: Option<FlickerNoise>,
+    flicker_buf: Vec<f64>,
+}
+
+impl JitterSampler {
+    /// Creates a sampler for the generator's model and synthesis back-end.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the Kasdin back-end rejects the derived filter parameters.
+    pub fn new(generator: JitterGenerator) -> Result<Self> {
+        let model = generator.model();
+        let b_fl = model.b_flicker();
+        let kasdin = match generator.synthesis() {
+            FlickerSynthesis::Kasdin { memory } if b_fl > 0.0 => {
+                let f0 = model.frequency();
+                let h1 = 2.0 * b_fl / (f0 * f0);
+                Some(FlickerNoise::from_one_over_f_level(h1, f0, memory)?)
+            }
+            _ => None,
+        };
+        Ok(Self {
+            generator,
+            synth: SpectralSynthesizer::new(),
+            kasdin,
+            flicker_buf: Vec::new(),
+        })
+    }
+
+    /// The generator configuration this sampler runs.
+    pub fn generator(&self) -> &JitterGenerator {
+        &self.generator
+    }
+
+    /// Fills `out` with consecutive realizations of the period jitter `J(t_i)` in
+    /// seconds (block analogue of [`JitterGenerator::generate_period_jitter`]).
+    ///
+    /// Generic over the RNG so monomorphized callers inline the Gaussian draw path;
+    /// `&mut dyn RngCore` works too.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `out.len() < 4` or an underlying noise generator rejects
+    /// the derived parameters.
+    pub fn fill_period_jitter<R: RngCore + ?Sized>(
+        &mut self,
+        mut rng: &mut R,
+        out: &mut [f64],
+    ) -> Result<()> {
+        if out.len() < 4 {
+            return Err(OscError::InvalidParameter {
+                name: "len",
+                reason: format!("at least 4 periods are required, got {}", out.len()),
+            });
+        }
+        let model = self.generator.model();
+        let f0 = model.frequency();
+        let sigma_th = model.thermal_period_jitter();
+        if sigma_th > 0.0 {
+            fill_standard_normal(rng, out);
+            for x in out.iter_mut() {
+                *x *= sigma_th;
+            }
+        } else {
+            out.fill(0.0);
+        }
+
+        let b_fl = model.b_flicker();
+        if b_fl > 0.0 && self.generator.synthesis() != FlickerSynthesis::Disabled {
+            // One-sided fractional-frequency PSD of flicker FM: S_y(f) = 2·b_fl/(f·f0²).
+            let h1 = 2.0 * b_fl / (f0 * f0);
+            self.flicker_buf.resize(out.len(), 0.0);
+            match &mut self.kasdin {
+                Some(filter) => filter.fill_block(&mut rng, &mut self.flicker_buf),
+                None => self
+                    .synth
+                    .fill(&mut rng, f0, |f| h1 / f, &mut self.flicker_buf)?,
+            }
+            for (j, yk) in out.iter_mut().zip(self.flicker_buf.iter()) {
+                *j += yk / f0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fills `out` with consecutive oscillator periods `T(t_i) = 1/f0 + J(t_i)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JitterSampler::fill_period_jitter`].
+    pub fn fill_periods<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        out: &mut [f64],
+    ) -> Result<()> {
+        self.fill_period_jitter(rng, out)?;
+        let t0 = self.generator.model().period();
+        for x in out.iter_mut() {
+            *x += t0;
+        }
+        Ok(())
+    }
+
+    /// Fills `out` with the rising-edge timestamps of `out.len() - 1` consecutive
+    /// periods, starting at `start_time` (`out[0] == start_time`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JitterSampler::fill_period_jitter`] (with `out.len() - 1` periods),
+    /// plus an error when a generated period is not strictly positive.
+    pub fn fill_edge_times<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        start_time: f64,
+        out: &mut [f64],
+    ) -> Result<()> {
+        if out.len() < 2 {
+            return Err(OscError::InvalidParameter {
+                name: "len",
+                reason: format!("at least one period is required, got {}", out.len()),
+            });
+        }
+        self.fill_periods(rng, &mut out[1..])?;
+        out[0] = start_time;
+        let mut t = start_time;
+        for (idx, slot) in out[1..].iter_mut().enumerate() {
+            let period = *slot;
+            if period <= 0.0 || !period.is_finite() {
+                return Err(OscError::InvalidParameter {
+                    name: "periods",
+                    reason: format!("period {idx} is not strictly positive ({period})"),
+                });
+            }
+            t += period;
+            *slot = t;
+        }
+        Ok(())
     }
 }
 
@@ -298,5 +456,79 @@ mod tests {
         let generator = JitterGenerator::new(PhaseNoiseModel::date14_experiment());
         let mut rng = StdRng::seed_from_u64(111);
         assert!(generator.generate_period_jitter(&mut rng, 3).is_err());
+    }
+
+    #[test]
+    fn sampler_matches_the_closed_form_model_thermal_only() {
+        let model = PhaseNoiseModel::thermal_only(276.04, 103.0e6).unwrap();
+        let acc = AccumulationModel::new(model);
+        let mut sampler = JitterSampler::new(JitterGenerator::new(model)).unwrap();
+        let mut rng = StdRng::seed_from_u64(120);
+        let mut jitter = vec![0.0; 200_000];
+        sampler.fill_period_jitter(&mut rng, &mut jitter).unwrap();
+        for n in [1usize, 16, 128] {
+            assert_rel(sigma2_n(&jitter, n).unwrap(), acc.sigma2_n(n), 0.15);
+        }
+    }
+
+    #[test]
+    fn sampler_matches_the_closed_form_model_with_flicker() {
+        let model = PhaseNoiseModel::date14_experiment();
+        let acc = AccumulationModel::new(model);
+        let mut sampler = JitterSampler::new(JitterGenerator::new(model)).unwrap();
+        let mut rng = StdRng::seed_from_u64(121);
+        let mut jitter = vec![0.0; 1 << 17];
+        sampler.fill_period_jitter(&mut rng, &mut jitter).unwrap();
+        for n in [1usize, 10, 100] {
+            assert_rel(sigma2_n(&jitter, n).unwrap(), acc.sigma2_n(n), 0.2);
+        }
+    }
+
+    #[test]
+    fn sampler_kasdin_backend_is_a_continuous_process() {
+        // Exaggerated flicker (K ≈ 20, as in the flicker-dominated test above) so the
+        // N² regime is unambiguous at these depths.
+        let f0 = 1.0e8;
+        let b_th = 100.0;
+        let b_fl = 2.0 * b_th * f0 / (8.0 * std::f64::consts::LN_2 * 20.0);
+        let model = PhaseNoiseModel::new(b_th, b_fl, f0).unwrap();
+        let generator =
+            JitterGenerator::with_synthesis(model, FlickerSynthesis::Kasdin { memory: 2048 });
+        let mut sampler = JitterSampler::new(generator).unwrap();
+        let mut rng = StdRng::seed_from_u64(122);
+        // Two consecutive blocks of one continuous 1/f process: the overall series must
+        // show the same superlinear σ²_N growth as a single long record (independence
+        // would force a ratio of exactly 4).
+        let mut jitter = vec![0.0; 1 << 16];
+        let half = jitter.len() / 2;
+        let (a, b) = jitter.split_at_mut(half);
+        sampler.fill_period_jitter(&mut rng, a).unwrap();
+        sampler.fill_period_jitter(&mut rng, b).unwrap();
+        let v64 = sigma2_n(&jitter, 64).unwrap();
+        let v256 = sigma2_n(&jitter, 256).unwrap();
+        assert!(v256 / v64 > 8.0, "ratio {}", v256 / v64);
+    }
+
+    #[test]
+    fn sampler_edge_times_accumulate_periods() {
+        let model = PhaseNoiseModel::date14_experiment();
+        let mut sampler = JitterSampler::new(JitterGenerator::new(model)).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut times = vec![0.0; 10_001];
+        sampler.fill_edge_times(&mut rng, 1.0, &mut times).unwrap();
+        assert_eq!(times[0], 1.0);
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+        assert_rel(times[10_000] - 1.0, 10_000.0 * model.period(), 1e-3);
+    }
+
+    #[test]
+    fn sampler_rejects_too_short_requests() {
+        let model = PhaseNoiseModel::date14_experiment();
+        let mut sampler = JitterSampler::new(JitterGenerator::new(model)).unwrap();
+        let mut rng = StdRng::seed_from_u64(124);
+        let mut tiny = vec![0.0; 3];
+        assert!(sampler.fill_period_jitter(&mut rng, &mut tiny).is_err());
+        let mut one = vec![0.0; 1];
+        assert!(sampler.fill_edge_times(&mut rng, 0.0, &mut one).is_err());
     }
 }

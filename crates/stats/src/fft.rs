@@ -151,6 +151,113 @@ fn fft_in_place(buf: &mut [Complex], inverse: bool) {
     }
 }
 
+/// A preplanned radix-2 FFT of one fixed power-of-two size.
+///
+/// The plan precomputes the twiddle factors `e^{-2πik/N}` once, so repeated transforms
+/// (e.g. the overlap-save convolution blocks of `ptrng_noise::flicker`) run in place with
+/// zero per-call allocation.  The table-driven butterflies are also slightly more
+/// accurate than the incremental-rotation loop used by the one-shot [`fft`]/[`ifft`]
+/// helpers, because each twiddle is evaluated directly instead of by repeated
+/// multiplication.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// `twiddles[k] = e^{-2πik/n}` for `k < n/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Plans transforms of length `n` (a power of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n` is not a power of two.
+    pub fn new(n: usize) -> Result<Self> {
+        if !is_power_of_two(n) {
+            return Err(StatsError::InvalidParameter {
+                name: "n",
+                reason: format!("FFT length must be a power of two, got {n}"),
+            });
+        }
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::from_polar_unit(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        Ok(Self { n, twiddles })
+    }
+
+    /// Planned transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the degenerate length-1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    fn transform(&self, buf: &mut [Complex], inverse: bool) {
+        debug_assert_eq!(buf.len(), self.n);
+        bit_reverse_permute(buf);
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            // Twiddle for butterfly k at this stage: e^{∓2πik/len} = twiddles[k·(n/len)].
+            let stride = n / len;
+            let mut start = 0;
+            while start < n {
+                for k in 0..len / 2 {
+                    let mut w = self.twiddles[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let u = buf[start + k];
+                    let v = buf[start + k + len / 2] * w;
+                    buf[start + k] = u + v;
+                    buf[start + k + len / 2] = u - v;
+                }
+                start += len;
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place forward transform (`X[k] = Σ_n x[n]·e^{-2πikn/N}`, no normalization).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `buf.len()` differs from the planned length.
+    pub fn forward(&self, buf: &mut [Complex]) -> Result<()> {
+        self.check_len(buf)?;
+        self.transform(buf, false);
+        Ok(())
+    }
+
+    /// In-place inverse transform, normalized by `1/N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `buf.len()` differs from the planned length.
+    pub fn inverse(&self, buf: &mut [Complex]) -> Result<()> {
+        self.check_len(buf)?;
+        self.transform(buf, true);
+        let scale = 1.0 / self.n as f64;
+        for x in buf {
+            *x = x.scale(scale);
+        }
+        Ok(())
+    }
+
+    fn check_len(&self, buf: &[Complex]) -> Result<()> {
+        if buf.len() != self.n {
+            return Err(StatsError::InvalidParameter {
+                name: "buf",
+                reason: format!("planned for length {}, got {}", self.n, buf.len()),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Forward discrete Fourier transform of a power-of-two-length complex buffer.
 ///
 /// Uses the convention `X[k] = Σ_n x[n]·e^{-2πikn/N}` (no normalization).
@@ -365,6 +472,37 @@ mod tests {
                 / n as f64;
             assert_close(via_fft[lag], direct, 1e-8 * direct.abs().max(1.0));
         }
+    }
+
+    #[test]
+    fn plan_matches_one_shot_transforms() {
+        let x: Vec<Complex> = (0..256)
+            .map(|i| Complex::new((i as f64 * 0.17).sin(), (i as f64 * 0.41).cos()))
+            .collect();
+        let plan = FftPlan::new(256).unwrap();
+        let mut buf = x.clone();
+        plan.forward(&mut buf).unwrap();
+        let reference = fft(&x).unwrap();
+        for (a, b) in buf.iter().zip(reference.iter()) {
+            assert_close(a.re, b.re, 1e-9);
+            assert_close(a.im, b.im, 1e-9);
+        }
+        plan.inverse(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(x.iter()) {
+            assert_close(a.re, b.re, 1e-10);
+            assert_close(a.im, b.im, 1e-10);
+        }
+    }
+
+    #[test]
+    fn plan_validates_lengths() {
+        assert!(FftPlan::new(12).is_err());
+        let plan = FftPlan::new(8).unwrap();
+        assert_eq!(plan.len(), 8);
+        assert!(!plan.is_empty());
+        let mut wrong = vec![Complex::zero(); 4];
+        assert!(plan.forward(&mut wrong).is_err());
+        assert!(plan.inverse(&mut wrong).is_err());
     }
 
     #[test]

@@ -125,14 +125,149 @@ pub fn sigma2_n(jitter: &[f64], n: usize) -> Result<f64> {
 ///
 /// Returns an error when fewer than two realizations of `s_N` can be formed.
 pub fn sigma2_n_with(jitter: &[f64], n: usize, sampling: SnSampling) -> Result<f64> {
-    let s = sn_series(jitter, n, sampling)?;
-    if s.len() < 2 {
-        return Err(StatsError::SeriesTooShort {
-            len: jitter.len(),
-            needed: 2 * n + sampling.stride(n),
+    if n == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "n",
+            reason: "accumulation depth must be at least 1".to_string(),
         });
     }
-    sample_variance(&s)
+    ensure_len(jitter, 2 * n)?;
+    let prefix = checked_prefix_sums(jitter)?;
+    match sigma2_n_over_prefix(&prefix, n, sampling.stride(n)) {
+        Some((var, _)) => Ok(var),
+        None => Err(StatsError::SeriesTooShort {
+            len: jitter.len(),
+            needed: 2 * n + sampling.stride(n),
+        }),
+    }
+}
+
+/// Prefix sums `P[i] = Σ_{t<i} x[t]` with `P[0] = 0`.
+fn prefix_sums(jitter: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    std::iter::once(0.0)
+        .chain(jitter.iter().map(|&x| {
+            acc += x;
+            acc
+        }))
+        .collect()
+}
+
+/// Builds the prefix sums while accumulating the overlapping-window variance of one
+/// depth `n` (which must fit: `jitter.len() >= 2n`, at least two windows) in the same
+/// pass.  Window `i` completes as prefix entry `j = i + 2n` is produced; its two lagged
+/// reads land on just-written entries, so this fused pass costs barely more than the
+/// build alone.  Accumulation order over windows is ascending `i`, identical to
+/// [`sigma2_n_over_prefix`].
+fn prefix_sums_with_depth(jitter: &[f64], n: usize) -> (Vec<f64>, f64, usize) {
+    let len = jitter.len();
+    let count = (len - 2 * n) + 1;
+    let mut prefix = Vec::with_capacity(len + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0;
+    let mut shift = 0.0;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for (idx, &x) in jitter.iter().enumerate() {
+        acc += x;
+        prefix.push(acc);
+        let j = idx + 1;
+        if j >= 2 * n {
+            let raw = prefix[j] - 2.0 * prefix[j - n] + prefix[j - 2 * n];
+            if j == 2 * n {
+                shift = raw;
+            }
+            let s = raw - shift;
+            sum += s;
+            sum_sq += s * s;
+        }
+    }
+    let m = count as f64;
+    let var = ((sum_sq - sum * sum / m) / (m - 1.0)).max(0.0);
+    (prefix, var, count)
+}
+
+/// Post-hoc finiteness policy of the prefix-sum paths: a non-finite sample leaves the
+/// final prefix entry non-finite (NaN and ±∞ both propagate through the running sum),
+/// in which case the full `ensure_finite` scan runs to produce the same error the
+/// windowed implementation reports.  Finite series that merely overflow the running sum
+/// fall through like the reference (non-finite variances, no error).
+fn ensure_prefix_finite(jitter: &[f64], prefix: &[f64]) -> Result<()> {
+    if let Some(&last) = prefix.last() {
+        if !last.is_finite() {
+            ensure_finite(jitter)?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds the prefix sums and applies [`ensure_prefix_finite`].
+fn checked_prefix_sums(jitter: &[f64]) -> Result<Vec<f64>> {
+    let prefix = prefix_sums(jitter);
+    ensure_prefix_finite(jitter, &prefix)?;
+    Ok(prefix)
+}
+
+/// Variance of `s_N` over the windows visited with `stride`, straight off a shared
+/// prefix-sum array: `s_N(t_i) = P[i+2N] - 2·P[i+N] + P[i]`.
+///
+/// One fused pass per depth, no intermediate `s_N` vector.  The accumulation is shifted
+/// by the first window value (the textbook shifted-data variance), which keeps the
+/// single pass as accurate as the two-pass estimator for any series whose `s_N` values
+/// cluster anywhere near their first realization — in particular for the near-constant
+/// `s_N` of smooth series, where a naive `Σs²  - (Σs)²/M` loses all precision.
+///
+/// Returns `None` when fewer than two windows fit.
+fn sigma2_n_over_prefix(prefix: &[f64], n: usize, stride: usize) -> Option<(f64, usize)> {
+    let len = prefix.len() - 1;
+    if len < 2 * n {
+        return None;
+    }
+    let last_start = len - 2 * n;
+    let count = last_start / stride + 1;
+    if count < 2 {
+        return None;
+    }
+    let shift = prefix[2 * n] - 2.0 * prefix[n] + prefix[0];
+    let (sum, sum_sq) = if stride == 1 {
+        // Dominant (overlapping) case: three zipped subslice walks, two independent
+        // accumulator pairs to break the floating-point dependency chains.
+        let p0 = &prefix[..last_start + 1];
+        let p1 = &prefix[n..last_start + 1 + n];
+        let p2 = &prefix[2 * n..last_start + 1 + 2 * n];
+        let mut sums = [0.0f64; 4];
+        let mut sqs = [0.0f64; 4];
+        let mut i = 0;
+        while i + 3 < count {
+            for lane in 0..4 {
+                let s = (p2[i + lane] - 2.0 * p1[i + lane] + p0[i + lane]) - shift;
+                sums[lane] += s;
+                sqs[lane] += s * s;
+            }
+            i += 4;
+        }
+        while i < count {
+            let s = (p2[i] - 2.0 * p1[i] + p0[i]) - shift;
+            sums[0] += s;
+            sqs[0] += s * s;
+            i += 1;
+        }
+        (sums.iter().sum(), sqs.iter().sum())
+    } else {
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut i = 0;
+        while i <= last_start {
+            let s = (prefix[i + 2 * n] - 2.0 * prefix[i + n] + prefix[i]) - shift;
+            sum += s;
+            sum_sq += s * s;
+            i += stride;
+        }
+        (sum, sum_sq)
+    };
+    let m = count as f64;
+    let var = ((sum_sq - sum * sum / m) / (m - 1.0)).max(0.0);
+    Some((var, count))
 }
 
 /// Sweeps `σ²_N` over a list of accumulation depths.
@@ -140,11 +275,92 @@ pub fn sigma2_n_with(jitter: &[f64], n: usize, sampling: SnSampling) -> Result<f
 /// Depths for which the series is too short are skipped (they are not an error: sweeps
 /// are routinely requested beyond the acquisition length).
 ///
+/// The prefix sums of the series are built once and every depth is reduced in a single
+/// fused pass over them (no per-depth `s_N` vector, no per-depth finiteness re-scan), so
+/// a full multi-depth sweep costs `O(len + Σ windows)` instead of the
+/// `O(len·depths)`-with-allocations of the windowed reference implementation
+/// ([`sigma2_n_sweep_windowed`]).
+///
 /// # Errors
 ///
 /// Returns an error when the series contains non-finite samples, when `ns` is empty, or
 /// when *no* requested depth could be evaluated.
 pub fn sigma2_n_sweep(
+    jitter: &[f64],
+    ns: &[usize],
+    sampling: SnSampling,
+) -> Result<Vec<Sigma2NPoint>> {
+    if ns.is_empty() {
+        return Err(StatsError::InvalidParameter {
+            name: "ns",
+            reason: "at least one accumulation depth is required".to_string(),
+        });
+    }
+    for &n in ns {
+        if n == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "ns",
+                reason: "accumulation depths must be at least 1".to_string(),
+            });
+        }
+    }
+    // Fuse the first fitting overlapping depth into the prefix-sum construction pass:
+    // the lagged reads hit cache lines written moments earlier, so the most expensive
+    // (cold) sweep pass comes for free with the build.
+    let fused_first = match sampling {
+        SnSampling::Overlapping => ns.iter().position(|&n| jitter.len() > 2 * n),
+        _ => None,
+    };
+    let (prefix, first_point) = match fused_first {
+        Some(pos) => {
+            let (prefix, var, samples) = prefix_sums_with_depth(jitter, ns[pos]);
+            (prefix, Some((pos, var, samples)))
+        }
+        None => (prefix_sums(jitter), None),
+    };
+    ensure_prefix_finite(jitter, &prefix)?;
+    let mut out = Vec::with_capacity(ns.len());
+    for (idx, &n) in ns.iter().enumerate() {
+        if let Some((pos, var, samples)) = first_point {
+            if idx == pos {
+                out.push(Sigma2NPoint {
+                    n,
+                    sigma2_n: var,
+                    samples,
+                });
+                continue;
+            }
+        }
+        if jitter.len() < 2 * n {
+            continue;
+        }
+        if let Some((var, samples)) = sigma2_n_over_prefix(&prefix, n, sampling.stride(n)) {
+            out.push(Sigma2NPoint {
+                n,
+                sigma2_n: var,
+                samples,
+            });
+        }
+    }
+    if out.is_empty() {
+        return Err(StatsError::SeriesTooShort {
+            len: jitter.len(),
+            needed: 2 * ns.iter().copied().min().unwrap_or(1) + 1,
+        });
+    }
+    Ok(out)
+}
+
+/// Reference implementation of [`sigma2_n_sweep`]: materializes the `s_N` window series
+/// for every depth and takes its two-pass sample variance.
+///
+/// Kept for equivalence testing and benchmarking of the fused prefix-sum sweep; prefer
+/// [`sigma2_n_sweep`] everywhere else.
+///
+/// # Errors
+///
+/// Same conditions as [`sigma2_n_sweep`].
+pub fn sigma2_n_sweep_windowed(
     jitter: &[f64],
     ns: &[usize],
     sampling: SnSampling,
@@ -370,6 +586,50 @@ mod tests {
     }
 
     #[test]
+    fn fused_sweep_matches_windowed_reference() {
+        let jitter = pseudo_random(4096);
+        let depths = [1usize, 2, 5, 16, 100, 640, 2000];
+        for sampling in [
+            SnSampling::Overlapping,
+            SnSampling::Disjoint,
+            SnSampling::HalfOverlapping,
+        ] {
+            let fused = sigma2_n_sweep(&jitter, &depths, sampling).unwrap();
+            let windowed = sigma2_n_sweep_windowed(&jitter, &depths, sampling).unwrap();
+            assert_eq!(fused.len(), windowed.len());
+            for (a, b) in fused.iter().zip(windowed.iter()) {
+                assert_eq!(a.n, b.n);
+                assert_eq!(a.samples, b.samples);
+                let scale = a.sigma2_n.abs().max(b.sigma2_n.abs()).max(1e-300);
+                assert!(
+                    (a.sigma2_n - b.sigma2_n).abs() / scale < 1e-9,
+                    "n={}: fused {} vs windowed {}",
+                    a.n,
+                    a.sigma2_n,
+                    b.sigma2_n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sweep_is_stable_on_smooth_series() {
+        // A linear series has a constant s_N (zero variance); the shifted one-pass
+        // accumulation must not blow up through cancellation.
+        let jitter: Vec<f64> = (0..2048).map(|i| 1e6 + 3.0 * i as f64).collect();
+        let points = sigma2_n_sweep(&jitter, &[4, 32, 256], SnSampling::Overlapping).unwrap();
+        for p in &points {
+            let typical = (3.0 * (p.n * p.n) as f64).powi(2);
+            assert!(
+                p.sigma2_n.abs() / typical < 1e-12,
+                "n={}: variance {} should vanish",
+                p.n,
+                p.sigma2_n
+            );
+        }
+    }
+
+    #[test]
     fn sweep_errors_when_nothing_fits() {
         let jitter = pseudo_random(10);
         assert!(sigma2_n_sweep(&jitter, &[100], SnSampling::Overlapping).is_err());
@@ -442,6 +702,29 @@ mod tests {
                 let b = sn_series(&shifted, n, SnSampling::Overlapping).unwrap();
                 for (x, y) in a.iter().zip(b.iter()) {
                     prop_assert!((x - y).abs() < 1e-6);
+                }
+            }
+
+            #[test]
+            fn fused_sweep_matches_windowed(
+                data in proptest::collection::vec(-1e3f64..1e3, 16..300),
+                depths in proptest::collection::vec(1usize..12, 1..6),
+            ) {
+                prop_assume!(data.len() > 2 * depths.iter().copied().max().unwrap_or(1));
+                for sampling in [
+                    SnSampling::Overlapping,
+                    SnSampling::Disjoint,
+                    SnSampling::HalfOverlapping,
+                ] {
+                    let fused = sigma2_n_sweep(&data, &depths, sampling).unwrap();
+                    let windowed = sigma2_n_sweep_windowed(&data, &depths, sampling).unwrap();
+                    prop_assert_eq!(fused.len(), windowed.len());
+                    for (a, b) in fused.iter().zip(windowed.iter()) {
+                        prop_assert_eq!(a.n, b.n);
+                        prop_assert_eq!(a.samples, b.samples);
+                        let scale = a.sigma2_n.abs().max(b.sigma2_n.abs()).max(1.0);
+                        prop_assert!((a.sigma2_n - b.sigma2_n).abs() / scale < 1e-9);
+                    }
                 }
             }
 

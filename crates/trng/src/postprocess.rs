@@ -52,6 +52,48 @@ pub fn von_neumann(bits: &[u8]) -> Result<Vec<u8>> {
         .collect())
 }
 
+/// Allocation-free variant of [`xor_decimate`]: appends into a caller-provided buffer
+/// (cleared first), so a generation hot path can reuse one scratch vector per batch.
+///
+/// # Errors
+///
+/// Same conditions as [`xor_decimate`].
+pub fn xor_decimate_into(bits: &[u8], factor: usize, out: &mut Vec<u8>) -> Result<()> {
+    ensure_bits(bits)?;
+    if factor == 0 {
+        return Err(TrngError::InvalidParameter {
+            name: "factor",
+            reason: "the decimation factor must be at least 1".to_string(),
+        });
+    }
+    out.clear();
+    out.extend(
+        bits.chunks_exact(factor)
+            .map(|chunk| chunk.iter().fold(0u8, |acc, &b| acc ^ b)),
+    );
+    Ok(())
+}
+
+/// Allocation-free variant of [`von_neumann`]: appends into a caller-provided buffer
+/// (cleared first).
+///
+/// # Errors
+///
+/// Same conditions as [`von_neumann`].
+pub fn von_neumann_into(bits: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    ensure_bits(bits)?;
+    out.clear();
+    out.extend(
+        bits.chunks_exact(2)
+            .filter_map(|pair| match (pair[0], pair[1]) {
+                (0, 1) => Some(0u8),
+                (1, 0) => Some(1u8),
+                _ => None,
+            }),
+    );
+    Ok(())
+}
+
 /// Parity of non-overlapping blocks of `block` bits (a generalized XOR decimation kept
 /// for API symmetry with hardware descriptions that express the corrector as a parity
 /// filter).
@@ -110,6 +152,18 @@ mod tests {
         assert!((p_out - 0.5).abs() < 0.01, "p_out {p_out}");
         let predicted = xor_output_bias(0.1, 4).unwrap();
         assert!((predicted - 8.0e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_variants_match_the_allocating_forms() {
+        let bits = [1u8, 0, 1, 1, 1, 1, 0, 0, 1, 0];
+        let mut scratch = vec![9u8; 3];
+        xor_decimate_into(&bits, 3, &mut scratch).unwrap();
+        assert_eq!(scratch, xor_decimate(&bits, 3).unwrap());
+        von_neumann_into(&bits, &mut scratch).unwrap();
+        assert_eq!(scratch, von_neumann(&bits).unwrap());
+        assert!(xor_decimate_into(&bits, 0, &mut scratch).is_err());
+        assert!(von_neumann_into(&[2], &mut scratch).is_err());
     }
 
     #[test]

@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Raw bits and the statistical battery.
     let mut rng = StdRng::seed_from_u64(99);
-    let raw = trng.generate_bits(&mut rng, 60_000)?;
+    let mut raw = vec![0u8; 60_000];
+    trng.fill_bits(&mut rng, &mut raw)?;
     println!(
         "raw bias                : {:.4}",
         raw.iter().map(|&b| b as f64).sum::<f64>() / raw.len() as f64
