@@ -9,6 +9,11 @@
 //! Both are parameterized by the claimed min-entropy per sample `H` and a false-positive
 //! exponent (the cutoffs are chosen so that a healthy source fails with probability about
 //! `2^-20` per window, the SP 800-90B recommendation).
+//!
+//! The module also hosts the §3.1.5 **vetted-conditioner output entropy** accounting
+//! ([`conditioned_output_entropy`]): how much min-entropy may be credited to the output
+//! of a vetted cryptographic conditioning function (e.g. SHA-256) given the accounted
+//! entropy of its input — the arithmetic the conditioning-pipeline entropy ledger uses.
 
 use serde::{Deserialize, Serialize};
 
@@ -166,6 +171,67 @@ pub fn adaptive_proportion_test(
     })
 }
 
+/// Min-entropy of the output of a **vetted conditioning function** (SP 800-90B
+/// §3.1.5.1.2), in bits per conditioned output block.
+///
+/// The formula bounds the probability of the most likely `n_out`-bit output when
+/// `n_in` input bits carrying `h_in` bits of min-entropy are compressed through a
+/// vetted conditioner (e.g. SHA-256) whose narrowest internal width is `nw` bits:
+///
+/// ```text
+/// n     = min(n_out, nw)
+/// P_hi  = 2^{−h_in}                      (most likely input)
+/// P_lo  = (1 − P_hi) / (2^{n_in} − 1)    (all other inputs, worst case)
+/// ψ     = 2^{n_in − n}·P_lo + P_hi
+/// U     = 2^{n_in − n} + sqrt(2·n·2^{n_in − n}·ln 2)
+/// ω     = U·P_lo
+/// h_out = −log2(max(ψ, ω))
+/// ```
+///
+/// The computation runs in `log2` space so deep conditioners (`n_in` of thousands
+/// of bits) neither overflow nor lose the tail.  The result is clamped to
+/// `[0, n_out]`; it never exceeds `h_in` (conditioning cannot create entropy).
+///
+/// # Errors
+///
+/// Returns an error when any width is not positive, or `h_in` is not in
+/// `(0, n_in]`.
+pub fn conditioned_output_entropy(n_in: f64, n_out: f64, nw: f64, h_in: f64) -> Result<f64> {
+    for (name, value) in [("n_in", n_in), ("n_out", n_out), ("nw", nw)] {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(AisError::InvalidParameter {
+                name,
+                reason: format!("must be positive and finite, got {value}"),
+            });
+        }
+    }
+    if !(h_in > 0.0 && h_in <= n_in) {
+        return Err(AisError::InvalidParameter {
+            name: "h_in",
+            reason: format!("input min-entropy must be in (0, n_in = {n_in}], got {h_in}"),
+        });
+    }
+    let n = n_out.min(nw);
+    // log2(1 − 2^{−h_in}) without cancellation: 1 − e^{−h·ln2} = −expm1(−h·ln2).
+    let log2_one_minus_p_hi = (-(-h_in * std::f64::consts::LN_2).exp_m1()).log2();
+    // log2(2^{n_in} − 1) ≈ n_in + log2(1 − 2^{−n_in}); the correction underflows to
+    // zero for n_in ≳ 50, which is exactly the regime where it is negligible.
+    let log2_denominator = n_in + (-(-n_in * std::f64::consts::LN_2).exp_m1()).log2();
+    let log2_p_lo = log2_one_minus_p_hi - log2_denominator;
+    // log2(a + b) given log2 a and log2 b.
+    let log2_add = |a: f64, b: f64| {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        hi + (1.0 + 2.0f64.powf(lo - hi)).log2()
+    };
+    let log2_psi = log2_add((n_in - n) + log2_p_lo, -h_in);
+    let log2_u = log2_add(
+        n_in - n,
+        0.5 * (n_in - n) + 0.5 * (2.0 * n * std::f64::consts::LN_2).log2(),
+    );
+    let log2_omega = log2_u + log2_p_lo;
+    Ok((-log2_psi.max(log2_omega)).clamp(0.0, n_out))
+}
+
 fn check_exponent(false_positive_exponent: f64) -> Result<()> {
     if !(false_positive_exponent.is_finite() && false_positive_exponent >= 1.0) {
         return Err(AisError::InvalidParameter {
@@ -246,6 +312,57 @@ mod tests {
             .collect();
         let outcome = adaptive_proportion_test(&bits, 0.41).unwrap();
         assert!(outcome.result.passed);
+    }
+
+    #[test]
+    fn conditioned_entropy_caps_at_the_narrow_width() {
+        // Full-entropy input through SHA-256: output is (essentially) full entropy.
+        let h = conditioned_output_entropy(512.0, 256.0, 256.0, 512.0).unwrap();
+        assert!(h > 255.9 && h <= 256.0, "h = {h}");
+        // Twice the output width of input entropy is the SP 800-90C full-entropy
+        // regime; the accounted output must be ≈ n_out.
+        let h = conditioned_output_entropy(1024.0, 256.0, 256.0, 512.0).unwrap();
+        assert!(h > 255.0, "h = {h}");
+    }
+
+    #[test]
+    fn conditioning_cannot_create_entropy() {
+        for &h_in in &[1.0, 10.0, 37.9, 100.0, 255.0] {
+            let h_out = conditioned_output_entropy(512.0, 256.0, 256.0, h_in).unwrap();
+            assert!(h_out <= h_in + 1e-9, "h_in {h_in} → h_out {h_out}");
+            assert!(h_out > 0.0);
+        }
+    }
+
+    #[test]
+    fn conditioned_entropy_is_monotone_in_input_entropy() {
+        let mut prev = 0.0;
+        for i in 1..=50 {
+            let h_in = 512.0 * i as f64 / 50.0;
+            let h_out = conditioned_output_entropy(512.0, 256.0, 256.0, h_in).unwrap();
+            assert!(h_out + 1e-9 >= prev, "h_in {h_in}: {h_out} < {prev}");
+            prev = h_out;
+        }
+        assert!(prev > 255.9);
+    }
+
+    #[test]
+    fn deep_conditioners_stay_finite() {
+        // n_in of several thousand bits must not overflow the log2-space evaluation.
+        let h = conditioned_output_entropy(16_384.0, 256.0, 256.0, 16_000.0).unwrap();
+        assert!(h > 255.9 && h <= 256.0, "h = {h}");
+        let h = conditioned_output_entropy(16_384.0, 256.0, 256.0, 10.0).unwrap();
+        assert!(h > 0.0 && h <= 10.0, "h = {h}");
+    }
+
+    #[test]
+    fn conditioned_entropy_validation() {
+        assert!(conditioned_output_entropy(0.0, 256.0, 256.0, 1.0).is_err());
+        assert!(conditioned_output_entropy(512.0, 0.0, 256.0, 1.0).is_err());
+        assert!(conditioned_output_entropy(512.0, 256.0, 0.0, 1.0).is_err());
+        assert!(conditioned_output_entropy(512.0, 256.0, 256.0, 0.0).is_err());
+        assert!(conditioned_output_entropy(512.0, 256.0, 256.0, 513.0).is_err());
+        assert!(conditioned_output_entropy(512.0, 256.0, 256.0, f64::NAN).is_err());
     }
 
     #[test]

@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
+use ptrng_engine::pool::ConditionerSpec;
 use ptrng_engine::source::{JitterProfile, THERMAL_SWEEP_DEPTHS};
 use ptrng_noise::flicker::FlickerNoise;
 use ptrng_noise::NoiseSource;
@@ -79,6 +80,36 @@ fn bench_ero_fill_bits(c: &mut Criterion) {
     group.finish();
 }
 
+/// Streaming cost of the conditioning stages on a fixed 128-kibibit raw record:
+/// the algebraic correctors, the SHA-256 vetted conditioner and a composed chain,
+/// all through the engine-facing `ConditionerSpec → ConditioningChain` path with
+/// reused output scratch (the shard worker's steady state).
+fn bench_conditioning_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block/conditioning_128k");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(13);
+    let bits: Vec<u8> = (0..1 << 17).map(|_| (rng.next_u32() & 1) as u8).collect();
+    for spec_text in ["xor:4", "vn", "sha256:2", "xor:2,sha256:2"] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec_text),
+            &spec_text,
+            |b, spec_text| {
+                let mut chain = ConditionerSpec::parse(spec_text)
+                    .expect("valid spec")
+                    .build()
+                    .expect("chain builds");
+                let mut out = Vec::new();
+                b.iter(|| {
+                    out.clear();
+                    chain.process(&bits, &mut out).expect("bits flow");
+                    out.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_sigma2_n_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("block/sigma2_n_sweep_32k");
     group.sample_size(10);
@@ -101,6 +132,7 @@ criterion_group!(
     benches,
     bench_flicker_fill_block,
     bench_ero_fill_bits,
+    bench_conditioning_stages,
     bench_sigma2_n_sweep
 );
 criterion_main!(benches);

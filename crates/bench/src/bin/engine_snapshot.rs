@@ -13,12 +13,14 @@
 use std::time::Instant;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use serde::Serialize;
 
 use ptrng_engine::health::HealthConfig;
-use ptrng_engine::pool::{Engine, EngineConfig};
-use ptrng_engine::source::{JitterProfile, SourceSpec, THERMAL_SWEEP_DEPTHS};
+use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig};
+use ptrng_engine::source::{
+    EntropySource, EroSource, JitterProfile, SourceSpec, THERMAL_SWEEP_DEPTHS,
+};
 use ptrng_noise::flicker::FlickerNoise;
 use ptrng_noise::white::fill_standard_normal;
 use ptrng_noise::NoiseSource;
@@ -31,10 +33,26 @@ struct Snapshot {
     schema_version: u32,
     engine: EngineNumbers,
     source: SourceNumbers,
+    conditioning: Vec<ConditionerNumbers>,
     flicker: FlickerNumbers,
     sweep: SweepNumbers,
     thermal_sweep: ThermalSweepNumbers,
     baseline_pr1: Baseline,
+}
+
+/// Steady-state cost and accounted entropy of one conditioning chain: raw input bits
+/// streamed through `ConditioningChain::process` into a reused output buffer, plus the
+/// ledger fold for the engine's `ero:16:strong` source claim.
+#[derive(Serialize)]
+struct ConditionerNumbers {
+    /// CLI-style chain spec (`xor:4`, `vn`, `sha256:2`, …).
+    spec: String,
+    /// Raw input throughput of the chain in Mbit/s (bits entering the chain).
+    input_mbit_s: f64,
+    /// Accounted min-entropy per conditioned output bit for the `ero:16:strong` claim.
+    accounted_h_per_bit: f64,
+    /// Expected output bits per raw bit from the ledger's rate algebra.
+    rate: f64,
 }
 
 /// End-to-end cost of one engine thermal check — a fresh 32k relative-jitter record
@@ -55,6 +73,9 @@ struct EngineNumbers {
     ero_strong_div16_1shard_mb_s: f64,
     /// Calibrated stochastic-model source, single shard, output MB/s.
     model_1shard_mb_s: f64,
+    /// `ero:16:strong` single shard through the SHA-256 vetted conditioner (ratio 2)
+    /// under a 0.997 bits/bit emission policy, output MB/s.
+    ero_strong_div16_sha256_1shard_mb_s: f64,
 }
 
 #[derive(Serialize)]
@@ -105,11 +126,22 @@ fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn engine_mb_s(spec: SourceSpec, budget: u64) -> f64 {
+    engine_mb_s_conditioned(spec, budget, ConditionerSpec::none(), None)
+}
+
+fn engine_mb_s_conditioned(
+    spec: SourceSpec,
+    budget: u64,
+    conditioner: ConditionerSpec,
+    min_h: Option<f64>,
+) -> f64 {
     let secs = median_secs(3, || {
         let config = EngineConfig::new(spec.clone())
             .shards(1)
             .seed(1)
             .budget_bytes(Some(budget))
+            .conditioner(conditioner.clone())
+            .min_output_entropy(min_h)
             .health(HealthConfig::default().without_startup_battery());
         let mut engine = Engine::spawn(config).expect("engine spawns");
         let bytes = engine.read_to_end().expect("healthy stream");
@@ -132,6 +164,38 @@ fn source_mbit_s(config: EroTrngConfig, bits_per_call: usize, calls: usize) -> f
         }
     });
     (bits_per_call * calls) as f64 / secs / 1.0e6
+}
+
+fn conditioning_numbers() -> Vec<ConditionerNumbers> {
+    // Accounting is evaluated for the engine's default source claim (ero:16:strong).
+    let source = EroSource::new(16, JitterProfile::Strong, 1).expect("source builds");
+    let source_ledger =
+        ptrng_trng::conditioning::EntropyLedger::source(&source.label(), source.entropy_per_bit())
+            .expect("valid claim");
+    // A fixed pseudo-random raw record, reused for every chain.
+    let mut rng = StdRng::seed_from_u64(7);
+    let bits: Vec<u8> = (0..1 << 20).map(|_| (rng.next_u32() & 1) as u8).collect();
+    ["xor:4", "vn", "sha256:2"]
+        .into_iter()
+        .map(|spec_text| {
+            let spec = ConditionerSpec::parse(spec_text).expect("valid spec");
+            let ledger = spec.ledger(&source_ledger).expect("accounting folds");
+            let mut chain = spec.build().expect("chain builds");
+            let mut out = Vec::new();
+            // Warm-up sizes the scratch buffers.
+            chain.process(&bits, &mut out).expect("bits flow");
+            let secs = median_secs(5, || {
+                out.clear();
+                chain.process(&bits, &mut out).expect("bits flow");
+            });
+            ConditionerNumbers {
+                spec: spec_text.to_string(),
+                input_mbit_s: bits.len() as f64 / secs / 1.0e6,
+                accounted_h_per_bit: ledger.min_entropy_per_bit(),
+                rate: ledger.rate(),
+            }
+        })
+        .collect()
 }
 
 fn flicker_numbers() -> FlickerNumbers {
@@ -209,13 +273,19 @@ fn strong_config(division: u32) -> EroTrngConfig {
 
 fn main() {
     let snapshot = Snapshot {
-        schema_version: 1,
+        schema_version: 2,
         engine: EngineNumbers {
             ero_strong_div16_1shard_mb_s: engine_mb_s(
                 SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"),
                 256 << 10,
             ),
             model_1shard_mb_s: engine_mb_s(SourceSpec::model(0.5).expect("valid spec"), 1 << 20),
+            ero_strong_div16_sha256_1shard_mb_s: engine_mb_s_conditioned(
+                SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"),
+                128 << 10,
+                ConditionerSpec::parse("sha256").expect("valid conditioner"),
+                Some(0.997),
+            ),
         },
         source: SourceNumbers {
             ero_telescoped_div16_mbit_s: source_mbit_s(strong_config(16), 1 << 17, 4),
@@ -225,6 +295,7 @@ fn main() {
                 2,
             ),
         },
+        conditioning: conditioning_numbers(),
         flicker: flicker_numbers(),
         sweep: sweep_numbers(),
         thermal_sweep: thermal_sweep_numbers(),

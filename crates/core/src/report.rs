@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use ptrng_measure::dataset::Sigma2NDataset;
+use ptrng_trng::conditioning::EntropyLedger;
 use ptrng_trng::stochastic::EntropyModel;
 
 use crate::independence::{IndependenceAnalysis, IndependenceVerdict};
@@ -96,6 +97,53 @@ impl AnalysisReport {
             verdict: analysis.verdict(),
             entropy,
         })
+    }
+
+    /// Seeds a conditioning-pipeline [`EntropyLedger`] from the **measured** device at
+    /// one of the report's evaluated accumulation depths, crediting only the
+    /// thermal-only (dependent-jitter-aware) bound — the commissioning path: run the
+    /// paper's measurement campaign on real hardware, analyse it, and hand the
+    /// resulting ledger to the generation runtime instead of a design-time claim.
+    ///
+    /// The bound is credited as measured (capped at 1 bit/bit), **never floored
+    /// upward**: the ledger drives the runtime's emission-refusal policy, and
+    /// inflating a degraded device's accounting would defeat exactly the guarantee
+    /// this path exists to provide.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `depth` was not among the report's evaluated depths, or
+    /// the measured thermal bound credits no entropy at all.
+    pub fn seed_ledger(&self, depth: usize) -> Result<EntropyLedger> {
+        let implication = self
+            .entropy
+            .iter()
+            .find(|e| e.depth == depth)
+            .ok_or_else(|| CoreError::InvalidParameter {
+                name: "depth",
+                reason: format!(
+                    "depth {depth} was not evaluated by this report (available: {:?})",
+                    self.entropy.iter().map(|e| e.depth).collect::<Vec<_>>()
+                ),
+            })?;
+        if implication.thermal_bound <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "thermal_bound",
+                reason: format!(
+                    "the measured thermal-only bound at depth {depth} credits no entropy \
+                     ({}); the device cannot seed a ledger",
+                    implication.thermal_bound
+                ),
+            });
+        }
+        Ok(EntropyLedger::source(
+            &format!(
+                "measured {} @ {:.1} MHz, depth {depth}",
+                self.estimator,
+                self.frequency / 1.0e6
+            ),
+            implication.thermal_bound.min(1.0),
+        )?)
     }
 
     /// Serializes the report as pretty-printed JSON.
@@ -237,6 +285,20 @@ mod tests {
         assert_eq!(report.entropy.len(), 2);
         assert!(report.entropy[1].overestimation > 0.0);
         validate_report(&report).unwrap();
+    }
+
+    #[test]
+    fn measured_ledgers_credit_only_the_thermal_bound() {
+        let report = AnalysisReport::from_dataset(&paper_dataset(), &[1000, 20_000]).unwrap();
+        let ledger = report.seed_ledger(20_000).unwrap();
+        let expected = report.entropy[1].thermal_bound.min(1.0);
+        assert!((ledger.min_entropy_per_bit() - expected).abs() < 1e-12);
+        assert!(
+            ledger.min_entropy_per_bit() < report.entropy[1].naive_bound,
+            "the ledger must not credit the naive (independence-assuming) bound"
+        );
+        assert!(ledger.trail()[0].contains("measured"));
+        assert!(report.seed_ledger(777).is_err());
     }
 
     #[test]

@@ -67,7 +67,8 @@ impl ThermalNoiseEstimate {
     }
 
     /// Relative deviation of the extracted thermal jitter from a reference value
-    /// (e.g. an independent measurement, as in the paper's comparison against [19]).
+    /// (e.g. an independent measurement, as in the paper's comparison against its
+    /// reference \[19\]).
     ///
     /// # Errors
     ///

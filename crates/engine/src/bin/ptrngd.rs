@@ -12,8 +12,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ptrng_engine::health::HealthConfig;
-use ptrng_engine::pool::{Engine, EngineConfig, PostProcess};
+use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig};
 use ptrng_engine::source::SourceSpec;
+use ptrng_engine::EngineError;
 
 const USAGE: &str = "\
 ptrngd — sharded entropy generation daemon (simulated P-TRNG)
@@ -30,7 +31,11 @@ OPTIONS:
                         omit to stream until interrupted
     --seed N            base seed; shard i derives its own        [default: 0]
     --batch-bits N      raw bits per batch per shard              [default: 8192]
-    --post P            none | xor:K | vn                         [default: none]
+    --conditioner C     conditioning chain: none, or comma-separated stages of
+                        xor:K | vn | sha256[:RATIO]               [default: none]
+                        (--post is accepted as a deprecated alias)
+    --min-h H           refuse emission when the accounted min-entropy per
+                        conditioned output bit falls below H (0 < H <= 1)
     --no-startup        skip the FIPS 140-2 startup battery
     --min-entropy H     override the model-backed entropy claim used for the
                         SP 800-90B cutoffs (0 < H <= 1)
@@ -45,7 +50,8 @@ struct Args {
     budget: Option<u64>,
     seed: u64,
     batch_bits: usize,
-    post: PostProcess,
+    conditioner: ConditionerSpec,
+    min_h: Option<f64>,
     startup_battery: bool,
     min_entropy: Option<f64>,
     out: Option<String>,
@@ -60,7 +66,8 @@ impl Args {
             budget: None,
             seed: 0,
             batch_bits: 8192,
-            post: PostProcess::None,
+            conditioner: ConditionerSpec::none(),
+            min_h: None,
             startup_battery: true,
             min_entropy: None,
             out: None,
@@ -91,22 +98,6 @@ fn parse_size(text: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("invalid size `{text}` (expected e.g. 4096, 512KiB, 1MiB)"))
 }
 
-fn parse_post(text: &str) -> Result<PostProcess, String> {
-    match text {
-        "none" => Ok(PostProcess::None),
-        "vn" => Ok(PostProcess::VonNeumann),
-        other => match other.strip_prefix("xor:") {
-            Some(k) => k
-                .parse::<usize>()
-                .map(PostProcess::XorDecimate)
-                .map_err(|_| format!("invalid xor factor in `{other}`")),
-            None => Err(format!(
-                "unknown post-processing `{other}` (none, xor:K, vn)"
-            )),
-        },
-    }
-}
-
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     let mut args = Args::defaults();
     let mut it = argv.iter();
@@ -135,7 +126,17 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|_| "invalid --batch-bits".to_string())?;
             }
-            "--post" => args.post = parse_post(&value(&mut it, "--post")?)?,
+            "--conditioner" | "--post" => {
+                args.conditioner = ConditionerSpec::parse(&value(&mut it, "--conditioner")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--min-h" => {
+                args.min_h = Some(
+                    value(&mut it, "--min-h")?
+                        .parse()
+                        .map_err(|_| "invalid --min-h".to_string())?,
+                );
+            }
             "--no-startup" => args.startup_battery = false,
             "--min-entropy" => {
                 args.min_entropy = Some(
@@ -166,7 +167,8 @@ fn run(args: Args) -> Result<u64, (u8, String)> {
         .seed(args.seed)
         .batch_bits(args.batch_bits)
         .budget_bytes(args.budget)
-        .post(args.post)
+        .conditioner(args.conditioner)
+        .min_output_entropy(args.min_h)
         .health(health);
 
     // BufWriter matters here: batches are ~1 KiB and stdout is otherwise
@@ -183,7 +185,12 @@ fn run(args: Args) -> Result<u64, (u8, String)> {
     };
 
     let started = Instant::now();
-    let mut engine = Engine::spawn(config).map_err(|e| (1, e.to_string()))?;
+    // An entropy deficit is the emission-refusal path (exit 2, like an alarm): the
+    // accounted ledger says the conditioned output would overclaim.
+    let mut engine = Engine::spawn(config).map_err(|e| match e {
+        EngineError::EntropyDeficit { .. } => (2, e.to_string()),
+        other => (1, other.to_string()),
+    })?;
     let mut written = 0u64;
     let mut alarm: Option<String> = None;
     for batch in engine.stream_mut() {
@@ -205,16 +212,23 @@ fn run(args: Args) -> Result<u64, (u8, String)> {
     if args.stats {
         let snap = engine.metrics().snapshot();
         eprintln!(
-            "ptrngd: {written} bytes in {elapsed:.2}s ({:.2} MiB/s), {} raw bits, {} batches, {} alarms",
+            "ptrngd: {written} bytes in {elapsed:.2}s ({:.2} MiB/s), {} raw bits, {} batches, \
+             {:.0} accounted entropy bits, {} alarms",
             written as f64 / elapsed.max(1e-9) / (1024.0 * 1024.0),
             snap.total_raw_bits,
             snap.total_batches,
+            snap.total_accounted_entropy_bits,
             snap.alarms,
         );
         for shard in &snap.per_shard {
             eprintln!(
-                "ptrngd:   shard {}: {} bytes, {} raw bits, {} batches",
-                shard.shard, shard.output_bytes, shard.raw_bits, shard.batches
+                "ptrngd:   shard {}: {} bytes, {} raw bits, {} batches, \
+                 {:.6} accounted h/bit",
+                shard.shard,
+                shard.output_bytes,
+                shard.raw_bits,
+                shard.batches,
+                shard.entropy_per_output_bit
             );
         }
     }

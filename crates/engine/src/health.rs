@@ -25,6 +25,7 @@ use ptrng_ais::fips;
 use ptrng_ais::sp80090b::{
     adaptive_proportion_cutoff_with, repetition_count_cutoff_with, ADAPTIVE_PROPORTION_WINDOW,
 };
+use ptrng_trng::conditioning::EntropyLedger;
 use ptrng_trng::online::{OnlineTestConfig, OnlineThermalTest};
 
 use crate::{EngineError, Result};
@@ -143,6 +144,13 @@ impl HealthConfig {
     }
 }
 
+/// Floor applied to the ledger's claim for **cutoff calibration only**: a claim below
+/// this would push the repetition-count/adaptive-proportion cutoffs beyond any useful
+/// reaction time.  Flooring here is conservative (tighter cutoffs than the claim
+/// warrants); the ledger itself — which drives the emission-refusal policy — is never
+/// floored upward.
+const CUTOFF_CLAIM_FLOOR: f64 = 0.05;
+
 /// The per-shard health monitor.
 #[derive(Debug, Clone)]
 pub struct HealthMonitor {
@@ -164,15 +172,21 @@ pub struct HealthMonitor {
 }
 
 impl HealthMonitor {
-    /// Builds a monitor for a source claiming `entropy_claim` min-entropy per bit.
+    /// Builds a monitor calibrated from the raw-bit entropy ledger: the RCT/APT
+    /// cutoffs derive from the ledger's accounted min-entropy per bit — the stochastic
+    /// model's dependent-jitter-aware claim — rather than from a hardcoded number.
     ///
-    /// `config.min_entropy_per_bit` overrides the claim when set.
+    /// `config.min_entropy_per_bit` overrides the ledger's claim when set; an
+    /// unusably small ledger claim is floored at 0.05 bits/bit for the cutoff
+    /// computation only (conservative: tighter cutoffs, never looser accounting).
     ///
     /// # Errors
     ///
     /// Returns an error when the effective claim is outside `(0, 1]`.
-    pub fn new(config: &HealthConfig, entropy_claim: f64) -> Result<Self> {
-        let claim = config.min_entropy_per_bit.unwrap_or(entropy_claim);
+    pub fn new(config: &HealthConfig, ledger: &EntropyLedger) -> Result<Self> {
+        let claim = config
+            .min_entropy_per_bit
+            .unwrap_or_else(|| ledger.min_entropy_per_bit().max(CUTOFF_CLAIM_FLOOR));
         if !(claim > 0.0 && claim <= 1.0) {
             return Err(EngineError::InvalidParameter {
                 name: "min_entropy_per_bit",
@@ -398,6 +412,10 @@ mod tests {
         (0..len).map(|_| rng.gen_range(0..=1u8)).collect()
     }
 
+    fn ledger(h: f64) -> EntropyLedger {
+        EntropyLedger::source("test source", h).unwrap()
+    }
+
     fn thermal_config() -> OnlineTestConfig {
         let reference = PhaseNoiseModel::date14_experiment().thermal_period_jitter();
         OnlineTestConfig::new(103.0e6, reference, 0.5).unwrap()
@@ -416,7 +434,7 @@ mod tests {
     #[test]
     fn healthy_bits_reach_and_keep_the_healthy_state() {
         let config = HealthConfig::default();
-        let mut monitor = HealthMonitor::new(&config, 1.0).unwrap();
+        let mut monitor = HealthMonitor::new(&config, &ledger(1.0)).unwrap();
         assert_eq!(monitor.state(), &HealthState::Startup);
         assert!(!monitor.may_publish());
         let bits = random_bits(64_000, 1);
@@ -434,7 +452,7 @@ mod tests {
     #[test]
     fn stuck_source_trips_the_repetition_count_alarm() {
         let config = HealthConfig::default().without_startup_battery();
-        let mut monitor = HealthMonitor::new(&config, 1.0).unwrap();
+        let mut monitor = HealthMonitor::new(&config, &ledger(1.0)).unwrap();
         let mut bits = random_bits(4_000, 2);
         bits.extend(std::iter::repeat_n(1, 64));
         monitor.observe_bits(&bits).unwrap();
@@ -451,7 +469,7 @@ mod tests {
     #[test]
     fn heavy_bias_trips_the_adaptive_proportion_alarm() {
         let config = HealthConfig::default().without_startup_battery();
-        let mut monitor = HealthMonitor::new(&config, 1.0).unwrap();
+        let mut monitor = HealthMonitor::new(&config, &ledger(1.0)).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         // p(1) = 0.8 with full-entropy cutoffs: APT must fire within a few windows,
         // while RCT (cutoff 41 at H = 1, e = 40) may legitimately stay silent.
@@ -476,7 +494,7 @@ mod tests {
         let config = HealthConfig::default()
             .without_startup_battery()
             .with_min_entropy(0.32);
-        let mut monitor = HealthMonitor::new(&config, 1.0).unwrap();
+        let mut monitor = HealthMonitor::new(&config, &ledger(1.0)).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let bits: Vec<u8> = (0..8 * ADAPTIVE_PROPORTION_WINDOW)
             .map(|_| u8::from(rng.gen_bool(0.8)))
@@ -488,7 +506,7 @@ mod tests {
     #[test]
     fn bad_startup_block_blocks_publication() {
         let config = HealthConfig::default().with_min_entropy(0.05);
-        let mut monitor = HealthMonitor::new(&config, 1.0).unwrap();
+        let mut monitor = HealthMonitor::new(&config, &ledger(1.0)).unwrap();
         // Alternating output bits pass RCT/APT trivially but fail the FIPS runs test.
         let bits: Vec<u8> = (0..fips::FIPS_BLOCK_BITS).map(|i| (i % 2) as u8).collect();
         monitor.observe_bits(&bits).unwrap();
@@ -508,7 +526,7 @@ mod tests {
         let config = HealthConfig::default()
             .without_startup_battery()
             .with_thermal(thermal_config());
-        let mut monitor = HealthMonitor::new(&config, 1.0).unwrap();
+        let mut monitor = HealthMonitor::new(&config, &ledger(1.0)).unwrap();
         let (depths, healthy) = sweep(1.0);
         let (_, collapsed) = sweep(0.01);
 
@@ -540,15 +558,21 @@ mod tests {
             thermal_strikes: 0,
             ..HealthConfig::default()
         };
-        assert!(HealthMonitor::new(&bad, 1.0).is_err());
-        assert!(HealthMonitor::new(&HealthConfig::default(), 0.0).is_err());
-        assert!(HealthMonitor::new(&HealthConfig::default(), 1.5).is_err());
+        assert!(HealthMonitor::new(&bad, &ledger(1.0)).is_err());
+        assert!(
+            HealthMonitor::new(&HealthConfig::default().with_min_entropy(0.0), &ledger(1.0))
+                .is_err()
+        );
+        assert!(
+            HealthMonitor::new(&HealthConfig::default().with_min_entropy(1.5), &ledger(1.0))
+                .is_err()
+        );
         let bad_exponent = HealthConfig {
             false_positive_exponent: 0.0,
             ..HealthConfig::default()
         };
-        assert!(HealthMonitor::new(&bad_exponent, 1.0).is_err());
-        let mut monitor = HealthMonitor::new(&HealthConfig::default(), 1.0).unwrap();
+        assert!(HealthMonitor::new(&bad_exponent, &ledger(1.0)).is_err());
+        let mut monitor = HealthMonitor::new(&HealthConfig::default(), &ledger(1.0)).unwrap();
         assert!(monitor.observe_bits(&[0, 1, 2]).is_err());
         assert!(monitor
             .observe_sigma2_points(&[1.0, 2.0], &[1.0, 2.0])
@@ -557,7 +581,7 @@ mod tests {
 
     #[test]
     fn cutoffs_scale_with_claim_and_exponent() {
-        let default = HealthMonitor::new(&HealthConfig::default(), 1.0).unwrap();
+        let default = HealthMonitor::new(&HealthConfig::default(), &ledger(1.0)).unwrap();
         // e = 40, H = 1: RCT cutoff 41; APT cutoff ≈ 512 + 7.45·16 ≈ 632.
         assert_eq!(default.repetition_cutoff(), 41);
         assert!(
@@ -571,12 +595,12 @@ mod tests {
             false_positive_exponent: 20.0,
             ..HealthConfig::default()
         };
-        let spec = HealthMonitor::new(&spec_cfg, 1.0).unwrap();
+        let spec = HealthMonitor::new(&spec_cfg, &ledger(1.0)).unwrap();
         assert_eq!(spec.repetition_cutoff(), 21);
         assert!(spec.adaptive_cutoff() < default.adaptive_cutoff());
 
         // Lower claimed entropy loosens both cutoffs.
-        let loose = HealthMonitor::new(&HealthConfig::default(), 0.5).unwrap();
+        let loose = HealthMonitor::new(&HealthConfig::default(), &ledger(0.5)).unwrap();
         assert_eq!(loose.repetition_cutoff(), 81);
         assert!(loose.adaptive_cutoff() > default.adaptive_cutoff());
     }

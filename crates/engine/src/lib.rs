@@ -8,7 +8,11 @@
 //!   sweeping accumulation depths across the paper's `r_N = K/(K+N)` regime, and a fast
 //!   calibrated stochastic-model source for scale testing,
 //! * [`pool`] — a sharded worker pool: one independently-seeded source per shard, each
-//!   feeding a bounded byte channel with batching and backpressure,
+//!   feeding a bounded byte channel with batching and backpressure, its bits streamed
+//!   through a declarative conditioning pipeline ([`pool::ConditionerSpec`]: XOR
+//!   decimation, von Neumann, SHA-256 vetted conditioning) that folds an end-to-end
+//!   entropy ledger from the source's dependent-jitter bound to the emitted bytes and
+//!   refuses emission when the accounted entropy misses the configured floor,
 //! * [`stream`] — the consumer side: ordered batches of packed bytes with shard
 //!   attribution and a hard byte budget,
 //! * [`health`] — continuous health monitoring per shard: a FIPS 140-2 startup battery,
@@ -70,6 +74,22 @@ pub enum EngineError {
         /// Why it was rejected.
         reason: String,
     },
+    /// The accounted min-entropy per conditioned output bit fell below the configured
+    /// emission threshold; the engine refuses to emit rather than overclaim.
+    #[error(
+        "refusing emission on shard {shard}: accounted min-entropy {accounted:.6}/bit \
+         is below the required {required:.6}/bit [{ledger}]"
+    )]
+    EntropyDeficit {
+        /// Index of the offending shard.
+        shard: usize,
+        /// Accounted min-entropy per conditioned output bit.
+        accounted: f64,
+        /// The configured `min_output_entropy` threshold.
+        required: f64,
+        /// Rendered entropy ledger explaining the accounting.
+        ledger: String,
+    },
     /// A shard's health monitor raised an alarm.
     #[error("health alarm on shard {shard}: {reason}")]
     HealthAlarm {
@@ -102,10 +122,11 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 pub mod prelude {
     pub use crate::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
     pub use crate::metrics::MetricsSnapshot;
-    pub use crate::pool::{Engine, EngineConfig, PostProcess};
+    pub use crate::pool::{ConditionerSpec, Engine, EngineConfig, StageSpec};
     pub use crate::source::{EntropySource, JitterProfile, SourceSpec};
     pub use crate::stream::Batch;
     pub use crate::{EngineError, Result};
+    pub use ptrng_trng::conditioning::{ConditioningChain, ConditioningStage, EntropyLedger};
 }
 
 #[cfg(test)]

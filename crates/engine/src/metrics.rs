@@ -10,6 +10,9 @@ pub struct ShardMetrics {
     raw_bits: AtomicU64,
     output_bytes: AtomicU64,
     batches: AtomicU64,
+    /// Accounted min-entropy per conditioned output bit (an `f64` stored via
+    /// `to_bits`, set once at spawn from the shard's entropy ledger).
+    entropy_per_output_bit: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -19,12 +22,22 @@ impl ShardMetrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn set_entropy_per_output_bit(&self, h: f64) {
+        self.entropy_per_output_bit
+            .store(h.to_bits(), Ordering::Relaxed);
+    }
+
     fn snapshot(&self, shard: usize) -> ShardSnapshot {
+        let output_bytes = self.output_bytes.load(Ordering::Relaxed);
+        let entropy_per_output_bit =
+            f64::from_bits(self.entropy_per_output_bit.load(Ordering::Relaxed));
         ShardSnapshot {
             shard,
             raw_bits: self.raw_bits.load(Ordering::Relaxed),
-            output_bytes: self.output_bytes.load(Ordering::Relaxed),
+            output_bytes,
             batches: self.batches.load(Ordering::Relaxed),
+            entropy_per_output_bit,
+            accounted_entropy_bits: output_bytes as f64 * 8.0 * entropy_per_output_bit,
         }
     }
 }
@@ -50,6 +63,12 @@ impl EngineMetrics {
         &self.shards[index]
     }
 
+    /// Records the shard's accounted min-entropy per conditioned output bit (from the
+    /// entropy ledger folded through the conditioning chain at spawn).
+    pub(crate) fn set_entropy_per_output_bit(&self, index: usize, h: f64) {
+        self.shards[index].set_entropy_per_output_bit(h);
+    }
+
     pub(crate) fn record_alarm(&self) {
         self.alarms.fetch_add(1, Ordering::Relaxed);
     }
@@ -66,6 +85,7 @@ impl EngineMetrics {
             total_raw_bits: per_shard.iter().map(|s| s.raw_bits).sum(),
             total_output_bytes: per_shard.iter().map(|s| s.output_bytes).sum(),
             total_batches: per_shard.iter().map(|s| s.batches).sum(),
+            total_accounted_entropy_bits: per_shard.iter().map(|s| s.accounted_entropy_bits).sum(),
             alarms: self.alarms.load(Ordering::Relaxed),
             per_shard,
         }
@@ -79,10 +99,14 @@ pub struct ShardSnapshot {
     pub shard: usize,
     /// Raw bits drawn from the source.
     pub raw_bits: u64,
-    /// Output bytes published after post-processing and packing.
+    /// Output bytes published after conditioning and packing.
     pub output_bytes: u64,
     /// Batches published.
     pub batches: u64,
+    /// Accounted min-entropy per conditioned output bit (from the entropy ledger).
+    pub entropy_per_output_bit: f64,
+    /// Accounted min-entropy carried by the published output, in bits.
+    pub accounted_entropy_bits: f64,
 }
 
 /// Snapshot of the whole engine.
@@ -94,6 +118,8 @@ pub struct MetricsSnapshot {
     pub total_output_bytes: u64,
     /// Sum of published batches across shards.
     pub total_batches: u64,
+    /// Sum of the accounted min-entropy carried by the published output, in bits.
+    pub total_accounted_entropy_bits: f64,
     /// Number of shards that alarmed.
     pub alarms: u64,
     /// Per-shard breakdown.
@@ -117,6 +143,21 @@ mod tests {
         assert_eq!(snap.total_batches, 3);
         assert_eq!(snap.alarms, 1);
         assert_eq!(snap.per_shard[1].batches, 2);
+    }
+
+    #[test]
+    fn snapshots_account_entropy_from_the_ledger_claim() {
+        let metrics = EngineMetrics::new(2);
+        metrics.set_entropy_per_output_bit(0, 0.25);
+        metrics.set_entropy_per_output_bit(1, 1.0);
+        metrics.shard(0).record_batch(800, 100);
+        metrics.shard(1).record_batch(800, 50);
+        let snap = metrics.snapshot();
+        assert!((snap.per_shard[0].entropy_per_output_bit - 0.25).abs() < 1e-15);
+        assert!((snap.per_shard[0].accounted_entropy_bits - 100.0 * 8.0 * 0.25).abs() < 1e-9);
+        assert!((snap.per_shard[1].accounted_entropy_bits - 50.0 * 8.0).abs() < 1e-9);
+        let total = 100.0 * 8.0 * 0.25 + 50.0 * 8.0;
+        assert!((snap.total_accounted_entropy_bits - total).abs() < 1e-9);
     }
 
     #[test]

@@ -11,8 +11,14 @@
 //! * **Budgets** — an optional byte budget is claimed atomically per batch across all
 //!   shards; workers stop as soon as the budget is spent.
 //! * **Health gating** — raw bits pass through the shard's [`HealthMonitor`] *before*
-//!   post-processing; output is withheld until the startup battery passes, and an
+//!   conditioning; output is withheld until the startup battery passes, and an
 //!   alarm terminates the shard with an error on the stream.
+//! * **Entropy accounting** — every shard's pipeline carries an
+//!   [`EntropyLedger`]: seeded from the source's model-backed (dependent-jitter-aware)
+//!   claim, folded through the configured [`ConditionerSpec`], calibrating the
+//!   continuous-test cutoffs, surfacing in the metrics, and enforcing the
+//!   [`EngineConfig::min_output_entropy`] emission policy (spawn refuses with
+//!   [`EngineError::EntropyDeficit`] when the accounted output entropy is short).
 
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
@@ -20,7 +26,10 @@ use std::thread::JoinHandle;
 
 use serde::{Deserialize, Serialize};
 
-use ptrng_trng::postprocess::{von_neumann_into, xor_decimate_into};
+use ptrng_trng::conditioning::{
+    ConditioningChain, ConditioningStage, EntropyLedger, Sha256Stage, VonNeumannStage,
+    XorDecimateStage, SHA256_DEFAULT_RATIO,
+};
 
 use crate::health::{HealthConfig, HealthMonitor, HealthState};
 use crate::metrics::EngineMetrics;
@@ -28,32 +37,149 @@ use crate::source::{derive_seed, EntropySource, SourceSpec};
 use crate::stream::{Batch, BitPacker, ByteBudget, ByteStream, Message};
 use crate::{EngineError, Result};
 
-/// Algebraic post-processing applied to the raw bits of each shard.
+/// One conditioning stage of a shard's pipeline, in declarative (serializable) form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PostProcess {
-    /// Publish the raw bits.
-    None,
+pub enum StageSpec {
     /// XOR non-overlapping groups of `factor` bits (factor-of-`factor` decimation).
     XorDecimate(usize),
     /// Von Neumann debiasing (variable-rate, bias-free output).
     VonNeumann,
+    /// SP 800-90B §3.1.5 SHA-256 vetted conditioner consuming `ratio` input bits per
+    /// output bit.
+    Sha256 {
+        /// Input bits consumed per output bit (the compression ratio).
+        ratio: usize,
+    },
 }
 
-impl PostProcess {
-    /// Applies the stage into `scratch` and returns the processed bits — `raw` itself
-    /// for [`PostProcess::None`], so the common case is copy- and allocation-free.
-    fn apply<'a>(&self, raw: &'a [u8], scratch: &'a mut Vec<u8>) -> Result<&'a [u8]> {
-        match self {
-            PostProcess::None => Ok(raw),
-            PostProcess::XorDecimate(factor) => {
-                xor_decimate_into(raw, *factor, scratch)?;
-                Ok(scratch)
-            }
-            PostProcess::VonNeumann => {
-                von_neumann_into(raw, scratch)?;
-                Ok(scratch)
-            }
+impl StageSpec {
+    fn build(&self) -> Result<Box<dyn ConditioningStage>> {
+        Ok(match self {
+            StageSpec::XorDecimate(factor) => Box::new(XorDecimateStage::new(*factor)?),
+            StageSpec::VonNeumann => Box::new(VonNeumannStage::new()),
+            StageSpec::Sha256 { ratio } => Box::new(Sha256Stage::new(*ratio)?),
+        })
+    }
+}
+
+/// Declarative description of a shard's conditioning pipeline: an ordered list of
+/// [`StageSpec`]s, each shard building its own stateful [`ConditioningChain`] from it.
+///
+/// The empty spec (the default) is the identity — raw bits are published unchanged,
+/// copy-free on the hot path.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConditionerSpec {
+    stages: Vec<StageSpec>,
+}
+
+impl ConditionerSpec {
+    /// The identity conditioner (publish raw bits).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single XOR-decimation stage.
+    pub fn xor(factor: usize) -> Self {
+        Self {
+            stages: vec![StageSpec::XorDecimate(factor)],
         }
+    }
+
+    /// A single von Neumann stage.
+    pub fn von_neumann() -> Self {
+        Self {
+            stages: vec![StageSpec::VonNeumann],
+        }
+    }
+
+    /// A single SHA-256 vetted-conditioner stage with the given compression ratio.
+    pub fn sha256(ratio: usize) -> Self {
+        Self {
+            stages: vec![StageSpec::Sha256 { ratio }],
+        }
+    }
+
+    /// An arbitrary stage chain (first stage sees the raw bits).
+    pub fn chain(stages: Vec<StageSpec>) -> Self {
+        Self { stages }
+    }
+
+    /// Parses a CLI-style conditioner specification: `none`, or a comma-separated
+    /// chain of `xor:K`, `vn` and `sha256[:RATIO]` stages (default ratio
+    /// [`SHA256_DEFAULT_RATIO`]), e.g. `xor:2,sha256:2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown stages or out-of-domain parameters.
+    pub fn parse(spec: &str) -> Result<Self> {
+        let err = |reason: String| EngineError::SpecParse {
+            spec: spec.to_string(),
+            reason,
+        };
+        if spec == "none" || spec.is_empty() {
+            return Ok(Self::none());
+        }
+        let mut stages = Vec::new();
+        for part in spec.split(',') {
+            let stage = match part {
+                "vn" => StageSpec::VonNeumann,
+                "sha256" => StageSpec::Sha256 {
+                    ratio: SHA256_DEFAULT_RATIO,
+                },
+                other => {
+                    if let Some(k) = other.strip_prefix("xor:") {
+                        let factor = k
+                            .parse::<usize>()
+                            .map_err(|_| err(format!("invalid xor factor in `{other}`")))?;
+                        StageSpec::XorDecimate(factor)
+                    } else if let Some(r) = other.strip_prefix("sha256:") {
+                        let ratio = r
+                            .parse::<usize>()
+                            .map_err(|_| err(format!("invalid sha256 ratio in `{other}`")))?;
+                        StageSpec::Sha256 { ratio }
+                    } else {
+                        return Err(err(format!(
+                            "unknown conditioning stage `{other}` (none, xor:K, vn, sha256[:R])"
+                        )));
+                    }
+                }
+            };
+            stages.push(stage);
+        }
+        Ok(Self { stages })
+    }
+
+    /// The declared stages.
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// Whether this is the identity conditioner.
+    pub fn is_identity(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Builds the stateful per-shard chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a stage's parameters are out of domain.
+    pub fn build(&self) -> Result<ConditioningChain> {
+        let stages = self
+            .stages
+            .iter()
+            .map(StageSpec::build)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ConditioningChain::new(stages))
+    }
+
+    /// Accounted ledger of the conditioned output for a given source ledger.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a stage's parameters or accounting are out of domain.
+    pub fn ledger(&self, source: &EntropyLedger) -> Result<EntropyLedger> {
+        Ok(self.build()?.transform(source)?)
     }
 }
 
@@ -72,8 +198,11 @@ pub struct EngineConfig {
     pub queue_batches: usize,
     /// Optional total output budget in bytes (across all shards).
     pub budget_bytes: Option<u64>,
-    /// Post-processing applied after health checking.
-    pub post: PostProcess,
+    /// Conditioning pipeline applied after the raw-bit health checks.
+    pub conditioner: ConditionerSpec,
+    /// Emission policy: refuse to spawn (and emit) when the accounted min-entropy per
+    /// conditioned output bit falls below this threshold.
+    pub min_output_entropy: Option<f64>,
     /// Health-monitor configuration shared by every shard.
     pub health: HealthConfig,
     /// When a thermal online test is configured, run one `σ²_N` counter sweep every
@@ -83,7 +212,7 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// A configuration with defaults: 1 shard, 8192-bit batches, a 4-batch queue, no
-    /// budget, no post-processing, default health monitoring.
+    /// budget, identity conditioning, no emission threshold, default health monitoring.
     pub fn new(spec: SourceSpec) -> Self {
         Self {
             shards: 1,
@@ -92,7 +221,8 @@ impl EngineConfig {
             batch_bits: 8192,
             queue_batches: 4,
             budget_bytes: None,
-            post: PostProcess::None,
+            conditioner: ConditionerSpec::none(),
+            min_output_entropy: None,
             health: HealthConfig::default(),
             thermal_check_batches: 64,
         }
@@ -126,10 +256,17 @@ impl EngineConfig {
         self
     }
 
-    /// Sets the post-processing stage.
+    /// Sets the conditioning pipeline.
     #[must_use]
-    pub fn post(mut self, post: PostProcess) -> Self {
-        self.post = post;
+    pub fn conditioner(mut self, conditioner: ConditionerSpec) -> Self {
+        self.conditioner = conditioner;
+        self
+    }
+
+    /// Sets the emission threshold on the accounted min-entropy per output bit.
+    #[must_use]
+    pub fn min_output_entropy(mut self, min_h: Option<f64>) -> Self {
+        self.min_output_entropy = min_h;
         self
     }
 
@@ -153,14 +290,14 @@ impl EngineConfig {
                 reason: "batches must hold at least 8 bits".to_string(),
             });
         }
-        if let PostProcess::XorDecimate(factor) = self.post {
-            if factor == 0 || !self.batch_bits.is_multiple_of(factor) {
+        // Stage parameters (zero factors/ratios) are rejected by the chain build;
+        // partial groups no longer constrain batch_bits — stages carry them over.
+        self.conditioner.build()?;
+        if let Some(min_h) = self.min_output_entropy {
+            if !(min_h > 0.0 && min_h <= 1.0) {
                 return Err(EngineError::InvalidParameter {
-                    name: "post",
-                    reason: format!(
-                        "xor decimation factor {factor} must be nonzero and divide batch_bits ({})",
-                        self.batch_bits
-                    ),
+                    name: "min_output_entropy",
+                    reason: format!("must be in (0, 1] for binary output, got {min_h}"),
                 });
             }
         }
@@ -212,13 +349,44 @@ impl Engine {
                 });
             }
         }
-        let monitors: Vec<HealthMonitor> = sources
+        // Seed one entropy ledger per shard from the source's model-backed
+        // (dependent-jitter-aware) claim and fold it through the conditioning chain;
+        // the raw ledger calibrates the continuous-test cutoffs, the conditioned
+        // ledger drives the emission policy and the accounted-entropy metrics.
+        let raw_ledgers: Vec<EntropyLedger> = sources
             .iter()
-            .map(|source| HealthMonitor::new(&config.health, source.entropy_per_bit()))
+            .map(|source| {
+                EntropyLedger::source(&source.label(), source.entropy_per_bit())
+                    .map_err(EngineError::from)
+            })
+            .collect::<Result<_>>()?;
+        let output_ledgers: Vec<EntropyLedger> = raw_ledgers
+            .iter()
+            .map(|ledger| config.conditioner.ledger(ledger))
+            .collect::<Result<_>>()?;
+        if let Some(required) = config.min_output_entropy {
+            for (shard, ledger) in output_ledgers.iter().enumerate() {
+                let accounted = ledger.min_entropy_per_bit();
+                if accounted < required {
+                    return Err(EngineError::EntropyDeficit {
+                        shard,
+                        accounted,
+                        required,
+                        ledger: ledger.to_string(),
+                    });
+                }
+            }
+        }
+        let monitors: Vec<HealthMonitor> = raw_ledgers
+            .iter()
+            .map(|ledger| HealthMonitor::new(&config.health, ledger))
             .collect::<Result<_>>()?;
 
         let (tx, rx) = sync_channel::<Message>(config.queue_batches);
         let metrics = Arc::new(EngineMetrics::new(config.shards));
+        for (shard, ledger) in output_ledgers.iter().enumerate() {
+            metrics.set_entropy_per_output_bit(shard, ledger.min_entropy_per_bit());
+        }
         let budget = Arc::new(ByteBudget::new(config.budget_bytes));
 
         let mut workers = Vec::with_capacity(config.shards);
@@ -227,7 +395,7 @@ impl Engine {
                 shard,
                 source,
                 monitor,
-                post: config.post,
+                chain: config.conditioner.build()?,
                 batch_bits: config.batch_bits,
                 thermal_check_batches: config.thermal_check_batches,
                 budget: Arc::clone(&budget),
@@ -304,7 +472,7 @@ struct ShardWorker {
     shard: usize,
     source: Box<dyn EntropySource>,
     monitor: HealthMonitor,
-    post: PostProcess,
+    chain: ConditioningChain,
     batch_bits: usize,
     thermal_check_batches: usize,
     budget: Arc<ByteBudget>,
@@ -342,10 +510,11 @@ impl ShardWorker {
 
     fn generate(&mut self) -> std::result::Result<(), WorkerExit> {
         let mut raw = vec![0u8; self.batch_bits];
-        // Post-processing scratch, reused across batches.
-        let mut post_scratch: Vec<u8> = Vec::new();
+        // Conditioned-bit scratch, reused across batches (the chain's own ping-pong
+        // buffers are persistent too, so the steady state allocates nothing).
+        let mut conditioned: Vec<u8> = Vec::new();
         let mut packer = BitPacker::new();
-        // Post-processed bits accepted while the startup battery is still judging.
+        // Conditioned bits accepted while the startup battery is still judging.
         let mut holdback: Vec<u8> = Vec::new();
         let mut raw_bits_unpublished = 0u64;
         let mut batches_since_sweep = 0usize;
@@ -389,11 +558,19 @@ impl ShardWorker {
                 return Err(WorkerExit::Alarm(reason.to_string()));
             }
 
-            // ...while the FIPS startup battery judges the conditioned output.
-            let processed = self
-                .post
-                .apply(&raw, &mut post_scratch)
-                .map_err(WorkerExit::Source)?;
+            // ...while the FIPS startup battery judges the conditioned output.  The
+            // identity chain publishes `raw` directly (copy-free); real chains stream
+            // through the reusable scratch, carrying partial groups across batches.
+            let processed: &[u8] = if self.chain.is_identity() {
+                &raw
+            } else {
+                conditioned.clear();
+                self.chain
+                    .process(&raw, &mut conditioned)
+                    .map_err(EngineError::from)
+                    .map_err(WorkerExit::Source)?;
+                &conditioned
+            };
             self.monitor
                 .observe_output_bits(processed)
                 .map_err(WorkerExit::Source)?;
@@ -526,8 +703,8 @@ mod tests {
 
     #[test]
     fn stuck_source_alarms_through_the_stream() {
-        // p_one ≈ 1: the repetition-count test must fire almost immediately, and the
-        // claimed entropy (0.05 floor) sets a finite cutoff.
+        // p_one ≈ 1: the repetition-count test must fire almost immediately; the
+        // monitor's cutoff-claim floor keeps the calibrated cutoff finite.
         let config = EngineConfig::new(SourceSpec::model(0.9999).unwrap())
             .seed(3)
             .health(HealthConfig::default().without_startup_battery())
@@ -565,7 +742,7 @@ mod tests {
     #[test]
     fn xor_decimation_shrinks_output_accordingly() {
         let config = model_config()
-            .post(PostProcess::XorDecimate(4))
+            .conditioner(ConditionerSpec::xor(4))
             .budget_bytes(Some(1024));
         let mut engine = Engine::spawn(config).unwrap();
         let bytes = engine.read_to_end().unwrap();
@@ -596,10 +773,144 @@ mod tests {
     }
 
     #[test]
+    fn conditioner_specs_parse_and_round_trip() {
+        assert_eq!(
+            ConditionerSpec::parse("none").unwrap(),
+            ConditionerSpec::none()
+        );
+        assert_eq!(
+            ConditionerSpec::parse("xor:4").unwrap(),
+            ConditionerSpec::xor(4)
+        );
+        assert_eq!(
+            ConditionerSpec::parse("vn").unwrap(),
+            ConditionerSpec::von_neumann()
+        );
+        assert_eq!(
+            ConditionerSpec::parse("sha256").unwrap(),
+            ConditionerSpec::sha256(SHA256_DEFAULT_RATIO)
+        );
+        assert_eq!(
+            ConditionerSpec::parse("sha256:3").unwrap(),
+            ConditionerSpec::sha256(3)
+        );
+        assert_eq!(
+            ConditionerSpec::parse("xor:2,sha256:2").unwrap(),
+            ConditionerSpec::chain(vec![
+                StageSpec::XorDecimate(2),
+                StageSpec::Sha256 { ratio: 2 }
+            ])
+        );
+        assert!(ConditionerSpec::parse("rot13").is_err());
+        assert!(ConditionerSpec::parse("xor:abc").is_err());
+        assert!(ConditionerSpec::parse("sha256:x").is_err());
+        assert!(ConditionerSpec::parse("xor:0").unwrap().build().is_err());
+    }
+
+    #[test]
+    fn entropy_deficit_refuses_emission_at_spawn() {
+        // A thermally-collapsed source models ~0.074 bits/bit; even the vetted
+        // SHA-256 conditioner at ratio 2 cannot account 0.997 from that.
+        let config = EngineConfig::new(SourceSpec::model(0.95).unwrap())
+            .seed(1)
+            .conditioner(ConditionerSpec::sha256(2))
+            .min_output_entropy(Some(0.997))
+            .health(HealthConfig::default().without_startup_battery());
+        match Engine::spawn(config) {
+            Err(EngineError::EntropyDeficit {
+                accounted,
+                required,
+                ledger,
+                ..
+            }) => {
+                assert!(accounted < required, "{accounted} vs {required}");
+                assert!(ledger.contains("sha256:2"), "{ledger}");
+            }
+            Err(other) => panic!("expected an entropy deficit, got {other}"),
+            Ok(_) => panic!("expected an entropy deficit, engine spawned"),
+        }
+
+        // Nor can the deficit be laundered through the von Neumann corrector: its
+        // ledger credit is capped by the consumed pair budget.
+        let config = EngineConfig::new(SourceSpec::model(0.95).unwrap())
+            .seed(1)
+            .conditioner(ConditionerSpec::von_neumann())
+            .min_output_entropy(Some(0.997))
+            .health(HealthConfig::default().without_startup_battery());
+        assert!(
+            matches!(
+                Engine::spawn(config),
+                Err(EngineError::EntropyDeficit { .. })
+            ),
+            "vn must not bypass the emission policy"
+        );
+
+        // The same policy admits a full-entropy source.
+        let config = EngineConfig::new(SourceSpec::model(0.5).unwrap())
+            .seed(1)
+            .budget_bytes(Some(1024))
+            .conditioner(ConditionerSpec::sha256(2))
+            .min_output_entropy(Some(0.997))
+            .health(HealthConfig::default().without_startup_battery());
+        let mut engine = Engine::spawn(config).unwrap();
+        assert_eq!(engine.read_to_end().unwrap().len(), 1024);
+        engine.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_account_conditioned_entropy() {
+        let config = model_config()
+            .conditioner(ConditionerSpec::sha256(2))
+            .budget_bytes(Some(2048));
+        let mut engine = Engine::spawn(config).unwrap();
+        let bytes = engine.read_to_end().unwrap();
+        let snap = engine.metrics().snapshot();
+        engine.join().unwrap();
+        assert_eq!(bytes.len(), 2048);
+        // A full-entropy model source through the vetted conditioner accounts
+        // (essentially) one bit per output bit.
+        let shard = &snap.per_shard[0];
+        assert!(
+            shard.entropy_per_output_bit > 0.999,
+            "h/bit {}",
+            shard.entropy_per_output_bit
+        );
+        let expected = shard.output_bytes as f64 * 8.0 * shard.entropy_per_output_bit;
+        assert!(
+            (shard.accounted_entropy_bits - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            shard.accounted_entropy_bits
+        );
+        assert!(snap.total_accounted_entropy_bits >= 2048.0 * 8.0 * 0.999);
+    }
+
+    #[test]
+    fn sha256_conditioner_halves_throughput_and_passes_packing() {
+        let config = model_config()
+            .conditioner(ConditionerSpec::parse("sha256:2").unwrap())
+            .budget_bytes(Some(1024));
+        let mut engine = Engine::spawn(config).unwrap();
+        let bytes = engine.read_to_end().unwrap();
+        let snap = engine.metrics().snapshot();
+        engine.join().unwrap();
+        assert_eq!(bytes.len(), 1024);
+        // Ratio 2: at least two raw bits per output bit.
+        assert!(snap.total_raw_bits >= 2 * 8 * 1024);
+    }
+
+    #[test]
     fn invalid_configurations_fail_fast() {
         assert!(Engine::spawn(model_config().shards(0)).is_err());
         assert!(Engine::spawn(model_config().batch_bits(4)).is_err());
-        assert!(Engine::spawn(model_config().post(PostProcess::XorDecimate(3))).is_err());
+        assert!(Engine::spawn(model_config().conditioner(ConditionerSpec::xor(0))).is_err());
+        assert!(
+            Engine::spawn(model_config().conditioner(ConditionerSpec::sha256(0))).is_err(),
+            "a zero sha256 ratio must be rejected"
+        );
+        assert!(
+            Engine::spawn(model_config().min_output_entropy(Some(1.5))).is_err(),
+            "an out-of-domain emission threshold must be rejected"
+        );
         let mut bad_queue = model_config();
         bad_queue.queue_batches = 0;
         assert!(Engine::spawn(bad_queue).is_err());

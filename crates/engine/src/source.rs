@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use ptrng_osc::jitter::{JitterGenerator, JitterSampler};
 use ptrng_osc::phase::PhaseNoiseModel;
+use ptrng_stats::minentropy::min_entropy_from_p_max;
 use ptrng_stats::sn::{sigma2_n_sweep, SnSampling};
 use ptrng_trng::ero::{EroSampler, EroTrng, EroTrngConfig};
 use ptrng_trng::stochastic::EntropyModel;
@@ -336,8 +337,11 @@ fn ero_entropy_claim(config: &EroTrngConfig) -> Result<f64> {
     let relative = config.sampled.relative_to(&config.sampling)?;
     let model = EntropyModel::new(relative);
     let bound = model.entropy_bound_thermal(config.division.max(1) as usize);
-    // The health layer needs a usable claim in (0, 1]; floor pathological bounds.
-    Ok(bound.clamp(0.05, 1.0))
+    // Credited as modelled, never floored upward: the claim seeds the entropy ledger
+    // that drives the emission-refusal policy.  (The Baudet-style bound is itself
+    // ≥ 1 − 4/(π²·ln 2) ≈ 0.415, so it is always a usable positive claim; only the
+    // health-test cutoff calibration applies its own conservative floor.)
+    Ok(bound.min(1.0))
 }
 
 /// Adapter for the workspace's [`EroTrng`] simulator.
@@ -451,7 +455,7 @@ impl XorRingSource {
             .map(|k| EroSource::new(division, profile, derive_seed(seed, 0x7269_6e67 + k as u64)))
             .collect::<Result<Vec<_>>>()?;
         let single = sources[0].entropy_per_bit();
-        let entropy_claim = (1.0 - (1.0 - single).powi(rings as i32)).clamp(0.05, 1.0);
+        let entropy_claim = (1.0 - (1.0 - single).powi(rings as i32)).min(1.0);
         Ok(Self {
             rings: sources,
             scratch: Vec::new(),
@@ -603,8 +607,11 @@ impl ModelSource {
                 reason: format!("must be in (0, 1), got {p_one}"),
             });
         }
-        // Min-entropy of a Bernoulli(p) bit: -log2(max(p, 1-p)).
-        let entropy_claim = (-p_one.max(1.0 - p_one).log2()).clamp(0.05, 1.0);
+        // Min-entropy of a Bernoulli(p) bit, credited exactly (p strictly inside
+        // (0, 1) keeps it positive); the health layer floors its own cutoff claim.
+        let entropy_claim = min_entropy_from_p_max(p_one.max(1.0 - p_one))
+            .map_err(ptrng_trng::TrngError::from)?
+            .min(1.0);
         Ok(Self {
             p_one,
             rng: StdRng::seed_from_u64(seed),

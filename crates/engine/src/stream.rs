@@ -10,9 +10,9 @@ use crate::{EngineError, Result};
 pub struct Batch {
     /// Index of the producing shard.
     pub shard: usize,
-    /// Packed output bytes (post-processed when post-processing is enabled).
+    /// Packed output bytes (conditioned when a conditioning chain is configured).
     pub bytes: Vec<u8>,
-    /// Raw bits the source generated to produce this batch (before post-processing).
+    /// Raw bits the source generated to produce this batch (before conditioning).
     pub raw_bits: usize,
 }
 
@@ -248,6 +248,60 @@ mod tests {
         let unlimited = ByteBudget::new(None);
         assert_eq!(unlimited.claim(1 << 20), 1 << 20);
         assert!(!unlimited.exhausted());
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Pushing bits in arbitrary chunkings equals one-shot packing, for any
+            /// (also non-byte-aligned) total length, with the remainder retained.
+            #[test]
+            fn packing_is_chunking_invariant(
+                bits in proptest::collection::vec(0u8..=1, 0..512),
+                chunk in 1usize..64,
+            ) {
+                let mut packer = BitPacker::new();
+                for piece in bits.chunks(chunk) {
+                    packer.push_bits(piece);
+                }
+                prop_assert_eq!(packer.pending_bits(), bits.len());
+                let bytes = packer.drain_bytes();
+                prop_assert_eq!(bytes.len(), bits.len() / 8);
+                prop_assert_eq!(packer.pending_bits(), bits.len() % 8);
+                prop_assert_eq!(unpack_bits(&bytes), &bits[..(bits.len() / 8) * 8]);
+            }
+
+            /// The packer keeps working after a drain: remainder bits join the next
+            /// pushes seamlessly (scratch reuse across calls).
+            #[test]
+            fn drain_preserves_the_remainder_across_calls(
+                first in proptest::collection::vec(0u8..=1, 0..64),
+                second in proptest::collection::vec(0u8..=1, 0..64),
+            ) {
+                let mut packer = BitPacker::new();
+                packer.push_bits(&first);
+                let mut bytes = packer.drain_bytes();
+                packer.push_bits(&second);
+                bytes.extend(packer.drain_bytes());
+
+                let mut all = first.clone();
+                all.extend_from_slice(&second);
+                let mut reference = BitPacker::new();
+                reference.push_bits(&all);
+                prop_assert_eq!(bytes, reference.drain_bytes());
+            }
+
+            /// Empty pushes are no-ops.
+            #[test]
+            fn empty_input_is_a_no_op(bits in proptest::collection::vec(0u8..=1, 0..32)) {
+                let mut packer = BitPacker::new();
+                packer.push_bits(&bits);
+                packer.push_bits(&[]);
+                prop_assert_eq!(packer.pending_bits(), bits.len());
+            }
+        }
     }
 
     #[test]

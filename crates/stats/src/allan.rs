@@ -1,7 +1,7 @@
 //! Allan-family variances for oscillator stability analysis.
 //!
 //! The paper's statistic `σ²_N` is closely related to the two-sample (Allan) variance:
-//! Allan [1966] introduced it precisely because the ordinary variance of an oscillator's
+//! Allan (1966) introduced it precisely because the ordinary variance of an oscillator's
 //! frequency fluctuations diverges in the presence of flicker noise.  These estimators
 //! operate on either
 //!

@@ -11,6 +11,8 @@
 //! * [`fit`] — least-squares fitting, including the paper's `σ²_N = a·N + b·N²` fit,
 //! * [`autocorr`] — autocovariance / autocorrelation estimation,
 //! * [`hypothesis`] — χ², Kolmogorov–Smirnov, Ljung–Box and runs tests,
+//! * [`minentropy`] — min-entropy ↔ bias conversions for binary sources (the algebra
+//!   the conditioning-pipeline entropy ledger is written in),
 //! * [`descriptive`], [`variance`], [`histogram`], [`special`], [`window`], [`seed`] —
 //!   supporting numerical building blocks.
 //!
@@ -42,6 +44,7 @@ pub mod fft;
 pub mod fit;
 pub mod histogram;
 pub mod hypothesis;
+pub mod minentropy;
 pub mod seed;
 pub mod sn;
 pub mod special;

@@ -1,0 +1,100 @@
+//! Min-entropy ↔ bias algebra for binary sources.
+//!
+//! A binary source whose most likely value has probability `p_max = 1/2 + ε`
+//! (with bias `ε ∈ [0, 1/2)`) carries `H_∞ = −log2(1/2 + ε)` bits of min-entropy
+//! per bit.  The conditioning-pipeline entropy ledger tracks both readings and
+//! needs the conversion to be exact and validated in one place: post-processing
+//! stages compose naturally in bias space (piling-up lemma), while health-test
+//! cutoffs and emission policies are stated in min-entropy space.
+
+use crate::{Result, StatsError};
+
+/// Min-entropy per bit of a binary source whose most likely value has probability
+/// `p_max`: `−log2(p_max)`.
+///
+/// # Errors
+///
+/// Returns an error when `p_max` is outside `[1/2, 1)` (a binary source's most
+/// likely value cannot be rarer than 1/2, and `p_max = 1` carries no entropy).
+pub fn min_entropy_from_p_max(p_max: f64) -> Result<f64> {
+    if !(0.5..1.0).contains(&p_max) {
+        return Err(StatsError::InvalidParameter {
+            name: "p_max",
+            reason: format!("must be in [1/2, 1) for a binary source, got {p_max}"),
+        });
+    }
+    Ok(-p_max.log2())
+}
+
+/// Min-entropy per bit of a binary source with bias `ε = |p − 1/2|`:
+/// `−log2(1/2 + ε)`.
+///
+/// # Errors
+///
+/// Returns an error when `bias` is outside `[0, 1/2)`.
+pub fn min_entropy_from_bias(bias: f64) -> Result<f64> {
+    if !(0.0..0.5).contains(&bias) {
+        return Err(StatsError::InvalidParameter {
+            name: "bias",
+            reason: format!("a bit bias lies in [0, 1/2), got {bias}"),
+        });
+    }
+    min_entropy_from_p_max(0.5 + bias)
+}
+
+/// Worst-case bias `ε = 2^{−H} − 1/2` consistent with a min-entropy claim of `H`
+/// bits per bit — the inverse of [`min_entropy_from_bias`].
+///
+/// # Errors
+///
+/// Returns an error when `min_entropy` is outside `(0, 1]`.
+pub fn bias_from_min_entropy(min_entropy: f64) -> Result<f64> {
+    if !(min_entropy > 0.0 && min_entropy <= 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "min_entropy",
+            reason: format!("must be in (0, 1] for binary samples, got {min_entropy}"),
+        });
+    }
+    // Clamp: 2^-H - 1/2 can land a few ulps below 0 for H = 1.
+    Ok((2.0f64.powf(-min_entropy) - 0.5).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbiased_bits_carry_one_bit() {
+        assert!((min_entropy_from_p_max(0.5).unwrap() - 1.0).abs() < 1e-15);
+        assert!((min_entropy_from_bias(0.0).unwrap() - 1.0).abs() < 1e-15);
+        assert_eq!(bias_from_min_entropy(1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // p_max = 0.75 → H = −log2(0.75) ≈ 0.415.
+        assert!((min_entropy_from_p_max(0.75).unwrap() - 0.415_037_499_278_844).abs() < 1e-12);
+        assert!((min_entropy_from_bias(0.25).unwrap() - 0.415_037_499_278_844).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        for &bias in &[0.0, 1e-6, 0.01, 0.1, 0.25, 0.4, 0.499] {
+            let h = min_entropy_from_bias(bias).unwrap();
+            assert!(h > 0.0 && h <= 1.0, "h = {h}");
+            let back = bias_from_min_entropy(h).unwrap();
+            assert!((back - bias).abs() < 1e-12, "bias {bias} → {back}");
+        }
+    }
+
+    #[test]
+    fn domain_validation() {
+        assert!(min_entropy_from_p_max(0.49).is_err());
+        assert!(min_entropy_from_p_max(1.0).is_err());
+        assert!(min_entropy_from_bias(-0.01).is_err());
+        assert!(min_entropy_from_bias(0.5).is_err());
+        assert!(bias_from_min_entropy(0.0).is_err());
+        assert!(bias_from_min_entropy(1.01).is_err());
+        assert!(bias_from_min_entropy(f64::NAN).is_err());
+    }
+}

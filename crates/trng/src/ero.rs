@@ -591,6 +591,8 @@ mod tests {
         assert!((trng.bit_rate() - 103.0e6 * 0.9993 / 16.0).abs() < 1.0);
     }
 
+    /// The single compatibility gate for the deprecated shim: everything else in the
+    /// workspace (internals, examples, benches) uses `fill_bits`/`EroSampler`.
     #[test]
     #[allow(deprecated)]
     fn deprecated_generate_bits_wraps_fill_bits() {
@@ -598,6 +600,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let bits = trng.generate_bits(&mut rng, 1000).unwrap();
         assert_eq!(bits, fill(&trng, 9, 1000));
+        // Error path of the shim, gated here rather than in the validation test.
+        assert!(trng.generate_bits(&mut rng, 0).is_err());
     }
 
     #[test]
@@ -608,11 +612,5 @@ mod tests {
         let mut config = jittery_config(4);
         config.duty_cycle = 1.0;
         assert!(EroTrng::new(config).is_err());
-        let trng = EroTrng::new(jittery_config(4)).unwrap();
-        let mut rng = StdRng::seed_from_u64(6);
-        #[allow(deprecated)]
-        {
-            assert!(trng.generate_bits(&mut rng, 0).is_err());
-        }
     }
 }

@@ -7,6 +7,11 @@
 //!
 //! * [`ero`] — the sampler/digitizer producing the raw binary sequence,
 //! * [`postprocess`] — algebraic post-processing (XOR decimation, von Neumann, parity),
+//! * [`conditioning`] — the streaming conditioning pipeline: composable stages
+//!   (XOR decimation, von Neumann, a SHA-256 vetted conditioner) threading an
+//!   end-to-end [`conditioning::EntropyLedger`] from the stochastic model's
+//!   dependent-jitter bound to the emitted bits,
+//! * [`sha256`] — a hand-rolled FIPS 180-4 SHA-256 backing the vetted conditioner,
 //! * [`entropy`] — empirical entropy estimators for bit sequences,
 //! * [`stochastic`] — entropy-per-bit bounds: the classical thermal-only ("independent
 //!   jitter") model and the flicker-aware correction motivated by the paper,
@@ -16,10 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conditioning;
 pub mod entropy;
 pub mod ero;
 pub mod online;
 pub mod postprocess;
+pub mod sha256;
 pub mod stochastic;
 
 use thiserror::Error;

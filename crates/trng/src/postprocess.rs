@@ -207,4 +207,63 @@ mod tests {
         assert!(xor_output_bias(0.6, 2).is_err());
         assert!(xor_output_bias(0.1, 0).is_err());
     }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The `_into` variants equal the allocating forms for every input —
+            /// including empty inputs, non-byte-aligned lengths and factor 1 — and a
+            /// dirty scratch buffer from a previous call never leaks into the result.
+            #[test]
+            fn xor_decimate_into_matches_for_all_inputs(
+                bits in proptest::collection::vec(0u8..=1, 0..512),
+                factor in 1usize..9,
+                garbage in proptest::collection::vec(0u8..=255, 0..32),
+            ) {
+                let mut scratch = garbage.clone();
+                xor_decimate_into(&bits, factor, &mut scratch).unwrap();
+                prop_assert_eq!(&scratch, &xor_decimate(&bits, factor).unwrap());
+                prop_assert_eq!(scratch.len(), bits.len() / factor);
+                if factor == 1 {
+                    prop_assert_eq!(&scratch, &bits);
+                }
+                // Scratch reuse across calls: a second, shorter input fully
+                // replaces the previous contents.
+                let shorter = &bits[..bits.len() / 2];
+                xor_decimate_into(shorter, factor, &mut scratch).unwrap();
+                prop_assert_eq!(scratch, xor_decimate(shorter, factor).unwrap());
+            }
+
+            #[test]
+            fn von_neumann_into_matches_for_all_inputs(
+                bits in proptest::collection::vec(0u8..=1, 0..512),
+                garbage in proptest::collection::vec(0u8..=255, 0..32),
+            ) {
+                let mut scratch = garbage.clone();
+                von_neumann_into(&bits, &mut scratch).unwrap();
+                let reference = von_neumann(&bits).unwrap();
+                prop_assert_eq!(&scratch, &reference);
+                // Output bits are bits, and at most one per pair is kept.
+                prop_assert!(reference.iter().all(|&b| b <= 1));
+                prop_assert!(reference.len() <= bits.len() / 2);
+                // Scratch reuse across calls.
+                von_neumann_into(&bits, &mut scratch).unwrap();
+                prop_assert_eq!(scratch, reference);
+            }
+
+            /// Piling-up bias shrinks monotonically with the factor and stays in
+            /// the valid bias domain.
+            #[test]
+            fn xor_output_bias_stays_in_domain(
+                epsilon in 0.0f64..0.5,
+                factor in 1usize..16,
+            ) {
+                let bias = xor_output_bias(epsilon, factor).unwrap();
+                prop_assert!((0.0..0.5).contains(&bias));
+                prop_assert!(bias <= epsilon.max(1e-300) + 1e-15);
+            }
+        }
+    }
 }

@@ -7,7 +7,7 @@
 use std::time::Instant;
 
 use ptrng::ais::fips;
-use ptrng::engine::pool::{Engine, EngineConfig, PostProcess};
+use ptrng::engine::pool::{ConditionerSpec, Engine, EngineConfig};
 use ptrng::engine::source::SourceSpec;
 use ptrng::engine::stream::unpack_bits;
 
@@ -17,15 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // stochastic-model fast path.
     // XOR factor 4: the eRO raw stream carries ~1% lag-1 correlation at division 8,
     // which adjacent-bit XOR would fold into output bias; two folds suppress it.
-    for (spec, post) in [
-        ("ero:8", PostProcess::XorDecimate(4)),
-        ("model", PostProcess::None),
+    for (spec, conditioner) in [
+        ("ero:8", ConditionerSpec::xor(4)),
+        ("model", ConditionerSpec::none()),
     ] {
         let budget = 256 * 1024u64;
         let config = EngineConfig::new(SourceSpec::parse(spec)?)
             .shards(4)
             .seed(42)
-            .post(post)
+            .conditioner(conditioner)
             .budget_bytes(Some(budget));
         let started = Instant::now();
         let mut engine = Engine::spawn(config)?;
@@ -48,8 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         for shard in &snapshot.per_shard {
             println!(
-                "          shard {}: {} bytes in {} batches",
-                shard.shard, shard.output_bytes, shard.batches
+                "          shard {}: {} bytes in {} batches ({:.6} accounted h/bit)",
+                shard.shard, shard.output_bytes, shard.batches, shard.entropy_per_output_bit
             );
         }
     }

@@ -10,7 +10,7 @@
 //! | [`stats`] | `σ²_N` statistic, Allan variances, spectral estimation, fitting, tests |
 //! | [`osc`] | ring oscillators, ISF conversion, phase-noise model, jitter generation |
 //! | [`measure`] | the differential counter measurement circuit and acquisition campaigns |
-//! | [`trng`] | the eRO-TRNG, post-processing, entropy estimators and bounds, online test |
+//! | [`trng`] | the eRO-TRNG, conditioning pipeline + entropy ledger, SHA-256, entropy bounds, online test |
 //! | [`ais`] | AIS 31 / FIPS 140-2 / SP 800-90B statistical test batteries |
 //! | [`core`] | the multilevel model, independence analysis, thermal extraction, reports |
 //! | [`engine`] | sharded entropy generation runtime: pluggable sources, worker pool, continuous health monitoring, `ptrngd` CLI |
@@ -53,7 +53,7 @@ pub mod prelude {
     // Engine types (the crate's `Result`/`EngineError` stay namespaced to avoid
     // shadowing the analysis crates' aliases).
     pub use ptrng_engine::health::{HealthConfig, HealthMonitor, HealthState};
-    pub use ptrng_engine::pool::{Engine, EngineConfig, PostProcess};
+    pub use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig, StageSpec};
     pub use ptrng_engine::source::{EntropySource, JitterProfile, SourceSpec};
 }
 

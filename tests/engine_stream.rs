@@ -4,7 +4,7 @@
 
 use ptrng::ais::fips;
 use ptrng::engine::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
-use ptrng::engine::pool::{Engine, EngineConfig, PostProcess};
+use ptrng::engine::pool::{ConditionerSpec, Engine, EngineConfig};
 use ptrng::engine::source::{JitterProfile, SourceSpec};
 use ptrng::engine::stream::unpack_bits;
 use ptrng::engine::EngineError;
@@ -81,7 +81,7 @@ fn simulated_ero_shards_survive_health_monitoring() {
         .batch_bits(8192)
         // Factor 4: adjacent-bit XOR (factor 2) would convert the raw stream's ~1%
         // lag-1 correlation into output bias near the FIPS monobit boundary.
-        .post(PostProcess::XorDecimate(4))
+        .conditioner(ConditionerSpec::xor(4))
         // Startup battery on: the first 20 000 output bits are vetted before publishing.
         .budget_bytes(Some(8 * 1024));
     let mut engine = Engine::spawn(config).unwrap();
@@ -121,6 +121,72 @@ fn divided_sampler_sweep_streams() {
     let ones: usize = bits.iter().map(|&b| b as usize).sum();
     let p = ones as f64 / bits.len() as f64;
     assert!((p - 0.5).abs() < 0.06, "p(1) = {p}");
+}
+
+/// The acceptance scenario for the conditioning pipeline: the physically-simulated
+/// eRO-TRNG streamed through the SHA-256 vetted conditioner under a strict emission
+/// policy (`--min-h 0.997`) produces zero alarms, full-entropy accounting and
+/// FIPS-clean output.
+#[test]
+fn sha256_conditioned_ero_streams_under_a_strict_emission_policy() {
+    let spec = SourceSpec::ero(16, JitterProfile::Strong).unwrap();
+    let config = EngineConfig::new(spec)
+        .shards(2)
+        .seed(9)
+        .batch_bits(8192)
+        .conditioner(ConditionerSpec::parse("sha256").unwrap())
+        .min_output_entropy(Some(0.997))
+        .budget_bytes(Some(8 * 1024));
+    let mut engine = Engine::spawn(config).expect("the accounted entropy meets the policy");
+    let bytes = engine.read_to_end().expect("no alarm expected");
+    let snapshot = engine.metrics().snapshot();
+    engine.join().unwrap();
+
+    assert_eq!(bytes.len(), 8 * 1024);
+    assert_eq!(snapshot.alarms, 0);
+    for shard in &snapshot.per_shard {
+        assert!(
+            shard.entropy_per_output_bit >= 0.997,
+            "shard {} accounted only {} bits/bit",
+            shard.shard,
+            shard.entropy_per_output_bit
+        );
+    }
+    assert!(snapshot.total_accounted_entropy_bits >= 0.997 * 8.0 * 8.0 * 1024.0);
+
+    // The conditioned stream is FIPS-clean.
+    let bits = unpack_bits(&bytes[..fips::FIPS_BLOCK_BITS / 8]);
+    for result in fips::run_all(&bits).unwrap() {
+        assert!(result.passed, "{} failed", result.name);
+    }
+}
+
+/// The emission-refusal path: a thermally-collapsed (degraded stochastic-model)
+/// source cannot account 0.997 bits per conditioned bit even through the vetted
+/// conditioner, so the engine refuses to emit instead of overclaiming.
+#[test]
+fn degraded_model_source_is_refused_under_the_emission_policy() {
+    let config = EngineConfig::new(SourceSpec::model(0.95).unwrap())
+        .seed(4)
+        .conditioner(ConditionerSpec::parse("sha256").unwrap())
+        .min_output_entropy(Some(0.997))
+        .budget_bytes(Some(4096));
+    match Engine::spawn(config) {
+        Err(EngineError::EntropyDeficit {
+            accounted,
+            required,
+            ledger,
+            ..
+        }) => {
+            assert!(accounted < required);
+            assert!(
+                ledger.contains("model(p_one=0.95)"),
+                "ledger must name the source: {ledger}"
+            );
+        }
+        Err(other) => panic!("expected an entropy deficit, got {other}"),
+        Ok(_) => panic!("expected an entropy deficit, engine spawned"),
+    }
 }
 
 /// A heavily biased source is rejected by the engine's continuous tests and surfaces
@@ -213,7 +279,8 @@ fn frequency_injection_style_jitter_collapse_trips_the_alarm() {
     let config = HealthConfig::default()
         .without_startup_battery()
         .with_thermal(thermal);
-    let mut monitor = HealthMonitor::new(&config, 1.0).unwrap();
+    let ledger = ptrng::trng::conditioning::EntropyLedger::source("monitor test", 1.0).unwrap();
+    let mut monitor = HealthMonitor::new(&config, &ledger).unwrap();
 
     let acc = AccumulationModel::new(model);
     let depths: Vec<f64> = vec![1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0];

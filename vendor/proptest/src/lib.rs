@@ -125,11 +125,11 @@ impl<T: Clone + Debug> Strategy for Just<T> {
     }
 }
 
-/// Collection strategies ([`vec`]).
+/// Collection strategies ([`vec()`](crate::collection::vec)).
 pub mod collection {
     use super::{Range, RangeInclusive, Strategy, TestRng};
 
-    /// Length specifications accepted by [`vec`]: a range or a fixed length.
+    /// Length specifications accepted by [`vec()`](crate::collection::vec): a range or a fixed length.
     pub trait SizeRange {
         /// Draws one length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -159,7 +159,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](crate::collection::vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,

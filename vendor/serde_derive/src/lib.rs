@@ -1,7 +1,7 @@
 //! Workspace-local stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the sibling
-//! `serde` stand-in's [`Value`] tree without `syn`/`quote` (neither is available
+//! `serde` stand-in's `Value` tree without `syn`/`quote` (neither is available
 //! offline): the item is parsed directly from the `proc_macro` token stream.  Supported
 //! shapes — everything this workspace derives on — are non-generic structs (named,
 //! tuple, unit) and enums whose variants are unit, tuple, or struct-like.  Field
