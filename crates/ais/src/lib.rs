@@ -16,7 +16,30 @@
 //! * [`bits`] — bit-sequence helpers shared by the tests.
 //!
 //! The numerical bounds follow the published test specifications; they are deterministic
-//! pass/fail criteria, not p-values.
+//! pass/fail criteria, not p-values.  Where each battery sits in the runtime's health
+//! layer is described in `docs/architecture.md` of the repository book.
+//!
+//! # Example
+//!
+//! Run the FIPS 140-2 battery on one 20 000-bit block:
+//!
+//! ```
+//! use ptrng_ais::fips;
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! # fn main() -> Result<(), ptrng_ais::AisError> {
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let bits: Vec<u8> = (0..fips::FIPS_BLOCK_BITS).map(|_| rng.gen_range(0..=1)).collect();
+//! let results = fips::run_all(&bits)?;
+//! assert!(results.iter().all(|r| r.passed), "a fair coin passes the battery");
+//!
+//! // A stuck source fails immediately (and names the failing tests).
+//! let stuck = vec![1u8; fips::FIPS_BLOCK_BITS];
+//! assert!(fips::run_all(&stuck)?.iter().any(|r| !r.passed));
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -10,6 +10,8 @@
 //! fixed workload; the `baseline_pr1` block records the same quantities measured on the
 //! PR 1 code (per-sample scalar pipeline) on this container for reference.
 
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -25,6 +27,7 @@ use ptrng_noise::flicker::FlickerNoise;
 use ptrng_noise::white::fill_standard_normal;
 use ptrng_noise::NoiseSource;
 use ptrng_osc::jitter::{JitterGenerator, JitterSampler};
+use ptrng_serve::server::{ServeConfig, Server};
 use ptrng_stats::sn::{sigma2_n_sweep, sigma2_n_sweep_windowed, SnSampling};
 use ptrng_trng::ero::{EroTrng, EroTrngConfig};
 
@@ -34,10 +37,22 @@ struct Snapshot {
     engine: EngineNumbers,
     source: SourceNumbers,
     conditioning: Vec<ConditionerNumbers>,
+    serve: ServeNumbers,
     flicker: FlickerNumbers,
     sweep: SweepNumbers,
     thermal_sweep: ThermalSweepNumbers,
     baseline_pr1: Baseline,
+}
+
+/// Loopback throughput of `ptrng-serve`: one client drawing sha256-conditioned
+/// entropy from an `ero:16:strong` engine (the PR 3 e2e configuration) through the
+/// full HTTP path — request parse, rate path, chunked framing, tap draws.
+#[derive(Serialize)]
+struct ServeNumbers {
+    /// Entropy body bytes per second over loopback, in MB/s.
+    loopback_sha256_mb_s: f64,
+    /// Bytes drawn per measured request.
+    request_bytes: u64,
 }
 
 /// Steady-state cost and accounted entropy of one conditioning chain: raw input bits
@@ -263,6 +278,78 @@ fn thermal_sweep_numbers() -> ThermalSweepNumbers {
     }
 }
 
+/// Draws `bytes` from a loopback `ptrng-serve` and returns the wall-clock entropy
+/// throughput in MB/s (median of `reps` requests against one warmed-up server).
+fn serve_numbers() -> ServeNumbers {
+    let request_bytes: u64 = 512 << 10;
+    // Serving tuning: larger batches amortize the per-batch channel hop (the HTTP
+    // worker and the shard worker share one CPU here), see docs/operations.md.
+    let engine = EngineConfig::new(SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"))
+        .shards(1)
+        .seed(1)
+        .batch_bits(1 << 15)
+        .conditioner(ConditionerSpec::parse("sha256").expect("valid conditioner"))
+        .min_output_entropy(Some(0.997))
+        .health(HealthConfig::default().without_startup_battery());
+    let mut config = ServeConfig::new(engine);
+    config.listen = "127.0.0.1:0".to_string();
+    config.threads = 2;
+
+    let server = Server::bind(config).expect("server binds");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.serve());
+
+    // Warm-up request sizes every buffer and fills the engine queue.
+    assert_eq!(draw_over_http(addr, 64 << 10), 64 << 10);
+    let secs = median_secs(3, || {
+        assert_eq!(draw_over_http(addr, request_bytes), request_bytes);
+    });
+    handle.shutdown();
+    serving
+        .join()
+        .expect("server thread joins")
+        .expect("server drains cleanly");
+    ServeNumbers {
+        loopback_sha256_mb_s: request_bytes as f64 / secs / 1.0e6,
+        request_bytes,
+    }
+}
+
+/// One `GET /entropy?bytes=N` over a fresh connection; returns the decoded body
+/// length (chunked transfer).
+fn draw_over_http(addr: std::net::SocketAddr, bytes: u64) -> u64 {
+    let mut conn = TcpStream::connect(addr).expect("connects");
+    write!(
+        conn,
+        "GET /entropy?bytes={bytes} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request written");
+    let mut reader = BufReader::new(conn);
+    // Skip the response head.
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        assert!(!line.is_empty(), "connection closed before the body");
+        if line == "\r\n" {
+            break;
+        }
+    }
+    // Decode the chunked body, counting payload bytes.
+    let mut body_bytes = 0u64;
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).expect("chunk size line");
+        let size = u64::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            return body_bytes;
+        }
+        std::io::copy(&mut (&mut reader).take(size + 2), &mut std::io::sink())
+            .expect("chunk consumed");
+        body_bytes += size;
+    }
+}
+
 /// The engine's `strong` jitter profile at the given division — taken from the engine
 /// itself so the snapshot always measures the workload the engine actually runs.
 fn strong_config(division: u32) -> EroTrngConfig {
@@ -273,7 +360,7 @@ fn strong_config(division: u32) -> EroTrngConfig {
 
 fn main() {
     let snapshot = Snapshot {
-        schema_version: 2,
+        schema_version: 3,
         engine: EngineNumbers {
             ero_strong_div16_1shard_mb_s: engine_mb_s(
                 SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"),
@@ -296,6 +383,7 @@ fn main() {
             ),
         },
         conditioning: conditioning_numbers(),
+        serve: serve_numbers(),
         flicker: flicker_numbers(),
         sweep: sweep_numbers(),
         thermal_sweep: thermal_sweep_numbers(),

@@ -2,7 +2,22 @@
 //!
 //! Every experiment of `EXPERIMENTS.md` (FIG7, EQ6, EQ11, RN, THERMAL, ENTROPY) is backed
 //! by one binary in `src/bin/` that prints the regenerated rows/series, and one Criterion
-//! benchmark in `benches/` that measures the cost of the underlying computation.
+//! benchmark in `benches/` that measures the cost of the underlying computation.  The
+//! `engine_snapshot` binary additionally refreshes `BENCH_ENGINE.json` (schema v3,
+//! including the `ptrng-serve` loopback throughput) — the numbers the capacity-planning
+//! table of `docs/operations.md` is built from.
+//!
+//! # Example
+//!
+//! Acquire a miniature FIG7-style dataset (a real simulation, scaled down):
+//!
+//! ```
+//! use ptrng_bench::acquire_fig7_dataset;
+//!
+//! let dataset = acquire_fig7_dataset(1, 1 << 12, 256);
+//! assert!(dataset.points().len() > 4, "log-spaced depths acquired");
+//! assert!(dataset.points().iter().all(|p| p.sigma2_n >= 0.0));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -15,14 +15,20 @@
 //!   refuses emission when the accounted entropy misses the configured floor,
 //! * [`stream`] — the consumer side: ordered batches of packed bytes with shard
 //!   attribution and a hard byte budget,
+//! * [`tap`] — a shareable multi-consumer view of the stream ([`tap::EntropyTap`]):
+//!   blocking and non-blocking byte draws from any number of threads, with the
+//!   conditioned-output entropy ledger and the alarm trail attached — the interface
+//!   the `ptrng-serve` HTTP layer is built on,
 //! * [`health`] — continuous health monitoring per shard: a FIPS 140-2 startup battery,
 //!   SP 800-90B repetition-count and adaptive-proportion tests on the raw bits, and the
 //!   paper's `σ²_N` thermal-jitter online test, composed into a latching alarm state
 //!   machine (with flicker-aware debouncing of the thermal estimate),
 //! * [`metrics`] — lock-free per-shard counters and serializable snapshots.
 //!
-//! The `ptrngd` binary wraps the pool into a CLI that streams raw or post-processed
-//! bytes to stdout or a file.
+//! The `ptrngd` and `ptrng-serve` binaries (in the `ptrng-serve` crate) wrap the pool
+//! into a CLI that streams bytes to a file descriptor and an HTTP entropy server
+//! respectively; see `docs/architecture.md` and `docs/operations.md` in the repository
+//! book for the end-to-end dataflow and the runbook.
 //!
 //! # Quickstart
 //!
@@ -51,6 +57,7 @@ pub mod metrics;
 pub mod pool;
 pub mod source;
 pub mod stream;
+pub mod tap;
 
 use thiserror::Error;
 
@@ -87,8 +94,10 @@ pub enum EngineError {
         accounted: f64,
         /// The configured `min_output_entropy` threshold.
         required: f64,
-        /// Rendered entropy ledger explaining the accounting.
-        ledger: String,
+        /// The entropy ledger explaining the accounting; render it with
+        /// [`ptrng_trng::conditioning::EntropyLedger::to_json`] for machine consumers
+        /// (the `ptrng-serve` HTTP 503 body) or `Display` for humans.
+        ledger: Box<ptrng_trng::conditioning::EntropyLedger>,
     },
     /// A shard's health monitor raised an alarm.
     #[error("health alarm on shard {shard}: {reason}")]
@@ -121,10 +130,11 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
-    pub use crate::metrics::MetricsSnapshot;
+    pub use crate::metrics::{MetricsSnapshot, ShardAlarm};
     pub use crate::pool::{ConditionerSpec, Engine, EngineConfig, StageSpec};
     pub use crate::source::{EntropySource, JitterProfile, SourceSpec};
     pub use crate::stream::Batch;
+    pub use crate::tap::EntropyTap;
     pub use crate::{EngineError, Result};
     pub use ptrng_trng::conditioning::{ConditioningChain, ConditioningStage, EntropyLedger};
 }

@@ -1,8 +1,23 @@
 //! Lock-free runtime counters with serializable snapshots.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
+
+/// One recorded shard alarm: the shard index and the rendered reason.
+///
+/// Recorded by the shard worker **at alarm time** (not when the consumer drains the
+/// stream), so health surfaces like `ptrng-serve`'s `/healthz` see alarms even while
+/// no one is drawing entropy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardAlarm {
+    /// Index of the alarmed shard.
+    pub shard: usize,
+    /// Human-readable alarm reason (repetition-count, adaptive-proportion, thermal
+    /// collapse, startup battery, source failure).
+    pub reason: String,
+}
 
 /// Per-shard counters, updated by the worker without locks.
 #[derive(Debug, Default)]
@@ -47,6 +62,9 @@ impl ShardMetrics {
 pub struct EngineMetrics {
     shards: Vec<ShardMetrics>,
     alarms: AtomicU64,
+    /// Alarm trail in observation order (bounded by the shard count: an alarmed
+    /// worker terminates, so each shard contributes at most one entry).
+    alarm_reasons: Mutex<Vec<ShardAlarm>>,
 }
 
 impl EngineMetrics {
@@ -55,6 +73,7 @@ impl EngineMetrics {
         Self {
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
             alarms: AtomicU64::new(0),
+            alarm_reasons: Mutex::new(Vec::new()),
         }
     }
 
@@ -69,8 +88,28 @@ impl EngineMetrics {
         self.shards[index].set_entropy_per_output_bit(h);
     }
 
-    pub(crate) fn record_alarm(&self) {
+    pub(crate) fn record_alarm(&self, shard: usize, reason: &str) {
         self.alarms.fetch_add(1, Ordering::Relaxed);
+        self.alarm_reasons
+            .lock()
+            .expect("metrics lock poisoned")
+            .push(ShardAlarm {
+                shard,
+                reason: reason.to_string(),
+            });
+    }
+
+    /// Number of alarms recorded so far (lock-free).
+    pub fn alarms(&self) -> u64 {
+        self.alarms.load(Ordering::Relaxed)
+    }
+
+    /// The alarm trail in observation order, recorded at alarm time by the workers.
+    pub fn alarm_reasons(&self) -> Vec<ShardAlarm> {
+        self.alarm_reasons
+            .lock()
+            .expect("metrics lock poisoned")
+            .clone()
     }
 
     /// Takes a consistent-enough snapshot for reporting.
@@ -136,13 +175,19 @@ mod tests {
         metrics.shard(0).record_batch(800, 100);
         metrics.shard(1).record_batch(1600, 200);
         metrics.shard(1).record_batch(800, 100);
-        metrics.record_alarm();
+        metrics.record_alarm(1, "thermal collapse");
         let snap = metrics.snapshot();
         assert_eq!(snap.total_raw_bits, 3200);
         assert_eq!(snap.total_output_bytes, 400);
         assert_eq!(snap.total_batches, 3);
         assert_eq!(snap.alarms, 1);
         assert_eq!(snap.per_shard[1].batches, 2);
+        // Reasons are recorded at alarm time, not at drain time.
+        assert_eq!(metrics.alarms(), 1);
+        let reasons = metrics.alarm_reasons();
+        assert_eq!(reasons.len(), 1);
+        assert_eq!(reasons[0].shard, 1);
+        assert!(reasons[0].reason.contains("thermal"));
     }
 
     #[test]

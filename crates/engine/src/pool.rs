@@ -322,6 +322,7 @@ pub struct Engine {
     stream: ByteStream,
     metrics: Arc<EngineMetrics>,
     workers: Vec<JoinHandle<()>>,
+    output_ledger: EntropyLedger,
 }
 
 impl Engine {
@@ -372,7 +373,7 @@ impl Engine {
                         shard,
                         accounted,
                         required,
-                        ledger: ledger.to_string(),
+                        ledger: Box::new(ledger.clone()),
                     });
                 }
             }
@@ -413,10 +414,17 @@ impl Engine {
         }
         drop(tx);
 
+        // Shards share the spec, so their accounted output ledgers are identical;
+        // shard 0's is kept as *the* conditioned-output ledger of the engine.
+        let output_ledger = output_ledgers
+            .into_iter()
+            .next()
+            .expect("at least one shard was validated");
         Ok(Self {
             stream: ByteStream::new(rx, config.shards),
             metrics,
             workers,
+            output_ledger,
         })
     }
 
@@ -428,6 +436,19 @@ impl Engine {
     /// Shared runtime counters.
     pub fn metrics(&self) -> &EngineMetrics {
         &self.metrics
+    }
+
+    /// The accounted entropy ledger of the conditioned output (identical across
+    /// shards: the spec — not the seed — determines the accounting).
+    pub fn output_ledger(&self) -> &EntropyLedger {
+        &self.output_ledger
+    }
+
+    /// Converts the engine into a shareable multi-consumer [`crate::tap::EntropyTap`]:
+    /// any number of threads can then draw bytes concurrently (the serving interface
+    /// used by `ptrng-serve`).
+    pub fn into_tap(self) -> crate::tap::EntropyTap {
+        crate::tap::EntropyTap::new(self.stream, self.metrics, self.workers, self.output_ledger)
     }
 
     /// Drains the stream into one byte vector (see [`ByteStream::read_to_end`]).
@@ -487,7 +508,7 @@ impl ShardWorker {
                 let _ = self.tx.send(Message::ShardDone(self.shard));
             }
             Err(WorkerExit::Alarm(reason)) => {
-                self.metrics.record_alarm();
+                self.metrics.record_alarm(self.shard, &reason);
                 let _ = self.tx.send(Message::Alarm {
                     shard: self.shard,
                     reason,
@@ -499,10 +520,11 @@ impl ShardWorker {
             Err(WorkerExit::Source(error)) => {
                 // Surface simulation failures through the alarm path: the shard can no
                 // longer vouch for its output.
-                self.metrics.record_alarm();
+                let reason = format!("source failure: {error}");
+                self.metrics.record_alarm(self.shard, &reason);
                 let _ = self.tx.send(Message::Alarm {
                     shard: self.shard,
-                    reason: format!("source failure: {error}"),
+                    reason,
                 });
             }
         }
@@ -824,7 +846,15 @@ mod tests {
                 ..
             }) => {
                 assert!(accounted < required, "{accounted} vs {required}");
-                assert!(ledger.contains("sha256:2"), "{ledger}");
+                assert!((ledger.min_entropy_per_bit() - accounted).abs() < 1e-15);
+                // The typed ledger carries the whole provenance trail, and its
+                // canonical JSON form is what network consumers receive.
+                assert!(ledger.to_string().contains("sha256:2"), "{ledger}");
+                assert!(
+                    ledger.to_json().contains("sha256:2"),
+                    "{}",
+                    ledger.to_json()
+                );
             }
             Err(other) => panic!("expected an entropy deficit, got {other}"),
             Ok(_) => panic!("expected an entropy deficit, engine spawned"),

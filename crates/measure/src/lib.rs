@@ -17,7 +17,30 @@
 //!
 //! Hardware substitution: the only difference between this model and the FPGA circuit is
 //! that the oscillators are the simulated [`ptrng_osc::jitter::JitterGenerator`]s rather
-//! than physical rings; the counting and differencing semantics are identical.
+//! than physical rings; the counting and differencing semantics are identical.  The
+//! equation-by-equation map to the paper is `docs/stochastic-model.md` §4 of the
+//! repository book.
+//!
+//! # Example
+//!
+//! Measure a small `σ²_N` dataset from the paper's circuit and check that the variance
+//! grows with the accumulation depth:
+//!
+//! ```
+//! use ptrng_measure::circuit::DifferentialCircuit;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), ptrng_measure::MeasureError> {
+//! let circuit = DifferentialCircuit::date14_experiment();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let dataset = circuit.measure_period_domain(&mut rng, &[64, 256], 1 << 12)?;
+//! let points = dataset.points();
+//! assert_eq!(points.len(), 2);
+//! assert!(points[1].sigma2_n > points[0].sigma2_n, "σ²_N grows with N");
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,15 @@
+//! `ptrng-serve` — entropy-as-a-service over HTTP/1.1 (alias of `ptrngd serve`).
+//!
+//! ```text
+//! ptrng-serve --listen 127.0.0.1:7878 --conditioner sha256 --min-h 0.997
+//! curl -sD- "http://127.0.0.1:7878/entropy?bytes=65536" -o entropy.bin
+//! ```
+//!
+//! SIGTERM/SIGINT drain in-flight responses, shut the engine down and exit 0.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    ptrng_serve::cli::run_serve(&argv)
+}

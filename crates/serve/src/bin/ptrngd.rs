@@ -1,0 +1,20 @@
+//! `ptrngd` — stream entropy from a sharded simulated P-TRNG to stdout or a file,
+//! or serve it over HTTP with the `serve` subcommand.
+//!
+//! ```text
+//! ptrngd --shards 4 --source ero:16 --budget 1MiB > random.bin
+//! ptrngd serve --listen 127.0.0.1:7878 --conditioner sha256 --min-h 0.997
+//! ```
+//!
+//! Exit codes: 0 on success, 1 on usage/configuration errors, 2 when a health alarm
+//! or the entropy-deficit emission policy terminated generation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => ptrng_serve::cli::run_serve(&argv[1..]),
+        _ => ptrng_serve::cli::run_generate(&argv),
+    }
+}

@@ -1,0 +1,583 @@
+//! Shared command-line handling for `ptrngd` and `ptrng-serve`.
+//!
+//! Both front-ends configure the same engine, so the engine flags (`--shards`,
+//! `--source`, `--conditioner`, `--min-h`, …) are parsed by one [`EngineArgs`] and
+//! each mode layers its own flags on top: the streaming daemon adds `--budget`,
+//! `--out` and `--stats`, the HTTP server adds `--listen`, `--threads`, `--rate`, ….
+//! `ptrngd serve …` and `ptrng-serve …` are the same entry point ([`run_serve`]).
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ptrng_engine::health::HealthConfig;
+use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig};
+use ptrng_engine::source::SourceSpec;
+use ptrng_engine::EngineError;
+
+use crate::server::{RateLimit, ServeConfig, Server};
+
+/// Usage text of the streaming mode (`ptrngd`).
+pub const GENERATE_USAGE: &str = "\
+ptrngd — sharded entropy generation daemon (simulated P-TRNG)
+
+USAGE:
+    ptrngd [OPTIONS]            stream entropy to stdout or --out
+    ptrngd serve [OPTIONS]      serve entropy over HTTP (see `ptrngd serve --help`)
+
+OPTIONS:
+    --shards N          worker shards, one source each            [default: 4]
+    --source SPEC       ero[:DIV[:PROFILE]] | xor:K[:DIV[:PROFILE]] |
+                        div:D1,D2,...[:PROFILE] | model[:P_ONE]   [default: ero:16]
+                        PROFILE = strong | date14
+    --budget SIZE       stop after SIZE output bytes (e.g. 4096, 512KiB, 1MiB, 2GiB);
+                        omit to stream until interrupted
+    --seed N            base seed; shard i derives its own        [default: 0]
+    --batch-bits N      raw bits per batch per shard              [default: 8192]
+    --conditioner C     conditioning chain: none, or comma-separated stages of
+                        xor:K | vn | sha256[:RATIO]               [default: none]
+                        (--post is accepted as a deprecated alias)
+    --min-h H           refuse emission when the accounted min-entropy per
+                        conditioned output bit falls below H (0 < H <= 1)
+    --no-startup        skip the FIPS 140-2 startup battery
+    --min-entropy H     override the model-backed entropy claim used for the
+                        SP 800-90B cutoffs (0 < H <= 1)
+    --out PATH          write bytes to PATH instead of stdout
+    --stats             print per-shard metrics and the output entropy ledger
+                        (canonical JSON) to stderr
+    --help              show this help
+";
+
+/// Usage text of the serving mode (`ptrng-serve` / `ptrngd serve`).
+pub const SERVE_USAGE: &str = "\
+ptrng-serve — entropy-as-a-service over HTTP/1.1 (same engine as ptrngd)
+
+USAGE:
+    ptrng-serve [OPTIONS]
+
+ENDPOINTS:
+    GET /entropy?bytes=N   stream N conditioned bytes (chunked), with the accounted
+                           entropy ledger in X-PTRNG-MinEntropy / X-PTRNG-Ledger;
+                           503 + ledger JSON when the accounted entropy misses
+                           --min-h, 429 under the per-client rate limit
+    GET /healthz           shard/alarm state (RCT, APT, thermal, startup battery)
+    GET /metrics           Prometheus text exposition
+
+OPTIONS (in addition to every engine flag of ptrngd except --budget/--out/--stats):
+    --listen ADDR       bind address                              [default: 127.0.0.1:7878]
+    --threads N         HTTP worker threads                       [default: 4]
+    --max-request SIZE  per-request cap on ?bytes=N               [default: 4MiB]
+    --rate BYTES_S      per-client sustained rate limit in bytes/second;
+                        omit for unlimited
+    --burst SIZE        per-client burst capacity; requires --rate [default: 4x --rate]
+    --chunk SIZE        chunked-transfer draw granularity         [default: 64KiB]
+    --help              show this help
+
+SIGNALS:
+    SIGTERM/SIGINT trigger a graceful shutdown: in-flight responses complete,
+    the engine is drained, then the process exits 0.
+";
+
+/// Parses a human-friendly byte size: `4096`, `64KiB`, `1MiB`, `2GiB`.
+///
+/// # Errors
+///
+/// Returns a usage message for malformed or overflowing sizes.
+pub fn parse_size(text: &str) -> Result<u64, String> {
+    let lower = text.trim().to_ascii_lowercase();
+    let lower = lower.as_str();
+    let (digits, multiplier) = if let Some(d) = lower.strip_suffix("gib") {
+        (d, 1u64 << 30)
+    } else if let Some(d) = lower.strip_suffix("mib") {
+        (d, 1u64 << 20)
+    } else if let Some(d) = lower.strip_suffix("kib") {
+        (d, 1u64 << 10)
+    } else if let Some(d) = lower.strip_suffix('b') {
+        (d, 1)
+    } else {
+        (lower, 1)
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(multiplier))
+        .ok_or_else(|| format!("invalid size `{text}` (expected e.g. 4096, 512KiB, 1MiB)"))
+}
+
+/// The engine flags shared by every front-end.
+#[derive(Debug, Clone)]
+pub struct EngineArgs {
+    /// Worker shard count.
+    pub shards: usize,
+    /// Source specification text (parsed by [`SourceSpec::parse`]).
+    pub source: String,
+    /// Base seed.
+    pub seed: u64,
+    /// Raw bits per batch per shard.
+    pub batch_bits: usize,
+    /// Conditioning chain.
+    pub conditioner: ConditionerSpec,
+    /// Emission policy threshold.
+    pub min_h: Option<f64>,
+    /// Whether the FIPS startup battery runs.
+    pub startup_battery: bool,
+    /// Override of the entropy claim used for cutoff calibration.
+    pub min_entropy: Option<f64>,
+}
+
+impl Default for EngineArgs {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            source: "ero:16".to_string(),
+            seed: 0,
+            batch_bits: 8192,
+            conditioner: ConditionerSpec::none(),
+            min_h: None,
+            startup_battery: true,
+            min_entropy: None,
+        }
+    }
+}
+
+fn flag_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+impl EngineArgs {
+    /// Tries to consume one engine flag; returns whether it was recognized.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for malformed values.
+    pub fn accept(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--shards" => {
+                self.shards = flag_value(it, "--shards")?
+                    .parse()
+                    .map_err(|_| "invalid --shards".to_string())?;
+            }
+            "--source" => self.source = flag_value(it, "--source")?,
+            "--seed" => {
+                self.seed = flag_value(it, "--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed".to_string())?;
+            }
+            "--batch-bits" => {
+                self.batch_bits = flag_value(it, "--batch-bits")?
+                    .parse()
+                    .map_err(|_| "invalid --batch-bits".to_string())?;
+            }
+            "--conditioner" | "--post" => {
+                self.conditioner = ConditionerSpec::parse(&flag_value(it, "--conditioner")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--min-h" => {
+                self.min_h = Some(
+                    flag_value(it, "--min-h")?
+                        .parse()
+                        .map_err(|_| "invalid --min-h".to_string())?,
+                );
+            }
+            "--no-startup" => self.startup_battery = false,
+            "--min-entropy" => {
+                self.min_entropy = Some(
+                    flag_value(it, "--min-entropy")?
+                        .parse()
+                        .map_err(|_| "invalid --min-entropy".to_string())?,
+                );
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Builds the [`EngineConfig`] these flags describe (without a byte budget —
+    /// the caller sets one when it streams a bounded amount).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the source spec does not parse.
+    pub fn engine_config(&self) -> Result<EngineConfig, String> {
+        let spec = SourceSpec::parse(&self.source).map_err(|e| e.to_string())?;
+        let mut health = HealthConfig::default();
+        if !self.startup_battery {
+            health = health.without_startup_battery();
+        }
+        if let Some(claim) = self.min_entropy {
+            health = health.with_min_entropy(claim);
+        }
+        Ok(EngineConfig::new(spec)
+            .shards(self.shards)
+            .seed(self.seed)
+            .batch_bits(self.batch_bits)
+            .conditioner(self.conditioner.clone())
+            .min_output_entropy(self.min_h)
+            .health(health))
+    }
+}
+
+struct GenerateArgs {
+    engine: EngineArgs,
+    budget: Option<u64>,
+    out: Option<String>,
+    stats: bool,
+}
+
+fn parse_generate(argv: &[String]) -> Result<Option<GenerateArgs>, String> {
+    let mut args = GenerateArgs {
+        engine: EngineArgs::default(),
+        budget: None,
+        out: None,
+        stats: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--budget" => args.budget = Some(parse_size(&flag_value(&mut it, "--budget")?)?),
+            "--out" => args.out = Some(flag_value(&mut it, "--out")?),
+            "--stats" => args.stats = true,
+            other => {
+                if !args.engine.accept(other, &mut it)? {
+                    return Err(format!("unknown argument `{other}` (try --help)"));
+                }
+            }
+        }
+    }
+    Ok(Some(args))
+}
+
+#[derive(Debug)]
+struct ServeCliArgs {
+    engine: EngineArgs,
+    listen: String,
+    threads: usize,
+    max_request: u64,
+    rate: Option<u64>,
+    burst: Option<u64>,
+    chunk: usize,
+}
+
+fn parse_serve(argv: &[String]) -> Result<Option<ServeCliArgs>, String> {
+    let mut args = ServeCliArgs {
+        engine: EngineArgs::default(),
+        listen: "127.0.0.1:7878".to_string(),
+        threads: 4,
+        max_request: 4 << 20,
+        rate: None,
+        burst: None,
+        chunk: 64 << 10,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--listen" => args.listen = flag_value(&mut it, "--listen")?,
+            "--threads" => {
+                args.threads = flag_value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads".to_string())?;
+            }
+            "--max-request" => {
+                args.max_request = parse_size(&flag_value(&mut it, "--max-request")?)?;
+            }
+            "--rate" => args.rate = Some(parse_size(&flag_value(&mut it, "--rate")?)?),
+            "--burst" => args.burst = Some(parse_size(&flag_value(&mut it, "--burst")?)?),
+            "--chunk" => {
+                args.chunk = parse_size(&flag_value(&mut it, "--chunk")?)? as usize;
+            }
+            other => {
+                if !args.engine.accept(other, &mut it)? {
+                    return Err(format!("unknown argument `{other}` (try --help)"));
+                }
+            }
+        }
+    }
+    if args.burst.is_some() && args.rate.is_none() {
+        // Silently ignoring the burst would run without any limit while the
+        // operator believes one is in force.
+        return Err("--burst requires --rate (no rate limiter is active without it)".to_string());
+    }
+    Ok(Some(args))
+}
+
+impl ServeCliArgs {
+    fn serve_config(&self) -> Result<ServeConfig, String> {
+        let mut config = ServeConfig::new(self.engine.engine_config()?);
+        config.listen = self.listen.clone();
+        config.threads = self.threads;
+        config.max_request_bytes = self.max_request;
+        config.chunk_bytes = self.chunk;
+        config.rate_limit = self.rate.map(|bytes_per_sec| RateLimit {
+            bytes_per_sec,
+            burst_bytes: self.burst.unwrap_or(bytes_per_sec.saturating_mul(4)),
+        });
+        Ok(config)
+    }
+}
+
+fn run_generate_inner(args: GenerateArgs) -> Result<u64, (u8, String)> {
+    let config = args
+        .engine
+        .engine_config()
+        .map_err(|m| (1, m))?
+        .budget_bytes(args.budget);
+
+    // BufWriter matters here: batches are ~1 KiB and stdout is otherwise
+    // line-buffered, which would flush on every 0x0A byte of random output.
+    let mut sink: Box<dyn Write> = match &args.out {
+        Some(path) => Box::new(std::io::BufWriter::with_capacity(
+            256 * 1024,
+            std::fs::File::create(path).map_err(|e| (1, format!("cannot create `{path}`: {e}")))?,
+        )),
+        None => Box::new(std::io::BufWriter::with_capacity(
+            256 * 1024,
+            std::io::stdout().lock(),
+        )),
+    };
+
+    let started = Instant::now();
+    // An entropy deficit is the emission-refusal path (exit 2, like an alarm): the
+    // accounted ledger says the conditioned output would overclaim.  The canonical
+    // ledger JSON goes to stderr so tooling can consume the refusal.
+    let mut engine = Engine::spawn(config).map_err(|e| match e {
+        EngineError::EntropyDeficit { ref ledger, .. } => {
+            eprintln!("ptrngd: ledger {}", ledger.to_json());
+            (2, e.to_string())
+        }
+        other => (1, other.to_string()),
+    })?;
+    let mut written = 0u64;
+    let mut alarm: Option<String> = None;
+    for batch in engine.stream_mut() {
+        match batch {
+            Ok(batch) => {
+                sink.write_all(&batch.bytes)
+                    .map_err(|e| (1, format!("write failed: {e}")))?;
+                written += batch.bytes.len() as u64;
+            }
+            Err(e) => {
+                alarm.get_or_insert(e.to_string());
+            }
+        }
+    }
+    sink.flush()
+        .map_err(|e| (1, format!("flush failed: {e}")))?;
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if args.stats {
+        let snap = engine.metrics().snapshot();
+        eprintln!(
+            "ptrngd: {written} bytes in {elapsed:.2}s ({:.2} MiB/s), {} raw bits, {} batches, \
+             {:.0} accounted entropy bits, {} alarms",
+            written as f64 / elapsed.max(1e-9) / (1024.0 * 1024.0),
+            snap.total_raw_bits,
+            snap.total_batches,
+            snap.total_accounted_entropy_bits,
+            snap.alarms,
+        );
+        for shard in &snap.per_shard {
+            eprintln!(
+                "ptrngd:   shard {}: {} bytes, {} raw bits, {} batches, \
+                 {:.6} accounted h/bit",
+                shard.shard,
+                shard.output_bytes,
+                shard.raw_bits,
+                shard.batches,
+                shard.entropy_per_output_bit
+            );
+        }
+        eprintln!("ptrngd: ledger {}", engine.output_ledger().to_json());
+    }
+    engine.join().map_err(|e| (1, e.to_string()))?;
+    match alarm {
+        Some(reason) => Err((2, reason)),
+        None => Ok(written),
+    }
+}
+
+/// Entry point of the streaming mode (`ptrngd` without a subcommand).
+pub fn run_generate(argv: &[String]) -> ExitCode {
+    match parse_generate(argv) {
+        Ok(None) => {
+            print!("{GENERATE_USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(args)) => match run_generate_inner(args) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err((code, message)) => {
+                eprintln!("ptrngd: {message}");
+                ExitCode::from(code)
+            }
+        },
+        Err(message) => {
+            eprintln!("ptrngd: {message}");
+            eprintln!("{GENERATE_USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Entry point of the serving mode (`ptrng-serve`, or `ptrngd serve`).
+pub fn run_serve(argv: &[String]) -> ExitCode {
+    let args = match parse_serve(argv) {
+        Ok(None) => {
+            print!("{SERVE_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(Some(args)) => args,
+        Err(message) => {
+            eprintln!("ptrng-serve: {message}");
+            eprintln!("{SERVE_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match args.serve_config() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("ptrng-serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("ptrng-serve: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    server.install_signal_handlers();
+    match server.local_addr() {
+        Ok(addr) => {
+            if server.is_serving() {
+                eprintln!("ptrng-serve: listening on http://{addr} (entropy, healthz, metrics)");
+            } else {
+                eprintln!(
+                    "ptrng-serve: listening on http://{addr} in REFUSING mode — the \
+                     accounted entropy misses --min-h; /entropy answers 503 with the ledger"
+                );
+            }
+        }
+        Err(error) => eprintln!("ptrng-serve: listening (addr unavailable: {error})"),
+    }
+    match server.serve() {
+        Ok(()) => {
+            eprintln!("ptrng-serve: drained and shut down");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("ptrng-serve: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn sizes_parse_with_binary_suffixes() {
+        assert_eq!(parse_size("4096").unwrap(), 4096);
+        assert_eq!(parse_size("64KiB").unwrap(), 64 << 10);
+        assert_eq!(parse_size("1mib").unwrap(), 1 << 20);
+        assert_eq!(parse_size("2GiB").unwrap(), 2 << 30);
+        assert_eq!(parse_size("512b").unwrap(), 512);
+        assert!(parse_size("not-a-size").is_err());
+        assert!(parse_size("99999999999GiB").is_err(), "overflow must error");
+    }
+
+    #[test]
+    fn generate_and_serve_share_the_engine_flags() {
+        let generate = parse_generate(&argv(&[
+            "--shards",
+            "2",
+            "--source",
+            "model:0.5",
+            "--conditioner",
+            "sha256:2",
+            "--min-h",
+            "0.997",
+            "--budget",
+            "1KiB",
+        ]))
+        .unwrap()
+        .unwrap();
+        let serve = parse_serve(&argv(&[
+            "--shards",
+            "2",
+            "--source",
+            "model:0.5",
+            "--conditioner",
+            "sha256:2",
+            "--min-h",
+            "0.997",
+            "--listen",
+            "127.0.0.1:0",
+        ]))
+        .unwrap()
+        .unwrap();
+        // One parser, two front-ends: the resulting engine configs agree.
+        let a = generate.engine.engine_config().unwrap();
+        let b = serve.engine.engine_config().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(generate.budget, Some(1024));
+        assert_eq!(serve.listen, "127.0.0.1:0");
+    }
+
+    #[test]
+    fn serve_flags_build_the_server_config() {
+        let args = parse_serve(&argv(&[
+            "--listen",
+            "0.0.0.0:9000",
+            "--threads",
+            "8",
+            "--max-request",
+            "1MiB",
+            "--rate",
+            "256KiB",
+            "--chunk",
+            "16KiB",
+        ]))
+        .unwrap()
+        .unwrap();
+        let config = args.serve_config().unwrap();
+        assert_eq!(config.listen, "0.0.0.0:9000");
+        assert_eq!(config.threads, 8);
+        assert_eq!(config.max_request_bytes, 1 << 20);
+        assert_eq!(config.chunk_bytes, 16 << 10);
+        let rate = config.rate_limit.unwrap();
+        assert_eq!(rate.bytes_per_sec, 256 << 10);
+        assert_eq!(rate.burst_bytes, (256 << 10) * 4, "burst defaults to 4x");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_usage_hints() {
+        assert!(parse_generate(&argv(&["--bogus"])).is_err());
+        assert!(parse_serve(&argv(&["--budget", "1MiB"]))
+            .unwrap_err()
+            .contains("unknown argument"));
+        assert!(parse_generate(&argv(&["--help"])).unwrap().is_none());
+        assert!(parse_serve(&argv(&["--help"])).unwrap().is_none());
+    }
+
+    #[test]
+    fn burst_without_rate_is_a_usage_error() {
+        assert!(parse_serve(&argv(&["--burst", "4KiB"]))
+            .unwrap_err()
+            .contains("--burst requires --rate"));
+        assert!(parse_serve(&argv(&["--rate", "1KiB", "--burst", "4KiB"])).is_ok());
+    }
+}

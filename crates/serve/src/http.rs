@@ -1,0 +1,439 @@
+//! Minimal HTTP/1.1 wire handling: request parsing and response writing.
+//!
+//! This is deliberately a *subset* — exactly what an entropy service needs and
+//! nothing more:
+//!
+//! * requests: method + target + version, a bounded header block, query-string
+//!   splitting (no percent-decoding: the API surface is plain ASCII),
+//! * responses: status line + headers with either a `Content-Length` body or
+//!   `Transfer-Encoding: chunked` streaming via [`ChunkedWriter`],
+//! * hard limits on line length and header count so a hostile client cannot balloon
+//!   memory.
+//!
+//! No TLS, no compression, no HTTP/2 — front a real deployment with a terminating
+//! proxy (see `docs/operations.md`).
+
+use std::io::{BufRead, Write};
+
+use thiserror::Error;
+
+/// Maximum accepted length of the request line or any header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Maximum accepted number of request headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+pub enum HttpError {
+    /// The connection closed before a complete request was read.
+    #[error("connection closed mid-request")]
+    UnexpectedEof,
+    /// A line exceeded [`MAX_LINE_BYTES`] or the header block exceeded
+    /// [`MAX_HEADERS`].
+    #[error("request exceeds size limits: {0}")]
+    TooLarge(&'static str),
+    /// The bytes did not form a valid HTTP/1.x request head.
+    #[error("malformed request: {0}")]
+    Malformed(&'static str),
+    /// Reading from the socket failed (timeout, reset, …).
+    #[error("socket read failed: {0}")]
+    Io(String),
+}
+
+/// A parsed request head (this server never reads bodies: `GET`/`HEAD` only).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `HEAD`, …).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Query parameters in order of appearance, split on `&` and `=`.
+    pub query: Vec<(String, String)>,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// Reads one request head from `reader`.
+    ///
+    /// Returns `Ok(None)` on a clean EOF before any byte of a new request — the
+    /// keep-alive "client went away" case.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed requests, oversized heads, or socket failures.
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Option<Self>, HttpError> {
+        let request_line = match read_line(reader)? {
+            None => return Ok(None),
+            Some(line) if line.is_empty() => {
+                // Tolerate a single stray CRLF between pipelined requests.
+                match read_line(reader)? {
+                    None => return Ok(None),
+                    Some(line) if line.is_empty() => {
+                        return Err(HttpError::Malformed("empty request line"))
+                    }
+                    Some(line) => line,
+                }
+            }
+            Some(line) => line,
+        };
+        let mut parts = request_line.split(' ');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or(HttpError::Malformed("missing method"))?;
+        let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
+        let version = parts
+            .next()
+            .ok_or(HttpError::Malformed("missing version"))?;
+        if parts.next().is_some() {
+            return Err(HttpError::Malformed("extra tokens in request line"));
+        }
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+
+        let (path, query_text) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let query = query_text
+            .split('&')
+            .filter(|pair| !pair.is_empty())
+            .map(|pair| match pair.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (pair.to_string(), String::new()),
+            })
+            .collect();
+
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(reader)?.ok_or(HttpError::UnexpectedEof)?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() == MAX_HEADERS {
+                return Err(HttpError::TooLarge("too many headers"));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(HttpError::Malformed("header without colon"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        Ok(Some(Self {
+            method: method.to_string(),
+            path: path.to_string(),
+            query,
+            headers,
+        }))
+    }
+
+    /// First value of the (case-insensitively named) header, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of the query parameter, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this response.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without the terminator.
+///
+/// Returns `Ok(None)` on EOF before the first byte.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader
+            .fill_buf()
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::UnexpectedEof);
+        }
+        let (chunk, found) = match buf.iter().position(|&b| b == b'\n') {
+            Some(at) => (&buf[..at], true),
+            None => (buf, false),
+        };
+        if line.len() + chunk.len() > MAX_LINE_BYTES {
+            return Err(HttpError::TooLarge("line too long"));
+        }
+        line.extend_from_slice(chunk);
+        let consumed = chunk.len() + usize::from(found);
+        reader.consume(consumed);
+        if found {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let text =
+                String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header"))?;
+            return Ok(Some(text));
+        }
+    }
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response head under construction: status plus extra headers.
+#[derive(Debug, Clone)]
+pub struct ResponseHead {
+    /// HTTP status code.
+    pub status: u16,
+    /// Additional headers (`Content-Type`, `X-PTRNG-*`, `Retry-After`, …).
+    pub headers: Vec<(String, String)>,
+}
+
+impl ResponseHead {
+    /// A head with the given status and no extra headers.
+    pub fn new(status: u16) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+        }
+    }
+
+    /// Appends a header (builder style).
+    #[must_use]
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    fn write_status_and_headers(
+        &self,
+        writer: &mut impl Write,
+        keep_alive: bool,
+    ) -> std::io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason_phrase(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(
+            writer,
+            "Connection: {}\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )
+    }
+}
+
+/// Writes a complete response with a `Content-Length` body.
+///
+/// With `head_only` (a `HEAD` request) the length header is still sent but the body
+/// bytes are suppressed.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(
+    writer: &mut impl Write,
+    head: &ResponseHead,
+    body: &[u8],
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    head.write_status_and_headers(writer, keep_alive)?;
+    write!(writer, "Content-Length: {}\r\n\r\n", body.len())?;
+    if !head_only {
+        writer.write_all(body)?;
+    }
+    writer.flush()
+}
+
+/// Streams a `Transfer-Encoding: chunked` body: construct with the head, feed
+/// [`ChunkedWriter::write_chunk`], terminate with [`ChunkedWriter::finish`].
+///
+/// Dropping the writer **without** calling `finish` leaves the message unterminated —
+/// exactly what an entropy server wants when the engine dies mid-response: the client
+/// observes a truncated transfer instead of silently short bytes.
+pub struct ChunkedWriter<'a, W: Write> {
+    writer: &'a mut W,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// Writes the status line and headers (plus `Transfer-Encoding: chunked`) and
+    /// returns the body writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn start(
+        writer: &'a mut W,
+        head: &ResponseHead,
+        keep_alive: bool,
+    ) -> std::io::Result<Self> {
+        head.write_status_and_headers(writer, keep_alive)?;
+        write!(writer, "Transfer-Encoding: chunked\r\n\r\n")?;
+        Ok(Self { writer })
+    }
+
+    /// Writes one chunk (empty input is a no-op: a zero-length chunk would terminate
+    /// the message).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_chunk(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        write!(self.writer, "{:x}\r\n", bytes.len())?;
+        self.writer.write_all(bytes)?;
+        write!(self.writer, "\r\n")
+    }
+
+    /// Terminates the chunked message and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn finish(self) -> std::io::Result<()> {
+        write!(self.writer, "0\r\n\r\n")?;
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Option<Request>, HttpError> {
+        Request::read_from(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_request_with_query_and_headers() {
+        let req = parse(
+            "GET /entropy?bytes=4096&format=raw HTTP/1.1\r\n\
+             Host: localhost:7878\r\n\
+             User-Agent: curl/8\r\n\
+             \r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/entropy");
+        assert_eq!(req.query_param("bytes"), Some("4096"));
+        assert_eq!(req.query_param("format"), Some("raw"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("host"), Some("localhost:7878"));
+        assert_eq!(req.header("HOST"), Some("localhost:7878"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_connection_close_and_bare_lf() {
+        let req = parse("GET / HTTP/1.0\nConnection: close\n\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nHost: x\r\n"),
+            Err(HttpError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES));
+        assert!(matches!(parse(&long), Err(HttpError::TooLarge(_))));
+        let many: String = (0..=MAX_HEADERS).map(|i| format!("H{i}: v\r\n")).collect();
+        let many = format!("GET / HTTP/1.1\r\n{many}\r\n");
+        assert!(matches!(parse(&many), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn content_length_responses_render() {
+        let mut out = Vec::new();
+        let head = ResponseHead::new(200).header("Content-Type", "application/json");
+        write_response(&mut out, &head, b"{\"ok\":true}", true, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &ResponseHead::new(404), b"gone", false, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(
+            text.ends_with("\r\n\r\n"),
+            "HEAD suppresses the body: {text}"
+        );
+    }
+
+    #[test]
+    fn chunked_responses_frame_and_terminate() {
+        let mut out = Vec::new();
+        let head = ResponseHead::new(200).header("X-PTRNG-MinEntropy", "0.9973");
+        let mut body = ChunkedWriter::start(&mut out, &head, true).unwrap();
+        body.write_chunk(b"abcd").unwrap();
+        body.write_chunk(b"").unwrap();
+        body.write_chunk(&[0u8; 16]).unwrap();
+        body.finish().unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("4\r\nabcd\r\n"), "{text}");
+        assert!(text.contains("10\r\n"), "hex chunk sizes: {text}");
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

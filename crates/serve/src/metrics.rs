@@ -1,0 +1,265 @@
+//! Server-side counters and the Prometheus text exposition of `/metrics`.
+//!
+//! The engine already keeps lock-free per-shard counters
+//! ([`ptrng_engine::metrics::MetricsSnapshot`]); this module adds the HTTP-layer
+//! counters (requests, responses by status, bytes served, rate-limit refusals) and
+//! renders both in the [Prometheus text exposition format] — `# HELP`/`# TYPE`
+//! comments followed by `name{labels} value` samples.
+//!
+//! [Prometheus text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ptrng_engine::metrics::MetricsSnapshot;
+
+/// HTTP-layer counters, updated lock-free on the request path (the per-status map
+/// takes a short mutex: statuses are few and responses are large).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    requests: AtomicU64,
+    bytes_served: AtomicU64,
+    rate_limited: AtomicU64,
+    responses_by_status: Mutex<BTreeMap<u16, u64>>,
+}
+
+impl ServerMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one received (parsed) request.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one response with the given status.
+    pub fn record_response(&self, status: u16) {
+        if status == 429 {
+            self.rate_limited.fetch_add(1, Ordering::Relaxed);
+        }
+        *self
+            .responses_by_status
+            .lock()
+            .expect("metrics lock poisoned")
+            .entry(status)
+            .or_insert(0) += 1;
+    }
+
+    /// Counts entropy body bytes handed to clients.
+    pub fn record_bytes_served(&self, bytes: u64) {
+        self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Total entropy body bytes served so far.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served.load(Ordering::Relaxed)
+    }
+
+    /// Total parsed requests so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+fn sample(out: &mut String, name: &str, help: &str, kind: &str, value: impl std::fmt::Display) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders the engine snapshot plus the server counters as Prometheus text.
+///
+/// `min_entropy_per_bit` is the accounted ledger claim of the conditioned output
+/// (`None` while the server is refusing on an entropy deficit — the gauge is then the
+/// *refused* accounting, still exported so operators can see how far off it is).
+pub fn render_prometheus(
+    engine: &MetricsSnapshot,
+    server: &ServerMetrics,
+    min_entropy_per_bit: f64,
+    live_shards: usize,
+    serving: bool,
+) -> String {
+    let mut out = String::with_capacity(2048);
+
+    // Engine-level totals.
+    sample(
+        &mut out,
+        "ptrng_raw_bits_total",
+        "Raw bits drawn from the noise sources across all shards.",
+        "counter",
+        engine.total_raw_bits,
+    );
+    sample(
+        &mut out,
+        "ptrng_output_bytes_total",
+        "Conditioned output bytes published by the engine.",
+        "counter",
+        engine.total_output_bytes,
+    );
+    sample(
+        &mut out,
+        "ptrng_batches_total",
+        "Batches published across all shards.",
+        "counter",
+        engine.total_batches,
+    );
+    sample(
+        &mut out,
+        "ptrng_accounted_entropy_bits_total",
+        "Accounted min-entropy carried by the published output, in bits.",
+        "gauge",
+        format_args!("{:.3}", engine.total_accounted_entropy_bits),
+    );
+    sample(
+        &mut out,
+        "ptrng_alarms_total",
+        "Shard health alarms (RCT, APT, startup battery, thermal collapse).",
+        "counter",
+        engine.alarms,
+    );
+    sample(
+        &mut out,
+        "ptrng_min_entropy_per_output_bit",
+        "Accounted min-entropy per conditioned output bit from the entropy ledger.",
+        "gauge",
+        format_args!("{min_entropy_per_bit:.6}"),
+    );
+    sample(
+        &mut out,
+        "ptrng_live_shards",
+        "Shards still producing output.",
+        "gauge",
+        live_shards,
+    );
+    sample(
+        &mut out,
+        "ptrng_serving",
+        "1 when the engine emits under its entropy policy, 0 when refusing.",
+        "gauge",
+        u8::from(serving),
+    );
+
+    // Per-shard breakdown.
+    let _ = writeln!(
+        out,
+        "# HELP ptrng_shard_output_bytes_total Output bytes per shard."
+    );
+    let _ = writeln!(out, "# TYPE ptrng_shard_output_bytes_total counter");
+    for shard in &engine.per_shard {
+        let _ = writeln!(
+            out,
+            "ptrng_shard_output_bytes_total{{shard=\"{}\"}} {}",
+            shard.shard, shard.output_bytes
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ptrng_shard_raw_bits_total Raw source bits per shard."
+    );
+    let _ = writeln!(out, "# TYPE ptrng_shard_raw_bits_total counter");
+    for shard in &engine.per_shard {
+        let _ = writeln!(
+            out,
+            "ptrng_shard_raw_bits_total{{shard=\"{}\"}} {}",
+            shard.shard, shard.raw_bits
+        );
+    }
+
+    // HTTP layer.
+    sample(
+        &mut out,
+        "ptrng_http_requests_total",
+        "Parsed HTTP requests.",
+        "counter",
+        server.requests(),
+    );
+    sample(
+        &mut out,
+        "ptrng_http_entropy_bytes_served_total",
+        "Entropy body bytes handed to clients.",
+        "counter",
+        server.bytes_served(),
+    );
+    sample(
+        &mut out,
+        "ptrng_http_rate_limited_total",
+        "Requests refused by the per-client token bucket (HTTP 429).",
+        "counter",
+        server.rate_limited.load(Ordering::Relaxed),
+    );
+    let _ = writeln!(
+        out,
+        "# HELP ptrng_http_responses_total Responses by HTTP status code."
+    );
+    let _ = writeln!(out, "# TYPE ptrng_http_responses_total counter");
+    for (status, count) in server
+        .responses_by_status
+        .lock()
+        .expect("metrics lock poisoned")
+        .iter()
+    {
+        let _ = writeln!(
+            out,
+            "ptrng_http_responses_total{{status=\"{status}\"}} {count}"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptrng_engine::metrics::ShardSnapshot;
+
+    #[test]
+    fn rendering_contains_every_family_and_label() {
+        let per_shard: Vec<ShardSnapshot> = (0..2)
+            .map(|shard| ShardSnapshot {
+                shard,
+                raw_bits: 8192,
+                output_bytes: 1024,
+                batches: 1,
+                entropy_per_output_bit: 0.9973,
+                accounted_entropy_bits: 1024.0 * 8.0 * 0.9973,
+            })
+            .collect();
+        let engine = MetricsSnapshot {
+            total_raw_bits: 16384,
+            total_output_bytes: 2048,
+            total_batches: 2,
+            total_accounted_entropy_bits: per_shard.iter().map(|s| s.accounted_entropy_bits).sum(),
+            alarms: 0,
+            per_shard,
+        };
+        let server = ServerMetrics::new();
+        server.record_request();
+        server.record_response(200);
+        server.record_response(429);
+        server.record_bytes_served(4096);
+
+        let text = render_prometheus(&engine, &server, 0.9973, 2, true);
+        for family in [
+            "ptrng_raw_bits_total 16384",
+            "ptrng_output_bytes_total 2048",
+            "ptrng_min_entropy_per_output_bit 0.997300",
+            "ptrng_live_shards 2",
+            "ptrng_serving 1",
+            "ptrng_shard_output_bytes_total{shard=\"1\"} 1024",
+            "ptrng_http_requests_total 1",
+            "ptrng_http_entropy_bytes_served_total 4096",
+            "ptrng_http_rate_limited_total 1",
+            "ptrng_http_responses_total{status=\"200\"} 1",
+            "ptrng_http_responses_total{status=\"429\"} 1",
+        ] {
+            assert!(text.contains(family), "missing `{family}` in:\n{text}");
+        }
+        // Exposition-format hygiene: HELP/TYPE precede each family.
+        assert!(text.contains("# TYPE ptrng_raw_bits_total counter"));
+        assert!(text.contains("# HELP ptrng_serving "));
+    }
+}

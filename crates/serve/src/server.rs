@@ -1,0 +1,637 @@
+//! The entropy server: accept loop, worker thread pool, routing and the endpoint
+//! handlers.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                    ┌────────────────────────────── Server ───────────────────────────┐
+//!  SIGTERM ──────▶   │ accept loop (non-blocking poll)                                 │
+//!  (flag)            │      │ bounded sync_channel<TcpStream>                          │
+//!                    │      ▼                                                          │
+//!                    │ worker pool (N threads) ── Request parse ── route ── respond    │
+//!                    │      │                                               │          │
+//!                    │      └── /entropy draws from ──▶ EntropyTap ◀────────┘          │
+//!                    │                                  (engine shards, bounded        │
+//!                    │                                   channel backpressure)         │
+//!                    └─────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Backpressure, end to end** — request handlers draw from the engine's bounded
+//!   channels through the [`EntropyTap`]; when clients stop reading, TCP pushes back
+//!   on the chunked writer, the tap stops draining, and the shard workers park on
+//!   their full queue.  Nothing buffers unboundedly anywhere on the path.
+//! * **Entropy policy is the contract** — the accounted ledger travels in the
+//!   `X-PTRNG-MinEntropy` / `X-PTRNG-Ledger` response headers; a configuration whose
+//!   accounted entropy misses `min_output_entropy` starts in *refusing* mode and
+//!   answers `/entropy` with HTTP 503 and the ledger JSON as the body, exactly the
+//!   refusal `ptrngd` expresses with exit code 2.
+//! * **Graceful shutdown** — SIGTERM (or [`ShutdownHandle::shutdown`]) stops the
+//!   accept loop; queued connections are still served, in-flight responses complete,
+//!   worker threads are joined, and the engine is drained deterministically.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ptrng_engine::metrics::ShardAlarm;
+use ptrng_engine::pool::{Engine, EngineConfig};
+use ptrng_engine::tap::EntropyTap;
+use ptrng_engine::EngineError;
+use ptrng_trng::conditioning::EntropyLedger;
+use serde::Serialize;
+
+use crate::http::{write_response, ChunkedWriter, HttpError, Request, ResponseHead};
+use crate::limiter::RateLimiter;
+use crate::metrics::{render_prometheus, ServerMetrics};
+use crate::{Result, ServeError};
+
+/// Interval at which the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Per-client token-bucket parameters (see [`crate::limiter::RateLimiter`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Sustained entropy budget per client, in bytes per second.
+    pub bytes_per_sec: u64,
+    /// Burst capacity per client, in bytes.
+    pub burst_bytes: u64,
+}
+
+/// Configuration of the HTTP entropy server.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 binds an ephemeral port).
+    pub listen: String,
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Hard cap on the `bytes` parameter of one `/entropy` request.
+    pub max_request_bytes: u64,
+    /// Optional per-client rate limit; `None` serves every request.
+    pub rate_limit: Option<RateLimit>,
+    /// Draw/write granularity of streamed entropy responses.
+    pub chunk_bytes: usize,
+    /// Requests served per connection before it is closed.
+    pub keep_alive_requests: usize,
+    /// Socket read timeout (bounds how long an idle keep-alive connection may pin a
+    /// worker).
+    pub read_timeout: Duration,
+    /// The engine configuration to serve from (its `budget_bytes` should be `None`:
+    /// a serving engine runs until shutdown).
+    pub engine: EngineConfig,
+}
+
+impl ServeConfig {
+    /// Defaults for the given engine: `127.0.0.1:7878`, 4 workers, 4 MiB request
+    /// cap, no rate limit, 64 KiB chunks, 64 requests per connection, 5 s read
+    /// timeout.
+    pub fn new(engine: EngineConfig) -> Self {
+        Self {
+            listen: "127.0.0.1:7878".to_string(),
+            threads: 4,
+            max_request_bytes: 4 << 20,
+            rate_limit: None,
+            chunk_bytes: 64 << 10,
+            keep_alive_requests: 64,
+            read_timeout: Duration::from_secs(5),
+            engine,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.threads == 0 {
+            return Err(ServeError::Config("threads must be at least 1".into()));
+        }
+        if self.chunk_bytes == 0 {
+            return Err(ServeError::Config("chunk_bytes must be at least 1".into()));
+        }
+        if self.keep_alive_requests == 0 {
+            return Err(ServeError::Config(
+                "keep_alive_requests must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What the server is serving from: a live tap, or a refusal captured at spawn.
+enum Supply {
+    /// The engine spawned and its accounted entropy satisfies the policy.
+    Serving(EntropyTap),
+    /// The engine refused to spawn with [`EngineError::EntropyDeficit`]; `/entropy`
+    /// answers 503 with this accounting.
+    Refusing {
+        ledger: EntropyLedger,
+        accounted: f64,
+        required: f64,
+    },
+}
+
+struct SharedState {
+    supply: Supply,
+    limiter: Option<RateLimiter>,
+    metrics: ServerMetrics,
+    shutdown: Arc<AtomicBool>,
+    max_request_bytes: u64,
+    chunk_bytes: usize,
+    keep_alive_requests: usize,
+    read_timeout: Duration,
+    shards: usize,
+}
+
+/// Cooperative shutdown trigger for a running [`Server`] (the programmatic
+/// equivalent of SIGTERM; cloneable and safe to fire from any thread).
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests shutdown: the accept loop stops, queued and in-flight requests are
+    /// drained, then [`Server::serve`] returns.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Process-wide flag set by the signal handler (SIGTERM/SIGINT).
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod signals {
+    //! Minimal hand-rolled signal hookup: the container has no `libc`/`signal-hook`
+    //! crate, and `std` exposes no signal API, so the two `signal(2)` registrations
+    //! are declared directly.  The handler only performs an atomic store, which is
+    //! async-signal-safe.
+    #![allow(unsafe_code)]
+
+    use std::os::raw::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" fn on_signal(_signum: c_int) {
+        super::SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal(2)` with a handler that is async-signal-safe (a single
+        // atomic store, no allocation, no locks); replacing the default disposition
+        // of SIGTERM/SIGINT is the entire point.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// A bound entropy server, ready to [`Server::serve`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<SharedState>,
+    threads: usize,
+}
+
+impl Server {
+    /// Spawns the engine and binds the listener.
+    ///
+    /// An [`EngineError::EntropyDeficit`] at spawn does **not** fail the bind: the
+    /// server starts in *refusing* mode, answering `/entropy` with HTTP 503 and the
+    /// accounted ledger, and `/healthz` with `"refusing"` — an operator can then
+    /// inspect the accounting over the wire instead of a dead port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configurations, non-deficit engine spawn
+    /// failures, and bind failures.
+    pub fn bind(config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        let shards = config.engine.shards;
+        let supply = match Engine::spawn(config.engine.clone()) {
+            Ok(engine) => Supply::Serving(engine.into_tap()),
+            Err(EngineError::EntropyDeficit {
+                ledger,
+                accounted,
+                required,
+                ..
+            }) => Supply::Refusing {
+                ledger: *ledger,
+                accounted,
+                required,
+            },
+            Err(other) => return Err(other.into()),
+        };
+        let limiter = match config.rate_limit {
+            Some(limit) => Some(
+                RateLimiter::new(limit.bytes_per_sec, limit.burst_bytes)
+                    .map_err(ServeError::Config)?,
+            ),
+            None => None,
+        };
+        let listener = TcpListener::bind(&config.listen)?;
+        Ok(Self {
+            listener,
+            state: Arc::new(SharedState {
+                supply,
+                limiter,
+                metrics: ServerMetrics::new(),
+                shutdown: Arc::new(AtomicBool::new(false)),
+                max_request_bytes: config.max_request_bytes,
+                chunk_bytes: config.chunk_bytes,
+                keep_alive_requests: config.keep_alive_requests,
+                read_timeout: config.read_timeout,
+                shards,
+            }),
+            threads: config.threads,
+        })
+    }
+
+    /// The bound socket address (resolves port 0 binds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Whether the server is serving entropy (vs. refusing on a deficit).
+    pub fn is_serving(&self) -> bool {
+        matches!(self.state.supply, Supply::Serving(_))
+    }
+
+    /// A cloneable trigger that ends [`Server::serve`] gracefully.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.state.shutdown))
+    }
+
+    /// Registers SIGTERM/SIGINT handlers that trigger the same graceful shutdown as
+    /// [`ShutdownHandle::shutdown`] (no-op on non-Unix targets).
+    pub fn install_signal_handlers(&self) {
+        #[cfg(unix)]
+        signals::install();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst)
+    }
+
+    /// Runs the accept loop until shutdown, then drains: queued connections are
+    /// served, workers joined, and the engine shut down.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the listener fails fatally or an engine worker
+    /// panicked during drain.
+    pub fn serve(self) -> Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(self.threads * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.threads)
+            .map(|index| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&self.state);
+                std::thread::Builder::new()
+                    .name(format!("ptrng-serve-{index}"))
+                    .spawn(move || loop {
+                        let conn = rx.lock().expect("queue lock poisoned").recv();
+                        match conn {
+                            Ok(stream) => handle_connection(&state, stream),
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("worker thread spawns")
+            })
+            .collect();
+
+        while !self.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // A full queue applies accept backpressure here (bounded send).
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        // Drain: close the queue (workers finish what is queued and in flight, then
+        // exit), join them, then wind the engine down.
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        if let Supply::Serving(tap) = &self.state.supply {
+            tap.shutdown()?;
+        }
+        Ok(())
+    }
+}
+
+/// `/healthz` response body.
+#[derive(Debug, Serialize)]
+struct HealthzBody {
+    /// `ok`, `degraded` (alarms but live shards remain), `alarmed` (no live
+    /// shards), or `refusing` (entropy deficit at spawn).
+    status: String,
+    shards: usize,
+    live_shards: usize,
+    alarms: usize,
+    alarm_reasons: Vec<ShardAlarm>,
+    min_entropy_per_bit: f64,
+    required_min_entropy: Option<f64>,
+}
+
+fn handle_connection(state: &SharedState, stream: TcpStream) {
+    let peer_ip = stream
+        .peer_addr()
+        .map(|addr| addr.ip())
+        .unwrap_or(IpAddr::V4(Ipv4Addr::UNSPECIFIED));
+    let _ = stream.set_read_timeout(Some(state.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::with_capacity(64 << 10, stream);
+
+    for served in 1..=state.keep_alive_requests {
+        let request = match Request::read_from(&mut reader) {
+            Ok(Some(request)) => request,
+            // Clean EOF between requests: the client is done.
+            Ok(None) => break,
+            // Timeouts and resets mid-request head: nothing sane to answer.
+            Err(HttpError::Io(_) | HttpError::UnexpectedEof) => break,
+            Err(error @ (HttpError::Malformed(_) | HttpError::TooLarge(_))) => {
+                let body = error_body("bad request", &error.to_string());
+                let _ = respond_json(state, &mut writer, 400, &body, false, false);
+                break;
+            }
+        };
+        state.metrics.record_request();
+        let keep_alive = !request.wants_close()
+            && served < state.keep_alive_requests
+            && !state.shutdown.load(Ordering::SeqCst)
+            && !SIGNALLED.load(Ordering::SeqCst);
+        if route(state, &mut writer, &request, peer_ip, keep_alive).is_err() || !keep_alive {
+            break;
+        }
+    }
+}
+
+fn route(
+    state: &SharedState,
+    writer: &mut impl Write,
+    request: &Request,
+    peer_ip: IpAddr,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head_only = request.method == "HEAD";
+    if request.method != "GET" && !head_only {
+        let body = error_body("method not allowed", "only GET and HEAD are supported");
+        return respond_json(state, writer, 405, &body, keep_alive, false);
+    }
+    match request.path.as_str() {
+        "/entropy" => entropy(state, writer, request, peer_ip, keep_alive, head_only),
+        "/healthz" => healthz(state, writer, keep_alive, head_only),
+        "/metrics" => metrics(state, writer, keep_alive, head_only),
+        _ => {
+            let body = error_body(
+                "not found",
+                "endpoints: /entropy?bytes=N, /healthz, /metrics",
+            );
+            respond_json(state, writer, 404, &body, keep_alive, head_only)
+        }
+    }
+}
+
+fn entropy(
+    state: &SharedState,
+    writer: &mut impl Write,
+    request: &Request,
+    peer_ip: IpAddr,
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let bytes = match request.query_param("bytes").map(str::parse::<u64>) {
+        Some(Ok(bytes)) => bytes,
+        Some(Err(_)) => {
+            let body = error_body("bad request", "`bytes` must be a non-negative integer");
+            return respond_json(state, writer, 400, &body, keep_alive, head_only);
+        }
+        None => {
+            let body = error_body("bad request", "missing `bytes` query parameter");
+            return respond_json(state, writer, 400, &body, keep_alive, head_only);
+        }
+    };
+    if bytes > state.max_request_bytes {
+        let body = error_body(
+            "request too large",
+            &format!(
+                "`bytes` is capped at {} per request (asked for {bytes})",
+                state.max_request_bytes
+            ),
+        );
+        return respond_json(state, writer, 413, &body, keep_alive, head_only);
+    }
+
+    let tap = match &state.supply {
+        Supply::Serving(tap) => tap,
+        Supply::Refusing {
+            ledger,
+            accounted,
+            required,
+        } => {
+            // The refusal is the ledger: the canonical JSON form *is* the body.
+            let body = format!(
+                "{{\"error\":\"entropy deficit\",\"accounted\":{accounted},\
+                 \"required\":{required},\"ledger\":{}}}",
+                ledger.to_json()
+            );
+            let head = ResponseHead::new(503)
+                .header("Content-Type", "application/json")
+                .header("X-PTRNG-Ledger", ledger.to_json());
+            state.metrics.record_response(503);
+            return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
+        }
+    };
+
+    let ledger = tap.ledger();
+    let head = ResponseHead::new(200)
+        .header("Content-Type", "application/octet-stream")
+        .header(
+            "X-PTRNG-MinEntropy",
+            format!("{:.6}", ledger.min_entropy_per_bit()),
+        )
+        .header("X-PTRNG-Ledger", ledger.to_json());
+    // HEAD serves only the contract headers and draws nothing, so it is answered
+    // before the limiter: a probe must not spend the client's entropy budget.
+    if head_only {
+        state.metrics.record_response(200);
+        return write_response(writer, &head, b"", keep_alive, true);
+    }
+
+    if let Some(limiter) = &state.limiter {
+        if let Err(retry_secs) = limiter.try_acquire(peer_ip, bytes, Instant::now()) {
+            let body = error_body(
+                "rate limited",
+                &format!("client entropy budget exhausted; retry in {retry_secs:.1}s"),
+            );
+            let head = ResponseHead::new(429)
+                .header("Content-Type", "application/json")
+                .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
+            state.metrics.record_response(429);
+            return write_response(writer, &head, body.as_bytes(), keep_alive, false);
+        }
+    }
+
+    state.metrics.record_response(200);
+    let mut chunked = ChunkedWriter::start(writer, &head, keep_alive)?;
+    let mut buffer = vec![0u8; state.chunk_bytes.min(bytes.max(1) as usize)];
+    let mut remaining = bytes as usize;
+    while remaining > 0 {
+        let want = remaining.min(buffer.len());
+        let drawn = tap.draw(&mut buffer[..want]);
+        if drawn == 0 {
+            // Every shard terminated (alarms): abort without the terminating chunk
+            // so the client observes a truncated transfer, never short bytes.
+            return Err(std::io::Error::other("entropy stream ended mid-response"));
+        }
+        chunked.write_chunk(&buffer[..drawn])?;
+        state.metrics.record_bytes_served(drawn as u64);
+        remaining -= drawn;
+    }
+    chunked.finish()
+}
+
+fn healthz(
+    state: &SharedState,
+    writer: &mut impl Write,
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let (body, status) = match &state.supply {
+        Supply::Serving(tap) => {
+            let alarm_reasons = tap.alarms();
+            let live_shards = tap.live_shards();
+            let status_text = if live_shards == 0 {
+                "alarmed"
+            } else if alarm_reasons.is_empty() {
+                "ok"
+            } else {
+                "degraded"
+            };
+            let body = HealthzBody {
+                status: status_text.to_string(),
+                shards: state.shards,
+                live_shards,
+                alarms: alarm_reasons.len(),
+                alarm_reasons,
+                min_entropy_per_bit: tap.ledger().min_entropy_per_bit(),
+                required_min_entropy: None,
+            };
+            (body, if live_shards == 0 { 503 } else { 200 })
+        }
+        Supply::Refusing {
+            ledger,
+            accounted: _,
+            required,
+        } => {
+            let body = HealthzBody {
+                status: "refusing".to_string(),
+                shards: state.shards,
+                live_shards: 0,
+                alarms: 0,
+                alarm_reasons: Vec::new(),
+                min_entropy_per_bit: ledger.min_entropy_per_bit(),
+                required_min_entropy: Some(*required),
+            };
+            (body, 503)
+        }
+    };
+    let text = serde_json::to_string(&body).expect("healthz body serializes");
+    respond_json(state, writer, status, &text, keep_alive, head_only)
+}
+
+fn metrics(
+    state: &SharedState,
+    writer: &mut impl Write,
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let (snapshot, h, live, serving) = match &state.supply {
+        Supply::Serving(tap) => (
+            tap.metrics_snapshot(),
+            tap.ledger().min_entropy_per_bit(),
+            tap.live_shards(),
+            true,
+        ),
+        Supply::Refusing { ledger, .. } => (
+            empty_snapshot(state.shards),
+            ledger.min_entropy_per_bit(),
+            0,
+            false,
+        ),
+    };
+    let text = render_prometheus(&snapshot, &state.metrics, h, live, serving);
+    let head = ResponseHead::new(200).header("Content-Type", "text/plain; version=0.0.4");
+    state.metrics.record_response(200);
+    write_response(writer, &head, text.as_bytes(), keep_alive, head_only)
+}
+
+fn empty_snapshot(shards: usize) -> ptrng_engine::metrics::MetricsSnapshot {
+    ptrng_engine::metrics::MetricsSnapshot {
+        total_raw_bits: 0,
+        total_output_bytes: 0,
+        total_batches: 0,
+        total_accounted_entropy_bits: 0.0,
+        alarms: 0,
+        per_shard: (0..shards)
+            .map(|shard| ptrng_engine::metrics::ShardSnapshot {
+                shard,
+                raw_bits: 0,
+                output_bytes: 0,
+                batches: 0,
+                entropy_per_output_bit: 0.0,
+                accounted_entropy_bits: 0.0,
+            })
+            .collect(),
+    }
+}
+
+fn error_body(error: &str, detail: &str) -> String {
+    serde_json::to_string(&ErrorBody {
+        error: error.to_string(),
+        detail: detail.to_string(),
+    })
+    .expect("error body serializes")
+}
+
+#[derive(Debug, Serialize)]
+struct ErrorBody {
+    error: String,
+    detail: String,
+}
+
+fn respond_json(
+    state: &SharedState,
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let head = ResponseHead::new(status).header("Content-Type", "application/json");
+    state.metrics.record_response(status);
+    write_response(writer, &head, body.as_bytes(), keep_alive, head_only)
+}

@@ -101,6 +101,54 @@ impl EntropyLedger {
         self.min_entropy_per_bit * output_bits as f64
     }
 
+    /// The canonical machine-readable rendering of the ledger: compact JSON with the
+    /// fields `min_entropy_per_bit`, `bias`, `rate` and `trail`.
+    ///
+    /// This is the **public contract** consumed outside the process — `ptrngd --stats`
+    /// prints it, the engine's entropy-deficit refusal carries it, and `ptrng-serve`
+    /// returns it verbatim in the `X-PTRNG-Ledger` header and the HTTP 503 refusal
+    /// body.  [`EntropyLedger::from_json`] round-trips it bit-exactly (floats use
+    /// shortest round-trip formatting).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("a ledger contains only finite floats and strings")
+    }
+
+    /// Parses a ledger from its canonical JSON form (see [`EntropyLedger::to_json`])
+    /// and re-validates the accounting invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed JSON or when the parsed accounting is outside its
+    /// valid domain (`h ∉ (0, 1]`, negative bias, non-positive rate).
+    pub fn from_json(text: &str) -> Result<Self> {
+        let ledger: Self = serde_json::from_str(text).map_err(|e| TrngError::InvalidParameter {
+            name: "ledger_json",
+            reason: e.to_string(),
+        })?;
+        if !(ledger.min_entropy_per_bit > 0.0 && ledger.min_entropy_per_bit <= 1.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "ledger_json",
+                reason: format!(
+                    "min_entropy_per_bit must be in (0, 1], got {}",
+                    ledger.min_entropy_per_bit
+                ),
+            });
+        }
+        if !(ledger.bias >= 0.0 && ledger.bias <= 0.5) {
+            return Err(TrngError::InvalidParameter {
+                name: "ledger_json",
+                reason: format!("bias must be in [0, 1/2], got {}", ledger.bias),
+            });
+        }
+        if !(ledger.rate.is_finite() && ledger.rate > 0.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "ledger_json",
+                reason: format!("rate must be positive and finite, got {}", ledger.rate),
+            });
+        }
+        Ok(ledger)
+    }
+
     /// A new ledger with the given stage transformation appended.
     fn derived(&self, label: &str, min_entropy_per_bit: f64, bias: f64, rate_factor: f64) -> Self {
         let mut trail = self.trail.clone();
@@ -493,6 +541,39 @@ mod tests {
         assert!(EntropyLedger::source("bad", 1.5).is_err());
         assert!((ledger.accounted_bits(1000) - 900.0).abs() < 1e-9);
         assert!(ledger.to_string().contains("source test"));
+    }
+
+    #[test]
+    fn ledger_json_round_trips_bit_exactly() {
+        // A multi-stage ledger exercises every field: irrational h/bias/rate values
+        // and a multi-entry trail.
+        let source = EntropyLedger::source("ero:16:strong", 0.9973).unwrap();
+        let chain = ConditioningChain::new(vec![
+            Box::new(XorDecimateStage::new(3).unwrap()),
+            Box::new(Sha256Stage::new(2).unwrap()),
+        ]);
+        let ledger = chain.transform(&source).unwrap();
+
+        let json = ledger.to_json();
+        assert!(json.contains("\"min_entropy_per_bit\""), "{json}");
+        assert!(json.contains("xor:3"), "{json}");
+        let back = EntropyLedger::from_json(&json).unwrap();
+        // Bit-exact: the vendored serde_json renders floats with shortest
+        // round-trip formatting.
+        assert_eq!(back, ledger);
+        assert_eq!(back.to_json(), json);
+
+        // The canonical form is validated on the way in, not just parsed.
+        assert!(EntropyLedger::from_json("{not json").is_err());
+        let mut bad = ledger.clone();
+        bad.min_entropy_per_bit = 1.5;
+        assert!(EntropyLedger::from_json(&bad.to_json()).is_err());
+        bad.min_entropy_per_bit = 0.5;
+        bad.rate = 0.0;
+        assert!(EntropyLedger::from_json(&bad.to_json()).is_err());
+        bad.rate = 0.5;
+        bad.bias = -0.1;
+        assert!(EntropyLedger::from_json(&bad.to_json()).is_err());
     }
 
     #[test]

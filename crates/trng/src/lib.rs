@@ -17,6 +17,32 @@
 //!   jitter") model and the flicker-aware correction motivated by the paper,
 //! * [`online`] — the embedded online test sketched in the paper's conclusion: monitor
 //!   the thermal-noise contribution to the jitter via the `σ²_N` counters.
+//!
+//! The full paper-math-to-code map lives in `docs/stochastic-model.md` of the
+//! repository book; `docs/architecture.md` shows where the ledger travels at runtime.
+//!
+//! # Example
+//!
+//! The paper's warning, quantified: crediting the total measured jitter (independence
+//! assumed) overstates the entropy that the thermal-only reading can actually back —
+//! and the conditioning ledger is seeded from the honest bound:
+//!
+//! ```
+//! use ptrng_trng::conditioning::EntropyLedger;
+//! use ptrng_trng::stochastic::EntropyModel;
+//!
+//! # fn main() -> ptrng_trng::Result<()> {
+//! let model = EntropyModel::date14_experiment();
+//! let naive = model.entropy_bound_naive(20_000);
+//! let honest = model.entropy_bound_thermal(20_000);
+//! assert!(naive > honest, "independence overclaims: {naive:.4} vs {honest:.4}");
+//!
+//! let ledger = EntropyLedger::source("ero (date14, div 20000)", honest.max(1e-6))?;
+//! assert!(ledger.min_entropy_per_bit() <= honest.max(1e-6));
+//! assert!(ledger.to_json().contains("min_entropy_per_bit"));
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -179,10 +179,13 @@ fn degraded_model_source_is_refused_under_the_emission_policy() {
             ..
         }) => {
             assert!(accounted < required);
+            // The typed ledger renders the refusal for humans (Display) and
+            // machines (canonical JSON) alike.
             assert!(
-                ledger.contains("model(p_one=0.95)"),
+                ledger.to_string().contains("model(p_one=0.95)"),
                 "ledger must name the source: {ledger}"
             );
+            assert!(ledger.to_json().contains("model(p_one=0.95)"));
         }
         Err(other) => panic!("expected an entropy deficit, got {other}"),
         Ok(_) => panic!("expected an entropy deficit, engine spawned"),

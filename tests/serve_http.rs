@@ -1,0 +1,425 @@
+//! Loopback integration tests of the `ptrng-serve` HTTP entropy service: a real
+//! server on an ephemeral port, a minimal test client (with a chunked-transfer
+//! decoder), and the acceptance behaviours of ISSUE 4 — exact-byte draws, distinct
+//! bytes across concurrent clients, the HTTP 503 entropy-deficit refusal carrying
+//! the ledger JSON, the 429 token-bucket refusal, the per-request byte cap, and the
+//! healthz/metrics shapes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ptrng_engine::health::HealthConfig;
+use ptrng_engine::pool::{ConditionerSpec, EngineConfig};
+use ptrng_engine::source::SourceSpec;
+use ptrng_serve::server::{RateLimit, ServeConfig, Server, ShutdownHandle};
+use ptrng_trng::conditioning::EntropyLedger;
+
+/// A running test server, shut down and joined on drop.
+struct TestServer {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    thread: Option<std::thread::JoinHandle<ptrng_serve::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(mut config: ServeConfig) -> Self {
+        config.listen = "127.0.0.1:0".to_string();
+        let server = Server::bind(config).expect("server binds");
+        let addr = server.local_addr().expect("bound address");
+        let handle = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.serve());
+        Self {
+            addr,
+            handle,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread
+                .join()
+                .expect("server thread joins")
+                .expect("server drains cleanly");
+        }
+    }
+}
+
+fn model_config() -> ServeConfig {
+    let engine = EngineConfig::new(SourceSpec::model(0.5).expect("valid spec"))
+        .shards(2)
+        .seed(42)
+        .health(HealthConfig::default().without_startup_battery());
+    ServeConfig::new(engine)
+}
+
+/// A parsed response from the test client.
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request (with `Connection: close`) and reads the full response.
+fn get(addr: SocketAddr, target: &str) -> Response {
+    let mut conn = TcpStream::connect(addr).expect("connects");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout set");
+    write!(
+        conn,
+        "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request written");
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("response read");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Response {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header block");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("ASCII head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .map(|line| {
+            let (name, value) = line.split_once(':').expect("header line");
+            (name.trim().to_ascii_lowercase(), value.trim().to_string())
+        })
+        .collect();
+    let payload = &raw[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        decode_chunked(payload)
+    } else {
+        payload.to_vec()
+    };
+    Response {
+        status,
+        headers,
+        body,
+    }
+}
+
+/// Minimal `Transfer-Encoding: chunked` decoder for the test client.
+fn decode_chunked(mut payload: &[u8]) -> Vec<u8> {
+    let mut body = Vec::new();
+    loop {
+        let line_end = payload
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size_text = std::str::from_utf8(&payload[..line_end]).expect("ASCII size");
+        let size = usize::from_str_radix(size_text.trim(), 16).expect("hex chunk size");
+        payload = &payload[line_end + 2..];
+        if size == 0 {
+            return body;
+        }
+        body.extend_from_slice(&payload[..size]);
+        assert_eq!(&payload[size..size + 2], b"\r\n", "chunk terminator");
+        payload = &payload[size + 2..];
+    }
+}
+
+#[test]
+fn entropy_requests_return_exact_bytes_with_ledger_headers() {
+    let server = TestServer::start(model_config());
+
+    let response = get(server.addr, "/entropy?bytes=4096");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body.len(), 4096, "exact-byte contract");
+    assert!(
+        response.body.iter().any(|&b| b != 0),
+        "entropy is not all-zero"
+    );
+
+    // The accounted ledger is the response contract: a parsable min-entropy header
+    // and the canonical ledger JSON that round-trips through the typed form.
+    let h: f64 = response
+        .header("x-ptrng-minentropy")
+        .expect("min-entropy header")
+        .parse()
+        .expect("numeric min-entropy");
+    assert!(h > 0.999, "model source accounts full entropy, got {h}");
+    let ledger = EntropyLedger::from_json(response.header("x-ptrng-ledger").expect("ledger"))
+        .expect("canonical ledger JSON");
+    assert!((ledger.min_entropy_per_bit() - h).abs() < 1e-6);
+
+    // A zero-byte request is legal and returns an empty body.
+    let empty = get(server.addr, "/entropy?bytes=0");
+    assert_eq!(empty.status, 200);
+    assert!(empty.body.is_empty());
+}
+
+#[test]
+fn concurrent_clients_receive_distinct_entropy() {
+    let server = TestServer::start(model_config());
+    let addr = server.addr;
+    let clients: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(move || get(addr, "/entropy?bytes=2048").body))
+        .collect();
+    let bodies: Vec<Vec<u8>> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client joins"))
+        .collect();
+    for body in &bodies {
+        assert_eq!(body.len(), 2048);
+    }
+    for a in 0..bodies.len() {
+        for b in (a + 1)..bodies.len() {
+            assert_ne!(
+                bodies[a], bodies[b],
+                "clients {a} and {b} received identical bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn entropy_deficit_answers_503_with_the_ledger_body() {
+    // model:0.95 accounts ~0.074 bits/bit; even sha256:2 cannot reach 0.997, so the
+    // engine refuses at spawn and the server starts in refusing mode.
+    let engine = EngineConfig::new(SourceSpec::model(0.95).expect("valid spec"))
+        .seed(7)
+        .conditioner(ConditionerSpec::sha256(2))
+        .min_output_entropy(Some(0.997))
+        .health(HealthConfig::default().without_startup_battery());
+    let server = TestServer::start(ServeConfig::new(engine));
+
+    let response = get(server.addr, "/entropy?bytes=64");
+    assert_eq!(response.status, 503);
+    let body = response.body_text();
+    assert!(body.contains("entropy deficit"), "{body}");
+    assert!(body.contains("\"required\":0.997"), "{body}");
+    // The embedded ledger is the canonical JSON form, extractable and parsable.
+    // `ledger` is the last field of the refusal object: strip exactly the outer `}`.
+    let ledger_at = body.find("\"ledger\":").expect("ledger field") + "\"ledger\":".len();
+    let ledger = EntropyLedger::from_json(&body[ledger_at..body.len() - 1])
+        .expect("embedded canonical ledger");
+    assert!(ledger.min_entropy_per_bit() < 0.997);
+    assert!(
+        ledger.to_json().contains("sha256:2"),
+        "trail names the conditioner"
+    );
+    // The header carries it too.
+    assert!(response.header("x-ptrng-ledger").is_some());
+
+    // healthz reflects the refusal with a 503 of its own.
+    let health = get(server.addr, "/healthz");
+    assert_eq!(health.status, 503);
+    let text = health.body_text();
+    assert!(text.contains("\"status\":\"refusing\""), "{text}");
+    assert!(text.contains("\"required_min_entropy\":0.997"), "{text}");
+
+    // metrics report the refusal state instead of lying about throughput.
+    let metrics = get(server.addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body_text().contains("ptrng_serving 0"));
+}
+
+#[test]
+fn rate_limiter_refuses_with_429_and_retry_after() {
+    let mut config = model_config();
+    // Tiny sustained rate, burst of exactly one 2 KiB request.
+    config.rate_limit = Some(RateLimit {
+        bytes_per_sec: 64,
+        burst_bytes: 2048,
+    });
+    let server = TestServer::start(config);
+
+    // A HEAD probe serves the contract headers without spending the client's
+    // entropy budget…
+    let mut conn = TcpStream::connect(server.addr).expect("connects");
+    write!(
+        conn,
+        "HEAD /entropy?bytes=2048 HTTP/1.1\r\nConnection: close\r\n\r\n"
+    )
+    .expect("written");
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read");
+    let probe = parse_response(&raw);
+    assert_eq!(probe.status, 200);
+    assert!(probe.header("x-ptrng-minentropy").is_some());
+    assert!(probe.body.is_empty());
+
+    // …so the full burst is still available to the real request.
+    let first = get(server.addr, "/entropy?bytes=2048");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.body.len(), 2048);
+
+    let second = get(server.addr, "/entropy?bytes=2048");
+    assert_eq!(second.status, 429);
+    let retry: u64 = second
+        .header("retry-after")
+        .expect("Retry-After header")
+        .parse()
+        .expect("integer seconds");
+    assert!(retry >= 1, "a meaningful retry hint, got {retry}");
+    assert!(second.body_text().contains("rate limited"));
+
+    // Non-entropy endpoints are not charged.
+    assert_eq!(get(server.addr, "/healthz").status, 200);
+}
+
+#[test]
+fn oversized_requests_hit_the_per_request_cap() {
+    let mut config = model_config();
+    config.max_request_bytes = 1024;
+    let server = TestServer::start(config);
+    let response = get(server.addr, "/entropy?bytes=4096");
+    assert_eq!(response.status, 413);
+    assert!(response.body_text().contains("capped at 1024"));
+    // At the cap is fine.
+    assert_eq!(get(server.addr, "/entropy?bytes=1024").body.len(), 1024);
+}
+
+#[test]
+fn healthz_and_metrics_have_the_documented_shape() {
+    let server = TestServer::start(model_config());
+    let _ = get(server.addr, "/entropy?bytes=1024");
+
+    let health = get(server.addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health.header("content-type"),
+        Some("application/json"),
+        "healthz is JSON"
+    );
+    let text = health.body_text();
+    for field in [
+        "\"status\":\"ok\"",
+        "\"shards\":2",
+        "\"live_shards\":2",
+        "\"alarms\":0",
+        "\"alarm_reasons\":[]",
+        "\"min_entropy_per_bit\":",
+    ] {
+        assert!(text.contains(field), "missing `{field}` in {text}");
+    }
+
+    let metrics = get(server.addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .header("content-type")
+        .expect("content type")
+        .starts_with("text/plain"));
+    let text = metrics.body_text();
+    for family in [
+        "# TYPE ptrng_raw_bits_total counter",
+        "ptrng_output_bytes_total",
+        "ptrng_min_entropy_per_output_bit",
+        "ptrng_http_requests_total",
+        "ptrng_http_entropy_bytes_served_total",
+        "ptrng_http_responses_total{status=\"200\"}",
+    ] {
+        assert!(text.contains(family), "missing `{family}` in:\n{text}");
+    }
+    // The entropy bytes we drew are accounted.
+    let served: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("ptrng_http_entropy_bytes_served_total "))
+        .expect("bytes-served sample")
+        .parse()
+        .expect("integer sample");
+    assert!(served >= 1024, "{served}");
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_clean_errors() {
+    let server = TestServer::start(model_config());
+    assert_eq!(get(server.addr, "/entropy").status, 400);
+    assert_eq!(get(server.addr, "/entropy?bytes=banana").status, 400);
+    assert_eq!(get(server.addr, "/teapot").status, 404);
+
+    // A non-GET method is answered with 405 rather than a dropped connection.
+    let mut conn = TcpStream::connect(server.addr).expect("connects");
+    write!(conn, "POST /entropy HTTP/1.1\r\nConnection: close\r\n\r\n").expect("written");
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read");
+    assert_eq!(parse_response(&raw).status, 405);
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let server = TestServer::start(model_config());
+    let mut conn = TcpStream::connect(server.addr).expect("connects");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout set");
+    // Two sequential requests on one socket; the second closes.
+    write!(conn, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").expect("first written");
+    let mut reader = std::io::BufReader::new(conn.try_clone().expect("clone"));
+    let first = read_one_keepalive_response(&mut reader);
+    assert_eq!(first.status, 200);
+    write!(
+        conn,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .expect("second written");
+    let second = read_one_keepalive_response(&mut reader);
+    assert_eq!(second.status, 200);
+}
+
+/// Reads one `Content-Length`-framed response from a keep-alive stream.
+fn read_one_keepalive_response(reader: &mut impl std::io::BufRead) -> Response {
+    let mut head = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        head.extend_from_slice(line.as_bytes());
+        if line == "\r\n" {
+            break;
+        }
+    }
+    let mut parsed = parse_response(&head);
+    let length: usize = parsed
+        .header("content-length")
+        .expect("keep-alive responses are length-framed")
+        .parse()
+        .expect("integer length");
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("body");
+    parsed.body = body;
+    parsed
+}
+
+#[test]
+fn graceful_shutdown_drains_and_joins() {
+    let server = TestServer::start(model_config());
+    let addr = server.addr;
+    // Issue a request, then shut down (the Drop impl asserts the drain is clean).
+    assert_eq!(get(addr, "/entropy?bytes=1024").status, 200);
+    drop(server);
+    // The port no longer accepts connections once serve() returned.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener closed after shutdown"
+    );
+}
