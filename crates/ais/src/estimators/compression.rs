@@ -1,0 +1,156 @@
+//! Compression estimate (SP 800-90B §6.3.4).
+//!
+//! Maurer's universal statistic: the sequence is partitioned into 6-bit blocks, the
+//! first 1000 blocks prime a last-occurrence dictionary, and the mean log-distance
+//! to each test block's previous occurrence is pushed to its 99 % lower confidence
+//! bound.  The bound is inverted against the statistic's expectation under the
+//! spec's two-parameter family (one block value with probability `p`, the remaining
+//! 63 sharing the rest) to recover `p`, and `H = −log2(p)/6` per bit.
+//!
+//! Correlated sources re-visit recent blocks sooner than an IID source of the same
+//! marginal distribution, shrinking the mean log-distance — this estimator therefore
+//! responds to exactly the dependence structure the paper warns about.
+
+use crate::bits::{blocks_as_integers, ensure_bits};
+use crate::Result;
+
+use super::{ensure_min_len, EstimatorResult, Z_99};
+
+/// Block width in bits (the specification fixes `b = 6`).
+const BLOCK_BITS: usize = 6;
+
+/// Number of blocks priming the dictionary (the specification fixes `d = 1000`).
+const DICT_BLOCKS: usize = 1000;
+
+/// Corrective factor on the sample standard deviation (spec: `c = 0.5907`).
+const STD_CORRECTION: f64 = 0.5907;
+
+/// Runs the compression estimate over a bit sequence.
+///
+/// # Errors
+///
+/// Returns an error when fewer than `6·(1000 + 2)` bits are provided or the input
+/// contains non-bit values.
+pub fn compression_estimate(bits: &[u8]) -> Result<EstimatorResult> {
+    ensure_bits(bits)?;
+    ensure_min_len(bits, BLOCK_BITS * (DICT_BLOCKS + 2))?;
+    let blocks = blocks_as_integers(bits, BLOCK_BITS)?;
+    let total = blocks.len();
+    let v = total - DICT_BLOCKS;
+
+    // Distances to the previous occurrence of each test block (1-based positions,
+    // first-ever occurrences score their own position, per spec).
+    let mut last = [0usize; 1 << BLOCK_BITS];
+    for (position, &block) in blocks.iter().take(DICT_BLOCKS).enumerate() {
+        last[block as usize] = position + 1;
+    }
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for (index, &block) in blocks.iter().enumerate().skip(DICT_BLOCKS) {
+        let position = index + 1;
+        let seen = last[block as usize];
+        let distance = if seen == 0 { position } else { position - seen };
+        last[block as usize] = position;
+        let x = (distance as f64).log2();
+        sum += x;
+        sum_sq += x * x;
+    }
+    let mean = sum / v as f64;
+    let var = (sum_sq - sum * sum / v as f64) / (v - 1) as f64;
+    let sigma = STD_CORRECTION * var.max(0.0).sqrt();
+    let mean_lo = mean - Z_99 * sigma / (v as f64).sqrt();
+
+    // Invert the expectation: G is strictly decreasing in p on [2⁻⁶, 1).
+    let log2_table: Vec<f64> = (0..=total).map(|u| (u.max(1) as f64).log2()).collect();
+    let uniform = 1.0 / (1 << BLOCK_BITS) as f64;
+    let expectation = |p: f64| expected_statistic(p, total, v, &log2_table);
+    let p = if mean_lo >= expectation(uniform) {
+        uniform
+    } else {
+        let (mut lo, mut hi) = (uniform, 1.0 - 1e-9);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if expectation(mid) > mean_lo {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+    let h = ((-p.log2()) / BLOCK_BITS as f64).clamp(0.0, 1.0);
+    Ok(EstimatorResult::new(
+        "compression",
+        h,
+        format!("v {v}, X̄ {mean:.6}, X̄' {mean_lo:.6}, p {p:.6e}"),
+    ))
+}
+
+/// Expectation of the mean log-distance under the spec's two-parameter block
+/// distribution: `G(p) + 63·G(q)` with `q = (1 − p)/63`.
+fn expected_statistic(p: f64, total: usize, v: usize, log2_table: &[f64]) -> f64 {
+    let q = (1.0 - p) / ((1 << BLOCK_BITS) - 1) as f64;
+    (g_term(p, total, log2_table) + ((1 << BLOCK_BITS) - 1) as f64 * g_term(q, total, log2_table))
+        / v as f64
+}
+
+/// The spec's `G(z)`: `Σ_{t=d+1}^{total} [Σ_{u<t} log2(u)·z²(1−z)^{u−1}
+/// + log2(t)·z(1−z)^{t−1}]`, with the double sum collapsed into one pass over `u`
+/// (each inner term appears for every `t > max(u, d)`).
+fn g_term(z: f64, total: usize, log2_table: &[f64]) -> f64 {
+    let one_minus = 1.0 - z;
+    let mut inner = 0.0f64; // Σ log2(u)·z²(1−z)^{u−1}·(total − max(u, d))
+    let mut tail = 0.0f64; // Σ_{t>d} log2(t)·z(1−z)^{t−1}
+    let mut power = 1.0f64; // (1−z)^{u−1}
+    for (u, &log2_u) in log2_table.iter().enumerate().take(total + 1).skip(1) {
+        if power == 0.0 {
+            break;
+        }
+        if u < total {
+            inner += log2_u * z * z * power * (total - u.max(DICT_BLOCKS)) as f64;
+        }
+        if u > DICT_BLOCKS {
+            tail += log2_u * z * power;
+        }
+        power *= one_minus;
+    }
+    inner + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ideal_bits_assess_high() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let bits: Vec<u8> = (0..1 << 16).map(|_| rng.gen_range(0..=1)).collect();
+        let h = compression_estimate(&bits).unwrap().h_per_bit;
+        assert!(h > 0.75 && h <= 1.0, "ideal assessed {h}");
+    }
+
+    #[test]
+    fn biased_bits_assess_lower() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let biased: Vec<u8> = (0..1 << 16).map(|_| u8::from(rng.gen_bool(0.75))).collect();
+        let h = compression_estimate(&biased).unwrap().h_per_bit;
+        let mut rng = StdRng::seed_from_u64(33);
+        let ideal: Vec<u8> = (0..1 << 16).map(|_| rng.gen_range(0..=1)).collect();
+        let ideal_h = compression_estimate(&ideal).unwrap().h_per_bit;
+        assert!(h < ideal_h - 0.1, "biased {h} vs ideal {ideal_h}");
+    }
+
+    #[test]
+    fn constant_bits_assess_near_zero() {
+        let bits = vec![1u8; BLOCK_BITS * (DICT_BLOCKS + 500)];
+        let h = compression_estimate(&bits).unwrap().h_per_bit;
+        assert!(h < 0.05, "constant assessed {h}");
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        assert!(compression_estimate(&[0u8; 600]).is_err());
+    }
+}

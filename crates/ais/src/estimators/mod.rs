@@ -1,0 +1,251 @@
+//! SP 800-90B §6.3 non-IID min-entropy estimator battery.
+//!
+//! The workspace's entropy ledger carries a *model-backed* min-entropy claim from the
+//! noise source to the emitted bytes; this module is the **black-box cross-check**: a
+//! hand-rolled implementation of the NIST SP 800-90B §6.3 non-IID estimator suite for
+//! binary sequences, the same battery Saarinen and Skorski use to validate (or refute)
+//! stochastic-model bounds against real generator output.  The battery deliberately
+//! assumes nothing about the source — in particular not the mutual independence of
+//! jitter realizations — so an independence-inflated claim shows up as the battery
+//! estimate falling short of the claimed value.
+//!
+//! Estimators (spec section in parentheses), all operating on bits (`0`/`1` bytes):
+//!
+//! * [`mcv_estimate`] — most common value (§6.3.1),
+//! * [`collision_estimate`] — collision times (§6.3.2),
+//! * [`markov_estimate`] — first-order Markov chain, 128-sample paths (§6.3.3),
+//! * [`compression_estimate`] — Maurer-style compression statistic (§6.3.4),
+//! * [`t_tuple_estimate`] — frequent tuples (§6.3.5),
+//! * [`lrs_estimate`] — longest repeated substring (§6.3.6),
+//! * [`multi_mcw_estimate`] — MultiMCW sliding-window prediction (§6.3.7),
+//! * [`lag_estimate`] — lag-subpredictor prediction (§6.3.8).
+//!
+//! [`EstimatorBattery::run`] executes all of them; the assessed min-entropy is the
+//! **battery minimum** ([`EstimatorBattery::min_entropy_estimate`], the reducer SP
+//! 800-90B §3.1.3 mandates).  Note the estimators are conservative by design (every
+//! point estimate is pushed to a 99 % confidence bound), so even an ideal source
+//! assesses measurably below 1 bit/bit at finite sample sizes — audit policies
+//! compare against `claim − margin`, see `ptrng_engine`'s `EntropyAudit`.
+//!
+//! # Example
+//!
+//! ```
+//! use ptrng_ais::estimators::EstimatorBattery;
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! # fn main() -> Result<(), ptrng_ais::AisError> {
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let bits: Vec<u8> = (0..1 << 14).map(|_| rng.gen_range(0..=1)).collect();
+//! let battery = EstimatorBattery::run(&bits)?;
+//! let h = battery.min_entropy_estimate();
+//! assert!(h > 0.5 && h <= 1.0, "ideal bits assess high: {h}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod collision;
+pub mod compression;
+pub mod markov;
+pub mod mcv;
+pub mod prediction;
+pub mod tuple;
+
+pub use collision::collision_estimate;
+pub use compression::compression_estimate;
+pub use markov::markov_estimate;
+pub use mcv::mcv_estimate;
+pub use prediction::{lag_estimate, multi_mcw_estimate};
+pub use tuple::{lrs_estimate, t_tuple_and_lrs_estimates, t_tuple_estimate};
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::ensure_bit_len;
+use crate::{AisError, Result};
+
+/// The normal quantile the specification uses for its one-sided 99 % upper
+/// confidence bounds (`Z_{0.995}`, written `2.576` throughout SP 800-90B).
+pub const Z_99: f64 = 2.576;
+
+/// Smallest sequence the full battery accepts, in bits.
+///
+/// The binding constraint is the compression estimate's 1000-block dictionary (6000
+/// bits) plus enough test blocks for a usable variance estimate; SP 800-90B itself
+/// recommends one million samples — smaller windows simply widen every confidence
+/// bound, which the audit margin has to absorb.
+pub const MIN_BATTERY_BITS: usize = 8192;
+
+/// Outcome of one estimator: the assessed min-entropy per bit plus a human-readable
+/// breakdown of the statistic it was derived from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorResult {
+    /// Estimator name (`"mcv"`, `"collision"`, …).
+    pub name: String,
+    /// Assessed min-entropy per bit, in `[0, 1]`.
+    pub h_per_bit: f64,
+    /// Breakdown of the underlying statistic (point estimate, confidence bound, …).
+    pub detail: String,
+}
+
+impl EstimatorResult {
+    pub(crate) fn new(name: &str, h_per_bit: f64, detail: String) -> Self {
+        Self {
+            name: name.to_string(),
+            h_per_bit,
+            detail,
+        }
+    }
+}
+
+/// The full §6.3 battery: every estimator's result, reduced by the battery minimum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorBattery {
+    results: Vec<EstimatorResult>,
+}
+
+impl EstimatorBattery {
+    /// Runs every estimator over the bit sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sequence is shorter than [`MIN_BATTERY_BITS`] or
+    /// contains non-bit values.
+    pub fn run(bits: &[u8]) -> Result<Self> {
+        ensure_bit_len(bits, MIN_BATTERY_BITS)?;
+        // The tuple estimators share one per-width counting scan — it is the
+        // battery's dominant cost, so it runs exactly once.
+        let (t_tuple, lrs) = t_tuple_and_lrs_estimates(bits)?;
+        Ok(Self {
+            results: vec![
+                mcv_estimate(bits)?,
+                collision_estimate(bits)?,
+                markov_estimate(bits)?,
+                compression_estimate(bits)?,
+                t_tuple,
+                lrs,
+                multi_mcw_estimate(bits)?,
+                lag_estimate(bits)?,
+            ],
+        })
+    }
+
+    /// The individual estimator results, in specification order.
+    pub fn results(&self) -> &[EstimatorResult] {
+        &self.results
+    }
+
+    /// The assessed min-entropy per bit: the **minimum** over every estimator, the
+    /// reducer SP 800-90B §3.1.3 prescribes for non-IID sources.
+    pub fn min_entropy_estimate(&self) -> f64 {
+        self.results
+            .iter()
+            .map(|r| r.h_per_bit)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The estimator that produced the battery minimum.
+    pub fn weakest(&self) -> &EstimatorResult {
+        self.results
+            .iter()
+            .min_by(|a, b| a.h_per_bit.total_cmp(&b.h_per_bit))
+            .expect("the battery always holds at least one result")
+    }
+}
+
+/// The specification's 99 % upper confidence bound on a probability point estimate:
+/// `p_u = min(1, p̂ + 2.576·sqrt(p̂(1−p̂)/(n−1)))`.
+pub(crate) fn upper_probability_bound(p_hat: f64, n: usize) -> f64 {
+    debug_assert!(n >= 2);
+    (p_hat + Z_99 * (p_hat * (1.0 - p_hat) / (n - 1) as f64).sqrt()).min(1.0)
+}
+
+/// `−log2(p)` clamped into `[0, 1]` — min-entropy per binary sample.
+pub(crate) fn min_entropy_from_probability(p: f64) -> f64 {
+    (-p.log2()).clamp(0.0, 1.0)
+}
+
+pub(crate) fn ensure_min_len(bits: &[u8], needed: usize) -> Result<()> {
+    if bits.len() < needed {
+        return Err(AisError::SequenceTooShort {
+            len: bits.len(),
+            needed,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    #[test]
+    fn battery_runs_and_reduces_to_the_minimum() {
+        let bits = random_bits(1 << 14, 1);
+        let battery = EstimatorBattery::run(&bits).unwrap();
+        assert_eq!(battery.results().len(), 8);
+        let min = battery.min_entropy_estimate();
+        assert!(min > 0.0 && min <= 1.0, "min {min}");
+        assert_eq!(battery.weakest().h_per_bit, min);
+        for result in battery.results() {
+            assert!(
+                result.h_per_bit >= min,
+                "{} below the reported minimum",
+                result.name
+            );
+            assert!(!result.detail.is_empty());
+        }
+    }
+
+    #[test]
+    fn biased_bits_assess_below_ideal_bits() {
+        let ideal = EstimatorBattery::run(&random_bits(1 << 14, 2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let biased: Vec<u8> = (0..1 << 14).map(|_| u8::from(rng.gen_bool(0.8))).collect();
+        let battery = EstimatorBattery::run(&biased).unwrap();
+        assert!(
+            battery.min_entropy_estimate() < ideal.min_entropy_estimate() - 0.1,
+            "biased {} vs ideal {}",
+            battery.min_entropy_estimate(),
+            ideal.min_entropy_estimate()
+        );
+    }
+
+    #[test]
+    fn battery_rejects_short_and_invalid_input() {
+        assert!(matches!(
+            EstimatorBattery::run(&[0, 1, 0, 1]),
+            Err(AisError::SequenceTooShort { .. })
+        ));
+        let mut bits = random_bits(MIN_BATTERY_BITS, 4);
+        bits[17] = 3;
+        assert!(matches!(
+            EstimatorBattery::run(&bits),
+            Err(AisError::NotABit { .. })
+        ));
+    }
+
+    #[test]
+    fn battery_serializes_for_reports() {
+        let bits = random_bits(1 << 14, 5);
+        let battery = EstimatorBattery::run(&bits).unwrap();
+        let value = serde::Serialize::to_value(&battery);
+        let back: EstimatorBattery = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(back, battery);
+    }
+
+    #[test]
+    fn confidence_bound_behaves() {
+        assert!((upper_probability_bound(1.0, 100) - 1.0).abs() < 1e-15);
+        let p = upper_probability_bound(0.5, 10_001);
+        assert!(p > 0.5 && p < 0.52, "p_u {p}");
+        assert_eq!(min_entropy_from_probability(0.5), 1.0);
+        assert_eq!(min_entropy_from_probability(1.0), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Prediction estimates: MultiMCW and lag (SP 800-90B §6.3.7 / §6.3.8).
+//!
+//! Each estimator runs a family of subpredictors over the sequence, lets a
+//! scoreboard promote whichever subpredictor has been most accurate so far, and
+//! converts both the *global* accuracy and the *longest run* of correct predictions
+//! into probability bounds — the final estimate takes the larger (more pessimistic)
+//! of the two:
+//!
+//! * **MultiMCW** predicts the most common value in sliding windows of 63, 255,
+//!   1023 and 4095 samples — it punishes slow drift and bias,
+//! * **lag** predicts the sample seen `d` positions ago for `d = 1..=128` — it
+//!   punishes periodicity and the slow phase wander a flicker-dominated oscillator
+//!   exhibits (the paper's dependent-jitter regime).
+//!
+//! The run-based *local* bound solves the spec's longest-run equation
+//! `0.99 = (1 − p·x) / ((r + 1 − r·x)·q·x^{N+1})` where `x` is the root of
+//! `1 = x − q·pʳ·x^{r+1}` — the probability that `N` Bernoulli(p) trials contain no
+//! run of `r` successes.
+
+use crate::bits::ensure_bits;
+use crate::Result;
+
+use super::{
+    ensure_min_len, min_entropy_from_probability, upper_probability_bound, EstimatorResult,
+};
+
+/// Sliding-window sizes of the MultiMCW subpredictors (spec values).
+const MCW_WINDOWS: [usize; 4] = [63, 255, 1023, 4095];
+
+/// Number of lag subpredictors (spec value).
+const LAG_DEPTH: usize = 128;
+
+/// Running tally of a prediction estimator's global performance.
+#[derive(Debug, Default)]
+struct Tally {
+    predictions: u64,
+    correct: u64,
+    run: u64,
+    longest_run: u64,
+}
+
+impl Tally {
+    fn record(&mut self, correct: bool) {
+        self.predictions += 1;
+        if correct {
+            self.correct += 1;
+            self.run += 1;
+            self.longest_run = self.longest_run.max(self.run);
+        } else {
+            self.run = 0;
+        }
+    }
+
+    fn finish(&self, name: &str) -> EstimatorResult {
+        let n = self.predictions;
+        let p_global = self.correct as f64 / n as f64;
+        let p_global_u = if self.correct == 0 {
+            1.0 - 0.01f64.powf(1.0 / n as f64)
+        } else if self.correct == n {
+            // Every prediction correct: the bound is 1 outright (and the n = 1
+            // corner must not reach the (n − 1) divisor in the CI formula).
+            1.0
+        } else {
+            upper_probability_bound(p_global, n as usize)
+        };
+        let r = self.longest_run + 1;
+        let p_local = local_probability_bound(r, n);
+        let p = p_global_u.max(p_local);
+        let h = min_entropy_from_probability(p);
+        EstimatorResult::new(
+            name,
+            h,
+            format!(
+                "{}/{} correct, run {}, P_global' {p_global_u:.6}, P_local {p_local:.6}",
+                self.correct, n, self.longest_run
+            ),
+        )
+    }
+}
+
+/// Probability that `n` Bernoulli(`p`) trials contain **no** run of `r` successes
+/// (Feller's generating-function root, evaluated in log space).
+fn no_run_probability(p: f64, r: u64, n: u64) -> f64 {
+    if p <= 0.0 {
+        return 1.0; // No successes at all: every run length is absent.
+    }
+    if p >= 1.0 {
+        return 0.0; // Every trial succeeds: the run is certain (r ≤ n here).
+    }
+    let q = 1.0 - p;
+    // Smallest root above 1 of f(x) = x − 1 − q·p^r·x^{r+1} = 0.  f(1) < 0 and f
+    // peaks at x* = ((r+1)·q·p^r)^{−1/r}; when even the peak is negative the two
+    // roots have merged and a run of r is (numerically) certain.  Bisection on
+    // [1, x*] is robust where the spec's fixed-point iteration stalls (its
+    // contraction rate approaches 1 near p = 1/2, r = 1).
+    let qpr = q * p.powf(r as f64);
+    let f = |x: f64| x - 1.0 - qpr * x.powf(r as f64 + 1.0);
+    let peak = ((r as f64 + 1.0) * qpr).powf(-1.0 / r as f64);
+    if !peak.is_finite() || peak <= 1.0 || f(peak) < 0.0 {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (1.0f64, peak);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    let numerator = 1.0 - p * x;
+    let denominator = (r as f64 + 1.0 - r as f64 * x) * q;
+    if !(numerator > 0.0 && denominator > 0.0 && x > 0.0) {
+        // Degenerate corner (extreme p): a run of r is essentially certain.
+        return 0.0;
+    }
+    ((numerator / denominator).ln() - (n as f64 + 1.0) * x.ln()).exp()
+}
+
+/// The spec's local bound: the largest `p` whose longest-run distribution leaves
+/// 99 % probability on "no run of `r` correct predictions in `n` trials".
+fn local_probability_bound(r: u64, n: u64) -> f64 {
+    if r > n {
+        // Every prediction was correct: the run statistic carries no upper bound
+        // beyond the global one.
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if no_run_probability(mid, r, n) > 0.99 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Runs the MultiMCW prediction estimate over a bit sequence.
+///
+/// # Errors
+///
+/// Returns an error for sequences shorter than 65 bits or containing non-bit
+/// values.
+pub fn multi_mcw_estimate(bits: &[u8]) -> Result<EstimatorResult> {
+    ensure_bits(bits)?;
+    ensure_min_len(bits, MCW_WINDOWS[0] + 2)?;
+    let mut ones = [0u64; MCW_WINDOWS.len()];
+    let mut scoreboard = [0u64; MCW_WINDOWS.len()];
+    let mut winner = 0usize;
+    let mut tally = Tally::default();
+
+    for (i, &bit) in bits.iter().enumerate() {
+        if i >= MCW_WINDOWS[0] {
+            // Subpredictor j predicts the most common value of its (full) window;
+            // ties go to the most recent sample.
+            let predict = |j: usize| -> Option<u8> {
+                let window = MCW_WINDOWS[j];
+                if i < window {
+                    return None;
+                }
+                let one_count = ones[j];
+                let zero_count = window as u64 - one_count;
+                Some(match one_count.cmp(&zero_count) {
+                    std::cmp::Ordering::Greater => 1,
+                    std::cmp::Ordering::Less => 0,
+                    std::cmp::Ordering::Equal => bits[i - 1],
+                })
+            };
+            tally.record(predict(winner) == Some(bit));
+            for j in 0..MCW_WINDOWS.len() {
+                if predict(j) == Some(bit) {
+                    scoreboard[j] += 1;
+                    if scoreboard[j] >= scoreboard[winner] {
+                        winner = j;
+                    }
+                }
+            }
+        }
+        // Slide every window forward over the just-observed sample.
+        for (j, &window) in MCW_WINDOWS.iter().enumerate() {
+            ones[j] += bit as u64;
+            if i >= window {
+                ones[j] -= bits[i - window] as u64;
+            }
+        }
+    }
+    Ok(tally.finish("multi-mcw"))
+}
+
+/// Runs the lag prediction estimate over a bit sequence.
+///
+/// # Errors
+///
+/// Returns an error for sequences shorter than 2 bits or containing non-bit
+/// values.
+pub fn lag_estimate(bits: &[u8]) -> Result<EstimatorResult> {
+    ensure_bits(bits)?;
+    ensure_min_len(bits, 2)?;
+    let mut scoreboard = [0u64; LAG_DEPTH];
+    let mut winner = 0usize;
+    let mut tally = Tally::default();
+
+    for (i, &bit) in bits.iter().enumerate().skip(1) {
+        let winner_lag = winner + 1;
+        let prediction = if i >= winner_lag {
+            Some(bits[i - winner_lag])
+        } else {
+            None
+        };
+        tally.record(prediction == Some(bit));
+        for j in 0..i.min(LAG_DEPTH) {
+            if bits[i - (j + 1)] == bit {
+                scoreboard[j] += 1;
+                if scoreboard[j] >= scoreboard[winner] {
+                    winner = j;
+                }
+            }
+        }
+    }
+    Ok(tally.finish("lag"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    #[test]
+    fn ideal_bits_assess_high() {
+        let bits = random_bits(1 << 15, 51);
+        let mcw = multi_mcw_estimate(&bits).unwrap();
+        let lag = lag_estimate(&bits).unwrap();
+        assert!(mcw.h_per_bit > 0.9, "mcw {}", mcw.detail);
+        assert!(lag.h_per_bit > 0.9, "lag {}", lag.detail);
+    }
+
+    #[test]
+    fn periodic_bits_are_predicted_by_the_lag_estimator() {
+        // Period 7: lag-7 predicts perfectly; the estimate collapses toward 0.
+        let bits: Vec<u8> = random_bits(7, 52)
+            .iter()
+            .cycle()
+            .take(1 << 14)
+            .copied()
+            .collect();
+        let lag = lag_estimate(&bits).unwrap();
+        assert!(
+            lag.h_per_bit < 0.02,
+            "periodic data assessed {}",
+            lag.detail
+        );
+    }
+
+    #[test]
+    fn drifting_bias_is_caught_by_multi_mcw() {
+        // Slowly alternating bias blocks: within each 2048-sample block the most
+        // common value predicts well above chance.
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut bits = Vec::with_capacity(1 << 15);
+        for block in 0..(1usize << 15) / 2048 {
+            let p = if block % 2 == 0 { 0.85 } else { 0.15 };
+            bits.extend((0..2048).map(|_| u8::from(rng.gen_bool(p))));
+        }
+        let mcw = multi_mcw_estimate(&bits).unwrap();
+        assert!(mcw.h_per_bit < 0.5, "drifting bias assessed {}", mcw.detail);
+    }
+
+    #[test]
+    fn constant_bits_assess_zero() {
+        let mcw = multi_mcw_estimate(&[1u8; 8192]).unwrap();
+        let lag = lag_estimate(&[1u8; 8192]).unwrap();
+        assert!(mcw.h_per_bit < 1e-3, "{}", mcw.detail);
+        assert!(lag.h_per_bit < 1e-3, "{}", lag.detail);
+    }
+
+    #[test]
+    fn no_run_probability_matches_closed_forms() {
+        // r = 1: no run of one success in n trials = q^n.
+        let p = 0.3f64;
+        let direct = (1.0 - p).powi(20);
+        let formula = no_run_probability(p, 1, 20);
+        assert!((direct - formula).abs() < 1e-6, "{direct} vs {formula}");
+        // Longer runs are less likely to be absent as p grows.
+        assert!(no_run_probability(0.9, 3, 100) < no_run_probability(0.5, 3, 100));
+    }
+
+    #[test]
+    fn local_bound_shrinks_with_more_predictions() {
+        // The same longest run over more trials implies a smaller probability.
+        let short = local_probability_bound(11, 1_000);
+        let long = local_probability_bound(11, 100_000);
+        assert!(long < short, "{long} vs {short}");
+        assert!(short < 1.0 && long > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(multi_mcw_estimate(&[0, 1]).is_err());
+        assert!(lag_estimate(&[5, 1]).is_err());
+    }
+
+    #[test]
+    fn minimal_inputs_with_perfect_predictions_stay_finite() {
+        // Two equal bits: the single lag prediction is correct — the global bound
+        // must be exactly 1 (h = 0), not a (n − 1 = 0)-divisor NaN.
+        let result = lag_estimate(&[1, 1]).unwrap();
+        assert_eq!(result.h_per_bit, 0.0, "{}", result.detail);
+        // All-correct at larger n takes the same branch.
+        let result = lag_estimate(&[0; 512]).unwrap();
+        assert_eq!(result.h_per_bit, 0.0, "{}", result.detail);
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`fips`] — the FIPS 140-2 single-block variants (monobit, poker, runs, long run),
 //! * [`sp80090b`] — NIST SP 800-90B style continuous health tests (repetition count,
 //!   adaptive proportion),
+//! * [`estimators`] — the SP 800-90B §6.3 non-IID min-entropy estimator battery
+//!   (MCV, collision, Markov, compression, t-tuple, LRS, MultiMCW and lag
+//!   prediction) that audits a stochastic model's entropy claim black-box,
 //! * [`battery`] — aggregation of all of the above into a single report,
 //! * [`bits`] — bit-sequence helpers shared by the tests.
 //!
@@ -46,6 +49,7 @@
 
 pub mod battery;
 pub mod bits;
+pub mod estimators;
 pub mod fips;
 pub mod procedure_a;
 pub mod procedure_b;

@@ -38,10 +38,34 @@ struct Snapshot {
     source: SourceNumbers,
     conditioning: Vec<ConditionerNumbers>,
     serve: ServeNumbers,
+    estimators: EstimatorNumbers,
     flicker: FlickerNumbers,
     sweep: SweepNumbers,
     thermal_sweep: ThermalSweepNumbers,
     baseline_pr1: Baseline,
+}
+
+/// Cost of the SP 800-90B §6.3 non-IID estimator battery over one default audit
+/// window of ideal bits — the price of `ptrngd validate`, `/selftest` and the
+/// in-engine `EntropyAudit`, and therefore how often a deployment can re-audit.
+#[derive(Serialize)]
+struct EstimatorNumbers {
+    /// Bits per audited window.
+    window_bits: usize,
+    /// Wall-clock cost of the full battery over one window, in milliseconds.
+    battery_ms: f64,
+    /// Battery throughput in raw Mbit/s (window bits over battery time).
+    battery_mbit_s: f64,
+    /// Battery minimum on the ideal window (the margin-calibration anchor).
+    min_estimate_ideal: f64,
+    /// Per-estimator cost over the same window, most expensive first.
+    per_estimator: Vec<EstimatorCost>,
+}
+
+#[derive(Serialize)]
+struct EstimatorCost {
+    name: String,
+    ms: f64,
 }
 
 /// Loopback throughput of `ptrng-serve`: one client drawing sha256-conditioned
@@ -213,6 +237,56 @@ fn conditioning_numbers() -> Vec<ConditionerNumbers> {
         .collect()
 }
 
+fn estimator_numbers() -> EstimatorNumbers {
+    use ptrng_ais::estimators::{
+        collision_estimate, compression_estimate, lag_estimate, markov_estimate, mcv_estimate,
+        multi_mcw_estimate, t_tuple_and_lrs_estimates, EstimatorBattery,
+    };
+    let window_bits = ptrng_engine::audit::DEFAULT_AUDIT_WINDOW_BITS;
+    let mut rng = StdRng::seed_from_u64(13);
+    let bits: Vec<u8> = (0..window_bits)
+        .map(|_| (rng.next_u32() & 1) as u8)
+        .collect();
+    let battery = EstimatorBattery::run(&bits).expect("battery runs");
+    let secs = median_secs(3, || {
+        EstimatorBattery::run(&bits).expect("battery runs");
+    });
+    type Estimator = fn(&[u8]) -> ptrng_ais::Result<ptrng_ais::estimators::EstimatorResult>;
+    let members: [(&str, Estimator); 6] = [
+        ("mcv", mcv_estimate),
+        ("collision", collision_estimate),
+        ("markov", markov_estimate),
+        ("compression", compression_estimate),
+        ("multi-mcw", multi_mcw_estimate),
+        ("lag", lag_estimate),
+    ];
+    let mut per_estimator: Vec<EstimatorCost> = members
+        .into_iter()
+        .map(|(name, estimate)| EstimatorCost {
+            name: name.to_string(),
+            ms: median_secs(3, || {
+                estimate(&bits).expect("estimator runs");
+            }) * 1.0e3,
+        })
+        .collect();
+    // The tuple pair shares one counting scan (as in the battery), so its cost is
+    // measured — and reported — as one unit.
+    per_estimator.push(EstimatorCost {
+        name: "t-tuple+lrs".to_string(),
+        ms: median_secs(3, || {
+            t_tuple_and_lrs_estimates(&bits).expect("estimators run");
+        }) * 1.0e3,
+    });
+    per_estimator.sort_by(|a, b| b.ms.total_cmp(&a.ms));
+    EstimatorNumbers {
+        window_bits,
+        battery_ms: secs * 1.0e3,
+        battery_mbit_s: window_bits as f64 / secs / 1.0e6,
+        min_estimate_ideal: battery.min_entropy_estimate(),
+        per_estimator,
+    }
+}
+
 fn flicker_numbers() -> FlickerNumbers {
     let len = 1usize << 15;
     let mut out = vec![0.0; len];
@@ -360,7 +434,7 @@ fn strong_config(division: u32) -> EroTrngConfig {
 
 fn main() {
     let snapshot = Snapshot {
-        schema_version: 3,
+        schema_version: 4,
         engine: EngineNumbers {
             ero_strong_div16_1shard_mb_s: engine_mb_s(
                 SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"),
@@ -384,6 +458,7 @@ fn main() {
         },
         conditioning: conditioning_numbers(),
         serve: serve_numbers(),
+        estimators: estimator_numbers(),
         flicker: flicker_numbers(),
         sweep: sweep_numbers(),
         thermal_sweep: thermal_sweep_numbers(),

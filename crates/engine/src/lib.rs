@@ -23,6 +23,11 @@
 //!   SP 800-90B repetition-count and adaptive-proportion tests on the raw bits, and the
 //!   paper's `σ²_N` thermal-jitter online test, composed into a latching alarm state
 //!   machine (with flicker-aware debouncing of the thermal estimate),
+//! * [`audit`] — the black-box cross-check of the entropy ledger: a streaming
+//!   [`audit::EntropyAudit`] runs the SP 800-90B §6.3 non-IID estimator battery over
+//!   windows of raw and conditioned bits and raises an alarm when the battery
+//!   estimate falls below the claimed min-entropy minus a calibrated margin (the
+//!   paper's overclaim experiment as a runtime facility),
 //! * [`metrics`] — lock-free per-shard counters and serializable snapshots.
 //!
 //! The `ptrngd` and `ptrng-serve` binaries (in the `ptrng-serve` crate) wrap the pool
@@ -52,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod health;
 pub mod metrics;
 pub mod pool;
@@ -129,6 +135,7 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::audit::{AuditConfig, AuditReport, AuditSnapshot, EntropyAudit, WindowAudit};
     pub use crate::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
     pub use crate::metrics::{MetricsSnapshot, ShardAlarm};
     pub use crate::pool::{ConditionerSpec, Engine, EngineConfig, StageSpec};

@@ -5,6 +5,8 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
+use crate::audit::AuditSnapshot;
+
 /// One recorded shard alarm: the shard index and the rendered reason.
 ///
 /// Recorded by the shard worker **at alarm time** (not when the consumer drains the
@@ -65,6 +67,9 @@ pub struct EngineMetrics {
     /// Alarm trail in observation order (bounded by the shard count: an alarmed
     /// worker terminates, so each shard contributes at most one entry).
     alarm_reasons: Mutex<Vec<ShardAlarm>>,
+    /// Latest per-lane entropy-audit summaries (raw / conditioned), updated by the
+    /// auditing worker after every completed window.
+    audits: Mutex<Vec<AuditSnapshot>>,
 }
 
 impl EngineMetrics {
@@ -74,7 +79,22 @@ impl EngineMetrics {
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
             alarms: AtomicU64::new(0),
             alarm_reasons: Mutex::new(Vec::new()),
+            audits: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Publishes (or replaces) one audit lane's latest summary.
+    pub(crate) fn record_audit(&self, snapshot: AuditSnapshot) {
+        let mut audits = self.audits.lock().expect("metrics lock poisoned");
+        match audits.iter_mut().find(|a| a.lane == snapshot.lane) {
+            Some(existing) => *existing = snapshot,
+            None => audits.push(snapshot),
+        }
+    }
+
+    /// The latest per-lane entropy-audit summaries.
+    pub fn audits(&self) -> Vec<AuditSnapshot> {
+        self.audits.lock().expect("metrics lock poisoned").clone()
     }
 
     /// The per-shard counters.
@@ -126,6 +146,7 @@ impl EngineMetrics {
             total_batches: per_shard.iter().map(|s| s.batches).sum(),
             total_accounted_entropy_bits: per_shard.iter().map(|s| s.accounted_entropy_bits).sum(),
             alarms: self.alarms.load(Ordering::Relaxed),
+            audits: self.audits(),
             per_shard,
         }
     }
@@ -161,6 +182,9 @@ pub struct MetricsSnapshot {
     pub total_accounted_entropy_bits: f64,
     /// Number of shards that alarmed.
     pub alarms: u64,
+    /// Latest per-lane entropy-audit summaries (empty unless an audit is
+    /// configured).
+    pub audits: Vec<AuditSnapshot>,
     /// Per-shard breakdown.
     pub per_shard: Vec<ShardSnapshot>,
 }

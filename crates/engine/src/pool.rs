@@ -31,6 +31,7 @@ use ptrng_trng::conditioning::{
     XorDecimateStage, SHA256_DEFAULT_RATIO,
 };
 
+use crate::audit::{AuditConfig, EntropyAudit};
 use crate::health::{HealthConfig, HealthMonitor, HealthState};
 use crate::metrics::EngineMetrics;
 use crate::source::{derive_seed, EntropySource, SourceSpec};
@@ -208,6 +209,12 @@ pub struct EngineConfig {
     /// When a thermal online test is configured, run one `σ²_N` counter sweep every
     /// this many generated batches per shard.
     pub thermal_check_batches: usize,
+    /// Optional streaming entropy audit: shard 0 runs the SP 800-90B §6.3 estimator
+    /// battery over windows of its raw (and, for non-identity chains, conditioned)
+    /// bits, alarming when the battery estimate undercuts the ledger claim by more
+    /// than the margin.  Off by default — the battery costs far more than
+    /// generation, so it is a validation facility, not a hot-path default.
+    pub audit: Option<AuditConfig>,
 }
 
 impl EngineConfig {
@@ -225,6 +232,7 @@ impl EngineConfig {
             min_output_entropy: None,
             health: HealthConfig::default(),
             thermal_check_batches: 64,
+            audit: None,
         }
     }
 
@@ -277,6 +285,13 @@ impl EngineConfig {
         self
     }
 
+    /// Enables (or disables) the streaming entropy audit on shard 0.
+    #[must_use]
+    pub fn audit(mut self, audit: Option<AuditConfig>) -> Self {
+        self.audit = audit;
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if self.shards == 0 {
             return Err(EngineError::InvalidParameter {
@@ -300,6 +315,9 @@ impl EngineConfig {
                     reason: format!("must be in (0, 1] for binary output, got {min_h}"),
                 });
             }
+        }
+        if let Some(audit) = &self.audit {
+            audit.validate()?;
         }
         if self.queue_batches == 0 {
             return Err(EngineError::InvalidParameter {
@@ -392,11 +410,45 @@ impl Engine {
 
         let mut workers = Vec::with_capacity(config.shards);
         for (shard, (source, monitor)) in sources.into_iter().zip(monitors).enumerate() {
+            // The audit runs on shard 0 only: shards share one spec (hence one
+            // claim), so one audited stream checks the accounting for all of them
+            // at a fraction of the battery cost.
+            let (raw_audit, output_audit) = match (&config.audit, shard) {
+                (Some(audit), 0) => {
+                    // An asserted claim override speaks about the *output*: with a
+                    // real chain it applies to the conditioned lane only, and the
+                    // raw lane keeps auditing the raw ledger's own claim (the two
+                    // ledgers differ, so one override cannot be honest for both).
+                    let raw_config = if config.conditioner.is_identity() {
+                        audit.clone()
+                    } else {
+                        audit.clone().claim(None)
+                    };
+                    let raw =
+                        EntropyAudit::new("raw", raw_ledgers[0].min_entropy_per_bit(), raw_config)?;
+                    // With the identity chain the conditioned stream *is* the raw
+                    // stream; a second lane would double the cost to audit the same
+                    // bits.
+                    let conditioned = if config.conditioner.is_identity() {
+                        None
+                    } else {
+                        Some(EntropyAudit::new(
+                            "conditioned",
+                            output_ledgers[0].min_entropy_per_bit(),
+                            audit.clone(),
+                        )?)
+                    };
+                    (Some(raw), conditioned)
+                }
+                _ => (None, None),
+            };
             let worker = ShardWorker {
                 shard,
                 source,
                 monitor,
                 chain: config.conditioner.build()?,
+                raw_audit,
+                output_audit,
                 batch_bits: config.batch_bits,
                 thermal_check_batches: config.thermal_check_batches,
                 budget: Arc::clone(&budget),
@@ -494,6 +546,10 @@ struct ShardWorker {
     source: Box<dyn EntropySource>,
     monitor: HealthMonitor,
     chain: ConditioningChain,
+    /// Entropy audit over the raw noise-source bits (shard 0 only, opt-in).
+    raw_audit: Option<EntropyAudit>,
+    /// Entropy audit over the conditioned bits (shard 0, non-identity chains).
+    output_audit: Option<EntropyAudit>,
     batch_bits: usize,
     thermal_check_batches: usize,
     budget: Arc<ByteBudget>,
@@ -579,6 +635,7 @@ impl ShardWorker {
             if let HealthState::Alarmed(reason) = self.monitor.state() {
                 return Err(WorkerExit::Alarm(reason.to_string()));
             }
+            Self::feed_audit(&mut self.raw_audit, &raw, &self.metrics)?;
 
             // ...while the FIPS startup battery judges the conditioned output.  The
             // identity chain publishes `raw` directly (copy-free); real chains stream
@@ -599,6 +656,7 @@ impl ShardWorker {
             if let HealthState::Alarmed(reason) = self.monitor.state() {
                 return Err(WorkerExit::Alarm(reason.to_string()));
             }
+            Self::feed_audit(&mut self.output_audit, processed, &self.metrics)?;
             if matches!(self.monitor.state(), HealthState::Startup) {
                 holdback.extend_from_slice(processed);
                 continue;
@@ -632,6 +690,31 @@ impl ShardWorker {
                 return Ok(());
             }
         }
+    }
+
+    /// Streams one batch of bits through an audit lane; a completed window
+    /// publishes its summary to the metrics, and an overclaimed window terminates
+    /// the shard through the alarm path — the ledger's claim has been refuted by
+    /// the black-box battery, which is exactly as severe as a failed health test.
+    fn feed_audit(
+        audit: &mut Option<EntropyAudit>,
+        bits: &[u8],
+        metrics: &EngineMetrics,
+    ) -> std::result::Result<(), WorkerExit> {
+        let Some(audit) = audit.as_mut() else {
+            return Ok(());
+        };
+        if audit
+            .observe_bits(bits)
+            .map_err(WorkerExit::Source)?
+            .is_some()
+        {
+            metrics.record_audit(audit.snapshot());
+            if audit.overclaimed() {
+                return Err(WorkerExit::Alarm(audit.alarm_reason()));
+            }
+        }
+        Ok(())
     }
 
     /// Blocking send: a worker parked on a full queue is woken by the channel both
@@ -929,7 +1012,103 @@ mod tests {
     }
 
     #[test]
+    fn entropy_audit_publishes_metrics_and_passes_an_honest_claim() {
+        // Full-entropy model source, small audit window with a margin sized for it.
+        let audit = AuditConfig::default().window_bits(1 << 15).margin(0.4);
+        let config = model_config().audit(Some(audit)).budget_bytes(Some(8192));
+        let mut engine = Engine::spawn(config).unwrap();
+        let bytes = engine.read_to_end().unwrap();
+        let snap = engine.metrics().snapshot();
+        engine.join().unwrap();
+        assert_eq!(bytes.len(), 8192);
+        assert_eq!(snap.alarms, 0);
+        let raw = snap
+            .audits
+            .iter()
+            .find(|a| a.lane == "raw")
+            .expect("the raw audit lane publishes a summary");
+        assert!(raw.windows >= 1);
+        assert_eq!(raw.overclaims, 0);
+        assert!(raw.last_estimate > 0.5, "estimate {}", raw.last_estimate);
+        assert!(
+            (raw.claim - 1.0).abs() < 1e-12,
+            "model:0.5 claims 1 bit/bit"
+        );
+    }
+
+    #[test]
+    fn entropy_audit_alarms_on_an_inflated_claim() {
+        // A p = 0.95 source audited against an asserted claim of 0.9 bits/bit —
+        // the independence-style overclaim.  The battery refutes it within the
+        // first window and the shard terminates through the alarm path.
+        let audit = AuditConfig::default().window_bits(1 << 14).claim(Some(0.9));
+        let config = EngineConfig::new(SourceSpec::model(0.95).unwrap())
+            .seed(7)
+            .audit(Some(audit))
+            .budget_bytes(Some(1 << 20))
+            .health(HealthConfig::default().without_startup_battery());
+        let mut engine = Engine::spawn(config).unwrap();
+        let result = engine.read_to_end();
+        assert!(
+            matches!(result, Err(EngineError::HealthAlarm { ref reason, .. })
+                if reason.contains("entropy audit")),
+            "{result:?}"
+        );
+        let snap = engine.metrics().snapshot();
+        engine.join().unwrap();
+        assert_eq!(snap.alarms, 1);
+        let raw = snap.audits.iter().find(|a| a.lane == "raw").unwrap();
+        assert_eq!(raw.overclaims, 1);
+        assert!(raw.last_estimate < 0.2, "estimate {}", raw.last_estimate);
+    }
+
+    #[test]
+    fn entropy_audit_covers_the_conditioned_lane() {
+        // A claim override asserts an *output* bound: the conditioned lane audits
+        // it, while the raw lane must keep the raw ledger's own claim (here both
+        // happen to be 1.0 for model:0.5, so assert via the recorded lane claims).
+        let audit = AuditConfig::default()
+            .window_bits(1 << 15)
+            .margin(0.4)
+            .claim(Some(0.9));
+        let config = model_config()
+            .conditioner(ConditionerSpec::xor(2))
+            .audit(Some(audit))
+            .budget_bytes(Some(4096));
+        let mut engine = Engine::spawn(config).unwrap();
+        engine.read_to_end().unwrap();
+        let snap = engine.metrics().snapshot();
+        engine.join().unwrap();
+        let lane = |name: &str| {
+            snap.audits
+                .iter()
+                .find(|a| a.lane == name)
+                .unwrap_or_else(|| panic!("lane {name} missing: {:?}", snap.audits))
+        };
+        assert!(
+            (lane("raw").claim - 1.0).abs() < 1e-12,
+            "the raw lane keeps the raw ledger claim: {:?}",
+            lane("raw")
+        );
+        assert!(
+            (lane("conditioned").claim - 0.9).abs() < 1e-12,
+            "the conditioned lane audits the asserted claim: {:?}",
+            lane("conditioned")
+        );
+        assert!(snap.audits.iter().all(|a| a.overclaims == 0), "{snap:?}");
+    }
+
+    #[test]
     fn invalid_configurations_fail_fast() {
+        assert!(
+            Engine::spawn(model_config().audit(Some(AuditConfig::default().window_bits(16))))
+                .is_err(),
+            "an audit window below the battery minimum must be rejected"
+        );
+        assert!(
+            Engine::spawn(model_config().audit(Some(AuditConfig::default().margin(-0.1)))).is_err(),
+            "a negative audit margin must be rejected"
+        );
         assert!(Engine::spawn(model_config().shards(0)).is_err());
         assert!(Engine::spawn(model_config().batch_bits(4)).is_err());
         assert!(Engine::spawn(model_config().conditioner(ConditionerSpec::xor(0))).is_err());

@@ -4,10 +4,12 @@
 //! ```text
 //! ptrngd --shards 4 --source ero:16 --budget 1MiB > random.bin
 //! ptrngd serve --listen 127.0.0.1:7878 --conditioner sha256 --min-h 0.997
+//! ptrngd validate --source ero:16 --margin 0.25
 //! ```
 //!
 //! Exit codes: 0 on success, 1 on usage/configuration errors, 2 when a health alarm
-//! or the entropy-deficit emission policy terminated generation.
+//! or the entropy-deficit emission policy terminated generation, 3 when `validate`
+//! found the entropy claim overclaimed.
 
 use std::process::ExitCode;
 
@@ -15,6 +17,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => ptrng_serve::cli::run_serve(&argv[1..]),
+        Some("validate") => ptrng_serve::cli::run_validate(&argv[1..]),
         _ => ptrng_serve::cli::run_generate(&argv),
     }
 }

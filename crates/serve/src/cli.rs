@@ -10,6 +10,7 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use ptrng_engine::audit::{AuditConfig, EntropyAudit, DEFAULT_AUDIT_MARGIN};
 use ptrng_engine::health::HealthConfig;
 use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig};
 use ptrng_engine::source::SourceSpec;
@@ -24,6 +25,8 @@ ptrngd — sharded entropy generation daemon (simulated P-TRNG)
 USAGE:
     ptrngd [OPTIONS]            stream entropy to stdout or --out
     ptrngd serve [OPTIONS]      serve entropy over HTTP (see `ptrngd serve --help`)
+    ptrngd validate [OPTIONS]   audit the entropy ledger with the SP 800-90B
+                                estimator battery (see `ptrngd validate --help`)
 
 OPTIONS:
     --shards N          worker shards, one source each            [default: 4]
@@ -76,6 +79,41 @@ OPTIONS (in addition to every engine flag of ptrngd except --budget/--out/--stat
 SIGNALS:
     SIGTERM/SIGINT trigger a graceful shutdown: in-flight responses complete,
     the engine is drained, then the process exits 0.
+";
+
+/// Usage text of the ledger-audit mode (`ptrngd validate`).
+pub const VALIDATE_USAGE: &str = "\
+ptrngd validate — audit the entropy ledger with the SP 800-90B §6.3 battery
+
+Draws conditioned output from the configured engine, runs the non-IID estimator
+battery over it, and compares the battery's assessed min-entropy against the
+claim.  The claim defaults to the engine's own ledger (the dependent-jitter-aware
+model bound); pass --claim (or --min-h) to audit an asserted value instead —
+e.g. the naive independence-assuming bound the paper warns about.  Unlike the
+other modes, --min-h is audited, not enforced: the engine always spawns, so the
+report shows *how far off* an inflated claim is.
+
+USAGE:
+    ptrngd validate [OPTIONS]
+
+OPTIONS (in addition to every engine flag of ptrngd except --budget/--out/--stats):
+    --audit-bits N      bits per audited window             [default: 131072]
+    --windows W         windows to audit                    [default: 1]
+    --margin M          tolerated shortfall of the battery estimate below the
+                        claim (absorbs the estimators' known finite-sample
+                        conservatism; see docs/validation.md)  [default: 0.35]
+    --claim H           audit against this claim instead of the ledger's
+    --help              show this help
+
+OUTPUT:
+    A JSON report on stdout mirroring the ledger format: the audited claim, the
+    battery estimate with every estimator's result, and the engine's ledger.
+
+EXIT CODES:
+    0  battery estimate ≥ claim − margin for every window
+    1  usage or configuration error
+    2  a health alarm terminated generation before the audit completed
+    3  overclaim: the battery refuted the claim on at least one window
 ";
 
 /// Parses a human-friendly byte size: `4096`, `64KiB`, `1MiB`, `2GiB`.
@@ -426,6 +464,160 @@ pub fn run_generate(argv: &[String]) -> ExitCode {
     }
 }
 
+struct ValidateArgs {
+    engine: EngineArgs,
+    audit_bits: usize,
+    windows: u64,
+    margin: f64,
+    claim: Option<f64>,
+}
+
+fn parse_validate(argv: &[String]) -> Result<Option<ValidateArgs>, String> {
+    let mut args = ValidateArgs {
+        engine: EngineArgs::default(),
+        audit_bits: ptrng_engine::audit::DEFAULT_AUDIT_WINDOW_BITS,
+        windows: 1,
+        margin: DEFAULT_AUDIT_MARGIN,
+        claim: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--audit-bits" => {
+                args.audit_bits = flag_value(&mut it, "--audit-bits")?
+                    .parse()
+                    .map_err(|_| "invalid --audit-bits".to_string())?;
+            }
+            "--windows" => {
+                args.windows = flag_value(&mut it, "--windows")?
+                    .parse()
+                    .map_err(|_| "invalid --windows".to_string())?;
+            }
+            "--margin" => {
+                args.margin = flag_value(&mut it, "--margin")?
+                    .parse()
+                    .map_err(|_| "invalid --margin".to_string())?;
+            }
+            "--claim" => {
+                args.claim = Some(
+                    flag_value(&mut it, "--claim")?
+                        .parse()
+                        .map_err(|_| "invalid --claim".to_string())?,
+                );
+            }
+            other => {
+                if !args.engine.accept(other, &mut it)? {
+                    return Err(format!("unknown argument `{other}` (try --help)"));
+                }
+            }
+        }
+    }
+    if args.windows == 0 {
+        return Err("--windows must be at least 1".to_string());
+    }
+    Ok(Some(args))
+}
+
+fn run_validate_inner(args: ValidateArgs) -> Result<bool, (u8, String)> {
+    // The audited claim: an explicit --claim, else an asserted --min-h, else the
+    // engine's own ledger.  --min-h is deliberately *not* enforced at spawn here —
+    // validate measures how far off a claim is instead of refusing up front.
+    let asserted = args.claim.or(args.engine.min_h);
+    let budget = (args.windows * args.audit_bits as u64).div_ceil(8);
+    let config = args
+        .engine
+        .engine_config()
+        .map_err(|m| (1, m))?
+        .min_output_entropy(None)
+        .budget_bytes(Some(budget));
+    let mut engine = Engine::spawn(config).map_err(|e| (1, e.to_string()))?;
+    let ledger = engine.output_ledger().clone();
+    let audit_config = AuditConfig::default()
+        .window_bits(args.audit_bits)
+        .margin(args.margin)
+        .claim(asserted);
+    let mut audit = EntropyAudit::new("conditioned", ledger.min_entropy_per_bit(), audit_config)
+        .map_err(|e| (1, e.to_string()))?;
+
+    let mut alarm: Option<String> = None;
+    for batch in engine.stream_mut() {
+        match batch {
+            Ok(batch) => {
+                audit
+                    .observe_bytes(&batch.bytes)
+                    .map_err(|e| (1, e.to_string()))?;
+            }
+            Err(e) => {
+                alarm.get_or_insert(e.to_string());
+            }
+        }
+    }
+    audit.finalize().map_err(|e| (1, e.to_string()))?;
+    engine.join().map_err(|e| (1, e.to_string()))?;
+    if let Some(reason) = alarm {
+        return Err((2, reason));
+    }
+    if audit.windows() == 0 {
+        return Err((
+            2,
+            "the stream ended before one audit window filled".to_string(),
+        ));
+    }
+
+    // The machine-readable report mirrors the ledger's canonical JSON rendering:
+    // the ledger object is embedded verbatim next to the audit verdict.
+    let report = audit.report();
+    let report_json = serde_json::to_string(&report).map_err(|e| (1, e.to_string()))?;
+    println!(
+        "{{\"overclaim\":{},\"audit\":{report_json},\"ledger\":{}}}",
+        audit.overclaimed(),
+        ledger.to_json()
+    );
+    let latest = audit.latest().expect("at least one window audited");
+    eprintln!(
+        "ptrngd validate: battery {:.4}/bit (weakest: {}) vs claim {:.4} − margin {:.2} \
+         over {} window(s) of {} bits → {}",
+        latest.estimate,
+        latest.weakest,
+        audit.claim(),
+        args.margin,
+        audit.windows(),
+        args.audit_bits,
+        if audit.overclaimed() {
+            "OVERCLAIM"
+        } else {
+            "pass"
+        }
+    );
+    Ok(audit.overclaimed())
+}
+
+/// Entry point of the ledger-audit mode (`ptrngd validate`).
+///
+/// Exit codes: 0 pass, 1 usage/configuration error, 2 health alarm, 3 overclaim.
+pub fn run_validate(argv: &[String]) -> ExitCode {
+    match parse_validate(argv) {
+        Ok(None) => {
+            print!("{VALIDATE_USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(args)) => match run_validate_inner(args) {
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::from(3),
+            Err((code, message)) => {
+                eprintln!("ptrngd validate: {message}");
+                ExitCode::from(code)
+            }
+        },
+        Err(message) => {
+            eprintln!("ptrngd validate: {message}");
+            eprintln!("{VALIDATE_USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Entry point of the serving mode (`ptrng-serve`, or `ptrngd serve`).
 pub fn run_serve(argv: &[String]) -> ExitCode {
     let args = match parse_serve(argv) {
@@ -571,6 +763,45 @@ mod tests {
             .contains("unknown argument"));
         assert!(parse_generate(&argv(&["--help"])).unwrap().is_none());
         assert!(parse_serve(&argv(&["--help"])).unwrap().is_none());
+    }
+
+    #[test]
+    fn validate_flags_parse_and_share_the_engine_parser() {
+        let args = parse_validate(&argv(&[
+            "--source",
+            "model:0.95",
+            "--audit-bits",
+            "32768",
+            "--windows",
+            "2",
+            "--margin",
+            "0.4",
+            "--claim",
+            "0.9",
+            "--shards",
+            "1",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(args.audit_bits, 32768);
+        assert_eq!(args.windows, 2);
+        assert!((args.margin - 0.4).abs() < 1e-15);
+        assert_eq!(args.claim, Some(0.9));
+        assert_eq!(args.engine.shards, 1);
+        assert_eq!(args.engine.source, "model:0.95");
+
+        // Defaults mirror the audit module's calibration.
+        let defaults = parse_validate(&argv(&[])).unwrap().unwrap();
+        assert_eq!(
+            defaults.audit_bits,
+            ptrng_engine::audit::DEFAULT_AUDIT_WINDOW_BITS
+        );
+        assert!((defaults.margin - DEFAULT_AUDIT_MARGIN).abs() < 1e-15);
+        assert_eq!(defaults.claim, None);
+
+        assert!(parse_validate(&argv(&["--windows", "0"])).is_err());
+        assert!(parse_validate(&argv(&["--budget", "1MiB"])).is_err());
+        assert!(parse_validate(&argv(&["--help"])).unwrap().is_none());
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub struct ServerMetrics {
     requests: AtomicU64,
     bytes_served: AtomicU64,
     rate_limited: AtomicU64,
+    selftests: AtomicU64,
+    selftest_overclaims: AtomicU64,
     responses_by_status: Mutex<BTreeMap<u16, u64>>,
 }
 
@@ -53,6 +55,15 @@ impl ServerMetrics {
     /// Counts entropy body bytes handed to clients.
     pub fn record_bytes_served(&self, bytes: u64) {
         self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Counts one completed `/selftest` battery run (and whether it flagged an
+    /// overclaim).
+    pub fn record_selftest(&self, overclaim: bool) {
+        self.selftests.fetch_add(1, Ordering::Relaxed);
+        if overclaim {
+            self.selftest_overclaims.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Total entropy body bytes served so far.
@@ -170,6 +181,49 @@ pub fn render_prometheus(
         );
     }
 
+    // Entropy-audit lanes (populated when the engine runs with an audit, or via
+    // /selftest's on-demand batteries recorded below).
+    if !engine.audits.is_empty() {
+        let mut families = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP ptrng_audit_windows_total Estimator-battery windows completed per audit lane."
+        );
+        let _ = writeln!(out, "# TYPE ptrng_audit_windows_total counter");
+        for lane in &engine.audits {
+            let _ = writeln!(
+                out,
+                "ptrng_audit_windows_total{{lane=\"{}\"}} {}",
+                lane.lane, lane.windows
+            );
+            let _ = writeln!(
+                families,
+                "ptrng_audit_overclaims_total{{lane=\"{}\"}} {}",
+                lane.lane, lane.overclaims
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ptrng_audit_overclaims_total Windows whose battery estimate undercut the \
+             claim by more than the margin."
+        );
+        let _ = writeln!(out, "# TYPE ptrng_audit_overclaims_total counter");
+        out.push_str(&families);
+        let _ = writeln!(
+            out,
+            "# HELP ptrng_audit_last_estimate Battery min-entropy estimate of the most recent \
+             audited window, per lane."
+        );
+        let _ = writeln!(out, "# TYPE ptrng_audit_last_estimate gauge");
+        for lane in &engine.audits {
+            let _ = writeln!(
+                out,
+                "ptrng_audit_last_estimate{{lane=\"{}\"}} {:.6}",
+                lane.lane, lane.last_estimate
+            );
+        }
+    }
+
     // HTTP layer.
     sample(
         &mut out,
@@ -177,6 +231,20 @@ pub fn render_prometheus(
         "Parsed HTTP requests.",
         "counter",
         server.requests(),
+    );
+    sample(
+        &mut out,
+        "ptrng_http_selftests_total",
+        "Completed /selftest estimator-battery runs.",
+        "counter",
+        server.selftests.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "ptrng_http_selftest_overclaims_total",
+        "/selftest runs that flagged the ledger claim as overclaimed.",
+        "counter",
+        server.selftest_overclaims.load(Ordering::Relaxed),
     );
     sample(
         &mut out,
@@ -234,6 +302,15 @@ mod tests {
             total_batches: 2,
             total_accounted_entropy_bits: per_shard.iter().map(|s| s.accounted_entropy_bits).sum(),
             alarms: 0,
+            audits: vec![ptrng_engine::audit::AuditSnapshot {
+                lane: "raw".to_string(),
+                claim: 0.9973,
+                margin: 0.25,
+                windows: 3,
+                overclaims: 1,
+                last_estimate: 0.8123,
+                last_weakest: "compression".to_string(),
+            }],
             per_shard,
         };
         let server = ServerMetrics::new();
@@ -241,6 +318,8 @@ mod tests {
         server.record_response(200);
         server.record_response(429);
         server.record_bytes_served(4096);
+        server.record_selftest(false);
+        server.record_selftest(true);
 
         let text = render_prometheus(&engine, &server, 0.9973, 2, true);
         for family in [
@@ -255,6 +334,11 @@ mod tests {
             "ptrng_http_rate_limited_total 1",
             "ptrng_http_responses_total{status=\"200\"} 1",
             "ptrng_http_responses_total{status=\"429\"} 1",
+            "ptrng_audit_windows_total{lane=\"raw\"} 3",
+            "ptrng_audit_overclaims_total{lane=\"raw\"} 1",
+            "ptrng_audit_last_estimate{lane=\"raw\"} 0.812300",
+            "ptrng_http_selftests_total 2",
+            "ptrng_http_selftest_overclaims_total 1",
         ] {
             assert!(text.contains(family), "missing `{family}` in:\n{text}");
         }

@@ -36,6 +36,8 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use ptrng_ais::estimators::MIN_BATTERY_BITS;
+use ptrng_engine::audit::{AuditConfig, EntropyAudit, DEFAULT_AUDIT_WINDOW_BITS};
 use ptrng_engine::metrics::ShardAlarm;
 use ptrng_engine::pool::{Engine, EngineConfig};
 use ptrng_engine::tap::EntropyTap;
@@ -405,14 +407,134 @@ fn route(
         "/entropy" => entropy(state, writer, request, peer_ip, keep_alive, head_only),
         "/healthz" => healthz(state, writer, keep_alive, head_only),
         "/metrics" => metrics(state, writer, keep_alive, head_only),
+        "/selftest" => selftest(state, writer, request, peer_ip, keep_alive, head_only),
         _ => {
             let body = error_body(
                 "not found",
-                "endpoints: /entropy?bytes=N, /healthz, /metrics",
+                "endpoints: /entropy?bytes=N, /healthz, /metrics, /selftest",
             );
             respond_json(state, writer, 404, &body, keep_alive, head_only)
         }
     }
+}
+
+/// Hard cap on one `/selftest` window (the battery is CPU-bound; a hostile client
+/// must not be able to pin a worker for minutes).
+const SELFTEST_MAX_BITS: usize = 1 << 20;
+
+/// `GET /selftest[?bits=N&claim=H&margin=M]` — draws one window of conditioned
+/// output from the engine, runs the SP 800-90B §6.3 estimator battery over it and
+/// compares the assessment against the ledger claim (or an asserted `claim`).
+///
+/// Answers 200 with the audit report when the claim holds, 503 with the same body
+/// on an overclaim (and in refusing mode, mirroring `/entropy`).  Note the drawn
+/// window **consumes** real entropy output — the self-test competes with clients by
+/// design, since auditing a stream other than the served one would prove nothing —
+/// and is therefore charged against the caller's rate-limit budget like any other
+/// entropy draw (the battery is also CPU-bound, so an unmetered loop would starve
+/// both the entropy supply and the worker pool).
+fn selftest(
+    state: &SharedState,
+    writer: &mut impl Write,
+    request: &Request,
+    peer_ip: IpAddr,
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let tap = match &state.supply {
+        Supply::Serving(tap) => tap,
+        Supply::Refusing {
+            ledger,
+            accounted,
+            required,
+        } => {
+            let body = format!(
+                "{{\"error\":\"entropy deficit\",\"accounted\":{accounted},\
+                 \"required\":{required},\"ledger\":{}}}",
+                ledger.to_json()
+            );
+            return respond_json(state, writer, 503, &body, keep_alive, head_only);
+        }
+    };
+    let parse_f64 = |name: &str| -> std::result::Result<Option<f64>, String> {
+        match request.query_param(name).map(str::parse::<f64>) {
+            None => Ok(None),
+            Some(Ok(value)) => Ok(Some(value)),
+            Some(Err(_)) => Err(format!("`{name}` must be a number")),
+        }
+    };
+    let bits = match request.query_param("bits").map(str::parse::<usize>) {
+        None => DEFAULT_AUDIT_WINDOW_BITS,
+        Some(Ok(bits)) if (MIN_BATTERY_BITS..=SELFTEST_MAX_BITS).contains(&bits) => bits,
+        Some(_) => {
+            let body = error_body(
+                "bad request",
+                &format!("`bits` must be in {MIN_BATTERY_BITS}..={SELFTEST_MAX_BITS}"),
+            );
+            return respond_json(state, writer, 400, &body, keep_alive, head_only);
+        }
+    };
+    let (claim, margin) = match (parse_f64("claim"), parse_f64("margin")) {
+        (Ok(claim), Ok(margin)) => (claim, margin),
+        (Err(detail), _) | (_, Err(detail)) => {
+            let body = error_body("bad request", &detail);
+            return respond_json(state, writer, 400, &body, keep_alive, head_only);
+        }
+    };
+
+    let ledger = tap.ledger();
+    let mut config = AuditConfig::default().window_bits(bits).claim(claim);
+    if let Some(margin) = margin {
+        config = config.margin(margin);
+    }
+    let mut audit = match EntropyAudit::new("conditioned", ledger.min_entropy_per_bit(), config) {
+        Ok(audit) => audit,
+        Err(error) => {
+            let body = error_body("bad request", &error.to_string());
+            return respond_json(state, writer, 400, &body, keep_alive, head_only);
+        }
+    };
+    if let Some(limiter) = &state.limiter {
+        if let Err(retry_secs) =
+            limiter.try_acquire(peer_ip, bits.div_ceil(8) as u64, Instant::now())
+        {
+            let body = error_body(
+                "rate limited",
+                &format!("client entropy budget exhausted; retry in {retry_secs:.1}s"),
+            );
+            let head = ResponseHead::new(429)
+                .header("Content-Type", "application/json")
+                .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
+            state.metrics.record_response(429);
+            return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
+        }
+    }
+    let mut window = vec![0u8; bits.div_ceil(8)];
+    if tap.draw(&mut window) < window.len() {
+        let body = error_body(
+            "selftest unavailable",
+            "the entropy stream ended before one audit window filled",
+        );
+        return respond_json(state, writer, 503, &body, keep_alive, head_only);
+    }
+    let fed = audit.observe_bytes(&window).map(|_| ());
+    let outcome = match fed {
+        Ok(()) => audit.finalize().map(|_| ()),
+        Err(error) => Err(error),
+    };
+    if let Err(error) = outcome {
+        let body = error_body("selftest failed", &error.to_string());
+        return respond_json(state, writer, 500, &body, keep_alive, head_only);
+    }
+    let overclaim = audit.overclaimed();
+    state.metrics.record_selftest(overclaim);
+    let report = serde_json::to_string(&audit.report()).expect("audit report serializes");
+    let body = format!(
+        "{{\"overclaim\":{overclaim},\"audit\":{report},\"ledger\":{}}}",
+        ledger.to_json()
+    );
+    let status = if overclaim { 503 } else { 200 };
+    respond_json(state, writer, status, &body, keep_alive, head_only)
 }
 
 fn entropy(
@@ -596,6 +718,7 @@ fn empty_snapshot(shards: usize) -> ptrng_engine::metrics::MetricsSnapshot {
         total_batches: 0,
         total_accounted_entropy_bits: 0.0,
         alarms: 0,
+        audits: Vec::new(),
         per_shard: (0..shards)
             .map(|shard| ptrng_engine::metrics::ShardSnapshot {
                 shard,

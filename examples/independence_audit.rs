@@ -1,12 +1,25 @@
 //! Independence audit: reproduce the paper's central argument on simulated data.
 //!
-//! The example generates the relative period jitter of two oscillators twice — once with
-//! thermal noise only, once with the paper's full thermal + flicker model — and shows
-//! that:
+//! The example runs in two acts.  **Act 1** looks at the jitter itself: the
+//! relative period jitter of two oscillators is generated twice — once with thermal
+//! noise only, once with the paper's full thermal + flicker model — and shows that
 //!
 //! * the thermal-only source satisfies Bienaymé's identity (`σ²_N` linear in `N`), while
 //! * the full model departs from linearity beyond the paper's threshold `N ≈ 281`,
 //! * the Ljung–Box portmanteau test corroborates both verdicts on the raw jitter series.
+//!
+//! **Act 2** closes the loop on *entropy*: the SP 800-90B §6.3 non-IID estimator
+//! battery audits generated **bits** against the two competing model claims.  A
+//! same-size ideal stream calibrates the battery's conservatism into an audit
+//! margin; then
+//!
+//! * a strong thermal-only generator passes the audit against its (≈ 1 bit/bit)
+//!   claim — independence genuinely holds, the model is honest,
+//! * a flicker-heavy generator in the transition regime is audited twice: the
+//!   **independence-assuming** bound (which credits the flicker variance as if its
+//!   realizations were mutually independent) is **refuted** by the battery, while
+//!   the **dependent-jitter** (thermal-only) bound survives — the paper's
+//!   conclusion, reproduced numerically on live output.
 //!
 //! Run with:
 //!
@@ -15,13 +28,19 @@
 //! ```
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
+#[allow(unused_imports)] // referenced by the `verdict` docs: the runtime audit type.
+use ptrng::engine::audit::EntropyAudit;
+
+use ptrng::ais::estimators::EstimatorBattery;
 use ptrng::core::independence::{jitter_series_looks_independent, IndependenceAnalysis};
 use ptrng::measure::dataset::{DatasetPoint, Sigma2NDataset};
 use ptrng::osc::jitter::JitterGenerator;
 use ptrng::osc::phase::PhaseNoiseModel;
 use ptrng::stats::sn::{log_spaced_depths, sigma2_n_sweep, SnSampling};
+use ptrng::trng::ero::{EroTrng, EroTrngConfig};
+use ptrng::trng::stochastic::EntropyModel;
 
 fn audit(
     name: &str,
@@ -74,7 +93,125 @@ fn audit(
     Ok(())
 }
 
+/// Bits audited per stream in Act 2 (2¹⁹ keeps every battery's conservatism tight
+/// enough to separate the two bounds while the whole act stays under ~20 s).
+const AUDIT_BITS: usize = 1 << 19;
+
+/// Generates `AUDIT_BITS` bits from an eRO pair with the given per-oscillator
+/// noise coefficients and division, and runs the estimator battery over them.
+fn battery_over_ero(
+    b_thermal: f64,
+    b_flicker: f64,
+    division: u32,
+    rng: &mut StdRng,
+) -> Result<(EntropyModel, EstimatorBattery), Box<dyn std::error::Error>> {
+    let sampled = PhaseNoiseModel::new(b_thermal, b_flicker, 103.0e6)?;
+    let sampling = PhaseNoiseModel::new(b_thermal, b_flicker, 102.3e6)?;
+    let relative = sampled.relative_to(&sampling)?;
+    let trng = EroTrng::new(EroTrngConfig {
+        sampled,
+        sampling,
+        division,
+        duty_cycle: 0.5,
+    })?;
+    let mut bits = vec![0u8; AUDIT_BITS];
+    trng.fill_bits(rng, &mut bits)?;
+    Ok((EntropyModel::new(relative), EstimatorBattery::run(&bits)?))
+}
+
+/// The audit policy (`estimate ≥ claim − margin`), applied to a battery that has
+/// already run — the same comparison [`EntropyAudit`] makes per window inside the
+/// engine, without re-running the battery once per claim.
+fn verdict(claim: f64, margin: f64, battery: &EstimatorBattery) -> bool {
+    battery.min_entropy_estimate() >= claim - margin
+}
+
+fn entropy_audit() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Act 2: auditing entropy claims with the SP 800-90B battery ===");
+    println!();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Calibration: the battery is conservative by construction; its shortfall on
+    // an ideal same-size stream is the margin any honest audit must grant.
+    let ideal: Vec<u8> = (0..AUDIT_BITS).map(|_| rng.gen_range(0..=1u8)).collect();
+    let control = EstimatorBattery::run(&ideal)?;
+    let floor = control.min_entropy_estimate();
+    let margin = (1.0 - floor) + 0.05;
+    println!(
+        "ideal control ({AUDIT_BITS} bits): battery {floor:.4}/bit (weakest: {}) → audit \
+         margin {margin:.3}",
+        control.weakest().name
+    );
+    println!();
+
+    // A strong thermal-only generator: independence genuinely holds and both
+    // bounds coincide; the audit must pass.
+    let mut rng = StdRng::seed_from_u64(7);
+    let (model, battery) = battery_over_ero(1.2e6, 0.0, 16, &mut rng)?;
+    let claim = model.entropy_bound_thermal(16).min(1.0);
+    println!(
+        "thermal-only eRO (division 16): claim {claim:.4} (naive = dependent), battery \
+         {:.4} → {}",
+        battery.min_entropy_estimate(),
+        if verdict(claim, margin, &battery) {
+            "audit PASSES (the honest model survives)"
+        } else {
+            "audit FAILS (unexpected)"
+        }
+    );
+    println!();
+
+    // The paper's regime: a flicker-heavy pair where the measured σ²_N is
+    // dominated by mutually *dependent* flicker realizations.  The naive model
+    // plugs the total variance into the entropy bound; the corrected model
+    // credits only the thermal part.
+    let (model, battery) = battery_over_ero(1.3e5, 3.0e11, 8, &mut rng)?;
+    let naive = model.entropy_bound_naive(8).min(1.0);
+    let dependent = model.entropy_bound_thermal(8).min(1.0);
+    let estimate = battery.min_entropy_estimate();
+    println!("flicker-heavy eRO (division 8, flicker ≫ thermal in σ²_N):");
+    println!("    independence-assuming claim : {naive:.4} bits/bit");
+    println!("    dependent-jitter claim      : {dependent:.4} bits/bit");
+    println!(
+        "    battery estimate            : {estimate:.4} bits/bit (weakest: {})",
+        battery.weakest().name
+    );
+    let naive_survives = verdict(naive, margin, &battery);
+    let dependent_survives = verdict(dependent, margin, &battery);
+    println!(
+        "    naive claim     → {}",
+        if naive_survives {
+            "survives (unexpected)"
+        } else {
+            "REFUTED: the battery cannot find the entropy the independence assumption promised"
+        }
+    );
+    println!(
+        "    dependent claim → {}",
+        if dependent_survives {
+            "survives the audit"
+        } else {
+            "refuted (unexpected)"
+        }
+    );
+    println!();
+    if !naive_survives && dependent_survives {
+        println!(
+            "paper reproduced: crediting mutually dependent jitter realizations as \
+             independent overclaims min-entropy; only the thermal-only bound is safe."
+        );
+    } else {
+        println!(
+            "NOTE: verdicts differ from the expected reproduction — re-check seeds and \
+             margins (see docs/validation.md)."
+        );
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Act 1: σ²_N linearity and serial correlation of the jitter ===");
+    println!();
     let mut rng = StdRng::seed_from_u64(7);
     let paper = PhaseNoiseModel::date14_experiment();
     let thermal_only = PhaseNoiseModel::thermal_only(paper.b_thermal(), paper.frequency())?;
@@ -88,5 +225,5 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         paper,
         &mut rng,
     )?;
-    Ok(())
+    entropy_audit()
 }

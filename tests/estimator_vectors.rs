@@ -1,0 +1,263 @@
+//! Golden-vector and invariant tests for the SP 800-90B §6.3 estimator battery.
+//!
+//! The datasets under `tests/data/` pin every estimator's assessment to 1e-6 (see
+//! `tests/data/README.md` for provenance and the independent cross-checks); the
+//! property tests establish the invariants the audit relies on: assessments are
+//! probabilities-per-bit, the MCV estimate ignores ordering, and injected bias can
+//! only lower it.
+
+use std::path::Path;
+
+use ptrng::ais::estimators::{
+    lag_estimate, markov_estimate, mcv_estimate, t_tuple_estimate, EstimatorBattery,
+};
+
+/// Loads one `tests/data/*.txt` dataset (64 `0`/`1` characters per line).
+fn load_bits(name: &str) -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(format!("{name}.txt"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("dataset {path:?} unreadable: {e}"));
+    let bits: Vec<u8> = text
+        .chars()
+        .filter_map(|c| match c {
+            '0' => Some(0u8),
+            '1' => Some(1u8),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(bits.len(), 32_768, "dataset {name} has the documented size");
+    bits
+}
+
+fn expected() -> serde::Value {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/expected.json");
+    let text = std::fs::read_to_string(path).expect("expected.json readable");
+    serde_json::from_str(&text).expect("expected.json parses")
+}
+
+#[test]
+fn every_estimator_matches_its_reference_vector_to_1e6() {
+    let expected = expected();
+    for dataset in ["ideal", "biased_p075", "sticky_p08", "periodic_96"] {
+        let bits = load_bits(dataset);
+        let battery = EstimatorBattery::run(&bits).unwrap();
+        let table = expected
+            .get(dataset)
+            .unwrap_or_else(|| panic!("{dataset} missing from expected.json"));
+        for result in battery.results() {
+            let Some(serde::Value::Float(want)) = table.get(&result.name) else {
+                panic!("{dataset}/{} missing from expected.json", result.name);
+            };
+            assert!(
+                (result.h_per_bit - want).abs() < 1e-6,
+                "{dataset}/{}: {} vs reference {want}",
+                result.name,
+                result.h_per_bit
+            );
+        }
+        let Some(serde::Value::Float(want_min)) = table.get("min") else {
+            panic!("{dataset}/min missing");
+        };
+        assert!(
+            (battery.min_entropy_estimate() - want_min).abs() < 1e-6,
+            "{dataset} battery minimum {} vs reference {want_min}",
+            battery.min_entropy_estimate()
+        );
+    }
+}
+
+/// The MCV and Markov estimates admit closed forms from the observed counts;
+/// recomputing them from scratch anchors the golden vectors independently of the
+/// implementation under test.
+#[test]
+fn mcv_and_markov_vectors_match_their_closed_forms() {
+    for dataset in ["ideal", "biased_p075", "sticky_p08", "periodic_96"] {
+        let bits = load_bits(dataset);
+        let n = bits.len() as f64;
+        let ones: f64 = bits.iter().map(|&b| b as f64).sum();
+        let p_hat = ones.max(n - ones) / n;
+        let p_u = (p_hat + 2.576 * (p_hat * (1.0 - p_hat) / (n - 1.0)).sqrt()).min(1.0);
+        let mcv_expected = (-p_u.log2()).clamp(0.0, 1.0);
+        let mcv = mcv_estimate(&bits).unwrap().h_per_bit;
+        assert!(
+            (mcv - mcv_expected).abs() < 1e-12,
+            "{dataset}: mcv {mcv} vs closed form {mcv_expected}"
+        );
+
+        // Markov: probability of the best 128-sample path from the pair counts.
+        let mut pairs = [[0f64; 2]; 2];
+        for w in bits.windows(2) {
+            pairs[w[0] as usize][w[1] as usize] += 1.0;
+        }
+        let p0 = (n - ones) / n;
+        let p1 = ones / n;
+        let row0 = pairs[0][0] + pairs[0][1];
+        let row1 = pairs[1][0] + pairs[1][1];
+        let lg = |x: f64| if x > 0.0 { x.log2() } else { f64::NEG_INFINITY };
+        let (p00, p01) = (pairs[0][0] / row0.max(1.0), pairs[0][1] / row0.max(1.0));
+        let (p10, p11) = (pairs[1][0] / row1.max(1.0), pairs[1][1] / row1.max(1.0));
+        let best = [
+            lg(p0) + 127.0 * lg(p00),
+            lg(p0) + 64.0 * lg(p01) + 63.0 * lg(p10),
+            lg(p0) + lg(p01) + 126.0 * lg(p11),
+            lg(p1) + lg(p10) + 126.0 * lg(p00),
+            lg(p1) + 64.0 * lg(p10) + 63.0 * lg(p01),
+            lg(p1) + 127.0 * lg(p11),
+        ]
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max);
+        let markov_expected = (-best / 128.0).clamp(0.0, 1.0);
+        let markov = markov_estimate(&bits).unwrap().h_per_bit;
+        assert!(
+            (markov - markov_expected).abs() < 1e-12,
+            "{dataset}: markov {markov} vs closed form {markov_expected}"
+        );
+    }
+}
+
+/// Independent anchor for the tuple estimators: recompute the t-tuple statistic
+/// from scratch with naive substring counting (no rolling windows, no hash maps)
+/// and check it reproduces the pinned vector.  This keeps the `tests/data/`
+/// values for t-tuple honest against implementation bugs in the shared scan.
+#[test]
+fn t_tuple_vector_matches_naive_substring_counting() {
+    use ptrng::ais::estimators::t_tuple_estimate;
+    for dataset in ["ideal", "periodic_96"] {
+        let bits = load_bits(dataset);
+        let n = bits.len();
+        // Naive O(n·w) counting per width, growing w until the cutoff fails.
+        let mut p_hat = 0.0f64;
+        let mut width = 1usize;
+        loop {
+            let mut counts: std::collections::HashMap<&[u8], u64> =
+                std::collections::HashMap::new();
+            for window in bits.windows(width) {
+                *counts.entry(window).or_insert(0) += 1;
+            }
+            let max = *counts.values().max().unwrap();
+            if max < 35 {
+                break;
+            }
+            let p = (max as f64 / (n - width + 1) as f64).powf(1.0 / width as f64);
+            p_hat = p_hat.max(p);
+            width += 1;
+            if width > 128 {
+                // Mirror the implementation's documented MAX_TUPLE_BITS cap (the
+                // periodic dataset's frequent range genuinely extends past it).
+                break;
+            }
+        }
+        let p_u = (p_hat + 2.576 * (p_hat * (1.0 - p_hat) / (n as f64 - 1.0)).sqrt()).min(1.0);
+        let expected = (-p_u.log2()).clamp(0.0, 1.0);
+        let actual = t_tuple_estimate(&bits).unwrap().h_per_bit;
+        assert!(
+            (actual - expected).abs() < 1e-12,
+            "{dataset}: t-tuple {actual} vs naive recomputation {expected}"
+        );
+    }
+}
+
+/// The structured datasets are dominated by the estimator built for their failure
+/// mode — the reason the battery reduces by the minimum.
+#[test]
+fn each_failure_mode_is_caught_by_its_estimator() {
+    let sticky = EstimatorBattery::run(&load_bits("sticky_p08")).unwrap();
+    assert_eq!(sticky.weakest().name, "collision", "{:?}", sticky.weakest());
+
+    let periodic = load_bits("periodic_96");
+    let lag = lag_estimate(&periodic).unwrap();
+    let tuple = t_tuple_estimate(&periodic).unwrap();
+    assert!(
+        lag.h_per_bit < 0.01,
+        "lag misses the period: {}",
+        lag.detail
+    );
+    assert!(
+        tuple.h_per_bit < 0.05,
+        "t-tuple misses the period: {}",
+        tuple.detail
+    );
+    // MCV alone would wave the periodic stream through — the battery must not.
+    let mcv = mcv_estimate(&periodic).unwrap();
+    assert!(mcv.h_per_bit > 0.85, "{}", mcv.detail);
+    let battery = EstimatorBattery::run(&periodic).unwrap();
+    assert!(battery.min_entropy_estimate() < 0.01);
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Assessments are min-entropies per binary sample: always in [0, 1], and
+        /// strictly positive whenever neither symbol dominates outright.
+        #[test]
+        fn estimates_are_probabilities_per_bit(
+            seed in 0u64..1 << 20,
+            p_one in 0.2f64..0.8,
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bits: Vec<u8> = (0..8192).map(|_| u8::from(rng.gen_bool(p_one))).collect();
+            let battery = EstimatorBattery::run(&bits).unwrap();
+            for result in battery.results() {
+                prop_assert!(
+                    (0.0..=1.0).contains(&result.h_per_bit),
+                    "{} escaped [0, 1]: {}", result.name, result.h_per_bit
+                );
+            }
+            // A mixed source keeps the battery strictly positive: ĥ ∈ (0, 1].
+            prop_assert!(battery.min_entropy_estimate() > 0.0);
+        }
+
+        /// The MCV estimate depends only on the multiset of samples, never on the
+        /// ordering.
+        #[test]
+        fn mcv_is_permutation_invariant(
+            bits in proptest::collection::vec(0u8..=1, 64..512),
+            rotation in 0usize..512,
+        ) {
+            let original = mcv_estimate(&bits).unwrap().h_per_bit;
+            let mut reversed = bits.clone();
+            reversed.reverse();
+            prop_assert_eq!(mcv_estimate(&reversed).unwrap().h_per_bit, original);
+            let split = rotation % bits.len();
+            let rotated: Vec<u8> = bits[split..]
+                .iter()
+                .chain(&bits[..split])
+                .copied()
+                .collect();
+            prop_assert_eq!(mcv_estimate(&rotated).unwrap().h_per_bit, original);
+        }
+
+        /// Injecting bias (forcing zeros to the majority value) can only lower the
+        /// MCV assessment.
+        #[test]
+        fn mcv_is_monotone_under_bias_injection(
+            seed in 0u64..1 << 20,
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bits: Vec<u8> = (0..2048).map(|_| rng.gen_range(0..=1)).collect();
+            let ones: usize = bits.iter().map(|&b| b as usize).sum();
+            let majority = u8::from(ones * 2 >= bits.len());
+            let mut previous = f64::INFINITY;
+            for forced in [0usize, 256, 512, 1024, 2048] {
+                let mut injected = bits.clone();
+                for bit in injected.iter_mut().take(forced) {
+                    *bit = majority;
+                }
+                let h = mcv_estimate(&injected).unwrap().h_per_bit;
+                prop_assert!(
+                    h <= previous + 1e-12,
+                    "bias injection raised the estimate: {h} after {previous}"
+                );
+                previous = h;
+            }
+        }
+    }
+}

@@ -423,3 +423,63 @@ fn graceful_shutdown_drains_and_joins() {
         "listener closed after shutdown"
     );
 }
+
+#[test]
+fn selftest_audits_the_served_stream() {
+    let server = TestServer::start(model_config());
+    // A full-entropy model source with the default margin: the battery must not
+    // refute the honest ledger claim.  (Small window keeps the test fast; the
+    // margin is widened to match, see docs/validation.md.)
+    let response = get(server.addr, "/selftest?bits=32768&margin=0.45");
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    let text = response.body_text();
+    assert!(text.contains("\"overclaim\":false"), "{text}");
+    assert!(text.contains("\"audit\":"), "{text}");
+    assert!(text.contains("\"estimators\":"), "{text}");
+    assert!(text.contains("\"ledger\":"), "{text}");
+    // The embedded ledger is the canonical JSON form (parsable on its own).
+    let ledger_at = text.find("\"ledger\":").expect("ledger embedded") + "\"ledger\":".len();
+    let ledger = EntropyLedger::from_json(&text[ledger_at..text.len() - 1]).expect("parsable");
+    assert!(ledger.min_entropy_per_bit() > 0.99);
+
+    // An asserted (inflated) claim is refuted: 503 with the same report shape.
+    let refuted = get(server.addr, "/selftest?bits=32768&claim=0.999&margin=0.05");
+    assert_eq!(refuted.status, 503, "{}", refuted.body_text());
+    assert!(refuted.body_text().contains("\"overclaim\":true"));
+
+    // Out-of-domain parameters are 400s, not panics.
+    assert_eq!(get(server.addr, "/selftest?bits=12").status, 400);
+    assert_eq!(get(server.addr, "/selftest?bits=999999999").status, 400);
+    assert_eq!(get(server.addr, "/selftest?claim=abc").status, 400);
+    assert_eq!(get(server.addr, "/selftest?margin=2.0").status, 400);
+
+    // The self-test batteries surface on /metrics.
+    let metrics = get(server.addr, "/metrics").body_text();
+    assert!(
+        metrics.contains("ptrng_http_selftests_total 2"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("ptrng_http_selftest_overclaims_total 1"),
+        "{metrics}"
+    );
+}
+
+#[test]
+fn selftest_is_charged_against_the_rate_limit() {
+    let mut config = model_config();
+    config.rate_limit = Some(RateLimit {
+        bytes_per_sec: 1024,
+        burst_bytes: 8192,
+    });
+    let server = TestServer::start(config);
+    // One window of 32768 bits = 4096 bytes drains half the burst; the second
+    // request exceeds the remaining budget and must be refused before drawing.
+    assert_eq!(
+        get(server.addr, "/selftest?bits=32768&margin=0.45").status,
+        200
+    );
+    let limited = get(server.addr, "/selftest?bits=65536&margin=0.45");
+    assert_eq!(limited.status, 429, "{}", limited.body_text());
+    assert!(limited.header("retry-after").is_some());
+}

@@ -1,5 +1,14 @@
 //! Cross-crate statistical consistency checks: the same physical quantity computed
 //! through independent code paths must agree.
+//!
+//! Tolerances are shared with `trng_pipeline.rs` through
+//! [`common::tolerances`], which documents the confidence level behind each one.
+
+mod common;
+
+use common::tolerances::{
+    assert_rel, PSD_SLOPE_ABS, SAMPLING_SCHEME_AGREEMENT_REL, SIGMA2_ROUTE_AGREEMENT_REL,
+};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,11 +22,6 @@ use ptrng::stats::sn::{sigma2_n, SnSampling};
 use ptrng::stats::spectral::welch_psd;
 use ptrng::stats::window::Window;
 use ptrng::trng::postprocess::von_neumann;
-
-fn assert_rel(a: f64, b: f64, rel: f64) {
-    let scale = a.abs().max(b.abs()).max(1e-300);
-    assert!((a - b).abs() / scale <= rel, "{a} vs {b} (rel {rel})");
-}
 
 /// `s_N` is exactly the second difference of the accumulated time error, so its variance
 /// must equal `2·(N·T0)²·σ²_y(N·T0)` where `σ²_y` is the overlapping Allan variance.
@@ -41,7 +45,7 @@ fn sigma2_n_matches_the_allan_variance_route() {
         let via_sn = sigma2_n(&jitter, n).unwrap();
         let avar = overlapping_allan_variance(&phase, tau0, n).unwrap();
         let via_allan = 2.0 * (n as f64 * tau0).powi(2) * avar;
-        assert_rel(via_sn, via_allan, 0.05);
+        assert_rel(via_sn, via_allan, SIGMA2_ROUTE_AGREEMENT_REL);
     }
 }
 
@@ -60,7 +64,7 @@ fn generated_jitter_has_the_configured_spectral_shape() {
     let est = welch_psd(&y, f0, 4096, Window::Hann).unwrap();
     let (slope, _) = est.log_log_slope(f0 / 1000.0, f0 / 20.0).unwrap();
     assert!(
-        (slope + 1.0).abs() < 0.3,
+        (slope + 1.0).abs() < PSD_SLOPE_ABS,
         "flicker-FM fractional frequency must have a 1/f PSD, slope {slope}"
     );
 }
@@ -121,6 +125,6 @@ fn overlapping_and_disjoint_sampling_agree() {
         let overlapping =
             ptrng::stats::sn::sigma2_n_with(&jitter, n, SnSampling::Overlapping).unwrap();
         let disjoint = ptrng::stats::sn::sigma2_n_with(&jitter, n, SnSampling::Disjoint).unwrap();
-        assert_rel(overlapping, disjoint, 0.15);
+        assert_rel(overlapping, disjoint, SAMPLING_SCHEME_AGREEMENT_REL);
     }
 }
