@@ -19,7 +19,7 @@ use rand::{RngCore, SeedableRng};
 use serde::Serialize;
 
 use ptrng_engine::health::HealthConfig;
-use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig};
+use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig, ObsOptions};
 use ptrng_engine::source::{
     EntropySource, EroSource, JitterProfile, SourceSpec, THERMAL_SWEEP_DEPTHS,
 };
@@ -38,6 +38,7 @@ struct Snapshot {
     source: SourceNumbers,
     conditioning: Vec<ConditionerNumbers>,
     serve: ServeNumbers,
+    observability: ObservabilityNumbers,
     estimators: EstimatorNumbers,
     flicker: FlickerNumbers,
     sweep: SweepNumbers,
@@ -77,6 +78,25 @@ struct ServeNumbers {
     loopback_sha256_mb_s: f64,
     /// Bytes drawn per measured request.
     request_bytes: u64,
+    /// Median end-to-end request service time over the measured draws, in ms.
+    request_p50_ms: f64,
+    /// 99th-percentile request service time over the measured draws, in ms.
+    request_p99_ms: f64,
+}
+
+/// Cost of the observability layer at the default engine configuration
+/// (`ero:16:strong`, single shard, 256 KiB draw): the same workload with the
+/// per-shard flight recorders capturing events versus disabled.  The latency
+/// histograms stay on in both runs — they are part of the engine's fixed cost.
+#[derive(Serialize)]
+struct ObservabilityNumbers {
+    /// Output MB/s with flight recorders on (the default).
+    recorder_on_mb_s: f64,
+    /// Output MB/s with flight recorders disabled.
+    recorder_off_mb_s: f64,
+    /// Relative throughput cost of the recorder, in percent
+    /// (`(off - on) / off * 100`; small negative values are run-to-run noise).
+    overhead_pct: f64,
 }
 
 /// Steady-state cost and accounted entropy of one conditioning chain: raw input bits
@@ -166,6 +186,38 @@ fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
 
 fn engine_mb_s(spec: SourceSpec, budget: u64) -> f64 {
     engine_mb_s_conditioned(spec, budget, ConditionerSpec::none(), None)
+}
+
+/// Throughput of the default `ero:16:strong` single-shard engine with the flight
+/// recorder toggled, quantifying what always-on tracing costs.
+fn observability_numbers() -> ObservabilityNumbers {
+    let mb_s = |recorder: bool| {
+        let budget: u64 = 256 << 10;
+        let secs = median_secs(3, || {
+            let config =
+                EngineConfig::new(SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"))
+                    .shards(1)
+                    .seed(1)
+                    .budget_bytes(Some(budget))
+                    .obs(ObsOptions {
+                        recorder,
+                        ..ObsOptions::default()
+                    })
+                    .health(HealthConfig::default().without_startup_battery());
+            let mut engine = Engine::spawn(config).expect("engine spawns");
+            let bytes = engine.read_to_end().expect("healthy stream");
+            assert_eq!(bytes.len() as u64, budget);
+            engine.join().expect("workers join");
+        });
+        budget as f64 / secs / 1.0e6
+    };
+    let recorder_on_mb_s = mb_s(true);
+    let recorder_off_mb_s = mb_s(false);
+    ObservabilityNumbers {
+        recorder_on_mb_s,
+        recorder_off_mb_s,
+        overhead_pct: (recorder_off_mb_s - recorder_on_mb_s) / recorder_off_mb_s * 100.0,
+    }
 }
 
 fn engine_mb_s_conditioned(
@@ -372,6 +424,7 @@ fn serve_numbers() -> ServeNumbers {
     let server = Server::bind(config).expect("server binds");
     let addr = server.local_addr().expect("bound address");
     let handle = server.shutdown_handle();
+    let latency = server.request_latency();
     let serving = std::thread::spawn(move || server.serve());
 
     // Warm-up request sizes every buffer and fills the engine queue.
@@ -384,9 +437,13 @@ fn serve_numbers() -> ServeNumbers {
         .join()
         .expect("server thread joins")
         .expect("server drains cleanly");
+    let latency = latency.snapshot();
+    let quantile_ms = |q: f64| latency.quantile(q).expect("requests were recorded") as f64 / 1.0e6;
     ServeNumbers {
         loopback_sha256_mb_s: request_bytes as f64 / secs / 1.0e6,
         request_bytes,
+        request_p50_ms: quantile_ms(0.5),
+        request_p99_ms: quantile_ms(0.99),
     }
 }
 
@@ -434,7 +491,7 @@ fn strong_config(division: u32) -> EroTrngConfig {
 
 fn main() {
     let snapshot = Snapshot {
-        schema_version: 4,
+        schema_version: 5,
         engine: EngineNumbers {
             ero_strong_div16_1shard_mb_s: engine_mb_s(
                 SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"),
@@ -458,6 +515,7 @@ fn main() {
         },
         conditioning: conditioning_numbers(),
         serve: serve_numbers(),
+        observability: observability_numbers(),
         estimators: estimator_numbers(),
         flicker: flicker_numbers(),
         sweep: sweep_numbers(),

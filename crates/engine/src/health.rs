@@ -57,6 +57,18 @@ pub enum AlarmReason {
     },
 }
 
+impl AlarmReason {
+    /// The typed alarm class this reason belongs to.
+    pub fn kind(&self) -> crate::metrics::AlarmKind {
+        match self {
+            AlarmReason::StartupBatteryFailed(_) => crate::metrics::AlarmKind::StartupBattery,
+            AlarmReason::RepetitionCount { .. } => crate::metrics::AlarmKind::RepetitionCount,
+            AlarmReason::AdaptiveProportion { .. } => crate::metrics::AlarmKind::AdaptiveProportion,
+            AlarmReason::ThermalCollapse { .. } => crate::metrics::AlarmKind::Thermal,
+        }
+    }
+}
+
 impl std::fmt::Display for AlarmReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

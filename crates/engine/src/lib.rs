@@ -28,7 +28,10 @@
 //!   windows of raw and conditioned bits and raises an alarm when the battery
 //!   estimate falls below the claimed min-entropy minus a calibrated margin (the
 //!   paper's overclaim experiment as a runtime facility),
-//! * [`metrics`] — lock-free per-shard counters and serializable snapshots.
+//! * [`metrics`] — lock-free per-shard counters and serializable snapshots,
+//! * [`observatory`] — the engine's observability surface: per-shard flight
+//!   recorders, latency histograms (batch, conditioning stage, audit battery, tap
+//!   wait), alarm postmortems and the optional JSONL journal, built on `ptrng-obs`.
 //!
 //! The `ptrngd` and `ptrng-serve` binaries (in the `ptrng-serve` crate) wrap the pool
 //! into a CLI that streams bytes to a file descriptor and an HTTP entropy server
@@ -60,6 +63,7 @@
 pub mod audit;
 pub mod health;
 pub mod metrics;
+pub mod observatory;
 pub mod pool;
 pub mod source;
 pub mod stream;
@@ -110,6 +114,9 @@ pub enum EngineError {
     HealthAlarm {
         /// Index of the alarming shard.
         shard: usize,
+        /// Typed alarm classification (stable codes; see
+        /// [`metrics::AlarmKind::code`]).
+        kind: metrics::AlarmKind,
         /// Human-readable alarm reason.
         reason: String,
     },
@@ -137,8 +144,9 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 pub mod prelude {
     pub use crate::audit::{AuditConfig, AuditReport, AuditSnapshot, EntropyAudit, WindowAudit};
     pub use crate::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
-    pub use crate::metrics::{MetricsSnapshot, ShardAlarm};
-    pub use crate::pool::{ConditionerSpec, Engine, EngineConfig, StageSpec};
+    pub use crate::metrics::{AlarmKind, MetricsSnapshot, ShardAlarm};
+    pub use crate::observatory::Observatory;
+    pub use crate::pool::{ConditionerSpec, Engine, EngineConfig, ObsOptions, StageSpec};
     pub use crate::source::{EntropySource, JitterProfile, SourceSpec};
     pub use crate::stream::Batch;
     pub use crate::tap::EntropyTap;
@@ -154,6 +162,7 @@ mod tests {
     fn errors_render_readable_messages() {
         let e = EngineError::HealthAlarm {
             shard: 3,
+            kind: metrics::AlarmKind::Thermal,
             reason: "thermal collapse".to_string(),
         };
         assert!(e.to_string().contains("shard 3"));

@@ -3,11 +3,85 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::audit::AuditSnapshot;
 
-/// One recorded shard alarm: the shard index and the rendered reason.
+/// The typed class of a shard alarm, carried alongside the rendered reason through
+/// metrics, postmortems, `/healthz` and the journal.
+///
+/// Serialized everywhere as the stable kebab-case code of [`AlarmKind::code`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AlarmKind {
+    /// SP 800-90B repetition-count test cutoff reached.
+    RepetitionCount,
+    /// SP 800-90B adaptive-proportion test cutoff reached.
+    AdaptiveProportion,
+    /// The online σ²_N thermal-jitter estimate collapsed below the alarm threshold.
+    Thermal,
+    /// The FIPS 140-2 startup battery failed.
+    StartupBattery,
+    /// The noise source itself returned an error.
+    SourceFailure,
+    /// The in-engine estimator-battery audit flagged the ledger claim as
+    /// overclaimed.
+    AuditOverclaim,
+}
+
+impl AlarmKind {
+    /// Every kind, in stable order.
+    pub const ALL: [AlarmKind; 6] = [
+        AlarmKind::RepetitionCount,
+        AlarmKind::AdaptiveProportion,
+        AlarmKind::Thermal,
+        AlarmKind::StartupBattery,
+        AlarmKind::SourceFailure,
+        AlarmKind::AuditOverclaim,
+    ];
+
+    /// Stable kebab-case code used in every serialized form.
+    pub fn code(self) -> &'static str {
+        match self {
+            AlarmKind::RepetitionCount => "repetition-count",
+            AlarmKind::AdaptiveProportion => "adaptive-proportion",
+            AlarmKind::Thermal => "thermal",
+            AlarmKind::StartupBattery => "startup-battery",
+            AlarmKind::SourceFailure => "source-failure",
+            AlarmKind::AuditOverclaim => "audit-overclaim",
+        }
+    }
+
+    /// Parses a kebab-case code back into a kind.
+    pub fn parse(code: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|kind| kind.code() == code)
+    }
+}
+
+impl std::fmt::Display for AlarmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl Serialize for AlarmKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.code().to_string())
+    }
+}
+
+impl Deserialize for AlarmKind {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(code) => AlarmKind::parse(code)
+                .ok_or_else(|| DeError::custom(format!("unknown alarm kind `{code}`"))),
+            _ => Err(DeError::custom("alarm kind must be a string")),
+        }
+    }
+}
+
+/// One recorded shard alarm: the shard index, the typed [`AlarmKind`] and the
+/// rendered reason.
 ///
 /// Recorded by the shard worker **at alarm time** (not when the consumer drains the
 /// stream), so health surfaces like `ptrng-serve`'s `/healthz` see alarms even while
@@ -16,8 +90,10 @@ use crate::audit::AuditSnapshot;
 pub struct ShardAlarm {
     /// Index of the alarmed shard.
     pub shard: usize,
+    /// Typed alarm class (serialized as its kebab-case code).
+    pub kind: AlarmKind,
     /// Human-readable alarm reason (repetition-count, adaptive-proportion, thermal
-    /// collapse, startup battery, source failure).
+    /// collapse, startup battery, source failure, audit overclaim).
     pub reason: String,
 }
 
@@ -108,13 +184,14 @@ impl EngineMetrics {
         self.shards[index].set_entropy_per_output_bit(h);
     }
 
-    pub(crate) fn record_alarm(&self, shard: usize, reason: &str) {
+    pub(crate) fn record_alarm(&self, shard: usize, kind: AlarmKind, reason: &str) {
         self.alarms.fetch_add(1, Ordering::Relaxed);
         self.alarm_reasons
             .lock()
             .expect("metrics lock poisoned")
             .push(ShardAlarm {
                 shard,
+                kind,
                 reason: reason.to_string(),
             });
     }
@@ -199,7 +276,7 @@ mod tests {
         metrics.shard(0).record_batch(800, 100);
         metrics.shard(1).record_batch(1600, 200);
         metrics.shard(1).record_batch(800, 100);
-        metrics.record_alarm(1, "thermal collapse");
+        metrics.record_alarm(1, AlarmKind::Thermal, "thermal collapse");
         let snap = metrics.snapshot();
         assert_eq!(snap.total_raw_bits, 3200);
         assert_eq!(snap.total_output_bytes, 400);
@@ -211,7 +288,25 @@ mod tests {
         let reasons = metrics.alarm_reasons();
         assert_eq!(reasons.len(), 1);
         assert_eq!(reasons[0].shard, 1);
+        assert_eq!(reasons[0].kind, AlarmKind::Thermal);
         assert!(reasons[0].reason.contains("thermal"));
+    }
+
+    #[test]
+    fn alarm_kinds_round_trip_codes_and_json() {
+        for kind in AlarmKind::ALL {
+            assert_eq!(AlarmKind::parse(kind.code()), Some(kind));
+        }
+        assert_eq!(AlarmKind::parse("no-such-alarm"), None);
+        let alarm = ShardAlarm {
+            shard: 2,
+            kind: AlarmKind::AuditOverclaim,
+            reason: "estimate undercut the claim".to_string(),
+        };
+        let json = serde_json::to_string(&alarm).expect("serializes");
+        assert!(json.contains("\"kind\":\"audit-overclaim\""), "{json}");
+        let back: ShardAlarm = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, alarm);
     }
 
     #[test]

@@ -23,9 +23,12 @@
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use ptrng_obs::probe::elapsed_ns;
+use ptrng_obs::{EventKind, FlightRecorder, Journal, Postmortem, Probe};
 use ptrng_trng::conditioning::{
     ConditioningChain, ConditioningStage, EntropyLedger, Sha256Stage, VonNeumannStage,
     XorDecimateStage, SHA256_DEFAULT_RATIO,
@@ -33,7 +36,8 @@ use ptrng_trng::conditioning::{
 
 use crate::audit::{AuditConfig, EntropyAudit};
 use crate::health::{HealthConfig, HealthMonitor, HealthState};
-use crate::metrics::EngineMetrics;
+use crate::metrics::{AlarmKind, EngineMetrics};
+use crate::observatory::Observatory;
 use crate::source::{derive_seed, EntropySource, SourceSpec};
 use crate::stream::{Batch, BitPacker, ByteBudget, ByteStream, Message};
 use crate::{EngineError, Result};
@@ -184,6 +188,30 @@ impl ConditionerSpec {
     }
 }
 
+/// Observability options of an engine (the serializable part; the `--journal`
+/// sink is a runtime handle and is passed to [`Engine::spawn_with_journal`]
+/// instead).
+///
+/// The latency histograms are always on — they are a handful of atomic adds per
+/// batch.  The per-shard flight recorders can be disabled for overhead
+/// measurements; a disabled recorder costs one branch per event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsOptions {
+    /// Whether per-shard flight recorders capture events.
+    pub recorder: bool,
+    /// Capacity of each flight-recorder ring, in events (minimum 1).
+    pub ring_events: usize,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        Self {
+            recorder: true,
+            ring_events: 64,
+        }
+    }
+}
+
 /// Configuration of a sharded engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -215,6 +243,8 @@ pub struct EngineConfig {
     /// than the margin.  Off by default — the battery costs far more than
     /// generation, so it is a validation facility, not a hot-path default.
     pub audit: Option<AuditConfig>,
+    /// Observability options: flight-recorder toggle and ring capacity.
+    pub obs: ObsOptions,
 }
 
 impl EngineConfig {
@@ -233,6 +263,7 @@ impl EngineConfig {
             health: HealthConfig::default(),
             thermal_check_batches: 64,
             audit: None,
+            obs: ObsOptions::default(),
         }
     }
 
@@ -292,6 +323,13 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the observability options.
+    #[must_use]
+    pub fn obs(mut self, obs: ObsOptions) -> Self {
+        self.obs = obs;
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if self.shards == 0 {
             return Err(EngineError::InvalidParameter {
@@ -331,6 +369,12 @@ impl EngineConfig {
                 reason: "the thermal sweep interval must be at least one batch".to_string(),
             });
         }
+        if self.obs.ring_events == 0 {
+            return Err(EngineError::InvalidParameter {
+                name: "obs.ring_events",
+                reason: "the flight-recorder ring must hold at least one event".to_string(),
+            });
+        }
         Ok(())
     }
 }
@@ -341,6 +385,7 @@ pub struct Engine {
     metrics: Arc<EngineMetrics>,
     workers: Vec<JoinHandle<()>>,
     output_ledger: EntropyLedger,
+    obs: Arc<Observatory>,
 }
 
 impl Engine {
@@ -351,6 +396,18 @@ impl Engine {
     /// Returns an error for an invalid configuration or when a source rejects its
     /// parameters (fails fast, before any thread starts).
     pub fn spawn(config: EngineConfig) -> Result<Self> {
+        Self::spawn_with_journal(config, None)
+    }
+
+    /// Like [`Engine::spawn`], additionally attaching a JSONL [`Journal`] sink that
+    /// receives every alarm postmortem (the `--journal` flag of `ptrngd` and
+    /// `ptrng-serve`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid configuration or when a source rejects its
+    /// parameters (fails fast, before any thread starts).
+    pub fn spawn_with_journal(config: EngineConfig, journal: Option<Arc<Journal>>) -> Result<Self> {
         config.validate()?;
         // Build all sources first so configuration errors surface synchronously.
         let sources: Vec<Box<dyn EntropySource>> = (0..config.shards)
@@ -407,6 +464,12 @@ impl Engine {
             metrics.set_entropy_per_output_bit(shard, ledger.min_entropy_per_bit());
         }
         let budget = Arc::new(ByteBudget::new(config.budget_bytes));
+        let obs = Arc::new(Observatory::new(
+            config.shards,
+            config.conditioner.build()?.stage_labels(),
+            &config.obs,
+            journal,
+        ));
 
         let mut workers = Vec::with_capacity(config.shards);
         for (shard, (source, monitor)) in sources.into_iter().zip(monitors).enumerate() {
@@ -442,11 +505,30 @@ impl Engine {
                 }
                 _ => (None, None),
             };
+            let recorder = Arc::clone(obs.recorder(shard));
+            let shard_id = shard as u32;
+            let mut chain = config.conditioner.build()?;
+            chain.instrument(
+                obs.stage_histograms()
+                    .iter()
+                    .enumerate()
+                    .map(|(index, (_, histogram))| {
+                        Probe::new(Arc::clone(histogram), EventKind::StageApplied)
+                            .with_recorder(Arc::clone(&recorder), Some(shard_id))
+                            .with_tag(index as u64)
+                    })
+                    .collect(),
+            );
+            let audit_probe = |lane: u64| {
+                Probe::new(Arc::clone(obs.audit_histogram()), EventKind::AuditWindow)
+                    .with_recorder(Arc::clone(&recorder), Some(shard_id))
+                    .with_tag(lane)
+            };
             let worker = ShardWorker {
                 shard,
                 source,
                 monitor,
-                chain: config.conditioner.build()?,
+                chain,
                 raw_audit,
                 output_audit,
                 batch_bits: config.batch_bits,
@@ -454,6 +536,16 @@ impl Engine {
                 budget: Arc::clone(&budget),
                 metrics: Arc::clone(&metrics),
                 tx: tx.clone(),
+                batch_probe: Probe::new(
+                    Arc::clone(obs.batch_histogram()),
+                    EventKind::BatchGenerated,
+                )
+                .with_recorder(Arc::clone(&recorder), Some(shard_id)),
+                raw_audit_probe: audit_probe(0),
+                output_audit_probe: audit_probe(1),
+                recorder,
+                ledger_value: serde::Serialize::to_value(&output_ledgers[shard]),
+                obs: Arc::clone(&obs),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("ptrng-shard-{shard}"))
@@ -477,7 +569,14 @@ impl Engine {
             metrics,
             workers,
             output_ledger,
+            obs,
         })
+    }
+
+    /// The engine's observability surface: flight recorders, latency histograms,
+    /// postmortems and the optional journal.
+    pub fn observatory(&self) -> &Arc<Observatory> {
+        &self.obs
     }
 
     /// The batch stream (also reachable by iterating over `&mut Engine`).
@@ -500,7 +599,13 @@ impl Engine {
     /// any number of threads can then draw bytes concurrently (the serving interface
     /// used by `ptrng-serve`).
     pub fn into_tap(self) -> crate::tap::EntropyTap {
-        crate::tap::EntropyTap::new(self.stream, self.metrics, self.workers, self.output_ledger)
+        crate::tap::EntropyTap::new(
+            self.stream,
+            self.metrics,
+            self.workers,
+            self.output_ledger,
+            self.obs,
+        )
     }
 
     /// Drains the stream into one byte vector (see [`ByteStream::read_to_end`]).
@@ -555,6 +660,17 @@ struct ShardWorker {
     budget: Arc<ByteBudget>,
     metrics: Arc<EngineMetrics>,
     tx: SyncSender<Message>,
+    /// Whole-batch latency probe (histogram + `batch-generated` events).
+    batch_probe: Probe,
+    /// Audit-battery probe for the raw lane (`audit-window` events, tag 0).
+    raw_audit_probe: Probe,
+    /// Audit-battery probe for the conditioned lane (`audit-window` events, tag 1).
+    output_audit_probe: Probe,
+    /// This shard's flight recorder (health verdicts, alarm capture).
+    recorder: Arc<FlightRecorder>,
+    /// The conditioned-output ledger as a JSON tree, embedded into postmortems.
+    ledger_value: serde::Value,
+    obs: Arc<Observatory>,
 }
 
 impl ShardWorker {
@@ -563,27 +679,42 @@ impl ShardWorker {
             Ok(()) => {
                 let _ = self.tx.send(Message::ShardDone(self.shard));
             }
-            Err(WorkerExit::Alarm(reason)) => {
-                self.metrics.record_alarm(self.shard, &reason);
-                let _ = self.tx.send(Message::Alarm {
-                    shard: self.shard,
-                    reason,
-                });
-            }
+            Err(WorkerExit::Alarm(kind, reason)) => self.alarm(kind, reason),
             Err(WorkerExit::ConsumerGone) => {
                 let _ = self.tx.send(Message::ShardDone(self.shard));
             }
+            // Surface simulation failures through the alarm path: the shard can no
+            // longer vouch for its output.
             Err(WorkerExit::Source(error)) => {
-                // Surface simulation failures through the alarm path: the shard can no
-                // longer vouch for its output.
-                let reason = format!("source failure: {error}");
-                self.metrics.record_alarm(self.shard, &reason);
-                let _ = self.tx.send(Message::Alarm {
-                    shard: self.shard,
-                    reason,
-                });
+                self.alarm(AlarmKind::SourceFailure, format!("source failure: {error}"))
             }
         }
+    }
+
+    /// Terminal alarm path: captures the postmortem (flight-recorder snapshot plus
+    /// the ledger in force), journals it, records the typed alarm on the metrics
+    /// and publishes the terminal stream message.
+    fn alarm(&self, kind: AlarmKind, reason: String) {
+        self.recorder
+            .record(EventKind::Alarm, Some(self.shard as u32), kind as u64, 0);
+        let postmortem = Postmortem {
+            shard: self.shard,
+            kind: kind.code().to_string(),
+            reason: reason.clone(),
+            t_ns: self.obs.clock().now_ns(),
+            events: self.recorder.snapshot(),
+            ledger: self.ledger_value.clone(),
+        };
+        if let Some(journal) = self.obs.journal() {
+            journal.append("alarm-postmortem", &postmortem);
+        }
+        self.obs.postmortems().push(postmortem);
+        self.metrics.record_alarm(self.shard, kind, &reason);
+        let _ = self.tx.send(Message::Alarm {
+            shard: self.shard,
+            kind,
+            reason,
+        });
     }
 
     fn generate(&mut self) -> std::result::Result<(), WorkerExit> {
@@ -596,11 +727,13 @@ impl ShardWorker {
         let mut holdback: Vec<u8> = Vec::new();
         let mut raw_bits_unpublished = 0u64;
         let mut batches_since_sweep = 0usize;
+        let mut health_code = state_code(self.monitor.state());
 
         loop {
             if self.budget.exhausted() {
                 return Ok(());
             }
+            let batch_start = Instant::now();
             self.source
                 .fill_bits(&mut raw)
                 .map_err(WorkerExit::Source)?;
@@ -621,7 +754,7 @@ impl ShardWorker {
                             .observe_sigma2_points(&depth_values, &variances)
                             .map_err(WorkerExit::Source)?;
                         if let HealthState::Alarmed(reason) = self.monitor.state() {
-                            return Err(WorkerExit::Alarm(reason.to_string()));
+                            return Err(WorkerExit::Alarm(reason.kind(), reason.to_string()));
                         }
                     }
                 }
@@ -633,9 +766,14 @@ impl ShardWorker {
                 .observe_bits(&raw)
                 .map_err(WorkerExit::Source)?;
             if let HealthState::Alarmed(reason) = self.monitor.state() {
-                return Err(WorkerExit::Alarm(reason.to_string()));
+                return Err(WorkerExit::Alarm(reason.kind(), reason.to_string()));
             }
-            Self::feed_audit(&mut self.raw_audit, &raw, &self.metrics)?;
+            Self::feed_audit(
+                &mut self.raw_audit,
+                &raw,
+                &self.metrics,
+                &self.raw_audit_probe,
+            )?;
 
             // ...while the FIPS startup battery judges the conditioned output.  The
             // identity chain publishes `raw` directly (copy-free); real chains stream
@@ -654,9 +792,26 @@ impl ShardWorker {
                 .observe_output_bits(processed)
                 .map_err(WorkerExit::Source)?;
             if let HealthState::Alarmed(reason) = self.monitor.state() {
-                return Err(WorkerExit::Alarm(reason.to_string()));
+                return Err(WorkerExit::Alarm(reason.kind(), reason.to_string()));
             }
-            Self::feed_audit(&mut self.output_audit, processed, &self.metrics)?;
+            Self::feed_audit(
+                &mut self.output_audit,
+                processed,
+                &self.metrics,
+                &self.output_audit_probe,
+            )?;
+            self.batch_probe
+                .record_tagged(elapsed_ns(batch_start), (processed.len() / 8) as u64);
+            let code = state_code(self.monitor.state());
+            if code != health_code {
+                self.recorder.record(
+                    EventKind::HealthVerdict,
+                    Some(self.shard as u32),
+                    code,
+                    health_code,
+                );
+                health_code = code;
+            }
             if matches!(self.monitor.state(), HealthState::Startup) {
                 holdback.extend_from_slice(processed);
                 continue;
@@ -700,18 +855,26 @@ impl ShardWorker {
         audit: &mut Option<EntropyAudit>,
         bits: &[u8],
         metrics: &EngineMetrics,
+        probe: &Probe,
     ) -> std::result::Result<(), WorkerExit> {
         let Some(audit) = audit.as_mut() else {
             return Ok(());
         };
+        // Time the call that completes a window: the estimator battery dominates
+        // it, so its duration is (to buffering noise) the battery duration.
+        let start = Instant::now();
         if audit
             .observe_bits(bits)
             .map_err(WorkerExit::Source)?
             .is_some()
         {
+            probe.record_ns(elapsed_ns(start));
             metrics.record_audit(audit.snapshot());
             if audit.overclaimed() {
-                return Err(WorkerExit::Alarm(audit.alarm_reason()));
+                return Err(WorkerExit::Alarm(
+                    AlarmKind::AuditOverclaim,
+                    audit.alarm_reason(),
+                ));
             }
         }
         Ok(())
@@ -727,9 +890,20 @@ impl ShardWorker {
 }
 
 enum WorkerExit {
-    Alarm(String),
+    Alarm(AlarmKind, String),
     ConsumerGone,
     Source(EngineError),
+}
+
+/// Stable health-state code for `health-verdict` events: 0 startup, 1 healthy,
+/// 2 suspect, 3 alarmed.
+fn state_code(state: &HealthState) -> u64 {
+    match state {
+        HealthState::Startup => 0,
+        HealthState::Healthy => 1,
+        HealthState::Suspect { .. } => 2,
+        HealthState::Alarmed(_) => 3,
+    }
 }
 
 #[cfg(test)]
@@ -1096,6 +1270,116 @@ mod tests {
             lane("conditioned")
         );
         assert!(snap.audits.iter().all(|a| a.overclaims == 0), "{snap:?}");
+    }
+
+    #[test]
+    fn alarm_postmortems_capture_pre_alarm_events_and_journal() {
+        use ptrng_obs::Journal;
+
+        let journal_path = std::env::temp_dir().join(format!(
+            "ptrng-pool-journal-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let journal = Arc::new(Journal::create(&journal_path, ptrng_obs::ObsClock::new()).unwrap());
+
+        // The audit-overclaim exit: one healthy batch is generated (and recorded)
+        // before the second batch completes the window and refutes the claim.
+        let audit = AuditConfig::default().window_bits(1 << 14).claim(Some(0.9));
+        let config = EngineConfig::new(SourceSpec::model(0.95).unwrap())
+            .seed(7)
+            .audit(Some(audit))
+            .budget_bytes(Some(1 << 20))
+            .health(HealthConfig::default().without_startup_battery());
+        let mut engine = Engine::spawn_with_journal(config, Some(Arc::clone(&journal))).unwrap();
+        let result = engine.read_to_end();
+        assert!(
+            matches!(
+                result,
+                Err(EngineError::HealthAlarm {
+                    kind: AlarmKind::AuditOverclaim,
+                    ..
+                })
+            ),
+            "{result:?}"
+        );
+        let obs = Arc::clone(engine.observatory());
+        engine.join().unwrap();
+
+        let postmortems = obs.postmortems().snapshot();
+        assert_eq!(postmortems.len(), 1);
+        let postmortem = &postmortems[0];
+        assert_eq!(postmortem.kind, "audit-overclaim");
+        assert!(
+            postmortem.reason.contains("entropy audit"),
+            "{postmortem:?}"
+        );
+        assert!(
+            postmortem
+                .events
+                .iter()
+                .any(|e| e.kind != EventKind::Alarm && e.t_ns <= postmortem.t_ns),
+            "no pre-alarm flight-recorder events: {:?}",
+            postmortem.events
+        );
+        assert!(postmortem
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Alarm && e.value == AlarmKind::AuditOverclaim as u64));
+        // The embedded ledger is the conditioned-output ledger, as a JSON tree.
+        let ledger: EntropyLedger = serde::Deserialize::from_value(&postmortem.ledger).unwrap();
+        assert!(ledger.min_entropy_per_bit() > 0.0);
+
+        // The journal sink received the same postmortem as one JSONL line.
+        let text = std::fs::read_to_string(&journal_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "{text}");
+        let line: serde::Value = serde_json::from_str(lines[0]).unwrap();
+        match line.get("event") {
+            Some(serde::Value::Str(name)) => assert_eq!(name, "alarm-postmortem"),
+            other => panic!("bad journal event field: {other:?}"),
+        }
+        let data = line.get("data").expect("journal line carries data");
+        let back: Postmortem = serde::Deserialize::from_value(data).unwrap();
+        assert_eq!(&back, postmortem);
+        std::fs::remove_file(&journal_path).ok();
+    }
+
+    #[test]
+    fn batch_and_stage_histograms_fill_during_generation() {
+        let config = model_config()
+            .conditioner(ConditionerSpec::parse("xor:2,sha256:2").unwrap())
+            .budget_bytes(Some(4096));
+        let mut engine = Engine::spawn(config).unwrap();
+        engine.read_to_end().unwrap();
+        let obs = Arc::clone(engine.observatory());
+        engine.join().unwrap();
+        assert!(obs.batch_histogram().count() > 0);
+        let stages = obs.stage_histograms();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].0, "xor:2");
+        assert_eq!(stages[1].0, "sha256:2");
+        for (label, histogram) in stages {
+            assert!(histogram.count() > 0, "stage {label} never recorded");
+        }
+        // Every shard recorded flight-recorder events on the shared timeline.
+        assert!(obs
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::BatchGenerated));
+        assert!(obs.postmortems().is_empty());
+    }
+
+    #[test]
+    fn disabled_recorder_still_fills_histograms() {
+        let mut config = model_config().budget_bytes(Some(2048));
+        config.obs.recorder = false;
+        let mut engine = Engine::spawn(config).unwrap();
+        engine.read_to_end().unwrap();
+        let obs = Arc::clone(engine.observatory());
+        engine.join().unwrap();
+        assert!(obs.events().is_empty(), "recorder off: no events");
+        assert!(obs.batch_histogram().count() > 0, "histograms stay on");
     }
 
     #[test]

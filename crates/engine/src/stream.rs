@@ -27,6 +27,8 @@ pub(crate) enum Message {
     Alarm {
         /// Index of the alarming shard.
         shard: usize,
+        /// Typed alarm classification (also carried by the metrics and postmortems).
+        kind: crate::metrics::AlarmKind,
         /// Rendered alarm reason.
         reason: String,
     },
@@ -82,9 +84,17 @@ impl ByteStream {
             match self.rx.try_recv() {
                 Ok(Message::Batch(batch)) => return Ok(Some(batch)),
                 Ok(Message::ShardDone(shard)) => self.mark_finished(shard),
-                Ok(Message::Alarm { shard, reason }) => {
+                Ok(Message::Alarm {
+                    shard,
+                    kind,
+                    reason,
+                }) => {
                     self.mark_finished(shard);
-                    return Err(EngineError::HealthAlarm { shard, reason });
+                    return Err(EngineError::HealthAlarm {
+                        shard,
+                        kind,
+                        reason,
+                    });
                 }
                 Err(std::sync::mpsc::TryRecvError::Empty) => return Ok(None),
                 Err(std::sync::mpsc::TryRecvError::Disconnected) => {
@@ -118,9 +128,17 @@ impl Iterator for ByteStream {
             match self.rx.recv() {
                 Ok(Message::Batch(batch)) => return Some(Ok(batch)),
                 Ok(Message::ShardDone(shard)) => self.mark_finished(shard),
-                Ok(Message::Alarm { shard, reason }) => {
+                Ok(Message::Alarm {
+                    shard,
+                    kind,
+                    reason,
+                }) => {
                     self.mark_finished(shard);
-                    return Some(Err(EngineError::HealthAlarm { shard, reason }));
+                    return Some(Err(EngineError::HealthAlarm {
+                        shard,
+                        kind,
+                        reason,
+                    }));
                 }
                 // All senders dropped (workers died without a final message).
                 Err(_) => {
@@ -243,6 +261,7 @@ impl ByteBudget {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::AlarmKind;
     use std::sync::mpsc::sync_channel;
 
     #[test]
@@ -345,6 +364,7 @@ mod tests {
         tx.send(Message::ShardDone(0)).unwrap();
         tx.send(Message::Alarm {
             shard: 1,
+            kind: AlarmKind::Thermal,
             reason: "test".to_string(),
         })
         .unwrap();
@@ -375,6 +395,7 @@ mod tests {
         assert_eq!(stream.try_next().unwrap().unwrap().bytes, vec![9]);
         tx.send(Message::Alarm {
             shard: 0,
+            kind: AlarmKind::RepetitionCount,
             reason: "test".to_string(),
         })
         .unwrap();

@@ -27,6 +27,7 @@ use std::thread::JoinHandle;
 use ptrng_trng::conditioning::EntropyLedger;
 
 use crate::metrics::{EngineMetrics, MetricsSnapshot, ShardAlarm};
+use crate::observatory::Observatory;
 use crate::stream::ByteStream;
 use crate::{EngineError, Result};
 
@@ -72,6 +73,7 @@ pub struct EntropyTap {
     inner: Arc<Mutex<TapInner>>,
     metrics: Arc<EngineMetrics>,
     ledger: Arc<EntropyLedger>,
+    observatory: Arc<Observatory>,
     shards: usize,
     /// Last observed stream live count, refreshed by the locked paths so health
     /// checks never have to contend for the stream lock.
@@ -84,6 +86,7 @@ impl EntropyTap {
         metrics: Arc<EngineMetrics>,
         workers: Vec<JoinHandle<()>>,
         ledger: EntropyLedger,
+        observatory: Arc<Observatory>,
     ) -> Self {
         let shards = stream.live_shards();
         Self {
@@ -95,9 +98,16 @@ impl EntropyTap {
             })),
             metrics,
             ledger: Arc::new(ledger),
+            observatory,
             shards,
             live: Arc::new(AtomicUsize::new(shards)),
         }
+    }
+
+    /// The engine's observability surface (histograms, flight recorders,
+    /// postmortems) — shared with the engine that built this tap.
+    pub fn observatory(&self) -> &Arc<Observatory> {
+        &self.observatory
     }
 
     /// The accounted entropy ledger of the conditioned output (what the
@@ -163,9 +173,13 @@ impl EntropyTap {
     /// Concurrent draws serialize on the stream lock — by design, since every byte
     /// is handed out exactly once.
     pub fn draw(&self, out: &mut [u8]) -> usize {
+        let start = std::time::Instant::now();
         let mut inner = self.inner.lock().expect("tap lock poisoned");
         let written = self.pump(&mut inner, out, |stream| stream.next().transpose());
         self.refresh_live(&inner);
+        drop(inner);
+        self.observatory
+            .record_tap_wait(ptrng_obs::probe::elapsed_ns(start), written as u64);
         written
     }
 

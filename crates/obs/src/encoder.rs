@@ -1,0 +1,233 @@
+//! The shared Prometheus text-exposition encoder.
+//!
+//! Both `ptrngd --stats` and the server's `/metrics` endpoint render through this
+//! one encoder, so escaping and formatting rules live in exactly one place:
+//!
+//! * `HELP` text escapes `\` and newlines;
+//! * label values escape `\`, `"` and newlines;
+//! * sample values are written through [`std::fmt::Display`], so callers keep full
+//!   control of float formatting (`{:.6}` gauges stay byte-identical);
+//! * histograms render as cumulative `_bucket{le="…"}` samples (seconds) plus
+//!   `_sum`/`_count`, per the [Prometheus text format].
+//!
+//! [Prometheus text format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+
+/// Prometheus metric type for the `# TYPE` comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Free-moving gauge.
+    Gauge,
+    /// Log-linear histogram (`_bucket`/`_sum`/`_count`).
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Escapes a `# HELP` text: backslashes and newlines.
+pub fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslashes, double quotes and newlines.
+pub fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Incremental Prometheus text builder.
+#[derive(Debug, Default)]
+pub struct TextEncoder {
+    out: String,
+}
+
+impl TextEncoder {
+    /// Creates an empty exposition.
+    pub fn new() -> Self {
+        Self {
+            out: String::with_capacity(2048),
+        }
+    }
+
+    /// Writes the `# HELP` / `# TYPE` header of a family.
+    pub fn family(&mut self, name: &str, help: &str, kind: MetricKind) {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {}", kind.as_str());
+    }
+
+    /// Writes one `name{labels} value` sample. Label values are escaped; the value
+    /// is rendered through [`Display`] exactly as the caller formatted it.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: impl Display) {
+        self.out.push_str(name);
+        self.write_labels(labels);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Convenience for a single-sample family: header plus one unlabelled sample.
+    pub fn scalar(&mut self, name: &str, help: &str, kind: MetricKind, value: impl Display) {
+        self.family(name, help, kind);
+        self.sample(name, &[], value);
+    }
+
+    /// Writes a full histogram family: header, cumulative `_bucket` samples at the
+    /// given nanosecond boundaries (exposed in seconds), `+Inf`, `_sum` (seconds)
+    /// and `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snapshot: &HistogramSnapshot,
+        bounds_ns: &[u64],
+    ) {
+        self.family(name, help, MetricKind::Histogram);
+        self.histogram_series(name, labels, snapshot, bounds_ns);
+    }
+
+    /// Writes one labelled histogram series *without* the family header — used to
+    /// emit several labelled series under a single `# HELP`/`# TYPE` written via
+    /// [`TextEncoder::family`].
+    pub fn histogram_series(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snapshot: &HistogramSnapshot,
+        bounds_ns: &[u64],
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        let les: Vec<String> = bounds_ns
+            .iter()
+            .map(|&bound| format_seconds(bound as f64 / 1.0e9))
+            .collect();
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        for (le, &bound) in les.iter().zip(bounds_ns) {
+            with_le.push(("le", le.as_str()));
+            self.sample(&bucket_name, &with_le, snapshot.cumulative_le(bound));
+            with_le.pop();
+        }
+        with_le.push(("le", "+Inf"));
+        self.sample(&bucket_name, &with_le, snapshot.count());
+        self.sample(
+            &format!("{name}_sum"),
+            labels,
+            format_seconds(snapshot.sum_ns() as f64 / 1.0e9),
+        );
+        self.sample(&format!("{name}_count"), labels, snapshot.count());
+    }
+
+    /// Finishes the exposition and returns the text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn write_labels(&mut self, labels: &[(&str, &str)]) {
+        if labels.is_empty() {
+            return;
+        }
+        self.out.push('{');
+        for (index, (key, value)) in labels.iter().enumerate() {
+            if index > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{key}=\"{}\"", escape_label_value(value));
+        }
+        self.out.push('}');
+    }
+}
+
+/// Renders a seconds value without trailing zero noise (`0.005`, not `0.005000`).
+fn format_seconds(seconds: f64) -> String {
+    if seconds == seconds.trunc() && seconds.abs() < 1.0e15 {
+        return format!("{seconds}");
+    }
+    let text = format!("{seconds:.9}");
+    let trimmed = text.trim_end_matches('0').trim_end_matches('.');
+    trimmed.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::LogLinearHistogram;
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut enc = TextEncoder::new();
+        enc.family(
+            "demo_total",
+            "A family with\nnasty help \\ text.",
+            MetricKind::Counter,
+        );
+        enc.sample("demo_total", &[("stage", "xor\\4 \"quoted\"\nline")], 7u64);
+        let text = enc.finish();
+        assert!(text.contains("# HELP demo_total A family with\\nnasty help \\\\ text."));
+        assert!(
+            text.contains("demo_total{stage=\"xor\\\\4 \\\"quoted\\\"\\nline\"} 7"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn float_formatting_is_caller_controlled() {
+        let mut enc = TextEncoder::new();
+        enc.scalar(
+            "demo_gauge",
+            "Pinned format.",
+            MetricKind::Gauge,
+            format_args!("{:.6}", 0.9973),
+        );
+        assert!(enc.finish().contains("demo_gauge 0.997300"));
+    }
+
+    #[test]
+    fn seconds_formatting_trims_noise() {
+        assert_eq!(format_seconds(0.005), "0.005");
+        assert_eq!(format_seconds(1.0e-6), "0.000001");
+        assert_eq!(format_seconds(10.0), "10");
+        assert_eq!(format_seconds(0.123456789), "0.123456789");
+    }
+
+    #[test]
+    fn histogram_family_renders_buckets_sum_count() {
+        let h = LogLinearHistogram::new();
+        h.record(500);
+        h.record(400_000);
+        h.record(2_000_000_000);
+        let mut enc = TextEncoder::new();
+        enc.histogram(
+            "demo_seconds",
+            "A latency histogram.",
+            &[("stage", "sha256:2")],
+            &h.snapshot(),
+            &[1_000, 1_000_000, 1_000_000_000],
+        );
+        let text = enc.finish();
+        assert!(text.contains("# TYPE demo_seconds histogram"));
+        assert!(text.contains("demo_seconds_bucket{stage=\"sha256:2\",le=\"0.000001\"} 1"));
+        assert!(text.contains("demo_seconds_bucket{stage=\"sha256:2\",le=\"0.001\"} 2"));
+        assert!(text.contains("demo_seconds_bucket{stage=\"sha256:2\",le=\"1\"} 2"));
+        assert!(text.contains("demo_seconds_bucket{stage=\"sha256:2\",le=\"+Inf\"} 3"));
+        assert!(text.contains("demo_seconds_count{stage=\"sha256:2\"} 3"));
+        assert!(
+            text.contains("demo_seconds_sum{stage=\"sha256:2\"} 2.0004005"),
+            "{text}"
+        );
+    }
+}

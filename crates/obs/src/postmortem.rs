@@ -1,0 +1,136 @@
+//! Alarm postmortems: what the pipeline was doing just before a shard alarm.
+//!
+//! When a shard worker trips a health alarm it snapshots its flight recorder plus
+//! the engine's current entropy ledger into a [`Postmortem`] and pushes it into the
+//! engine-wide bounded [`PostmortemStore`]. The store is surfaced through
+//! `/healthz`, the `GET /debug/trace` JSONL endpoint and the `--journal` sink.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::event::Event;
+
+/// Default number of postmortems retained per engine.
+pub const DEFAULT_POSTMORTEM_CAP: usize = 8;
+
+/// One captured alarm: the typed alarm kind (as its stable kebab-case code), the
+/// rendered reason, the alarming shard's recent flight-recorder events and the
+/// entropy ledger the engine was publishing under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Postmortem {
+    /// Alarming shard index.
+    pub shard: usize,
+    /// Stable alarm-kind code (e.g. `thermal`, `repetition-count`).
+    pub kind: String,
+    /// Human-readable alarm reason, unchanged from the health monitor.
+    pub reason: String,
+    /// Capture time, nanoseconds on the shared observability clock.
+    pub t_ns: u64,
+    /// The shard's flight-recorder contents at capture time, oldest first.
+    pub events: Vec<Event>,
+    /// The output entropy ledger (canonical JSON tree) in force when the alarm
+    /// fired; round-trips through `EntropyLedger::from_json`.
+    pub ledger: Value,
+}
+
+/// Bounded FIFO store of recent [`Postmortem`]s (oldest evicted first).
+#[derive(Debug)]
+pub struct PostmortemStore {
+    cap: usize,
+    inner: Mutex<VecDeque<Postmortem>>,
+}
+
+impl PostmortemStore {
+    /// Creates a store keeping at most `cap` postmortems (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends a postmortem, evicting the oldest when full.
+    pub fn push(&self, postmortem: Postmortem) {
+        let mut inner = self.inner.lock().expect("postmortem lock poisoned");
+        if inner.len() == self.cap {
+            inner.pop_front();
+        }
+        inner.push_back(postmortem);
+    }
+
+    /// Copies out the retained postmortems, oldest first.
+    pub fn snapshot(&self) -> Vec<Postmortem> {
+        self.inner
+            .lock()
+            .expect("postmortem lock poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained postmortems.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("postmortem lock poisoned").len()
+    }
+
+    /// True when nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for PostmortemStore {
+    fn default() -> Self {
+        Self::new(DEFAULT_POSTMORTEM_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn sample(shard: usize) -> Postmortem {
+        Postmortem {
+            shard,
+            kind: "thermal".to_string(),
+            reason: format!("thermal jitter collapsed on shard {shard}"),
+            t_ns: 1_000 + shard as u64,
+            events: vec![Event {
+                t_ns: 900,
+                shard: Some(shard as u32),
+                kind: EventKind::BatchGenerated,
+                value: 123,
+                extra: 1024,
+            }],
+            ledger: Value::Object(vec![(
+                "min_entropy_per_bit".to_string(),
+                Value::Float(0.98),
+            )]),
+        }
+    }
+
+    #[test]
+    fn store_is_bounded_fifo() {
+        let store = PostmortemStore::new(2);
+        assert!(store.is_empty());
+        for shard in 0..3 {
+            store.push(sample(shard));
+        }
+        let kept = store.snapshot();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].shard, 1);
+        assert_eq!(kept[1].shard, 2);
+    }
+
+    #[test]
+    fn postmortem_round_trips_through_json() {
+        let postmortem = sample(0);
+        let json = serde_json::to_string(&postmortem).expect("serializes");
+        assert!(json.contains("\"kind\":\"thermal\""), "{json}");
+        let back: Postmortem = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, postmortem);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the log-linear histogram: quantiles against a naive
+//! sorted-vec reference, merge associativity, and saturation at the bucket cap.
+
+use proptest::prelude::*;
+
+use ptrng_obs::{HistogramSnapshot, LogLinearHistogram, MAX_TRACKED_NS};
+
+/// Naive reference: the rank-`⌈q·n⌉` order statistic of the raw values.
+fn reference_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn filled(values: &[u64]) -> LogLinearHistogram {
+    let h = LogLinearHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(parts: &[&LogLinearHistogram]) -> HistogramSnapshot {
+    let out = LogLinearHistogram::new();
+    for part in parts {
+        out.merge_from(part);
+    }
+    out.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn quantiles_match_sorted_reference_within_one_bucket(
+        values in proptest::collection::vec(0u64..MAX_TRACKED_NS, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let h = filled(&values);
+        let exact = reference_quantile(&values, q);
+        let approx = h.quantile(q).expect("non-empty histogram");
+        // The histogram reports the upper bound of the bucket holding the exact
+        // order statistic: never below it, and within one bucket's width, which is
+        // at most a 2^-5 relative error (exact unit buckets below 32).
+        prop_assert!(approx >= exact, "q={q}: {approx} < {exact}");
+        prop_assert!(
+            approx - exact <= exact / 32,
+            "q={q}: {approx} vs {exact} exceeds one bucket's relative error"
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_and_conserves_mass(
+        a in proptest::collection::vec(0u64..MAX_TRACKED_NS, 0..100),
+        b in proptest::collection::vec(0u64..MAX_TRACKED_NS, 0..100),
+        c in proptest::collection::vec(0u64..MAX_TRACKED_NS, 0..100),
+    ) {
+        let (ha, hb, hc) = (filled(&a), filled(&b), filled(&c));
+        // (a ⊕ b) ⊕ c
+        let ab = LogLinearHistogram::new();
+        ab.merge_from(&ha);
+        ab.merge_from(&hb);
+        let left = merged(&[&ab, &hc]);
+        // a ⊕ (b ⊕ c)
+        let bc = LogLinearHistogram::new();
+        bc.merge_from(&hb);
+        bc.merge_from(&hc);
+        let right = merged(&[&ha, &bc]);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+        let total: u64 = a.iter().chain(&b).chain(&c).sum();
+        prop_assert_eq!(left.sum_ns(), total);
+    }
+
+    #[test]
+    fn saturation_clamps_at_the_bucket_cap(
+        small in proptest::collection::vec(0u64..1_000_000, 0..50),
+        overflow in proptest::collection::vec((MAX_TRACKED_NS + 1)..u64::MAX, 1..20),
+    ) {
+        let h = LogLinearHistogram::new();
+        for &v in small.iter().chain(&overflow) {
+            h.record(v);
+        }
+        prop_assert_eq!(h.saturated(), overflow.len() as u64);
+        prop_assert_eq!(h.count(), (small.len() + overflow.len()) as u64);
+        // Every quantile stays within the tracked range even under saturation.
+        prop_assert!(h.quantile(1.0).expect("non-empty") <= MAX_TRACKED_NS);
+        // The saturated mass sits in the top bucket: everything is ≤ the cap.
+        prop_assert_eq!(h.snapshot().cumulative_le(MAX_TRACKED_NS), h.count());
+    }
+}

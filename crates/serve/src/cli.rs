@@ -8,6 +8,7 @@
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ptrng_engine::audit::{AuditConfig, EntropyAudit, DEFAULT_AUDIT_MARGIN};
@@ -15,6 +16,7 @@ use ptrng_engine::health::HealthConfig;
 use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig};
 use ptrng_engine::source::SourceSpec;
 use ptrng_engine::EngineError;
+use ptrng_obs::{Journal, ObsClock, TextEncoder};
 
 use crate::server::{RateLimit, ServeConfig, Server};
 
@@ -46,8 +48,11 @@ OPTIONS:
     --min-entropy H     override the model-backed entropy claim used for the
                         SP 800-90B cutoffs (0 < H <= 1)
     --out PATH          write bytes to PATH instead of stdout
-    --stats             print per-shard metrics and the output entropy ledger
-                        (canonical JSON) to stderr
+    --stats             print per-shard metrics, the output entropy ledger
+                        (canonical JSON) and the latency-histogram families
+                        (Prometheus text) to stderr
+    --journal PATH      append observability records (alarm postmortems) to PATH
+                        as JSONL, one self-contained object per line
     --help              show this help
 ";
 
@@ -64,7 +69,12 @@ ENDPOINTS:
                            503 + ledger JSON when the accounted entropy misses
                            --min-h, 429 under the per-client rate limit
     GET /healthz           shard/alarm state (RCT, APT, thermal, startup battery)
-    GET /metrics           Prometheus text exposition
+                           plus recent alarm postmortems
+    GET /metrics           Prometheus text exposition, including the latency
+                           histograms (batch, conditioning stage, audit battery,
+                           tap wait, HTTP request)
+    GET /debug/trace       flight-recorder timeline and alarm postmortems as
+                           JSONL (rate-limited like a small draw)
 
 OPTIONS (in addition to every engine flag of ptrngd except --budget/--out/--stats):
     --listen ADDR       bind address                              [default: 127.0.0.1:7878]
@@ -74,6 +84,8 @@ OPTIONS (in addition to every engine flag of ptrngd except --budget/--out/--stat
                         omit for unlimited
     --burst SIZE        per-client burst capacity; requires --rate [default: 4x --rate]
     --chunk SIZE        chunked-transfer draw granularity         [default: 64KiB]
+    --journal PATH      append observability records (alarm postmortems) to PATH
+                        as JSONL, one self-contained object per line
     --help              show this help
 
 SIGNALS:
@@ -267,6 +279,7 @@ struct GenerateArgs {
     budget: Option<u64>,
     out: Option<String>,
     stats: bool,
+    journal: Option<String>,
 }
 
 fn parse_generate(argv: &[String]) -> Result<Option<GenerateArgs>, String> {
@@ -275,6 +288,7 @@ fn parse_generate(argv: &[String]) -> Result<Option<GenerateArgs>, String> {
         budget: None,
         out: None,
         stats: false,
+        journal: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -283,6 +297,7 @@ fn parse_generate(argv: &[String]) -> Result<Option<GenerateArgs>, String> {
             "--budget" => args.budget = Some(parse_size(&flag_value(&mut it, "--budget")?)?),
             "--out" => args.out = Some(flag_value(&mut it, "--out")?),
             "--stats" => args.stats = true,
+            "--journal" => args.journal = Some(flag_value(&mut it, "--journal")?),
             other => {
                 if !args.engine.accept(other, &mut it)? {
                     return Err(format!("unknown argument `{other}` (try --help)"));
@@ -302,6 +317,7 @@ struct ServeCliArgs {
     rate: Option<u64>,
     burst: Option<u64>,
     chunk: usize,
+    journal: Option<String>,
 }
 
 fn parse_serve(argv: &[String]) -> Result<Option<ServeCliArgs>, String> {
@@ -313,6 +329,7 @@ fn parse_serve(argv: &[String]) -> Result<Option<ServeCliArgs>, String> {
         rate: None,
         burst: None,
         chunk: 64 << 10,
+        journal: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -332,6 +349,7 @@ fn parse_serve(argv: &[String]) -> Result<Option<ServeCliArgs>, String> {
             "--chunk" => {
                 args.chunk = parse_size(&flag_value(&mut it, "--chunk")?)? as usize;
             }
+            "--journal" => args.journal = Some(flag_value(&mut it, "--journal")?),
             other => {
                 if !args.engine.accept(other, &mut it)? {
                     return Err(format!("unknown argument `{other}` (try --help)"));
@@ -358,7 +376,18 @@ impl ServeCliArgs {
             bytes_per_sec,
             burst_bytes: self.burst.unwrap_or(bytes_per_sec.saturating_mul(4)),
         });
+        config.journal = open_journal(self.journal.as_deref())?;
         Ok(config)
+    }
+}
+
+/// Opens the `--journal` sink, when one was requested.
+fn open_journal(path: Option<&str>) -> Result<Option<Arc<Journal>>, String> {
+    match path {
+        Some(path) => Journal::create(path, ObsClock::new())
+            .map(|journal| Some(Arc::new(journal)))
+            .map_err(|e| format!("cannot create journal `{path}`: {e}")),
+        None => Ok(None),
     }
 }
 
@@ -382,11 +411,12 @@ fn run_generate_inner(args: GenerateArgs) -> Result<u64, (u8, String)> {
         )),
     };
 
+    let journal = open_journal(args.journal.as_deref()).map_err(|m| (1, m))?;
     let started = Instant::now();
     // An entropy deficit is the emission-refusal path (exit 2, like an alarm): the
     // accounted ledger says the conditioned output would overclaim.  The canonical
     // ledger JSON goes to stderr so tooling can consume the refusal.
-    let mut engine = Engine::spawn(config).map_err(|e| match e {
+    let mut engine = Engine::spawn_with_journal(config, journal).map_err(|e| match e {
         EngineError::EntropyDeficit { ref ledger, .. } => {
             eprintln!("ptrngd: ledger {}", ledger.to_json());
             (2, e.to_string())
@@ -434,6 +464,11 @@ fn run_generate_inner(args: GenerateArgs) -> Result<u64, (u8, String)> {
             );
         }
         eprintln!("ptrngd: ledger {}", engine.output_ledger().to_json());
+        // The latency-histogram families, in the same Prometheus text the server
+        // exposes on /metrics (one encoder, one format).
+        let mut enc = TextEncoder::new();
+        engine.observatory().render_histograms(&mut enc);
+        eprint!("{}", enc.finish());
     }
     engine.join().map_err(|e| (1, e.to_string()))?;
     match alarm {

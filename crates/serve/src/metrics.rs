@@ -3,18 +3,16 @@
 //! The engine already keeps lock-free per-shard counters
 //! ([`ptrng_engine::metrics::MetricsSnapshot`]); this module adds the HTTP-layer
 //! counters (requests, responses by status, bytes served, rate-limit refusals) and
-//! renders both in the [Prometheus text exposition format] — `# HELP`/`# TYPE`
-//! comments followed by `name{labels} value` samples.
-//!
-//! [Prometheus text exposition format]:
-//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+//! renders both through the shared [`ptrng_obs::TextEncoder`] — the same
+//! escaping-correct encoder `ptrngd --stats` uses, so the exposition format rules
+//! live in exactly one place.
 
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use ptrng_engine::metrics::MetricsSnapshot;
+use ptrng_obs::{MetricKind, TextEncoder};
 
 /// HTTP-layer counters, updated lock-free on the request path (the per-status map
 /// takes a short mutex: statuses are few and responses are large).
@@ -77,17 +75,191 @@ impl ServerMetrics {
     }
 }
 
-fn sample(out: &mut String, name: &str, help: &str, kind: &str, value: impl std::fmt::Display) {
-    let _ = writeln!(out, "# HELP {name} {help}");
-    let _ = writeln!(out, "# TYPE {name} {kind}");
-    let _ = writeln!(out, "{name} {value}");
-}
-
-/// Renders the engine snapshot plus the server counters as Prometheus text.
+/// Renders the engine snapshot plus the server counters into an open encoder.
 ///
 /// `min_entropy_per_bit` is the accounted ledger claim of the conditioned output
 /// (`None` while the server is refusing on an entropy deficit — the gauge is then the
 /// *refused* accounting, still exported so operators can see how far off it is).
+/// The `/metrics` handler appends the latency-histogram families to the same
+/// encoder afterwards.
+pub fn render_prometheus_into(
+    enc: &mut TextEncoder,
+    engine: &MetricsSnapshot,
+    server: &ServerMetrics,
+    min_entropy_per_bit: f64,
+    live_shards: usize,
+    serving: bool,
+) {
+    // Engine-level totals.
+    enc.scalar(
+        "ptrng_raw_bits_total",
+        "Raw bits drawn from the noise sources across all shards.",
+        MetricKind::Counter,
+        engine.total_raw_bits,
+    );
+    enc.scalar(
+        "ptrng_output_bytes_total",
+        "Conditioned output bytes published by the engine.",
+        MetricKind::Counter,
+        engine.total_output_bytes,
+    );
+    enc.scalar(
+        "ptrng_batches_total",
+        "Batches published across all shards.",
+        MetricKind::Counter,
+        engine.total_batches,
+    );
+    enc.scalar(
+        "ptrng_accounted_entropy_bits_total",
+        "Accounted min-entropy carried by the published output, in bits.",
+        MetricKind::Gauge,
+        format_args!("{:.3}", engine.total_accounted_entropy_bits),
+    );
+    enc.scalar(
+        "ptrng_alarms_total",
+        "Shard health alarms (RCT, APT, startup battery, thermal collapse).",
+        MetricKind::Counter,
+        engine.alarms,
+    );
+    enc.scalar(
+        "ptrng_min_entropy_per_output_bit",
+        "Accounted min-entropy per conditioned output bit from the entropy ledger.",
+        MetricKind::Gauge,
+        format_args!("{min_entropy_per_bit:.6}"),
+    );
+    enc.scalar(
+        "ptrng_live_shards",
+        "Shards still producing output.",
+        MetricKind::Gauge,
+        live_shards,
+    );
+    enc.scalar(
+        "ptrng_serving",
+        "1 when the engine emits under its entropy policy, 0 when refusing.",
+        MetricKind::Gauge,
+        u8::from(serving),
+    );
+
+    // Per-shard breakdown.
+    enc.family(
+        "ptrng_shard_output_bytes_total",
+        "Output bytes per shard.",
+        MetricKind::Counter,
+    );
+    for shard in &engine.per_shard {
+        enc.sample(
+            "ptrng_shard_output_bytes_total",
+            &[("shard", &shard.shard.to_string())],
+            shard.output_bytes,
+        );
+    }
+    enc.family(
+        "ptrng_shard_raw_bits_total",
+        "Raw source bits per shard.",
+        MetricKind::Counter,
+    );
+    for shard in &engine.per_shard {
+        enc.sample(
+            "ptrng_shard_raw_bits_total",
+            &[("shard", &shard.shard.to_string())],
+            shard.raw_bits,
+        );
+    }
+
+    // Entropy-audit lanes (populated when the engine runs with an audit, or via
+    // /selftest's on-demand batteries recorded below).
+    if !engine.audits.is_empty() {
+        enc.family(
+            "ptrng_audit_windows_total",
+            "Estimator-battery windows completed per audit lane.",
+            MetricKind::Counter,
+        );
+        for lane in &engine.audits {
+            enc.sample(
+                "ptrng_audit_windows_total",
+                &[("lane", &lane.lane)],
+                lane.windows,
+            );
+        }
+        enc.family(
+            "ptrng_audit_overclaims_total",
+            "Windows whose battery estimate undercut the claim by more than the margin.",
+            MetricKind::Counter,
+        );
+        for lane in &engine.audits {
+            enc.sample(
+                "ptrng_audit_overclaims_total",
+                &[("lane", &lane.lane)],
+                lane.overclaims,
+            );
+        }
+        enc.family(
+            "ptrng_audit_last_estimate",
+            "Battery min-entropy estimate of the most recent audited window, per lane.",
+            MetricKind::Gauge,
+        );
+        for lane in &engine.audits {
+            enc.sample(
+                "ptrng_audit_last_estimate",
+                &[("lane", &lane.lane)],
+                format_args!("{:.6}", lane.last_estimate),
+            );
+        }
+    }
+
+    // HTTP layer.
+    enc.scalar(
+        "ptrng_http_requests_total",
+        "Parsed HTTP requests.",
+        MetricKind::Counter,
+        server.requests(),
+    );
+    enc.scalar(
+        "ptrng_http_selftests_total",
+        "Completed /selftest estimator-battery runs.",
+        MetricKind::Counter,
+        server.selftests.load(Ordering::Relaxed),
+    );
+    enc.scalar(
+        "ptrng_http_selftest_overclaims_total",
+        "/selftest runs that flagged the ledger claim as overclaimed.",
+        MetricKind::Counter,
+        server.selftest_overclaims.load(Ordering::Relaxed),
+    );
+    enc.scalar(
+        "ptrng_http_entropy_bytes_served_total",
+        "Entropy body bytes handed to clients.",
+        MetricKind::Counter,
+        server.bytes_served(),
+    );
+    enc.scalar(
+        "ptrng_http_rate_limited_total",
+        "Requests refused by the per-client token bucket (HTTP 429).",
+        MetricKind::Counter,
+        server.rate_limited.load(Ordering::Relaxed),
+    );
+    enc.family(
+        "ptrng_http_responses_total",
+        "Responses by HTTP status code.",
+        MetricKind::Counter,
+    );
+    for (status, count) in server
+        .responses_by_status
+        .lock()
+        .expect("metrics lock poisoned")
+        .iter()
+    {
+        enc.sample(
+            "ptrng_http_responses_total",
+            &[("status", &status.to_string())],
+            count,
+        );
+    }
+}
+
+/// Renders the engine snapshot plus the server counters as Prometheus text (the
+/// counter families only; `/metrics` composes the histogram families onto the
+/// same encoder via [`render_prometheus_into`]).
 pub fn render_prometheus(
     engine: &MetricsSnapshot,
     server: &ServerMetrics,
@@ -95,188 +267,16 @@ pub fn render_prometheus(
     live_shards: usize,
     serving: bool,
 ) -> String {
-    let mut out = String::with_capacity(2048);
-
-    // Engine-level totals.
-    sample(
-        &mut out,
-        "ptrng_raw_bits_total",
-        "Raw bits drawn from the noise sources across all shards.",
-        "counter",
-        engine.total_raw_bits,
-    );
-    sample(
-        &mut out,
-        "ptrng_output_bytes_total",
-        "Conditioned output bytes published by the engine.",
-        "counter",
-        engine.total_output_bytes,
-    );
-    sample(
-        &mut out,
-        "ptrng_batches_total",
-        "Batches published across all shards.",
-        "counter",
-        engine.total_batches,
-    );
-    sample(
-        &mut out,
-        "ptrng_accounted_entropy_bits_total",
-        "Accounted min-entropy carried by the published output, in bits.",
-        "gauge",
-        format_args!("{:.3}", engine.total_accounted_entropy_bits),
-    );
-    sample(
-        &mut out,
-        "ptrng_alarms_total",
-        "Shard health alarms (RCT, APT, startup battery, thermal collapse).",
-        "counter",
-        engine.alarms,
-    );
-    sample(
-        &mut out,
-        "ptrng_min_entropy_per_output_bit",
-        "Accounted min-entropy per conditioned output bit from the entropy ledger.",
-        "gauge",
-        format_args!("{min_entropy_per_bit:.6}"),
-    );
-    sample(
-        &mut out,
-        "ptrng_live_shards",
-        "Shards still producing output.",
-        "gauge",
+    let mut enc = TextEncoder::new();
+    render_prometheus_into(
+        &mut enc,
+        engine,
+        server,
+        min_entropy_per_bit,
         live_shards,
+        serving,
     );
-    sample(
-        &mut out,
-        "ptrng_serving",
-        "1 when the engine emits under its entropy policy, 0 when refusing.",
-        "gauge",
-        u8::from(serving),
-    );
-
-    // Per-shard breakdown.
-    let _ = writeln!(
-        out,
-        "# HELP ptrng_shard_output_bytes_total Output bytes per shard."
-    );
-    let _ = writeln!(out, "# TYPE ptrng_shard_output_bytes_total counter");
-    for shard in &engine.per_shard {
-        let _ = writeln!(
-            out,
-            "ptrng_shard_output_bytes_total{{shard=\"{}\"}} {}",
-            shard.shard, shard.output_bytes
-        );
-    }
-    let _ = writeln!(
-        out,
-        "# HELP ptrng_shard_raw_bits_total Raw source bits per shard."
-    );
-    let _ = writeln!(out, "# TYPE ptrng_shard_raw_bits_total counter");
-    for shard in &engine.per_shard {
-        let _ = writeln!(
-            out,
-            "ptrng_shard_raw_bits_total{{shard=\"{}\"}} {}",
-            shard.shard, shard.raw_bits
-        );
-    }
-
-    // Entropy-audit lanes (populated when the engine runs with an audit, or via
-    // /selftest's on-demand batteries recorded below).
-    if !engine.audits.is_empty() {
-        let mut families = String::new();
-        let _ = writeln!(
-            out,
-            "# HELP ptrng_audit_windows_total Estimator-battery windows completed per audit lane."
-        );
-        let _ = writeln!(out, "# TYPE ptrng_audit_windows_total counter");
-        for lane in &engine.audits {
-            let _ = writeln!(
-                out,
-                "ptrng_audit_windows_total{{lane=\"{}\"}} {}",
-                lane.lane, lane.windows
-            );
-            let _ = writeln!(
-                families,
-                "ptrng_audit_overclaims_total{{lane=\"{}\"}} {}",
-                lane.lane, lane.overclaims
-            );
-        }
-        let _ = writeln!(
-            out,
-            "# HELP ptrng_audit_overclaims_total Windows whose battery estimate undercut the \
-             claim by more than the margin."
-        );
-        let _ = writeln!(out, "# TYPE ptrng_audit_overclaims_total counter");
-        out.push_str(&families);
-        let _ = writeln!(
-            out,
-            "# HELP ptrng_audit_last_estimate Battery min-entropy estimate of the most recent \
-             audited window, per lane."
-        );
-        let _ = writeln!(out, "# TYPE ptrng_audit_last_estimate gauge");
-        for lane in &engine.audits {
-            let _ = writeln!(
-                out,
-                "ptrng_audit_last_estimate{{lane=\"{}\"}} {:.6}",
-                lane.lane, lane.last_estimate
-            );
-        }
-    }
-
-    // HTTP layer.
-    sample(
-        &mut out,
-        "ptrng_http_requests_total",
-        "Parsed HTTP requests.",
-        "counter",
-        server.requests(),
-    );
-    sample(
-        &mut out,
-        "ptrng_http_selftests_total",
-        "Completed /selftest estimator-battery runs.",
-        "counter",
-        server.selftests.load(Ordering::Relaxed),
-    );
-    sample(
-        &mut out,
-        "ptrng_http_selftest_overclaims_total",
-        "/selftest runs that flagged the ledger claim as overclaimed.",
-        "counter",
-        server.selftest_overclaims.load(Ordering::Relaxed),
-    );
-    sample(
-        &mut out,
-        "ptrng_http_entropy_bytes_served_total",
-        "Entropy body bytes handed to clients.",
-        "counter",
-        server.bytes_served(),
-    );
-    sample(
-        &mut out,
-        "ptrng_http_rate_limited_total",
-        "Requests refused by the per-client token bucket (HTTP 429).",
-        "counter",
-        server.rate_limited.load(Ordering::Relaxed),
-    );
-    let _ = writeln!(
-        out,
-        "# HELP ptrng_http_responses_total Responses by HTTP status code."
-    );
-    let _ = writeln!(out, "# TYPE ptrng_http_responses_total counter");
-    for (status, count) in server
-        .responses_by_status
-        .lock()
-        .expect("metrics lock poisoned")
-        .iter()
-    {
-        let _ = writeln!(
-            out,
-            "ptrng_http_responses_total{{status=\"{status}\"}} {count}"
-        );
-    }
-    out
+    enc.finish()
 }
 
 #[cfg(test)]

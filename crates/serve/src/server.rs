@@ -39,15 +39,21 @@ use std::time::{Duration, Instant};
 use ptrng_ais::estimators::MIN_BATTERY_BITS;
 use ptrng_engine::audit::{AuditConfig, EntropyAudit, DEFAULT_AUDIT_WINDOW_BITS};
 use ptrng_engine::metrics::ShardAlarm;
+use ptrng_engine::observatory::Observatory;
 use ptrng_engine::pool::{Engine, EngineConfig};
 use ptrng_engine::tap::EntropyTap;
 use ptrng_engine::EngineError;
+use ptrng_obs::probe::elapsed_ns;
+use ptrng_obs::{
+    Event, EventKind, FlightRecorder, Journal, LogLinearHistogram, ObsClock, Postmortem, Probe,
+    TextEncoder, DEFAULT_TIME_BOUNDS_NS,
+};
 use ptrng_trng::conditioning::EntropyLedger;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use crate::http::{write_response, ChunkedWriter, HttpError, Request, ResponseHead};
 use crate::limiter::RateLimiter;
-use crate::metrics::{render_prometheus, ServerMetrics};
+use crate::metrics::{render_prometheus_into, ServerMetrics};
 use crate::{Result, ServeError};
 
 /// Interval at which the accept loop re-checks the shutdown flag.
@@ -83,6 +89,9 @@ pub struct ServeConfig {
     /// The engine configuration to serve from (its `budget_bytes` should be `None`:
     /// a serving engine runs until shutdown).
     pub engine: EngineConfig,
+    /// Optional JSONL journal sink (`--journal <path>`): the engine appends alarm
+    /// postmortems to it as they are captured.
+    pub journal: Option<Arc<Journal>>,
 }
 
 impl ServeConfig {
@@ -99,6 +108,7 @@ impl ServeConfig {
             keep_alive_requests: 64,
             read_timeout: Duration::from_secs(5),
             engine,
+            journal: None,
         }
     }
 
@@ -141,6 +151,12 @@ struct SharedState {
     keep_alive_requests: usize,
     read_timeout: Duration,
     shards: usize,
+    /// The engine's observability surface (`None` in refusing mode — no engine ran).
+    obs: Option<Arc<Observatory>>,
+    /// HTTP-layer flight recorder, on the engine's clock when one is running.
+    http_recorder: Arc<FlightRecorder>,
+    /// Request-latency histogram + recorder binding for `HttpRequest` events.
+    http_probe: Probe,
 }
 
 /// Cooperative shutdown trigger for a running [`Server`] (the programmatic
@@ -214,7 +230,8 @@ impl Server {
     pub fn bind(config: ServeConfig) -> Result<Self> {
         config.validate()?;
         let shards = config.engine.shards;
-        let supply = match Engine::spawn(config.engine.clone()) {
+        let supply = match Engine::spawn_with_journal(config.engine.clone(), config.journal.clone())
+        {
             Ok(engine) => Supply::Serving(engine.into_tap()),
             Err(EngineError::EntropyDeficit {
                 ledger,
@@ -235,6 +252,21 @@ impl Server {
             ),
             None => None,
         };
+        // The HTTP flight recorder shares the engine's clock when one is running so
+        // request events interleave with shard events on /debug/trace; in refusing
+        // mode there is no engine and the HTTP layer gets its own epoch.
+        let obs = match &supply {
+            Supply::Serving(tap) => Some(Arc::clone(tap.observatory())),
+            Supply::Refusing { .. } => None,
+        };
+        let clock = obs.as_ref().map_or_else(ObsClock::new, |obs| obs.clock());
+        let http_recorder = Arc::new(FlightRecorder::new(
+            clock,
+            config.engine.obs.ring_events.max(1),
+            config.engine.obs.recorder,
+        ));
+        let http_probe = Probe::new(Arc::new(LogLinearHistogram::new()), EventKind::HttpRequest)
+            .with_recorder(Arc::clone(&http_recorder), None);
         let listener = TcpListener::bind(&config.listen)?;
         Ok(Self {
             listener,
@@ -248,9 +280,21 @@ impl Server {
                 keep_alive_requests: config.keep_alive_requests,
                 read_timeout: config.read_timeout,
                 shards,
+                obs,
+                http_recorder,
+                http_probe,
             }),
             threads: config.threads,
         })
+    }
+
+    /// The end-to-end request-latency histogram, fed by every served request.
+    ///
+    /// Cloning the `Arc` before [`Server::serve`] consumes the server lets a
+    /// harness query p50/p99 (via [`ptrng_obs::HistogramSnapshot::quantile`]) after the
+    /// serving thread has drained.
+    pub fn request_latency(&self) -> Arc<LogLinearHistogram> {
+        Arc::clone(self.state.http_probe.histogram())
     }
 
     /// The bound socket address (resolves port 0 binds).
@@ -352,6 +396,23 @@ struct HealthzBody {
     alarm_reasons: Vec<ShardAlarm>,
     min_entropy_per_bit: f64,
     required_min_entropy: Option<f64>,
+    /// Recent alarm postmortems (bounded store, oldest first): the alarming
+    /// shard's flight-recorder events plus the ledger in force at alarm time.
+    postmortems: Vec<Postmortem>,
+}
+
+thread_local! {
+    /// Status of the response most recently written by this worker thread, read
+    /// back after `route` to stamp the request's `HttpRequest` flight-recorder
+    /// event (every response funnels through [`note_status`] on the same thread).
+    static LAST_STATUS: std::cell::Cell<u16> = const { std::cell::Cell::new(0) };
+}
+
+/// Counts the response in the metrics and remembers its status for the
+/// flight-recorder event of the enclosing request.
+fn note_status(state: &SharedState, status: u16) {
+    state.metrics.record_response(status);
+    LAST_STATUS.with(|cell| cell.set(status));
 }
 
 fn handle_connection(state: &SharedState, stream: TcpStream) {
@@ -385,7 +446,14 @@ fn handle_connection(state: &SharedState, stream: TcpStream) {
             && served < state.keep_alive_requests
             && !state.shutdown.load(Ordering::SeqCst)
             && !SIGNALLED.load(Ordering::SeqCst);
-        if route(state, &mut writer, &request, peer_ip, keep_alive).is_err() || !keep_alive {
+        LAST_STATUS.with(|cell| cell.set(0));
+        let start = Instant::now();
+        let outcome = route(state, &mut writer, &request, peer_ip, keep_alive);
+        let status = LAST_STATUS.with(std::cell::Cell::get);
+        state
+            .http_probe
+            .record_tagged(elapsed_ns(start), u64::from(status));
+        if outcome.is_err() || !keep_alive {
             break;
         }
     }
@@ -408,14 +476,83 @@ fn route(
         "/healthz" => healthz(state, writer, keep_alive, head_only),
         "/metrics" => metrics(state, writer, keep_alive, head_only),
         "/selftest" => selftest(state, writer, request, peer_ip, keep_alive, head_only),
+        "/debug/trace" => debug_trace(state, writer, peer_ip, keep_alive, head_only),
         _ => {
             let body = error_body(
                 "not found",
-                "endpoints: /entropy?bytes=N, /healthz, /metrics, /selftest",
+                "endpoints: /entropy?bytes=N, /healthz, /metrics, /selftest, /debug/trace",
             );
             respond_json(state, writer, 404, &body, keep_alive, head_only)
         }
     }
+}
+
+/// Nominal rate-limit cost of one `/debug/trace` dump, in bytes.  The trace draws
+/// no entropy, but rendering the full event timeline is not free either, so it is
+/// charged like a small draw to keep an unauthenticated polling loop from spinning.
+const TRACE_COST_BYTES: u64 = 4096;
+
+/// `GET /debug/trace` — the flight-recorder timeline and alarm postmortems as
+/// JSONL: one `{"record":"event",…}` line per flight-recorder event (shards, tap
+/// and HTTP layer merged in time order) followed by one
+/// `{"record":"postmortem",…}` line per retained alarm postmortem.
+fn debug_trace(
+    state: &SharedState,
+    writer: &mut impl Write,
+    peer_ip: IpAddr,
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    if let Some(limiter) = &state.limiter {
+        if let Err(retry_secs) = limiter.try_acquire(peer_ip, TRACE_COST_BYTES, Instant::now()) {
+            let body = error_body(
+                "rate limited",
+                &format!("client entropy budget exhausted; retry in {retry_secs:.1}s"),
+            );
+            let head = ResponseHead::new(429)
+                .header("Content-Type", "application/json")
+                .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
+            note_status(state, 429);
+            return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
+        }
+    }
+    let mut events: Vec<Event> = state
+        .obs
+        .as_ref()
+        .map(|obs| obs.events())
+        .unwrap_or_default();
+    events.extend(state.http_recorder.snapshot());
+    events.sort_by_key(|event| event.t_ns);
+    let mut body = String::with_capacity(events.len() * 96);
+    for event in &events {
+        if let Some(line) = jsonl_record("event", event) {
+            body.push_str(&line);
+            body.push('\n');
+        }
+    }
+    let postmortems = state
+        .obs
+        .as_ref()
+        .map(|obs| obs.postmortems().snapshot())
+        .unwrap_or_default();
+    for postmortem in &postmortems {
+        if let Some(line) = jsonl_record("postmortem", postmortem) {
+            body.push_str(&line);
+            body.push('\n');
+        }
+    }
+    let head = ResponseHead::new(200).header("Content-Type", "application/x-ndjson");
+    note_status(state, 200);
+    write_response(writer, &head, body.as_bytes(), keep_alive, head_only)
+}
+
+/// Serializes `data` as one JSON object with a leading `"record":"<kind>"` field.
+fn jsonl_record(kind: &str, data: &impl Serialize) -> Option<String> {
+    let Value::Object(mut fields) = data.to_value() else {
+        return None;
+    };
+    fields.insert(0, ("record".to_string(), Value::Str(kind.to_string())));
+    serde_json::to_string(&Value::Object(fields)).ok()
 }
 
 /// Hard cap on one `/selftest` window (the battery is CPU-bound; a hostile client
@@ -505,7 +642,7 @@ fn selftest(
             let head = ResponseHead::new(429)
                 .header("Content-Type", "application/json")
                 .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
-            state.metrics.record_response(429);
+            note_status(state, 429);
             return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
         }
     }
@@ -583,7 +720,7 @@ fn entropy(
             let head = ResponseHead::new(503)
                 .header("Content-Type", "application/json")
                 .header("X-PTRNG-Ledger", ledger.to_json());
-            state.metrics.record_response(503);
+            note_status(state, 503);
             return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
         }
     };
@@ -599,7 +736,7 @@ fn entropy(
     // HEAD serves only the contract headers and draws nothing, so it is answered
     // before the limiter: a probe must not spend the client's entropy budget.
     if head_only {
-        state.metrics.record_response(200);
+        note_status(state, 200);
         return write_response(writer, &head, b"", keep_alive, true);
     }
 
@@ -612,12 +749,12 @@ fn entropy(
             let head = ResponseHead::new(429)
                 .header("Content-Type", "application/json")
                 .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
-            state.metrics.record_response(429);
+            note_status(state, 429);
             return write_response(writer, &head, body.as_bytes(), keep_alive, false);
         }
     }
 
-    state.metrics.record_response(200);
+    note_status(state, 200);
     let mut chunked = ChunkedWriter::start(writer, &head, keep_alive)?;
     let mut buffer = vec![0u8; state.chunk_bytes.min(bytes.max(1) as usize)];
     let mut remaining = bytes as usize;
@@ -661,6 +798,7 @@ fn healthz(
                 alarm_reasons,
                 min_entropy_per_bit: tap.ledger().min_entropy_per_bit(),
                 required_min_entropy: None,
+                postmortems: tap.observatory().postmortems().snapshot(),
             };
             (body, if live_shards == 0 { 503 } else { 200 })
         }
@@ -677,6 +815,7 @@ fn healthz(
                 alarm_reasons: Vec::new(),
                 min_entropy_per_bit: ledger.min_entropy_per_bit(),
                 required_min_entropy: Some(*required),
+                postmortems: Vec::new(),
             };
             (body, 503)
         }
@@ -705,9 +844,21 @@ fn metrics(
             false,
         ),
     };
-    let text = render_prometheus(&snapshot, &state.metrics, h, live, serving);
+    let mut enc = TextEncoder::new();
+    render_prometheus_into(&mut enc, &snapshot, &state.metrics, h, live, serving);
+    if let Some(obs) = &state.obs {
+        obs.render_histograms(&mut enc);
+    }
+    enc.histogram(
+        "ptrng_http_request_seconds",
+        "End-to-end HTTP request service time (parse to last byte written).",
+        &[],
+        &state.http_probe.histogram().snapshot(),
+        &DEFAULT_TIME_BOUNDS_NS,
+    );
+    let text = enc.finish();
     let head = ResponseHead::new(200).header("Content-Type", "text/plain; version=0.0.4");
-    state.metrics.record_response(200);
+    note_status(state, 200);
     write_response(writer, &head, text.as_bytes(), keep_alive, head_only)
 }
 
@@ -755,6 +906,6 @@ fn respond_json(
     head_only: bool,
 ) -> std::io::Result<()> {
     let head = ResponseHead::new(status).header("Content-Type", "application/json");
-    state.metrics.record_response(status);
+    note_status(state, status);
     write_response(writer, &head, body.as_bytes(), keep_alive, head_only)
 }

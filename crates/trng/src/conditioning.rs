@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 
 use ptrng_ais::bits::ensure_bits;
 use ptrng_ais::sp80090b::conditioned_output_entropy;
+use ptrng_obs::Probe;
 use ptrng_stats::minentropy::{bias_from_min_entropy, min_entropy_from_bias};
 
 use crate::postprocess::xor_output_bias;
@@ -421,6 +422,10 @@ impl ConditioningStage for Sha256Stage {
 /// performs no steady-state allocation beyond growing the caller's output buffer.
 pub struct ConditioningChain {
     stages: Vec<Box<dyn ConditioningStage>>,
+    /// Optional per-stage latency probes (`probes[i]` times `stages[i]`); empty when
+    /// the chain is not instrumented, in which case [`ConditioningChain::process`]
+    /// takes no timestamps at all.
+    probes: Vec<Probe>,
     ping: Vec<u8>,
     pong: Vec<u8>,
 }
@@ -430,6 +435,7 @@ impl ConditioningChain {
     pub fn new(stages: Vec<Box<dyn ConditioningStage>>) -> Self {
         Self {
             stages,
+            probes: Vec::new(),
             ping: Vec::new(),
             pong: Vec::new(),
         }
@@ -454,6 +460,29 @@ impl ConditioningChain {
     /// reading as intent at call sites).
     pub fn is_identity(&self) -> bool {
         self.is_empty()
+    }
+
+    /// Per-stage labels in pipeline order, e.g. `["xor:4", "sha256:2"]` (empty for
+    /// the identity chain) — the label vocabulary latency histograms key on.
+    pub fn stage_labels(&self) -> Vec<String> {
+        self.stages.iter().map(|s| s.label()).collect()
+    }
+
+    /// Attaches one latency [`Probe`] per stage; each call to
+    /// [`ConditioningChain::process`] then records every stage's wall-clock time
+    /// into the matching probe.  Passing an empty vector removes instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a non-empty `probes` does not have exactly one probe per stage.
+    pub fn instrument(&mut self, probes: Vec<Probe>) {
+        assert!(
+            probes.is_empty() || probes.len() == self.stages.len(),
+            "probe count {} does not match stage count {}",
+            probes.len(),
+            self.stages.len()
+        );
+        self.probes = probes;
     }
 
     /// Human-readable chain description, e.g. `xor:4 → sha256:2` (or `identity`).
@@ -481,17 +510,22 @@ impl ConditioningChain {
                 out.extend_from_slice(input);
                 Ok(())
             }
-            1 => self.stages[0].process(input, out),
+            1 => run_stage(&mut self.stages[0], self.probes.first(), input, out),
             n => {
-                let Self { stages, ping, pong } = self;
+                let Self {
+                    stages,
+                    probes,
+                    ping,
+                    pong,
+                } = self;
                 ping.clear();
-                stages[0].process(input, ping)?;
-                for stage in &mut stages[1..n - 1] {
+                run_stage(&mut stages[0], probes.first(), input, ping)?;
+                for (index, stage) in stages[1..n - 1].iter_mut().enumerate() {
                     pong.clear();
-                    stage.process(ping, pong)?;
+                    run_stage(stage, probes.get(index + 1), ping, pong)?;
                     std::mem::swap(ping, pong);
                 }
-                stages[n - 1].process(ping, out)
+                run_stage(&mut stages[n - 1], probes.get(n - 1), ping, out)
             }
         }
     }
@@ -507,6 +541,19 @@ impl ConditioningChain {
             current = stage.transform(&current)?;
         }
         Ok(current)
+    }
+}
+
+/// Runs one stage, timing it through `probe` when the chain is instrumented.
+fn run_stage(
+    stage: &mut Box<dyn ConditioningStage>,
+    probe: Option<&Probe>,
+    input: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    match probe {
+        Some(probe) => probe.time(|| stage.process(input, out)),
+        None => stage.process(input, out),
     }
 }
 
@@ -735,6 +782,42 @@ mod tests {
         let mut reference = Vec::new();
         sha.process(&mid, &mut reference).unwrap();
         assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn instrumented_chain_times_every_stage_without_changing_output() {
+        use ptrng_obs::{EventKind, LogLinearHistogram};
+        use std::sync::Arc;
+
+        let bits = biased_bits(512 * 8 * 4, 0.6, 5);
+        let make = || {
+            ConditioningChain::new(vec![
+                Box::new(XorDecimateStage::new(2).unwrap()) as Box<dyn ConditioningStage>,
+                Box::new(Sha256Stage::new(2).unwrap()),
+            ])
+        };
+        let mut plain = make();
+        let mut timed = make();
+        assert_eq!(timed.stage_labels(), vec!["xor:2", "sha256:2"]);
+        let histograms: Vec<Arc<LogLinearHistogram>> = (0..2)
+            .map(|_| Arc::new(LogLinearHistogram::new()))
+            .collect();
+        timed.instrument(
+            histograms
+                .iter()
+                .map(|h| Probe::new(Arc::clone(h), EventKind::StageApplied))
+                .collect(),
+        );
+
+        let (mut expected, mut got) = (Vec::new(), Vec::new());
+        for chunk in bits.chunks(1000) {
+            plain.process(chunk, &mut expected).unwrap();
+            timed.process(chunk, &mut got).unwrap();
+        }
+        assert_eq!(got, expected);
+        for histogram in &histograms {
+            assert_eq!(histogram.count(), bits.chunks(1000).count() as u64);
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`ais`] | AIS 31 / FIPS 140-2 / SP 800-90B statistical test batteries |
 //! | [`core`] | the multilevel model, independence analysis, thermal extraction, reports |
 //! | [`engine`] | sharded entropy generation runtime: pluggable sources, worker pool, continuous health monitoring, multi-consumer `EntropyTap` |
+//! | [`obs`] | observability primitives: flight recorder, log-linear latency histograms, Prometheus text encoder, alarm postmortems, JSONL journal |
 //! | [`serve`] | entropy-as-a-service: HTTP/1.1 server with ledger headers, rate limiting, Prometheus metrics; `ptrngd` + `ptrng-serve` CLIs |
 //!
 //! The repository book under `docs/` (architecture, stochastic model, operations)
@@ -45,6 +46,7 @@ pub use ptrng_core as core;
 pub use ptrng_engine as engine;
 pub use ptrng_measure as measure;
 pub use ptrng_noise as noise;
+pub use ptrng_obs as obs;
 pub use ptrng_osc as osc;
 pub use ptrng_serve as serve;
 pub use ptrng_stats as stats;
@@ -75,6 +77,7 @@ mod tests {
         let _ = crate::ais::procedure_a::BLOCK_BITS;
         let _ = crate::core::paper::RN_CONSTANT;
         let _ = crate::engine::source::SourceSpec::parse("model");
+        let _ = crate::obs::EventKind::Alarm.code();
         let _ = crate::serve::http::reason_phrase(503);
     }
 }

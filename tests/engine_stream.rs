@@ -4,10 +4,12 @@
 
 use ptrng::ais::fips;
 use ptrng::engine::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
+use ptrng::engine::metrics::AlarmKind;
 use ptrng::engine::pool::{ConditionerSpec, Engine, EngineConfig};
 use ptrng::engine::source::{JitterProfile, SourceSpec};
 use ptrng::engine::stream::unpack_bits;
 use ptrng::engine::EngineError;
+use ptrng::obs::EventKind;
 use ptrng::osc::model::AccumulationModel;
 use ptrng::osc::phase::PhaseNoiseModel;
 use ptrng::trng::online::OnlineTestConfig;
@@ -239,20 +241,48 @@ fn engine_runs_the_thermal_online_test_against_its_sources() {
         config.thermal_check_batches = 1;
         let mut engine = Engine::spawn(config).unwrap();
         let result = engine.read_to_end();
+        let obs = std::sync::Arc::clone(engine.observatory());
         engine.join().unwrap();
-        result
+        (result, obs)
     };
 
-    let healthy = run(relative.thermal_period_jitter());
+    let (healthy, obs) = run(relative.thermal_period_jitter());
     assert_eq!(healthy.unwrap().len(), 2048);
+    assert!(obs.postmortems().is_empty(), "no alarm, no postmortem");
 
-    let attacked = run(relative.thermal_period_jitter() * 10.0);
+    let (attacked, obs) = run(relative.thermal_period_jitter() * 10.0);
     match attacked {
-        Err(EngineError::HealthAlarm { reason, .. }) => {
+        Err(EngineError::HealthAlarm { kind, reason, .. }) => {
+            assert_eq!(kind, AlarmKind::Thermal, "unexpected alarm: {reason}");
             assert!(reason.contains("thermal"), "unexpected alarm: {reason}");
         }
         other => panic!("expected a thermal alarm, got {other:?}"),
     }
+    // The alarm left a postmortem carrying the shard's pre-alarm flight-recorder
+    // timeline (the debounced thermal test needs two strikes, so at least one
+    // batch was generated and recorded before the alarm latched).
+    let postmortems = obs.postmortems().snapshot();
+    let postmortem = postmortems
+        .iter()
+        .find(|p| p.kind == "thermal")
+        .unwrap_or_else(|| panic!("no thermal postmortem in {postmortems:?}"));
+    assert!(postmortem.reason.contains("thermal"), "{postmortem:?}");
+    assert!(
+        postmortem
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::BatchGenerated && e.t_ns <= postmortem.t_ns),
+        "no pre-alarm batch event: {:?}",
+        postmortem.events
+    );
+    assert!(
+        postmortem
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Alarm && e.value == AlarmKind::Thermal as u64),
+        "{:?}",
+        postmortem.events
+    );
 }
 
 /// A thermal test on a source without a physical model is rejected up front instead of

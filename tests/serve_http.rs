@@ -465,6 +465,180 @@ fn selftest_audits_the_served_stream() {
     );
 }
 
+/// Extracts the JSON object starting at the first `{` at-or-after `at` by brace
+/// matching (the embedded ledgers/postmortems contain no braces inside strings).
+fn extract_json_object(text: &str, at: usize) -> &str {
+    let start = at + text[at..].find('{').expect("object start");
+    let mut depth = 0usize;
+    for (offset, byte) in text[start..].bytes().enumerate() {
+        match byte {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &text[start..=start + offset];
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced braces from {start} in {text}");
+}
+
+#[test]
+fn alarms_surface_postmortems_on_healthz_trace_and_journal() {
+    use ptrng_engine::audit::AuditConfig;
+    use ptrng_obs::{Journal, ObsClock};
+
+    let journal_path =
+        std::env::temp_dir().join(format!("ptrng-serve-journal-{}.jsonl", std::process::id()));
+    let journal =
+        std::sync::Arc::new(Journal::create(&journal_path, ObsClock::new()).expect("journal"));
+
+    // model:0.95 accounts ~0.074 bits/bit; auditing it against an asserted 0.9
+    // claim refutes the claim on the first completed window, alarming shard 0.
+    // Shard 1 keeps serving, so the server stays up in degraded state.
+    let engine = EngineConfig::new(SourceSpec::model(0.95).expect("valid spec"))
+        .shards(2)
+        .seed(11)
+        .audit(Some(
+            AuditConfig::default().window_bits(1 << 14).claim(Some(0.9)),
+        ))
+        .health(HealthConfig::default().without_startup_battery());
+    let mut config = ServeConfig::new(engine);
+    config.journal = Some(journal);
+    let server = TestServer::start(config);
+
+    // Draw enough to push shard 0 through one full audit window (2 KiB of
+    // conditioned output), then wait for the alarm to land in the postmortem store.
+    let _ = get(server.addr, "/entropy?bytes=16384");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let health = loop {
+        let health = get(server.addr, "/healthz");
+        if health.body_text().contains("\"kind\":\"audit-overclaim\"") {
+            break health;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no postmortem after 30s: {}",
+            health.body_text()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // /healthz carries the postmortem: typed kind, rendered reason, pre-alarm
+    // flight-recorder events, and a ledger that round-trips through the typed form.
+    let text = health.body_text();
+    assert!(text.contains("\"status\":\"degraded\""), "{text}");
+    assert!(text.contains("\"postmortems\":["), "{text}");
+    assert!(text.contains("\"kind\":\"batch-generated\""), "{text}");
+    let postmortem_at = text.find("\"postmortems\":[").expect("postmortems field");
+    let ledger_at = text[postmortem_at..]
+        .find("\"ledger\":")
+        .expect("embedded ledger")
+        + postmortem_at;
+    let ledger = EntropyLedger::from_json(extract_json_object(&text, ledger_at))
+        .expect("postmortem ledger is canonical JSON");
+    assert!(ledger.min_entropy_per_bit() > 0.0);
+
+    // /debug/trace is valid JSONL: every line is one self-contained object tagged
+    // with a record type, and the timeline contains pre-alarm events plus the
+    // postmortem itself.
+    let trace = get(server.addr, "/debug/trace");
+    assert_eq!(trace.status, 200);
+    assert_eq!(trace.header("content-type"), Some("application/x-ndjson"));
+    let trace_text = trace.body_text();
+    let mut saw_event = false;
+    let mut saw_postmortem = false;
+    for line in trace_text.lines() {
+        let value: serde::Value = serde_json::from_str(line).expect("JSONL line parses");
+        let record = value
+            .as_object()
+            .and_then(|obj| obj.iter().find(|(k, _)| k == "record"))
+            .map(|(_, v)| v.clone());
+        match record {
+            Some(serde::Value::Str(kind)) if kind == "event" => saw_event = true,
+            Some(serde::Value::Str(kind)) if kind == "postmortem" => saw_postmortem = true,
+            other => panic!("unexpected record tag {other:?} in {line}"),
+        }
+    }
+    assert!(saw_event, "{trace_text}");
+    assert!(saw_postmortem, "{trace_text}");
+    assert!(trace_text.contains("\"kind\":\"alarm\""), "{trace_text}");
+    assert!(
+        trace_text.contains("\"kind\":\"http-request\""),
+        "request lifecycle events interleave: {trace_text}"
+    );
+
+    // The --journal sink received the same postmortem as a JSONL line.
+    let journal_text = std::fs::read_to_string(&journal_path).expect("journal readable");
+    assert!(
+        journal_text
+            .lines()
+            .any(|line| line.contains("\"event\":\"alarm-postmortem\"")
+                && serde_json::from_str::<serde::Value>(line).is_ok()),
+        "{journal_text}"
+    );
+
+    // The alarm surfaces in the counter metrics and the request histogram filled.
+    let metrics = get(server.addr, "/metrics").body_text();
+    assert!(metrics.contains("ptrng_alarms_total 1"), "{metrics}");
+    assert!(
+        metrics.contains("ptrng_http_request_seconds_count"),
+        "{metrics}"
+    );
+
+    drop(server);
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
+fn metrics_expose_latency_histogram_families() {
+    let server = TestServer::start(model_config());
+    let _ = get(server.addr, "/entropy?bytes=8192");
+    let text = get(server.addr, "/metrics").body_text();
+    for family in [
+        "# TYPE ptrng_batch_generation_seconds histogram",
+        "# TYPE ptrng_audit_battery_seconds histogram",
+        "# TYPE ptrng_tap_wait_seconds histogram",
+        "# TYPE ptrng_http_request_seconds histogram",
+        "ptrng_batch_generation_seconds_bucket",
+        "ptrng_http_request_seconds_sum",
+    ] {
+        assert!(text.contains(family), "missing `{family}` in:\n{text}");
+    }
+    // Entropy was served, so batches were generated and requests were timed.
+    let batches: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("ptrng_batch_generation_seconds_count "))
+        .expect("batch histogram count")
+        .parse()
+        .expect("integer count");
+    assert!(batches > 0, "{text}");
+    let requests: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("ptrng_http_request_seconds_count "))
+        .expect("request histogram count")
+        .parse()
+        .expect("integer count");
+    assert!(requests >= 1, "{text}");
+}
+
+#[test]
+fn debug_trace_is_rate_limited_like_a_draw() {
+    let mut config = model_config();
+    config.rate_limit = Some(RateLimit {
+        bytes_per_sec: 64,
+        burst_bytes: 4096,
+    });
+    let server = TestServer::start(config);
+    // The nominal 4096-byte cost drains the whole burst; the second dump is refused.
+    assert_eq!(get(server.addr, "/debug/trace").status, 200);
+    let limited = get(server.addr, "/debug/trace");
+    assert_eq!(limited.status, 429, "{}", limited.body_text());
+    assert!(limited.header("retry-after").is_some());
+}
+
 #[test]
 fn selftest_is_charged_against_the_rate_limit() {
     let mut config = model_config();
