@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::Serialize;
 
+use ptrng_engine::fault::FaultPlan;
 use ptrng_engine::health::HealthConfig;
 use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig, ObsOptions};
 use ptrng_engine::source::{
@@ -39,6 +40,7 @@ struct Snapshot {
     conditioning: Vec<ConditionerNumbers>,
     serve: ServeNumbers,
     observability: ObservabilityNumbers,
+    pool: PoolNumbers,
     estimators: EstimatorNumbers,
     flicker: FlickerNumbers,
     sweep: SweepNumbers,
@@ -90,13 +92,38 @@ struct ServeNumbers {
 /// histograms stay on in both runs — they are part of the engine's fixed cost.
 #[derive(Serialize)]
 struct ObservabilityNumbers {
-    /// Output MB/s with flight recorders on (the default).
+    /// Output MB/s with flight recorders on (median over `trials` runs).
     recorder_on_mb_s: f64,
-    /// Output MB/s with flight recorders disabled.
+    /// Output MB/s with flight recorders disabled (median over `trials` runs).
     recorder_off_mb_s: f64,
-    /// Relative throughput cost of the recorder, in percent
-    /// (`(off - on) / off * 100`; small negative values are run-to-run noise).
+    /// Relative throughput cost of the recorder, in percent: the **median of the
+    /// per-trial paired overheads** (`(off - on) / off * 100` within each trial,
+    /// so slow drift of the container does not masquerade as recorder cost;
+    /// small negative values are run-to-run noise).
     overhead_pct: f64,
+    /// Number of paired on/off trials behind the medians.
+    trials: usize,
+}
+
+/// The multi-source pool at its reference configuration (three equally-biased
+/// `model:0.6` children, single shard): healthy mixing throughput, the same
+/// workload through a full scripted quarantine → probation → reinstatement
+/// cycle, and the conservative mixed entropy claim.
+#[derive(Serialize)]
+struct PoolNumbers {
+    /// Child sources in the measured pool.
+    children: usize,
+    /// Healthy three-child pool, output MB/s (XOR mixing + per-child health lanes).
+    model3_1shard_mb_s: f64,
+    /// Same workload with a scripted stuck window on child 1 driving one full
+    /// quarantine/reinstatement cycle, output MB/s.
+    model3_drill_mb_s: f64,
+    /// Relative throughput cost of the drill cycle, in percent
+    /// (`(healthy - drill) / healthy * 100`).
+    quarantine_cycle_overhead_pct: f64,
+    /// Accounted min-entropy per output bit of the healthy three-way mix
+    /// (the piling-up combination, not the independence-assuming sum).
+    mixed_claim_h_per_bit: f64,
 }
 
 /// Steady-state cost and accounted entropy of one conditioning chain: raw input bits
@@ -189,34 +216,104 @@ fn engine_mb_s(spec: SourceSpec, budget: u64) -> f64 {
 }
 
 /// Throughput of the default `ero:16:strong` single-shard engine with the flight
-/// recorder toggled, quantifying what always-on tracing costs.
+/// recorder toggled, quantifying what always-on tracing costs.  Runs `TRIALS`
+/// paired on/off measurements and reports medians, pairing within each trial so
+/// container drift cancels out of the overhead.
 fn observability_numbers() -> ObservabilityNumbers {
+    const TRIALS: usize = 5;
     let mb_s = |recorder: bool| {
         let budget: u64 = 256 << 10;
+        let start = Instant::now();
+        let config =
+            EngineConfig::new(SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"))
+                .shards(1)
+                .seed(1)
+                .budget_bytes(Some(budget))
+                .obs(ObsOptions {
+                    recorder,
+                    ..ObsOptions::default()
+                })
+                .health(HealthConfig::default().without_startup_battery());
+        let mut engine = Engine::spawn(config).expect("engine spawns");
+        let bytes = engine.read_to_end().expect("healthy stream");
+        assert_eq!(bytes.len() as u64, budget);
+        engine.join().expect("workers join");
+        budget as f64 / start.elapsed().as_secs_f64() / 1.0e6
+    };
+    // Warm-up run on each toggle sizes every buffer before measuring.
+    mb_s(true);
+    mb_s(false);
+    let mut on = Vec::with_capacity(TRIALS);
+    let mut off = Vec::with_capacity(TRIALS);
+    let mut overheads = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        let trial_on = mb_s(true);
+        let trial_off = mb_s(false);
+        on.push(trial_on);
+        off.push(trial_off);
+        overheads.push((trial_off - trial_on) / trial_off * 100.0);
+    }
+    let median = |values: &mut Vec<f64>| {
+        values.sort_by(f64::total_cmp);
+        values[values.len() / 2]
+    };
+    ObservabilityNumbers {
+        recorder_on_mb_s: median(&mut on),
+        recorder_off_mb_s: median(&mut off),
+        overhead_pct: median(&mut overheads),
+        trials: TRIALS,
+    }
+}
+
+/// Healthy versus drilled throughput of the reference three-child pool.  The
+/// drill run asserts the cycle actually completed (one quarantine, one
+/// reinstatement) so the overhead number always covers the full state machine.
+fn pool_numbers() -> PoolNumbers {
+    let budget: u64 = 1 << 20;
+    let spec = SourceSpec::parse("pool:model:0.6+model:0.6+model:0.6").expect("valid spec");
+    let run = |fault: Option<&str>| {
+        let mut cycled = 0usize;
         let secs = median_secs(3, || {
-            let config =
-                EngineConfig::new(SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"))
-                    .shards(1)
-                    .seed(1)
-                    .budget_bytes(Some(budget))
-                    .obs(ObsOptions {
-                        recorder,
-                        ..ObsOptions::default()
-                    })
-                    .health(HealthConfig::default().without_startup_battery());
+            let plan = fault.map(|text| FaultPlan::parse(text).expect("valid plan"));
+            let config = EngineConfig::new(spec.clone())
+                .shards(1)
+                .seed(1)
+                .budget_bytes(Some(budget))
+                .fault(plan)
+                .health(HealthConfig::default().without_startup_battery());
             let mut engine = Engine::spawn(config).expect("engine spawns");
-            let bytes = engine.read_to_end().expect("healthy stream");
+            let bytes = engine.read_to_end().expect("the pool keeps serving");
             assert_eq!(bytes.len() as u64, budget);
+            let snapshot = engine.metrics().snapshot();
+            cycled += snapshot
+                .pool_children
+                .iter()
+                .map(|child| child.status.reinstatements as usize)
+                .sum::<usize>();
             engine.join().expect("workers join");
         });
-        budget as f64 / secs / 1.0e6
+        (budget as f64 / secs / 1.0e6, cycled)
     };
-    let recorder_on_mb_s = mb_s(true);
-    let recorder_off_mb_s = mb_s(false);
-    ObservabilityNumbers {
-        recorder_on_mb_s,
-        recorder_off_mb_s,
-        overhead_pct: (recorder_off_mb_s - recorder_on_mb_s) / recorder_off_mb_s * 100.0,
+    let (model3_1shard_mb_s, _) = run(None);
+    let (model3_drill_mb_s, cycled) = run(Some("child=1,kind=stuck,at=2KiB,for=1KiB"));
+    assert!(cycled >= 3, "every drill run completes the cycle: {cycled}");
+    let mixed_claim = Engine::spawn(
+        EngineConfig::new(spec)
+            .shards(1)
+            .health(HealthConfig::default().without_startup_battery()),
+    )
+    .expect("engine spawns")
+    .into_tap();
+    let mixed_claim_h_per_bit = mixed_claim.ledger().min_entropy_per_bit();
+    mixed_claim.shutdown().expect("tap shuts down");
+    PoolNumbers {
+        children: 3,
+        model3_1shard_mb_s,
+        model3_drill_mb_s,
+        quarantine_cycle_overhead_pct: (model3_1shard_mb_s - model3_drill_mb_s)
+            / model3_1shard_mb_s
+            * 100.0,
+        mixed_claim_h_per_bit,
     }
 }
 
@@ -491,7 +588,7 @@ fn strong_config(division: u32) -> EroTrngConfig {
 
 fn main() {
     let snapshot = Snapshot {
-        schema_version: 5,
+        schema_version: 6,
         engine: EngineNumbers {
             ero_strong_div16_1shard_mb_s: engine_mb_s(
                 SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"),
@@ -516,6 +613,7 @@ fn main() {
         conditioning: conditioning_numbers(),
         serve: serve_numbers(),
         observability: observability_numbers(),
+        pool: pool_numbers(),
         estimators: estimator_numbers(),
         flicker: flicker_numbers(),
         sweep: sweep_numbers(),

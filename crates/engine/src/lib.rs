@@ -61,10 +61,12 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod fault;
 pub mod health;
 pub mod metrics;
 pub mod observatory;
 pub mod pool;
+pub mod pooled;
 pub mod source;
 pub mod stream;
 pub mod tap;
@@ -126,6 +128,14 @@ pub enum EngineError {
         /// Index of the dead shard.
         shard: usize,
     },
+    /// A noise source (or an injected fault standing in for one) stopped producing
+    /// bits — e.g. an intermittent-death fault window, or a pool whose serving
+    /// children all quarantined.
+    #[error("source fault: {reason}")]
+    SourceFault {
+        /// Description of the fault.
+        reason: String,
+    },
     /// A TRNG-model routine failed.
     #[error("trng model error: {0}")]
     Trng(#[from] ptrng_trng::TrngError),
@@ -143,11 +153,13 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::audit::{AuditConfig, AuditReport, AuditSnapshot, EntropyAudit, WindowAudit};
+    pub use crate::fault::{FaultKind, FaultPlan, FaultSource};
     pub use crate::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
     pub use crate::metrics::{AlarmKind, MetricsSnapshot, ShardAlarm};
     pub use crate::observatory::Observatory;
     pub use crate::pool::{ConditionerSpec, Engine, EngineConfig, ObsOptions, StageSpec};
-    pub use crate::source::{EntropySource, JitterProfile, SourceSpec};
+    pub use crate::pooled::{PoolOptions, PoolSource};
+    pub use crate::source::{ChildStatus, EntropySource, JitterProfile, SourceEvent, SourceSpec};
     pub use crate::stream::Batch;
     pub use crate::tap::EntropyTap;
     pub use crate::{EngineError, Result};

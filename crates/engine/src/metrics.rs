@@ -6,6 +6,7 @@ use std::sync::Mutex;
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::audit::AuditSnapshot;
+use crate::source::ChildStatus;
 
 /// The typed class of a shard alarm, carried alongside the rendered reason through
 /// metrics, postmortems, `/healthz` and the journal.
@@ -27,17 +28,26 @@ pub enum AlarmKind {
     /// The in-engine estimator-battery audit flagged the ledger claim as
     /// overclaimed.
     AuditOverclaim,
+    /// A pool child was quarantined (its credit dropped to zero); the pool keeps
+    /// serving on the remaining children.  **Non-terminal**: the shard worker
+    /// records the event and continues.
+    SourceQuarantined,
+    /// A quarantined pool child completed its clean probation and was reinstated
+    /// at full credit.  **Non-terminal**.
+    SourceReinstated,
 }
 
 impl AlarmKind {
     /// Every kind, in stable order.
-    pub const ALL: [AlarmKind; 6] = [
+    pub const ALL: [AlarmKind; 8] = [
         AlarmKind::RepetitionCount,
         AlarmKind::AdaptiveProportion,
         AlarmKind::Thermal,
         AlarmKind::StartupBattery,
         AlarmKind::SourceFailure,
         AlarmKind::AuditOverclaim,
+        AlarmKind::SourceQuarantined,
+        AlarmKind::SourceReinstated,
     ];
 
     /// Stable kebab-case code used in every serialized form.
@@ -49,12 +59,27 @@ impl AlarmKind {
             AlarmKind::StartupBattery => "startup-battery",
             AlarmKind::SourceFailure => "source-failure",
             AlarmKind::AuditOverclaim => "audit-overclaim",
+            AlarmKind::SourceQuarantined => "source-quarantined",
+            AlarmKind::SourceReinstated => "source-reinstated",
         }
     }
 
     /// Parses a kebab-case code back into a kind.
     pub fn parse(code: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|kind| kind.code() == code)
+    }
+
+    /// Whether this alarm terminates its shard worker.
+    ///
+    /// Terminal alarms stop the shard for good; the two pool lifecycle kinds
+    /// ([`AlarmKind::SourceQuarantined`], [`AlarmKind::SourceReinstated`]) are
+    /// observability events — the shard keeps publishing on the surviving
+    /// children at an honestly re-accounted rate.
+    pub fn is_terminal(self) -> bool {
+        !matches!(
+            self,
+            AlarmKind::SourceQuarantined | AlarmKind::SourceReinstated
+        )
     }
 }
 
@@ -140,12 +165,17 @@ impl ShardMetrics {
 pub struct EngineMetrics {
     shards: Vec<ShardMetrics>,
     alarms: AtomicU64,
-    /// Alarm trail in observation order (bounded by the shard count: an alarmed
-    /// worker terminates, so each shard contributes at most one entry).
+    /// Alarm trail in observation order.  Terminal kinds appear at most once per
+    /// shard (an alarmed worker stops); the non-terminal pool lifecycle kinds
+    /// ([`AlarmKind::SourceQuarantined`] / [`AlarmKind::SourceReinstated`]) may
+    /// recur as children cycle through quarantine and probation.
     alarm_reasons: Mutex<Vec<ShardAlarm>>,
     /// Latest per-lane entropy-audit summaries (raw / conditioned), updated by the
     /// auditing worker after every completed window.
     audits: Mutex<Vec<AuditSnapshot>>,
+    /// Latest per-shard pool child statuses (one slot per shard, empty for
+    /// non-pool sources), published by the worker after each batch.
+    pool_children: Mutex<Vec<Vec<ChildStatus>>>,
 }
 
 impl EngineMetrics {
@@ -156,7 +186,14 @@ impl EngineMetrics {
             alarms: AtomicU64::new(0),
             alarm_reasons: Mutex::new(Vec::new()),
             audits: Mutex::new(Vec::new()),
+            pool_children: Mutex::new((0..shards).map(|_| Vec::new()).collect()),
         }
+    }
+
+    /// Publishes (replaces) one shard's latest pool child statuses.
+    pub(crate) fn record_pool_children(&self, shard: usize, children: Vec<ChildStatus>) {
+        let mut slots = self.pool_children.lock().expect("metrics lock poisoned");
+        slots[shard] = children;
     }
 
     /// Publishes (or replaces) one audit lane's latest summary.
@@ -217,6 +254,22 @@ impl EngineMetrics {
             .enumerate()
             .map(|(i, m)| m.snapshot(i))
             .collect();
+        let pool_children: Vec<PoolChildSnapshot> = self
+            .pool_children
+            .lock()
+            .expect("metrics lock poisoned")
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, children)| {
+                children
+                    .iter()
+                    .map(move |status| PoolChildSnapshot {
+                        shard,
+                        status: status.clone(),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
         MetricsSnapshot {
             total_raw_bits: per_shard.iter().map(|s| s.raw_bits).sum(),
             total_output_bytes: per_shard.iter().map(|s| s.output_bytes).sum(),
@@ -224,9 +277,19 @@ impl EngineMetrics {
             total_accounted_entropy_bits: per_shard.iter().map(|s| s.accounted_entropy_bits).sum(),
             alarms: self.alarms.load(Ordering::Relaxed),
             audits: self.audits(),
+            pool_children,
             per_shard,
         }
     }
+}
+
+/// Snapshot of one pool child on one shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolChildSnapshot {
+    /// Index of the shard hosting the pool.
+    pub shard: usize,
+    /// The child's status as last published by the worker.
+    pub status: ChildStatus,
 }
 
 /// Snapshot of one shard's counters.
@@ -262,6 +325,9 @@ pub struct MetricsSnapshot {
     /// Latest per-lane entropy-audit summaries (empty unless an audit is
     /// configured).
     pub audits: Vec<AuditSnapshot>,
+    /// Latest per-child pool statuses across shards (empty unless the engine runs
+    /// a [`crate::pooled::PoolSource`]).
+    pub pool_children: Vec<PoolChildSnapshot>,
     /// Per-shard breakdown.
     pub per_shard: Vec<ShardSnapshot>,
 }
@@ -298,6 +364,15 @@ mod tests {
             assert_eq!(AlarmKind::parse(kind.code()), Some(kind));
         }
         assert_eq!(AlarmKind::parse("no-such-alarm"), None);
+        // Exactly the two pool lifecycle kinds are non-terminal.
+        let non_terminal: Vec<AlarmKind> = AlarmKind::ALL
+            .into_iter()
+            .filter(|k| !k.is_terminal())
+            .collect();
+        assert_eq!(
+            non_terminal,
+            vec![AlarmKind::SourceQuarantined, AlarmKind::SourceReinstated]
+        );
         let alarm = ShardAlarm {
             shard: 2,
             kind: AlarmKind::AuditOverclaim,
@@ -332,5 +407,32 @@ mod tests {
         let value = serde::Serialize::to_value(&snap);
         let back: MetricsSnapshot = serde::Deserialize::from_value(&value).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn pool_children_flatten_into_the_snapshot() {
+        let metrics = EngineMetrics::new(2);
+        assert!(metrics.snapshot().pool_children.is_empty());
+        let status = |child: usize, state: &str| ChildStatus {
+            child,
+            label: format!("model(p_one=0.5) #{child}"),
+            state: state.to_string(),
+            entropy_per_bit: 1.0,
+            credited_entropy_per_bit: if state == "serving" { 1.0 } else { 0.0 },
+            quarantines: u64::from(state != "serving"),
+            reinstatements: 0,
+        };
+        metrics.record_pool_children(1, vec![status(0, "serving"), status(1, "quarantined")]);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.pool_children.len(), 2);
+        assert_eq!(snap.pool_children[0].shard, 1);
+        assert_eq!(snap.pool_children[1].status.state, "quarantined");
+        assert_eq!(snap.pool_children[1].status.credited_entropy_per_bit, 0.0);
+        // Republishing replaces the slot rather than appending.
+        metrics.record_pool_children(1, vec![status(0, "serving"), status(1, "probation")]);
+        assert_eq!(metrics.snapshot().pool_children.len(), 2);
+        let value = serde::Serialize::to_value(&metrics.snapshot());
+        let back: MetricsSnapshot = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(back.pool_children[1].status.state, "probation");
     }
 }

@@ -35,6 +35,7 @@ use ptrng_trng::conditioning::{
 };
 
 use crate::audit::{AuditConfig, EntropyAudit};
+use crate::fault::FaultPlan;
 use crate::health::{HealthConfig, HealthMonitor, HealthState};
 use crate::metrics::{AlarmKind, EngineMetrics};
 use crate::observatory::Observatory;
@@ -245,6 +246,11 @@ pub struct EngineConfig {
     pub audit: Option<AuditConfig>,
     /// Observability options: flight-recorder toggle and ring capacity.
     pub obs: ObsOptions,
+    /// Deterministic fault injection: wraps one pool child (per shard) in a
+    /// [`FaultSource`](crate::fault::FaultSource) executing the plan.  Only valid
+    /// with a [`SourceSpec::Pool`] spec — the drill exercises the pool's
+    /// quarantine machinery, not production sources.
+    pub fault: Option<FaultPlan>,
 }
 
 impl EngineConfig {
@@ -264,6 +270,7 @@ impl EngineConfig {
             thermal_check_batches: 64,
             audit: None,
             obs: ObsOptions::default(),
+            fault: None,
         }
     }
 
@@ -330,6 +337,13 @@ impl EngineConfig {
         self
     }
 
+    /// Arms a deterministic fault-injection plan (pool specs only).
+    #[must_use]
+    pub fn fault(mut self, fault: Option<FaultPlan>) -> Self {
+        self.fault = fault;
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if self.shards == 0 {
             return Err(EngineError::InvalidParameter {
@@ -375,6 +389,14 @@ impl EngineConfig {
                 reason: "the flight-recorder ring must hold at least one event".to_string(),
             });
         }
+        if self.fault.is_some() && !matches!(self.spec, SourceSpec::Pool { .. }) {
+            return Err(EngineError::InvalidParameter {
+                name: "fault",
+                reason: "fault injection targets a pool child; the source spec must be \
+                         a pool (`pool:CHILD+CHILD+...`)"
+                    .to_string(),
+            });
+        }
         Ok(())
     }
 }
@@ -411,7 +433,22 @@ impl Engine {
         config.validate()?;
         // Build all sources first so configuration errors surface synchronously.
         let sources: Vec<Box<dyn EntropySource>> = (0..config.shards)
-            .map(|shard| config.spec.build(derive_seed(config.seed, shard as u64)))
+            .map(|shard| {
+                let shard_seed = derive_seed(config.seed, shard as u64);
+                match (&config.spec, &config.fault) {
+                    // An armed fault plan wraps the targeted child of every
+                    // shard's pool (drills typically run one shard).
+                    (SourceSpec::Pool { children, options }, Some(plan)) => {
+                        Ok(Box::new(crate::pooled::PoolSource::from_specs_with_fault(
+                            children,
+                            options.clone(),
+                            shard_seed,
+                            Some(plan),
+                        )?) as Box<dyn EntropySource>)
+                    }
+                    _ => config.spec.build(shard_seed),
+                }
+            })
             .collect::<Result<_>>()?;
         if config.health.thermal.is_some() {
             if let Some(source) = sources.iter().find(|s| !s.supports_thermal_sweep()) {
@@ -524,9 +561,13 @@ impl Engine {
                     .with_recorder(Arc::clone(&recorder), Some(shard_id))
                     .with_tag(lane)
             };
+            let source_label = source.label();
+            let source_claim = source.entropy_per_bit();
             let worker = ShardWorker {
                 shard,
                 source,
+                source_label,
+                source_claim,
                 monitor,
                 chain,
                 raw_audit,
@@ -649,6 +690,11 @@ impl Iterator for Engine {
 struct ShardWorker {
     shard: usize,
     source: Box<dyn EntropySource>,
+    /// The source's label, cached for dynamic-ledger rebuilds.
+    source_label: String,
+    /// The source-level claim currently accounted (tracks
+    /// [`EntropySource::current_entropy_per_bit`] for pools under quarantine).
+    source_claim: f64,
     monitor: HealthMonitor,
     chain: ConditioningChain,
     /// Entropy audit over the raw noise-source bits (shard 0 only, opt-in).
@@ -691,16 +737,18 @@ impl ShardWorker {
         }
     }
 
-    /// Terminal alarm path: captures the postmortem (flight-recorder snapshot plus
-    /// the ledger in force), journals it, records the typed alarm on the metrics
-    /// and publishes the terminal stream message.
-    fn alarm(&self, kind: AlarmKind, reason: String) {
+    /// Non-terminal observability path: captures the postmortem (flight-recorder
+    /// snapshot plus the ledger in force), journals it and records the typed alarm
+    /// on the metrics — without terminating the stream.  Pool quarantine and
+    /// reinstatement events take this path; terminal alarms go through
+    /// [`ShardWorker::alarm`], which adds the stream message.
+    fn notice(&self, kind: AlarmKind, reason: &str) {
         self.recorder
             .record(EventKind::Alarm, Some(self.shard as u32), kind as u64, 0);
         let postmortem = Postmortem {
             shard: self.shard,
             kind: kind.code().to_string(),
-            reason: reason.clone(),
+            reason: reason.to_string(),
             t_ns: self.obs.clock().now_ns(),
             events: self.recorder.snapshot(),
             ledger: self.ledger_value.clone(),
@@ -709,12 +757,53 @@ impl ShardWorker {
             journal.append("alarm-postmortem", &postmortem);
         }
         self.obs.postmortems().push(postmortem);
-        self.metrics.record_alarm(self.shard, kind, &reason);
+        self.metrics.record_alarm(self.shard, kind, reason);
+    }
+
+    /// Terminal alarm path: [`ShardWorker::notice`] plus the terminal stream
+    /// message that ends the shard.
+    fn alarm(&self, kind: AlarmKind, reason: String) {
+        self.notice(kind, &reason);
         let _ = self.tx.send(Message::Alarm {
             shard: self.shard,
             kind,
             reason,
         });
+    }
+
+    /// Drains pool lifecycle events accumulated during the last fill and
+    /// re-accounts the dynamic entropy claim: when children enter or leave
+    /// quarantine the source's current claim changes, and the published
+    /// per-output-bit entropy (and the postmortem ledger) must follow it
+    /// honestly.  A no-op for simple sources.
+    fn sync_source_state(&mut self) {
+        for event in self.source.poll_events() {
+            self.notice(
+                event.kind,
+                &format!("child {} ({}): {}", event.child, event.label, event.reason),
+            );
+        }
+        let current = self.source.current_entropy_per_bit();
+        if (current - self.source_claim).abs() > 1e-15 {
+            self.source_claim = current;
+            let output_claim = if current > 0.0 {
+                EntropyLedger::source(&self.source_label, current)
+                    .and_then(|ledger| self.chain.transform(&ledger))
+                    .map(|ledger| {
+                        self.ledger_value = serde::Serialize::to_value(&ledger);
+                        ledger.min_entropy_per_bit()
+                    })
+                    .unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            self.metrics
+                .set_entropy_per_output_bit(self.shard, output_claim);
+        }
+        let children = self.source.children_status();
+        if !children.is_empty() {
+            self.metrics.record_pool_children(self.shard, children);
+        }
     }
 
     fn generate(&mut self) -> std::result::Result<(), WorkerExit> {
@@ -734,9 +823,11 @@ impl ShardWorker {
                 return Ok(());
             }
             let batch_start = Instant::now();
-            self.source
-                .fill_bits(&mut raw)
-                .map_err(WorkerExit::Source)?;
+            let fill = self.source.fill_bits(&mut raw);
+            // Quarantine/reinstatement events must surface even when the fill
+            // itself failed (a pool whose last serving child just quarantined).
+            self.sync_source_state();
+            fill.map_err(WorkerExit::Source)?;
             raw_bits_unpublished += raw.len() as u64;
 
             // Thermal online test: periodically acquire a σ²_N counter sweep from the

@@ -20,7 +20,44 @@ use ptrng_stats::sn::{sigma2_n_sweep, SnSampling};
 use ptrng_trng::ero::{EroSampler, EroTrng, EroTrngConfig};
 use ptrng_trng::stochastic::EntropyModel;
 
+use crate::metrics::AlarmKind;
+use crate::pooled::PoolOptions;
 use crate::{EngineError, Result};
+
+/// A lifecycle event emitted by a composite source (today: the pool's child
+/// quarantine/reinstatement transitions), drained by the shard worker through
+/// [`EntropySource::poll_events`] and forwarded to the observability stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceEvent {
+    /// Index of the child the event concerns.
+    pub child: usize,
+    /// The child's label.
+    pub label: String,
+    /// The typed event class (a **non-terminal** [`AlarmKind`]).
+    pub kind: AlarmKind,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Status of one pool child, published per batch through
+/// [`EntropySource::children_status`] into the metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChildStatus {
+    /// Child index inside the pool.
+    pub child: usize,
+    /// The child's label.
+    pub label: String,
+    /// Lifecycle state: `serving`, `quarantined` or `probation`.
+    pub state: String,
+    /// The child's own model-backed min-entropy claim per raw bit.
+    pub entropy_per_bit: f64,
+    /// The claim currently credited to the pool mix (zero unless serving).
+    pub credited_entropy_per_bit: f64,
+    /// Number of times this child has been quarantined.
+    pub quarantines: u64,
+    /// Number of times this child has been reinstated.
+    pub reinstatements: u64,
+}
 
 /// A producer of raw random bits (one `0`/`1` byte per bit).
 ///
@@ -64,6 +101,24 @@ pub trait EntropySource: Send {
     fn sigma2_sweep(&mut self, depths: &[usize]) -> Result<Option<Vec<f64>>> {
         let _ = depths;
         Ok(None)
+    }
+
+    /// Drains lifecycle events accumulated since the last poll (child quarantines
+    /// and reinstatements for a pool).  Simple sources never emit any.
+    fn poll_events(&mut self) -> Vec<SourceEvent> {
+        Vec::new()
+    }
+
+    /// The min-entropy per raw bit the source credits **right now** — for a pool
+    /// this shrinks when children are quarantined and recovers on reinstatement;
+    /// simple sources report their static [`EntropySource::entropy_per_bit`].
+    fn current_entropy_per_bit(&self) -> f64 {
+        self.entropy_per_bit()
+    }
+
+    /// Per-child statuses of a composite source (empty for simple sources).
+    fn children_status(&self) -> Vec<ChildStatus> {
+        Vec::new()
     }
 }
 
@@ -144,6 +199,15 @@ pub enum SourceSpec {
         /// Probability of emitting a one, in `(0, 1)`.
         p_one: f64,
     },
+    /// A multi-source pool: N heterogeneous children XOR-mixed bit-for-bit with
+    /// per-child ledger accounting, health lanes and a quarantine state machine
+    /// (see [`crate::pooled::PoolSource`]).
+    Pool {
+        /// The child specifications (at least two; pools do not nest).
+        children: Vec<SourceSpec>,
+        /// Quarantine/probation tuning of the pool.
+        options: PoolOptions,
+    },
 }
 
 impl SourceSpec {
@@ -153,6 +217,9 @@ impl SourceSpec {
     /// * `xor:RINGS[:DIVISION[:PROFILE]]` (default division 8),
     /// * `div:D1,D2,...[:PROFILE]` — divided-sampler sweep,
     /// * `model[:P_ONE]` (default 0.5),
+    /// * `pool:CHILD+CHILD[+CHILD...]` — a multi-source pool whose children are
+    ///   any of the above, separated by `+` (e.g. `pool:ero:16+xor:2:8+model:0.5`);
+    ///   pools do not nest and need at least two children,
     ///
     /// where `PROFILE` is `strong` or `date14`.
     ///
@@ -164,6 +231,13 @@ impl SourceSpec {
             spec: spec.to_string(),
             reason: reason.to_string(),
         };
+        if let Some(list) = spec.strip_prefix("pool:") {
+            let children = list
+                .split('+')
+                .map(SourceSpec::parse)
+                .collect::<Result<Vec<SourceSpec>>>()?;
+            return Self::pool(children, PoolOptions::default());
+        }
         let mut parts = spec.split(':');
         let kind = parts.next().unwrap_or_default();
         let rest: Vec<&str> = parts.collect();
@@ -228,8 +302,11 @@ impl SourceSpec {
                 };
                 Self::model(p_one)
             }
+            "pool" => Err(err(
+                "pool needs a `+`-separated child list, e.g. `pool:ero:16+model:0.5`",
+            )),
             other => Err(err(&format!(
-                "unknown source kind `{other}` (expected ero, xor, div or model)"
+                "unknown source kind `{other}` (expected ero, xor, div, model or pool)"
             ))),
         }
     }
@@ -297,6 +374,35 @@ impl SourceSpec {
         Ok(SourceSpec::Model { p_one })
     }
 
+    /// A validated [`SourceSpec::Pool`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when fewer than two children are given, a child is itself
+    /// a pool (pools do not nest), or the options are invalid.
+    pub fn pool(children: Vec<SourceSpec>, options: PoolOptions) -> Result<Self> {
+        if children.len() < 2 {
+            return Err(EngineError::InvalidParameter {
+                name: "children",
+                reason: format!(
+                    "a pool needs at least two children to mix, got {}",
+                    children.len()
+                ),
+            });
+        }
+        if children
+            .iter()
+            .any(|c| matches!(c, SourceSpec::Pool { .. }))
+        {
+            return Err(EngineError::InvalidParameter {
+                name: "children",
+                reason: "pools do not nest".to_string(),
+            });
+        }
+        options.validate()?;
+        Ok(SourceSpec::Pool { children, options })
+    }
+
     /// Instantiates the source with a seed (each shard passes a distinct one).
     ///
     /// # Errors
@@ -318,6 +424,9 @@ impl SourceSpec {
                 DividedSamplerSource::new(divisions.clone(), *profile, seed)?,
             )),
             SourceSpec::Model { p_one } => Ok(Box::new(ModelSource::new(*p_one, seed)?)),
+            SourceSpec::Pool { children, options } => Ok(Box::new(
+                crate::pooled::PoolSource::from_specs(children, options.clone(), seed)?,
+            )),
         }
     }
 }
@@ -683,6 +792,24 @@ mod tests {
             SourceSpec::parse("model:0.52").unwrap(),
             SourceSpec::Model { p_one: 0.52 }
         );
+        assert_eq!(
+            SourceSpec::parse("pool:ero:4+xor:2:8+model:0.5").unwrap(),
+            SourceSpec::Pool {
+                children: vec![
+                    SourceSpec::Ero {
+                        division: 4,
+                        profile: JitterProfile::Strong
+                    },
+                    SourceSpec::XorRing {
+                        rings: 2,
+                        division: 8,
+                        profile: JitterProfile::Strong
+                    },
+                    SourceSpec::Model { p_one: 0.5 },
+                ],
+                options: PoolOptions::default(),
+            }
+        );
     }
 
     #[test]
@@ -694,6 +821,16 @@ mod tests {
         assert!(SourceSpec::parse("xor:0").is_err());
         assert!(SourceSpec::parse("div:").is_err());
         assert!(SourceSpec::parse("model:1.5").is_err());
+        // Pools need at least two well-formed children and do not nest.
+        assert!(SourceSpec::parse("pool").is_err());
+        assert!(SourceSpec::parse("pool:model:0.5").is_err());
+        assert!(SourceSpec::parse("pool:model:0.5+laser").is_err());
+        let inner = SourceSpec::parse("pool:model:0.5+model:0.6").unwrap();
+        assert!(SourceSpec::pool(
+            vec![inner, SourceSpec::Model { p_one: 0.5 }],
+            PoolOptions::default()
+        )
+        .is_err());
     }
 
     #[test]

@@ -139,22 +139,54 @@ impl EntropyTap {
     }
 
     /// Best-effort number of shards still producing: the smaller of the last
-    /// stream observation and `shards − alarmed shards`, so freshly-alarmed shards
-    /// are excluded immediately even when their terminal message has not been
-    /// drained yet.  Never blocks on the stream lock.
+    /// stream observation and `shards − terminally-alarmed shards`, so
+    /// freshly-alarmed shards are excluded immediately even when their terminal
+    /// message has not been drained yet.  Non-terminal alarms (pool child
+    /// quarantines and reinstatements) do not reduce the count — the shard keeps
+    /// serving through them.  Never blocks on the stream lock.
     pub fn live_shards(&self) -> usize {
         if let Ok(inner) = self.inner.try_lock() {
             self.refresh_live(&inner);
         }
-        let alarmed: std::collections::BTreeSet<usize> = self
-            .metrics
-            .alarm_reasons()
-            .into_iter()
-            .map(|alarm| alarm.shard)
-            .collect();
+        let alarmed = self.terminally_alarmed();
         self.live
             .load(Ordering::Relaxed)
             .min(self.shards.saturating_sub(alarmed.len()))
+    }
+
+    /// Shards whose alarm trail contains a terminal kind.
+    fn terminally_alarmed(&self) -> std::collections::BTreeSet<usize> {
+        self.metrics
+            .alarm_reasons()
+            .into_iter()
+            .filter(|alarm| alarm.kind.is_terminal())
+            .map(|alarm| alarm.shard)
+            .collect()
+    }
+
+    /// The lowest **currently accounted** min-entropy per conditioned output bit
+    /// across shards that have not terminally alarmed.
+    ///
+    /// For simple sources this equals the static [`EntropyTap::ledger`] claim.
+    /// For pool sources it tracks the quarantine state honestly: a shard whose
+    /// pool lost a child to quarantine re-accounts its credit downward the same
+    /// batch and back up at reinstatement.  Falls back to the static claim when
+    /// every shard has terminally alarmed (nothing is served then anyway).
+    pub fn min_entropy_per_bit(&self) -> f64 {
+        let alarmed = self.terminally_alarmed();
+        let lowest = self
+            .metrics
+            .snapshot()
+            .per_shard
+            .iter()
+            .filter(|shard| !alarmed.contains(&shard.shard))
+            .map(|shard| shard.entropy_per_output_bit)
+            .fold(f64::INFINITY, f64::min);
+        if lowest.is_finite() {
+            lowest
+        } else {
+            self.ledger.min_entropy_per_bit()
+        }
     }
 
     fn refresh_live(&self, inner: &TapInner) {
@@ -365,6 +397,81 @@ mod tests {
         assert_eq!(tap.draw(&mut out), 2048);
         assert_eq!(tap.metrics_snapshot().total_output_bytes, 2048);
         assert_eq!(tap.shards(), 2);
+        tap.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dynamic_claim_matches_the_static_ledger_on_healthy_simple_sources() {
+        let tap = tap(Some(2048));
+        let mut out = vec![0u8; 2048];
+        tap.draw(&mut out);
+        assert!(
+            (tap.min_entropy_per_bit() - tap.ledger().min_entropy_per_bit()).abs() < 1e-12,
+            "{} vs {}",
+            tap.min_entropy_per_bit(),
+            tap.ledger().min_entropy_per_bit()
+        );
+        tap.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dynamic_claim_drops_while_a_pool_child_is_quarantined() {
+        use crate::fault::FaultPlan;
+        use crate::metrics::AlarmKind;
+        use crate::pooled::PoolOptions;
+
+        // Every child at p = 0.6 (claim ≈ 0.737): each contributes real bias, so
+        // removing one strictly reduces the piling-up credit (a p = 0.5 child
+        // would pin the mix at 1 bit/bit and mask the drop).
+        let spec = SourceSpec::parse("pool:model:0.6+model:0.6+model:0.6").unwrap();
+        let options = PoolOptions {
+            quarantine_draws: 1000, // effectively permanent within this test
+            stall_ms: None,
+            ..PoolOptions::default()
+        };
+        let spec = match spec {
+            SourceSpec::Pool { children, .. } => SourceSpec::pool(children, options).unwrap(),
+            other => panic!("expected a pool spec, parsed {other:?}"),
+        };
+        let fault = FaultPlan::parse("child=2,kind=stuck,at=1KiB").unwrap();
+        let config = EngineConfig::new(spec)
+            .seed(23)
+            .health(HealthConfig::default().without_startup_battery())
+            .fault(Some(fault));
+        let tap = Engine::spawn(config).unwrap().into_tap();
+        let static_claim = tap.ledger().min_entropy_per_bit();
+
+        // Drain until the quarantine lands on the alarm trail.
+        let mut out = vec![0u8; 4096];
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while std::time::Instant::now() < deadline {
+            tap.draw(&mut out);
+            if tap
+                .alarms()
+                .iter()
+                .any(|a| a.kind == AlarmKind::SourceQuarantined)
+            {
+                break;
+            }
+        }
+        assert!(
+            tap.alarms()
+                .iter()
+                .any(|a| a.kind == AlarmKind::SourceQuarantined),
+            "quarantine never surfaced: {:?}",
+            tap.alarms()
+        );
+        // Quarantine is not terminal: the shard keeps serving...
+        assert_eq!(tap.live_shards(), 1);
+        assert!(tap.draw(&mut out) > 0, "the pool must keep serving");
+        // ...at an honestly reduced accounted credit: two children claiming
+        // less than 1 bit/bit mix to strictly less than the 3-child credit.
+        let reduced = tap.min_entropy_per_bit();
+        assert!(
+            reduced < static_claim - 1e-6,
+            "credit did not drop: {reduced} vs {static_claim}"
+        );
+        assert!(reduced > 0.0);
         tap.shutdown().unwrap();
     }
 

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ptrng_engine::audit::{AuditConfig, EntropyAudit, DEFAULT_AUDIT_MARGIN};
+use ptrng_engine::fault::FaultPlan;
 use ptrng_engine::health::HealthConfig;
 use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig};
 use ptrng_engine::source::SourceSpec;
@@ -33,8 +34,13 @@ USAGE:
 OPTIONS:
     --shards N          worker shards, one source each            [default: 4]
     --source SPEC       ero[:DIV[:PROFILE]] | xor:K[:DIV[:PROFILE]] |
-                        div:D1,D2,...[:PROFILE] | model[:P_ONE]   [default: ero:16]
+                        div:D1,D2,...[:PROFILE] | model[:P_ONE] |
+                        pool:CHILD+CHILD+... (mix ≥2 child specs) [default: ero:16]
                         PROFILE = strong | date14
+    --fault PLAN        inject a deterministic fault into one pool child:
+                        child=N,at=SIZE,kind=KIND[,for=SIZE][,ms=N][,p=F][,seed=N]
+                        KIND = stuck | bias-drift | variance-collapse | stall |
+                        intermittent | overclaim (requires --source pool:...)
     --budget SIZE       stop after SIZE output bytes (e.g. 4096, 512KiB, 1MiB, 2GiB);
                         omit to stream until interrupted
     --seed N            base seed; shard i derives its own        [default: 0]
@@ -76,7 +82,8 @@ ENDPOINTS:
     GET /debug/trace       flight-recorder timeline and alarm postmortems as
                            JSONL (rate-limited like a small draw)
 
-OPTIONS (in addition to every engine flag of ptrngd except --budget/--out/--stats):
+OPTIONS (in addition to every engine flag of ptrngd except --budget/--out/--stats;
+that includes --source pool:CHILD+CHILD+... and the --fault drill flag):
     --listen ADDR       bind address                              [default: 127.0.0.1:7878]
     --threads N         HTTP worker threads                       [default: 4]
     --max-request SIZE  per-request cap on ?bytes=N               [default: 4MiB]
@@ -174,6 +181,8 @@ pub struct EngineArgs {
     pub startup_battery: bool,
     /// Override of the entropy claim used for cutoff calibration.
     pub min_entropy: Option<f64>,
+    /// Fault-injection plan text (parsed by [`FaultPlan::parse`]; pool sources only).
+    pub fault: Option<String>,
 }
 
 impl Default for EngineArgs {
@@ -187,6 +196,7 @@ impl Default for EngineArgs {
             min_h: None,
             startup_battery: true,
             min_entropy: None,
+            fault: None,
         }
     }
 }
@@ -215,6 +225,7 @@ impl EngineArgs {
                     .map_err(|_| "invalid --shards".to_string())?;
             }
             "--source" => self.source = flag_value(it, "--source")?,
+            "--fault" => self.fault = Some(flag_value(it, "--fault")?),
             "--seed" => {
                 self.seed = flag_value(it, "--seed")?
                     .parse()
@@ -257,6 +268,12 @@ impl EngineArgs {
     /// Returns a usage message when the source spec does not parse.
     pub fn engine_config(&self) -> Result<EngineConfig, String> {
         let spec = SourceSpec::parse(&self.source).map_err(|e| e.to_string())?;
+        let fault = self
+            .fault
+            .as_deref()
+            .map(FaultPlan::parse)
+            .transpose()
+            .map_err(|e| e.to_string())?;
         let mut health = HealthConfig::default();
         if !self.startup_battery {
             health = health.without_startup_battery();
@@ -270,7 +287,8 @@ impl EngineArgs {
             .batch_bits(self.batch_bits)
             .conditioner(self.conditioner.clone())
             .min_output_entropy(self.min_h)
-            .health(health))
+            .health(health)
+            .fault(fault))
     }
 }
 
@@ -837,6 +855,39 @@ mod tests {
         assert!(parse_validate(&argv(&["--windows", "0"])).is_err());
         assert!(parse_validate(&argv(&["--budget", "1MiB"])).is_err());
         assert!(parse_validate(&argv(&["--help"])).unwrap().is_none());
+    }
+
+    #[test]
+    fn fault_flag_parses_a_plan_and_requires_a_pool_source() {
+        let args = parse_generate(&argv(&[
+            "--source",
+            "pool:model:0.6+model:0.6+model:0.6",
+            "--fault",
+            "child=1,at=16KiB,kind=stall,ms=400",
+        ]))
+        .unwrap()
+        .unwrap();
+        let config = args.engine.engine_config().unwrap();
+        let plan = config.fault.expect("plan survives into the config");
+        assert_eq!(plan.child, 1);
+        assert_eq!(plan.at_bytes, 16 << 10);
+
+        // A malformed plan is a usage error at config-build time…
+        let bad = parse_generate(&argv(&["--fault", "kind=stuck"]))
+            .unwrap()
+            .unwrap();
+        assert!(bad.engine.engine_config().is_err());
+        // …and a well-formed plan without a pool source is caught by config
+        // validation before any worker thread starts.
+        let no_pool = parse_generate(&argv(&["--fault", "child=0,kind=stuck"]))
+            .unwrap()
+            .unwrap();
+        let config = no_pool.engine.engine_config().unwrap();
+        let error = match Engine::spawn(config) {
+            Err(error) => error,
+            Ok(_) => panic!("a fault plan without a pool source must be rejected"),
+        };
+        assert!(error.to_string().contains("pool"));
     }
 
     #[test]

@@ -207,6 +207,70 @@ pub fn render_prometheus_into(
         }
     }
 
+    // Pool child lifecycle (populated for pool sources only).
+    if !engine.pool_children.is_empty() {
+        let child_labels = |entry: &ptrng_engine::metrics::PoolChildSnapshot| {
+            (entry.shard.to_string(), entry.status.child.to_string())
+        };
+        enc.family(
+            "ptrng_pool_child_state",
+            "Lifecycle lane of each pool child: 0 serving, 1 quarantined, 2 probation.",
+            MetricKind::Gauge,
+        );
+        for entry in &engine.pool_children {
+            let (shard, child) = child_labels(entry);
+            let code = match entry.status.state.as_str() {
+                "quarantined" => 1,
+                "probation" => 2,
+                _ => 0,
+            };
+            enc.sample(
+                "ptrng_pool_child_state",
+                &[("shard", &shard), ("child", &child)],
+                code,
+            );
+        }
+        enc.family(
+            "ptrng_pool_child_entropy_per_bit",
+            "Credited min-entropy per raw bit of each pool child (0 while not serving).",
+            MetricKind::Gauge,
+        );
+        for entry in &engine.pool_children {
+            let (shard, child) = child_labels(entry);
+            enc.sample(
+                "ptrng_pool_child_entropy_per_bit",
+                &[("shard", &shard), ("child", &child)],
+                format_args!("{:.6}", entry.status.credited_entropy_per_bit),
+            );
+        }
+        enc.family(
+            "ptrng_pool_child_quarantines_total",
+            "Times each pool child entered quarantine.",
+            MetricKind::Counter,
+        );
+        for entry in &engine.pool_children {
+            let (shard, child) = child_labels(entry);
+            enc.sample(
+                "ptrng_pool_child_quarantines_total",
+                &[("shard", &shard), ("child", &child)],
+                entry.status.quarantines,
+            );
+        }
+        enc.family(
+            "ptrng_pool_child_reinstatements_total",
+            "Times each pool child was reinstated after a clean probation.",
+            MetricKind::Counter,
+        );
+        for entry in &engine.pool_children {
+            let (shard, child) = child_labels(entry);
+            enc.sample(
+                "ptrng_pool_child_reinstatements_total",
+                &[("shard", &shard), ("child", &child)],
+                entry.status.reinstatements,
+            );
+        }
+    }
+
     // HTTP layer.
     enc.scalar(
         "ptrng_http_requests_total",
@@ -311,6 +375,32 @@ mod tests {
                 last_estimate: 0.8123,
                 last_weakest: "compression".to_string(),
             }],
+            pool_children: vec![
+                ptrng_engine::metrics::PoolChildSnapshot {
+                    shard: 0,
+                    status: ptrng_engine::source::ChildStatus {
+                        child: 0,
+                        label: "model(p1=0.600)".to_string(),
+                        state: "serving".to_string(),
+                        entropy_per_bit: 0.7370,
+                        credited_entropy_per_bit: 0.7370,
+                        quarantines: 0,
+                        reinstatements: 0,
+                    },
+                },
+                ptrng_engine::metrics::PoolChildSnapshot {
+                    shard: 0,
+                    status: ptrng_engine::source::ChildStatus {
+                        child: 1,
+                        label: "ero(D=4)".to_string(),
+                        state: "quarantined".to_string(),
+                        entropy_per_bit: 0.4,
+                        credited_entropy_per_bit: 0.0,
+                        quarantines: 2,
+                        reinstatements: 1,
+                    },
+                },
+            ],
             per_shard,
         };
         let server = ServerMetrics::new();
@@ -339,6 +429,12 @@ mod tests {
             "ptrng_audit_last_estimate{lane=\"raw\"} 0.812300",
             "ptrng_http_selftests_total 2",
             "ptrng_http_selftest_overclaims_total 1",
+            "ptrng_pool_child_state{shard=\"0\",child=\"0\"} 0",
+            "ptrng_pool_child_state{shard=\"0\",child=\"1\"} 1",
+            "ptrng_pool_child_entropy_per_bit{shard=\"0\",child=\"0\"} 0.737000",
+            "ptrng_pool_child_entropy_per_bit{shard=\"0\",child=\"1\"} 0.000000",
+            "ptrng_pool_child_quarantines_total{shard=\"0\",child=\"1\"} 2",
+            "ptrng_pool_child_reinstatements_total{shard=\"0\",child=\"1\"} 1",
         ] {
             assert!(text.contains(family), "missing `{family}` in:\n{text}");
         }

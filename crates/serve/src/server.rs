@@ -59,6 +59,12 @@ use crate::{Result, ServeError};
 /// Interval at which the accept loop re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
+/// `Retry-After` advice on the 503 entropy-deficit refusal: the deficit is a
+/// configuration property, so it will not clear on its own — but an operator
+/// redeploying with a fixed accounting is plausible on this horizon, and the
+/// header keeps well-behaved clients from hot-polling a refusing server.
+const DEFICIT_RETRY_AFTER_SECS: u64 = 30;
+
 /// Per-client token-bucket parameters (see [`crate::limiter::RateLimiter`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RateLimit {
@@ -387,15 +393,23 @@ impl Server {
 /// `/healthz` response body.
 #[derive(Debug, Serialize)]
 struct HealthzBody {
-    /// `ok`, `degraded` (alarms but live shards remain), `alarmed` (no live
-    /// shards), or `refusing` (entropy deficit at spawn).
+    /// `ok`, `degraded` (a terminal alarm with live shards remaining, or a pool
+    /// child currently out of serving), `alarmed` (no live shards), or
+    /// `refusing` (entropy deficit at spawn).  Non-terminal history (a pool
+    /// child that quarantined and was since reinstated) does not stick: status
+    /// reflects the current state, the alarm trail keeps the history.
     status: String,
     shards: usize,
     live_shards: usize,
     alarms: usize,
     alarm_reasons: Vec<ShardAlarm>,
+    /// The currently accounted min-entropy per output bit (tracks pool
+    /// quarantine; equals the static ledger claim for simple sources).
     min_entropy_per_bit: f64,
     required_min_entropy: Option<f64>,
+    /// Per-child lifecycle of pool sources, one entry per (shard, child); empty
+    /// for simple sources.
+    pool_children: Vec<ptrng_engine::metrics::PoolChildSnapshot>,
     /// Recent alarm postmortems (bounded store, oldest first): the alarming
     /// shard's flight-recorder events plus the ledger in force at alarm time.
     postmortems: Vec<Postmortem>,
@@ -719,18 +733,23 @@ fn entropy(
             );
             let head = ResponseHead::new(503)
                 .header("Content-Type", "application/json")
+                .header("Retry-After", format!("{DEFICIT_RETRY_AFTER_SECS}"))
                 .header("X-PTRNG-Ledger", ledger.to_json());
             note_status(state, 503);
             return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
         }
     };
 
+    // `X-PTRNG-MinEntropy` carries the *currently accounted* claim — for a pool
+    // with a quarantined child this is the honestly reduced survivors-only
+    // credit, not the spawn-time figure.  `X-PTRNG-Ledger` stays the static
+    // accounting trail (the provenance document, not the live state).
     let ledger = tap.ledger();
     let head = ResponseHead::new(200)
         .header("Content-Type", "application/octet-stream")
         .header(
             "X-PTRNG-MinEntropy",
-            format!("{:.6}", ledger.min_entropy_per_bit()),
+            format!("{:.6}", tap.min_entropy_per_bit()),
         )
         .header("X-PTRNG-Ledger", ledger.to_json());
     // HEAD serves only the contract headers and draws nothing, so it is answered
@@ -783,12 +802,21 @@ fn healthz(
         Supply::Serving(tap) => {
             let alarm_reasons = tap.alarms();
             let live_shards = tap.live_shards();
+            let snapshot = tap.metrics_snapshot();
+            let terminal_alarms = alarm_reasons
+                .iter()
+                .filter(|alarm| alarm.kind.is_terminal())
+                .count();
+            let children_degraded = snapshot
+                .pool_children
+                .iter()
+                .any(|child| child.status.state != "serving");
             let status_text = if live_shards == 0 {
                 "alarmed"
-            } else if alarm_reasons.is_empty() {
-                "ok"
-            } else {
+            } else if terminal_alarms > 0 || children_degraded {
                 "degraded"
+            } else {
+                "ok"
             };
             let body = HealthzBody {
                 status: status_text.to_string(),
@@ -796,8 +824,9 @@ fn healthz(
                 live_shards,
                 alarms: alarm_reasons.len(),
                 alarm_reasons,
-                min_entropy_per_bit: tap.ledger().min_entropy_per_bit(),
+                min_entropy_per_bit: tap.min_entropy_per_bit(),
                 required_min_entropy: None,
+                pool_children: snapshot.pool_children,
                 postmortems: tap.observatory().postmortems().snapshot(),
             };
             (body, if live_shards == 0 { 503 } else { 200 })
@@ -815,6 +844,7 @@ fn healthz(
                 alarm_reasons: Vec::new(),
                 min_entropy_per_bit: ledger.min_entropy_per_bit(),
                 required_min_entropy: Some(*required),
+                pool_children: Vec::new(),
                 postmortems: Vec::new(),
             };
             (body, 503)
@@ -833,7 +863,7 @@ fn metrics(
     let (snapshot, h, live, serving) = match &state.supply {
         Supply::Serving(tap) => (
             tap.metrics_snapshot(),
-            tap.ledger().min_entropy_per_bit(),
+            tap.min_entropy_per_bit(),
             tap.live_shards(),
             true,
         ),
@@ -870,6 +900,7 @@ fn empty_snapshot(shards: usize) -> ptrng_engine::metrics::MetricsSnapshot {
         total_accounted_entropy_bits: 0.0,
         alarms: 0,
         audits: Vec::new(),
+        pool_children: Vec::new(),
         per_shard: (0..shards)
             .map(|shard| ptrng_engine::metrics::ShardSnapshot {
                 shard,

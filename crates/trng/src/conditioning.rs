@@ -150,6 +150,59 @@ impl EntropyLedger {
         Ok(ledger)
     }
 
+    /// Combines the ledgers of pool children whose bits are XOR-mixed
+    /// bit-for-bit into one output bit.
+    ///
+    /// The accounting is the heterogeneous piling-up lemma:
+    /// `ε = 2^{K−1}·∏εᵢ = ½·∏(2εᵢ)` — each factor `2εᵢ ≤ 1`, so the mixed bias is
+    /// never worse than **any** child's bias and the credited min-entropy is at
+    /// least the best child's.  Crucially the combination stays *conservative*:
+    /// every child contributes only its own (dependent-jitter-aware) bound, and
+    /// since the credit is monotone increasing in each child's claim, a pool fed
+    /// honest per-child bounds can never account more than the same pool fed the
+    /// independence-assuming (optimistic) claims the paper warns against.
+    /// Removing a child (quarantine) divides the product by its `2εⱼ ≤ 1`, so the
+    /// credit is monotone non-increasing under quarantine.
+    ///
+    /// The rate is `1/K`: the pool consumes one raw bit from each of the `K`
+    /// children per emitted bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `children` is empty.
+    pub fn xor_mix(label: &str, children: &[EntropyLedger]) -> Result<Self> {
+        if children.is_empty() {
+            return Err(TrngError::InvalidParameter {
+                name: "children",
+                reason: "an XOR mix needs at least one child ledger".to_string(),
+            });
+        }
+        let mut bias = 0.5;
+        for child in children {
+            bias *= 2.0 * child.bias();
+        }
+        let min_entropy_per_bit = min_entropy_from_bias(bias)?;
+        let rate = 1.0 / children.len() as f64;
+        let mut trail: Vec<String> = Vec::with_capacity(children.len() + 1);
+        for (index, child) in children.iter().enumerate() {
+            trail.push(format!(
+                "pool child {index}: h/bit {:.6}, bias {:.3e} [{}]",
+                child.min_entropy_per_bit(),
+                child.bias(),
+                child.trail().join(" → ")
+            ));
+        }
+        trail.push(format!(
+            "xor-mix {label}: h/bit {min_entropy_per_bit:.6}, bias {bias:.3e}, rate ×{rate:.4}"
+        ));
+        Ok(Self {
+            min_entropy_per_bit,
+            bias,
+            rate,
+            trail,
+        })
+    }
+
     /// A new ledger with the given stage transformation appended.
     fn derived(&self, label: &str, min_entropy_per_bit: f64, bias: f64, rate_factor: f64) -> Self {
         let mut trail = self.trail.clone();
@@ -624,6 +677,35 @@ mod tests {
     }
 
     #[test]
+    fn xor_mix_follows_the_piling_up_algebra() {
+        let a = EntropyLedger::source("a", 0.2).unwrap();
+        let b = EntropyLedger::source("b", 0.5).unwrap();
+        let c = EntropyLedger::source("c", 0.9).unwrap();
+        let mix = EntropyLedger::xor_mix("pool", &[a.clone(), b.clone(), c.clone()]).unwrap();
+
+        // ε = ½·(2ε_a)(2ε_b)(2ε_c).
+        let expected = 0.5 * (2.0 * a.bias()) * (2.0 * b.bias()) * (2.0 * c.bias());
+        assert!((mix.bias() - expected).abs() < 1e-15);
+        // The mix is never worse than the best child.
+        assert!(mix.min_entropy_per_bit() >= c.min_entropy_per_bit());
+        assert!((mix.rate() - 1.0 / 3.0).abs() < 1e-15);
+        // Trail: one entry per child plus the mix line.
+        assert_eq!(mix.trail().len(), 4);
+        assert!(mix.trail()[3].contains("xor-mix pool"));
+
+        // Quarantining the strongest child strictly reduces the credit.
+        let reduced = EntropyLedger::xor_mix("pool", &[a.clone(), b.clone()]).unwrap();
+        assert!(reduced.min_entropy_per_bit() < mix.min_entropy_per_bit());
+
+        // Degenerate single-child mix: the child's own accounting at rate 1.
+        let single = EntropyLedger::xor_mix("pool", std::slice::from_ref(&a)).unwrap();
+        assert!((single.bias() - a.bias()).abs() < 1e-15);
+        assert!((single.min_entropy_per_bit() - a.min_entropy_per_bit()).abs() < 1e-12);
+
+        assert!(EntropyLedger::xor_mix("pool", &[]).is_err());
+    }
+
+    #[test]
     fn xor_stage_streams_like_the_batch_function() {
         let bits = biased_bits(10_000, 0.6, 1);
         let mut stage = XorDecimateStage::new(3).unwrap();
@@ -880,6 +962,60 @@ mod tests {
                 // Entropy accounting stays a probability and never decreases under XOR.
                 prop_assert!(chained.min_entropy_per_bit() >= h - 1e-12);
                 prop_assert!(chained.min_entropy_per_bit() <= 1.0);
+            }
+
+            /// The pool credit is conservative: monotone increasing in every child's
+            /// claim, so feeding honest (dependent-jitter) bounds can never account
+            /// more than any independence-assuming (optimistic) combination.
+            #[test]
+            fn pool_credit_is_below_every_optimistic_combination(
+                hs in proptest::collection::vec(0.02f64..1.0, 2..6),
+                bumps in proptest::collection::vec(0.0f64..1.0, 2..6),
+            ) {
+                let n = hs.len().min(bumps.len());
+                let children: Vec<EntropyLedger> = hs[..n]
+                    .iter()
+                    .map(|&h| EntropyLedger::source("child", h).unwrap())
+                    .collect();
+                let honest = EntropyLedger::xor_mix("pool", &children).unwrap();
+
+                // Inflate each claim toward 1 (the independence-assuming reading).
+                let optimistic: Vec<EntropyLedger> = hs[..n]
+                    .iter()
+                    .zip(&bumps[..n])
+                    .map(|(&h, &t)| EntropyLedger::source("child", h + (1.0 - h) * t).unwrap())
+                    .collect();
+                let inflated = EntropyLedger::xor_mix("pool", &optimistic).unwrap();
+                prop_assert!(honest.min_entropy_per_bit() <= inflated.min_entropy_per_bit() + 1e-12);
+
+                // Sanity: the mix is a valid claim, at least as good as the best child.
+                let best = hs[..n].iter().cloned().fold(0.0f64, f64::max);
+                prop_assert!(honest.min_entropy_per_bit() >= best - 1e-12);
+                prop_assert!(honest.min_entropy_per_bit() <= 1.0);
+                prop_assert!(honest.bias() >= 0.0 && honest.bias() < 0.5);
+            }
+
+            /// Quarantine monotonicity: dropping any child never increases the
+            /// accounted credit.
+            #[test]
+            fn pool_credit_is_monotone_under_quarantine(
+                hs in proptest::collection::vec(0.02f64..1.0, 2..6),
+                drop_index in 0usize..6,
+            ) {
+                let children: Vec<EntropyLedger> = hs
+                    .iter()
+                    .map(|&h| EntropyLedger::source("child", h).unwrap())
+                    .collect();
+                let full = EntropyLedger::xor_mix("pool", &children).unwrap();
+                let mut survivors = children.clone();
+                survivors.remove(drop_index % children.len());
+                let reduced = EntropyLedger::xor_mix("pool", &survivors).unwrap();
+                prop_assert!(
+                    reduced.min_entropy_per_bit() <= full.min_entropy_per_bit() + 1e-12,
+                    "quarantine raised credit: {} -> {}",
+                    full.min_entropy_per_bit(),
+                    reduced.min_entropy_per_bit()
+                );
             }
 
             /// Streaming through arbitrary chunk boundaries equals batch processing.

@@ -3,9 +3,11 @@
 //! reaction to a frequency-injection-style jitter collapse.
 
 use ptrng::ais::fips;
+use ptrng::engine::fault::FaultPlan;
 use ptrng::engine::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
 use ptrng::engine::metrics::AlarmKind;
 use ptrng::engine::pool::{ConditionerSpec, Engine, EngineConfig};
+use ptrng::engine::pooled::PoolOptions;
 use ptrng::engine::source::{JitterProfile, SourceSpec};
 use ptrng::engine::stream::unpack_bits;
 use ptrng::engine::EngineError;
@@ -283,6 +285,151 @@ fn engine_runs_the_thermal_online_test_against_its_sources() {
         "{:?}",
         postmortem.events
     );
+}
+
+/// Rebuilds a parsed pool spec with drill-friendly quarantine tuning (short
+/// cooldown and probation so a full quarantine → probation → reinstatement
+/// cycle fits in a few dozen batches).
+fn fast_pool_spec(text: &str) -> SourceSpec {
+    match SourceSpec::parse(text).unwrap() {
+        SourceSpec::Pool { children, .. } => SourceSpec::Pool {
+            children,
+            options: PoolOptions {
+                quarantine_draws: 2,
+                probation_windows: 2,
+                probation_window_draws: 2,
+                stall_ms: None,
+                ..PoolOptions::default()
+            },
+        },
+        other => panic!("expected a pool spec, parsed {other:?}"),
+    }
+}
+
+/// The full fault drill through the engine: a three-child pool with a scripted
+/// stuck window on child 1 keeps streaming (fault absorbed, no stream error),
+/// the quarantine and the reinstatement surface as non-terminal postmortems,
+/// the accounted per-output-bit entropy dips while the child is out of the mix
+/// and recovers once it is reinstated.
+#[test]
+fn pool_stuck_fault_drill_quarantines_reaccounts_and_reinstates() {
+    // Three equally-biased children: each claims −log₂(0.6) ≈ 0.737 bits/bit,
+    // the three-way XOR mix ≈ 0.9885, the two-way mix (one child out) ≈ 0.9434.
+    let spec = fast_pool_spec("pool:model:0.6+model:0.6+model:0.6");
+    let mut config = EngineConfig::new(spec)
+        .seed(41)
+        .batch_bits(8192)
+        .budget_bytes(Some(48 * 1024))
+        .health(HealthConfig::default().without_startup_battery())
+        .fault(Some(
+            FaultPlan::parse("child=1,kind=stuck,at=2KiB,for=1KiB").unwrap(),
+        ));
+    // Tight queue: the worker runs at most two batches ahead of the consumer,
+    // so sampling the shard metrics between batches reliably observes the
+    // several-batch claim dip.
+    config.queue_batches = 1;
+    let mut engine = Engine::spawn(config).unwrap();
+
+    let mut total = 0u64;
+    let mut lowest_claim = f64::INFINITY;
+    while let Some(batch) = engine.stream_mut().next() {
+        let batch = batch.expect("the drill must not kill the stream");
+        total += batch.bytes.len() as u64;
+        let claim = engine.metrics().snapshot().per_shard[0].entropy_per_output_bit;
+        lowest_claim = lowest_claim.min(claim);
+    }
+    let snapshot = engine.metrics().snapshot();
+    let obs = std::sync::Arc::clone(engine.observatory());
+    engine.join().unwrap();
+
+    // The stream delivered the full budget despite the fault.
+    assert_eq!(total, 48 * 1024);
+
+    // Quarantine and reinstatement both left typed postmortems, in order.
+    let postmortems = obs.postmortems().snapshot();
+    let quarantined = postmortems
+        .iter()
+        .position(|p| p.kind == "source-quarantined")
+        .expect("the stuck child must be quarantined");
+    let reinstated = postmortems
+        .iter()
+        .position(|p| p.kind == "source-reinstated")
+        .expect("the recovered child must be reinstated");
+    assert!(
+        quarantined < reinstated,
+        "quarantine precedes reinstatement"
+    );
+    assert!(
+        postmortems[quarantined].reason.contains("child 1"),
+        "postmortem names the child: {}",
+        postmortems[quarantined].reason
+    );
+
+    // The ledger followed the pool honestly: while child 1 was out of the mix
+    // the claim dropped to the two-child combination, and it recovered after
+    // the reinstatement.
+    assert!(
+        lowest_claim < 0.96,
+        "claim never dipped during quarantine: {lowest_claim}"
+    );
+    let final_claim = snapshot.per_shard[0].entropy_per_output_bit;
+    assert!(
+        final_claim > 0.98,
+        "claim did not recover after reinstatement: {final_claim}"
+    );
+
+    // The metrics carry the per-child trajectory: one quarantine, one
+    // reinstatement, back to serving.
+    let child = snapshot
+        .pool_children
+        .iter()
+        .find(|c| c.status.child == 1)
+        .expect("child 1 is published in the snapshot");
+    assert_eq!(child.status.state, "serving");
+    assert_eq!(child.status.quarantines, 1);
+    assert_eq!(child.status.reinstatements, 1);
+}
+
+/// Fail-closed: when every child is out of the mix (a scripted permanent fault
+/// on one child, a natural health alarm on the other) the pool refuses to
+/// fabricate output and the shard surfaces a terminal source failure instead of
+/// silently streaming from nothing.
+#[test]
+fn pool_with_all_children_faulted_fails_closed_through_the_engine() {
+    let spec = match SourceSpec::parse("pool:model:0.5+model:0.9999").unwrap() {
+        SourceSpec::Pool { children, .. } => SourceSpec::Pool {
+            children,
+            options: PoolOptions {
+                // Long cooldown: neither child comes back within the drill.
+                quarantine_draws: 10_000,
+                stall_ms: None,
+                ..PoolOptions::default()
+            },
+        },
+        other => panic!("expected a pool spec, parsed {other:?}"),
+    };
+    let config = EngineConfig::new(spec)
+        .seed(5)
+        .batch_bits(8192)
+        .budget_bytes(Some(MEBIBYTE))
+        .health(HealthConfig::default().without_startup_battery())
+        .fault(Some(FaultPlan::parse("child=0,kind=stuck").unwrap()));
+    let mut engine = Engine::spawn(config).unwrap();
+    let result = engine.read_to_end();
+    engine.join().unwrap();
+    match result {
+        Err(EngineError::HealthAlarm { kind, reason, .. }) => {
+            assert_eq!(kind, AlarmKind::SourceFailure, "unexpected alarm: {reason}");
+            // Both fail-closed paths name the quarantine: "no serving children
+            // left" (drained over several batches) or "every serving child …
+            // was quarantined within one batch".
+            assert!(
+                reason.contains("quarantined"),
+                "unexpected reason: {reason}"
+            );
+        }
+        other => panic!("expected a terminal source failure, got {other:?}"),
+    }
 }
 
 /// A thermal test on a source without a physical model is rejected up front instead of

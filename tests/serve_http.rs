@@ -9,8 +9,10 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use ptrng_engine::fault::FaultPlan;
 use ptrng_engine::health::HealthConfig;
 use ptrng_engine::pool::{ConditionerSpec, EngineConfig};
+use ptrng_engine::pooled::PoolOptions;
 use ptrng_engine::source::SourceSpec;
 use ptrng_serve::server::{RateLimit, ServeConfig, Server, ShutdownHandle};
 use ptrng_trng::conditioning::EntropyLedger;
@@ -216,6 +218,15 @@ fn entropy_deficit_answers_503_with_the_ledger_body() {
 
     let response = get(server.addr, "/entropy?bytes=64");
     assert_eq!(response.status, 503);
+    // The refusal carries a retry hint: deficits are config/health conditions
+    // that may clear (an operator fix, a pool child reinstated), so clients are
+    // told when to probe again instead of hammering.
+    let retry: u64 = response
+        .header("retry-after")
+        .expect("Retry-After header on the deficit refusal")
+        .parse()
+        .expect("integer seconds");
+    assert!(retry >= 1, "a meaningful retry hint, got {retry}");
     let body = response.body_text();
     assert!(body.contains("entropy deficit"), "{body}");
     assert!(body.contains("\"required\":0.997"), "{body}");
@@ -590,6 +601,119 @@ fn alarms_surface_postmortems_on_healthz_trace_and_journal() {
 
     drop(server);
     let _ = std::fs::remove_file(&journal_path);
+}
+
+/// The full degraded-mode drill over HTTP: a three-child pool with a scripted
+/// stuck window on child 1 keeps serving 200s throughout, the dynamic
+/// `X-PTRNG-MinEntropy` header drops to the two-child combination while the
+/// child is out of the mix, `/healthz` reports `degraded` with the per-child
+/// state, the pool Prometheus families expose the transition counters, and
+/// after the probation warm-up everything returns to `ok`.
+#[test]
+fn pool_quarantine_drill_degrades_and_recovers_over_http() {
+    let spec = match SourceSpec::parse("pool:model:0.6+model:0.6+model:0.6").expect("valid spec") {
+        SourceSpec::Pool { children, .. } => SourceSpec::Pool {
+            children,
+            options: PoolOptions {
+                quarantine_draws: 2,
+                probation_windows: 2,
+                probation_window_draws: 2,
+                stall_ms: None,
+                ..PoolOptions::default()
+            },
+        },
+        other => panic!("expected a pool spec, parsed {other:?}"),
+    };
+    let mut engine = EngineConfig::new(spec)
+        .seed(97)
+        .batch_bits(8192)
+        .health(HealthConfig::default().without_startup_battery())
+        .fault(Some(
+            FaultPlan::parse("child=1,kind=stuck,at=2KiB,for=1KiB").expect("valid plan"),
+        ));
+    // Tight queue so the worker cannot run far ahead of the HTTP draws and the
+    // multi-batch quarantine window is observable from the client side.
+    engine.queue_batches = 1;
+    let server = TestServer::start(ServeConfig::new(engine));
+
+    // The static ledger header never moves: it is the design-time accounting
+    // (the three-way mix), not the live state.
+    let first = get(server.addr, "/entropy?bytes=1024");
+    assert_eq!(first.status, 200);
+    let static_claim: f64 = {
+        let ledger = EntropyLedger::from_json(first.header("x-ptrng-ledger").expect("ledger"))
+            .expect("canonical ledger JSON");
+        ledger.min_entropy_per_bit()
+    };
+    assert!(static_claim > 0.98, "three-way mix claim: {static_claim}");
+
+    let mut lowest_header = f64::INFINITY;
+    let mut saw_degraded = false;
+    let mut recovered = false;
+    // Each 1 KiB draw advances the single shard by about one batch; the stuck
+    // window opens at 2 KiB and the full quarantine → probation → reinstatement
+    // cycle completes within roughly ten batches.
+    for _ in 0..40 {
+        let draw = get(server.addr, "/entropy?bytes=1024");
+        assert_eq!(
+            draw.status,
+            200,
+            "the pool must keep serving: {}",
+            draw.body_text()
+        );
+        assert_eq!(draw.body.len(), 1024);
+        let h: f64 = draw
+            .header("x-ptrng-minentropy")
+            .expect("dynamic min-entropy header")
+            .parse()
+            .expect("numeric min-entropy");
+        lowest_header = lowest_header.min(h);
+        // The static ledger header is unchanged even while the claim dips.
+        let ledger = EntropyLedger::from_json(draw.header("x-ptrng-ledger").expect("ledger"))
+            .expect("canonical ledger JSON");
+        assert!((ledger.min_entropy_per_bit() - static_claim).abs() < 1e-9);
+
+        let health = get(server.addr, "/healthz");
+        let text = health.body_text();
+        if text.contains("\"status\":\"degraded\"") {
+            saw_degraded = true;
+            assert!(
+                text.contains("\"state\":\"quarantined\"")
+                    || text.contains("\"state\":\"probation\""),
+                "degraded healthz names the child state: {text}"
+            );
+            // The pool families expose the same state on /metrics.
+            let metrics = get(server.addr, "/metrics").body_text();
+            assert!(
+                metrics.contains("ptrng_pool_child_quarantines_total{shard=\"0\",child=\"1\"} 1"),
+                "{metrics}"
+            );
+        } else if saw_degraded && text.contains("\"status\":\"ok\"") {
+            assert!(
+                text.contains("\"reinstatements\":1"),
+                "recovery carries the reinstatement count: {text}"
+            );
+            recovered = true;
+            break;
+        }
+    }
+    assert!(saw_degraded, "the quarantine never surfaced on /healthz");
+    assert!(recovered, "the child was never reinstated");
+    assert!(
+        lowest_header < 0.96,
+        "X-PTRNG-MinEntropy never dropped to the two-child mix: {lowest_header}"
+    );
+
+    // After recovery the reinstatement counter persists on /metrics.
+    let metrics = get(server.addr, "/metrics").body_text();
+    assert!(
+        metrics.contains("ptrng_pool_child_reinstatements_total{shard=\"0\",child=\"1\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("ptrng_pool_child_state{shard=\"0\",child=\"1\"} 0"),
+        "{metrics}"
+    );
 }
 
 #[test]

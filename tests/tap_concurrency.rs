@@ -13,8 +13,11 @@
 
 use std::collections::HashMap;
 
+use ptrng_engine::fault::FaultPlan;
 use ptrng_engine::health::HealthConfig;
+use ptrng_engine::metrics::AlarmKind;
 use ptrng_engine::pool::{Engine, EngineConfig};
+use ptrng_engine::pooled::PoolOptions;
 use ptrng_engine::source::{derive_seed, SourceSpec};
 use ptrng_engine::stream::BitPacker;
 use ptrng_engine::tap::EntropyTap;
@@ -119,6 +122,85 @@ fn concurrent_draws_partition_the_stream_exactly() {
         }
     }
     check_embedding(&mut expected, &drawn);
+}
+
+/// Racing consumers across a full pool quarantine/reinstatement cycle: the
+/// non-terminal lifecycle events must not perturb the tap's exactly-once
+/// delivery.  The reference run (single-threaded) and the concurrent run share
+/// one deterministic config, so the drawn multiset must equal the reference
+/// stream to the word — no loss while the child is quarantined, no replay
+/// around the reinstatement.
+#[test]
+fn concurrent_draws_survive_a_quarantine_and_reinstatement_without_loss_or_replay() {
+    const BUDGET: usize = 32 * 1024;
+    let spec = match SourceSpec::parse("pool:model:0.6+model:0.6+model:0.6").unwrap() {
+        SourceSpec::Pool { children, .. } => SourceSpec::Pool {
+            children,
+            options: PoolOptions {
+                quarantine_draws: 2,
+                probation_windows: 2,
+                probation_window_draws: 2,
+                // Deterministic drills only: no wall-clock watchdog.
+                stall_ms: None,
+                ..PoolOptions::default()
+            },
+        },
+        other => panic!("expected a pool spec, parsed {other:?}"),
+    };
+    let config = || {
+        EngineConfig::new(spec.clone())
+            .seed(61)
+            .budget_bytes(Some(BUDGET as u64))
+            .health(HealthConfig::default().without_startup_battery())
+            .fault(Some(
+                FaultPlan::parse("child=1,kind=stuck,at=2KiB,for=1KiB").unwrap(),
+            ))
+    };
+
+    // Reference run: the deterministic published stream across the whole cycle.
+    let mut reference = Engine::spawn(config()).unwrap();
+    let mut published = Vec::new();
+    for batch in reference.stream_mut() {
+        published.extend_from_slice(&batch.expect("the drill is non-terminal").bytes);
+    }
+    reference.join().unwrap();
+    assert_eq!(published.len(), BUDGET);
+
+    // Concurrent run: racing consumers across the quarantine and reinstatement.
+    let tap = Engine::spawn(config()).unwrap().into_tap();
+    let drawn = drain_concurrently(&tap, 4);
+
+    // The lifecycle is on the alarm trail, but the shard never terminally
+    // alarmed and kept serving throughout.
+    let kinds: Vec<AlarmKind> = tap.alarms().iter().map(|a| a.kind).collect();
+    assert!(
+        kinds.contains(&AlarmKind::SourceQuarantined),
+        "no quarantine on the trail: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&AlarmKind::SourceReinstated),
+        "no reinstatement on the trail: {kinds:?}"
+    );
+    assert!(
+        kinds.iter().all(|kind| !kind.is_terminal()),
+        "the drill must stay non-terminal: {kinds:?}"
+    );
+    assert_eq!(tap.alarm_count(), kinds.len(), "trail and counter agree");
+    tap.shutdown().unwrap();
+
+    // Exactly-once delivery: the union of the racing draws is the reference
+    // stream, word for word.
+    let total: usize = drawn.iter().map(Vec::len).sum();
+    assert_eq!(total, BUDGET);
+    let mut expected: HashMap<u64, i64> = HashMap::new();
+    for word in words(&published) {
+        *expected.entry(word).or_insert(0) += 1;
+    }
+    check_embedding(&mut expected, &drawn);
+    assert!(
+        expected.values().all(|&count| count == 0),
+        "bytes published across the cycle never reached any consumer (loss)"
+    );
 }
 
 #[test]
