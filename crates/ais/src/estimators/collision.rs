@@ -38,26 +38,63 @@ fn expected_waiting_time(p: f64) -> f64 {
 pub fn collision_estimate(bits: &[u8]) -> Result<EstimatorResult> {
     ensure_bits(bits)?;
     ensure_min_len(bits, 16)?;
+    let (n2, n3) = collision_counts(bits);
+    Ok(collision_result_from_counts(n2, n3))
+}
 
-    // Step through the sequence: t_v is the index distance until any value repeats.
-    // Binary samples collide within two (equal pair) or three (unequal pair) samples.
-    let mut times: Vec<f64> = Vec::with_capacity(bits.len() / 2);
+/// Counts the collision waiting times in one pass.  Binary samples collide
+/// within two (equal pair, `n2`) or three (unequal pair resolved by a third
+/// sample, `n3`) samples; a trailing unequal pair without its third sample is
+/// discarded, as in the spec's scan.
+pub(crate) fn collision_counts(bits: &[u8]) -> (u64, u64) {
+    let (mut n2, mut n3) = (0u64, 0u64);
     let mut i = 0usize;
     while i + 1 < bits.len() {
         if bits[i] == bits[i + 1] {
-            times.push(2.0);
+            n2 += 1;
             i += 2;
         } else if i + 2 < bits.len() {
-            times.push(3.0);
+            n3 += 1;
             i += 3;
         } else {
             break;
         }
     }
-    let v = times.len();
+    (n2, n3)
+}
+
+/// The estimate from the waiting-time counts.  All binary waiting times are 2
+/// or 3, so mean and variance group exactly over the two counts — the same
+/// sums a per-event pass produces, without materializing the event list.
+pub(crate) fn collision_result_from_counts(n2: u64, n3: u64) -> EstimatorResult {
+    let v = (n2 + n3) as usize;
     debug_assert!(v >= 2, "16 bits always contain two collisions");
-    let mean = times.iter().sum::<f64>() / v as f64;
-    let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (v - 1) as f64;
+    let mean = (2 * n2 + 3 * n3) as f64 / v as f64;
+    let (d2, d3) = (2.0 - mean, 3.0 - mean);
+    let var = (n2 as f64 * d2 * d2 + n3 as f64 * d3 * d3) / (v - 1) as f64;
+    result_from_mean_and_variance(v, mean, var)
+}
+
+/// The estimate from running moments of the waiting times — the sliding-window
+/// audit maintains `Σt` and `Σt²` as exact integers and calls this per slide.
+///
+/// The moments-form variance `(Σt² − v·X̄²)/(v−1)` differs from
+/// [`collision_estimate`]'s grouped-count form only through `X̄`'s rounding, a
+/// relative difference around 1e-13 — far inside the battery's 1e-6 equivalence
+/// gate.
+pub(crate) fn collision_result_from_moments(
+    v: usize,
+    sum_t: u64,
+    sum_t_sq: u64,
+) -> EstimatorResult {
+    debug_assert!(v >= 2, "the audit window always contains two collisions");
+    let mean = sum_t as f64 / v as f64;
+    let var = (sum_t_sq as f64 - v as f64 * mean * mean) / (v - 1) as f64;
+    // Catastrophic cancellation could push a near-zero variance negative.
+    result_from_mean_and_variance(v, mean, var.max(0.0))
+}
+
+fn result_from_mean_and_variance(v: usize, mean: f64, var: f64) -> EstimatorResult {
     let mean_lo = mean - Z_99 * var.sqrt() / (v as f64).sqrt();
 
     // E[t] peaks at 2.5 for p = 1/2 and falls toward 2 as the bias grows; a lower
@@ -69,11 +106,11 @@ pub fn collision_estimate(bits: &[u8]) -> Result<EstimatorResult> {
         bisect_probability(mean_lo)
     };
     let h = min_entropy_from_probability(p);
-    Ok(EstimatorResult::new(
+    EstimatorResult::new(
         "collision",
         h,
         format!("v {v}, X̄ {mean:.6}, X̄' {mean_lo:.6}, p {p:.6}"),
-    ))
+    )
 }
 
 /// Solves `expected_waiting_time(p) = target` for `p ∈ [1/2, 1)` (the function is

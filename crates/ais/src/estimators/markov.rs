@@ -27,16 +27,26 @@ const PATH_SAMPLES: u32 = 128;
 pub fn markov_estimate(bits: &[u8]) -> Result<EstimatorResult> {
     ensure_bits(bits)?;
     ensure_min_len(bits, 2)?;
-    let n = bits.len();
     let ones: usize = bits.iter().map(|&b| b as usize).sum();
-    let p1 = ones as f64 / n as f64;
-    let p0 = 1.0 - p1;
-
-    // Transition counts over consecutive pairs.
     let mut pairs = [[0u64; 2]; 2];
     for w in bits.windows(2) {
         pairs[w[0] as usize][w[1] as usize] += 1;
     }
+    Ok(markov_result_from_counts(ones, bits.len(), pairs))
+}
+
+/// The estimate from maintained ones and transition-pair counts — the
+/// sliding-window audit updates both in O(delta) per slide and calls this,
+/// byte-for-byte the same arithmetic as [`markov_estimate`] on the materialized
+/// window.
+pub(crate) fn markov_result_from_counts(
+    ones: usize,
+    n: usize,
+    pairs: [[u64; 2]; 2],
+) -> EstimatorResult {
+    debug_assert!(n >= 2 && ones <= n);
+    let p1 = ones as f64 / n as f64;
+    let p0 = 1.0 - p1;
     let from0 = pairs[0][0] + pairs[0][1];
     let from1 = pairs[1][0] + pairs[1][1];
     // A state never left from contributes probability-0 transitions; the candidate
@@ -73,14 +83,14 @@ pub fn markov_estimate(bits: &[u8]) -> Result<EstimatorResult> {
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("six candidates");
     let h = (-log2_p_max / PATH_SAMPLES as f64).clamp(0.0, 1.0);
-    Ok(EstimatorResult::new(
+    EstimatorResult::new(
         "markov",
         h,
         format!(
             "P0 {p0:.4}, P00 {p00:.4}, P11 {p11:.4}, max path {label} \
              (log2 p {log2_p_max:.2})"
         ),
-    ))
+    )
 }
 
 #[cfg(test)]

@@ -21,8 +21,15 @@ use super::{
 pub fn mcv_estimate(bits: &[u8]) -> Result<EstimatorResult> {
     ensure_bits(bits)?;
     ensure_min_len(bits, 2)?;
-    let n = bits.len();
     let ones: usize = bits.iter().map(|&b| b as usize).sum();
+    Ok(mcv_result_from_counts(ones, bits.len()))
+}
+
+/// The estimate from a maintained ones count — the sliding-window audit keeps
+/// `ones` incrementally and calls this per slide, byte-for-byte the same
+/// arithmetic as [`mcv_estimate`] on the materialized window.
+pub(crate) fn mcv_result_from_counts(ones: usize, n: usize) -> EstimatorResult {
+    debug_assert!(n >= 2 && ones <= n);
     let (mode, count) = if ones * 2 >= n {
         (1u8, ones)
     } else {
@@ -31,11 +38,11 @@ pub fn mcv_estimate(bits: &[u8]) -> Result<EstimatorResult> {
     let p_hat = count as f64 / n as f64;
     let p_u = upper_probability_bound(p_hat, n);
     let h = min_entropy_from_probability(p_u);
-    Ok(EstimatorResult::new(
+    EstimatorResult::new(
         "mcv",
         h,
         format!("mode {mode} × {count}/{n}, p̂ {p_hat:.6}, p_u {p_u:.6}"),
-    ))
+    )
 }
 
 #[cfg(test)]

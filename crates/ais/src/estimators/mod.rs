@@ -49,6 +49,8 @@ pub mod compression;
 pub mod markov;
 pub mod mcv;
 pub mod prediction;
+pub mod streaming;
+pub mod suffix;
 pub mod tuple;
 
 pub use collision::collision_estimate;
@@ -57,6 +59,10 @@ pub use markov::markov_estimate;
 pub use mcv::mcv_estimate;
 pub use prediction::{lag_estimate, multi_mcw_estimate};
 pub use tuple::{lrs_estimate, t_tuple_and_lrs_estimates, t_tuple_estimate};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -97,6 +103,46 @@ impl EstimatorResult {
     }
 }
 
+/// Wall-clock cost of one schedulable battery unit, for per-estimator histograms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorTiming {
+    /// Unit name — one of [`BATTERY_UNIT_NAMES`].
+    pub name: String,
+    /// Wall-clock nanoseconds the unit took (on this run's thread).
+    pub ns: u64,
+}
+
+/// The battery's schedulable units, in specification order.
+///
+/// The t-tuple and LRS estimates share one suffix-array construction, so they run
+/// (and are timed) as a single `"t-tuple+lrs"` unit; every other estimator is its
+/// own unit.  The engine's per-estimator latency histograms use these labels.
+pub const BATTERY_UNIT_NAMES: [&str; 7] = [
+    "mcv",
+    "collision",
+    "markov",
+    "compression",
+    "t-tuple+lrs",
+    "multi-mcw",
+    "lag",
+];
+
+type UnitFn = fn(&[u8]) -> Result<Vec<EstimatorResult>>;
+
+/// The units behind [`BATTERY_UNIT_NAMES`], same order.
+const BATTERY_UNITS: [UnitFn; 7] = [
+    |bits| Ok(vec![mcv_estimate(bits)?]),
+    |bits| Ok(vec![collision_estimate(bits)?]),
+    |bits| Ok(vec![markov_estimate(bits)?]),
+    |bits| Ok(vec![compression_estimate(bits)?]),
+    |bits| {
+        let (t_tuple, lrs) = t_tuple_and_lrs_estimates(bits)?;
+        Ok(vec![t_tuple, lrs])
+    },
+    |bits| Ok(vec![multi_mcw_estimate(bits)?]),
+    |bits| Ok(vec![lag_estimate(bits)?]),
+];
+
 /// The full §6.3 battery: every estimator's result, reduced by the battery minimum.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EstimatorBattery {
@@ -111,22 +157,75 @@ impl EstimatorBattery {
     /// Returns an error when the sequence is shorter than [`MIN_BATTERY_BITS`] or
     /// contains non-bit values.
     pub fn run(bits: &[u8]) -> Result<Self> {
+        Ok(Self::run_with_timings(bits)?.0)
+    }
+
+    /// Runs the battery and reports each unit's wall-clock cost.
+    ///
+    /// The seven units (see [`BATTERY_UNIT_NAMES`]) are independent, so on a
+    /// multi-core host they run on a scoped thread pool sized by
+    /// `available_parallelism`; on one CPU the battery degrades gracefully to a
+    /// serial loop with no thread overhead.  Results come back in specification
+    /// order either way, and timings are per unit regardless of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sequence is shorter than [`MIN_BATTERY_BITS`] or
+    /// contains non-bit values.
+    pub fn run_with_timings(bits: &[u8]) -> Result<(Self, Vec<EstimatorTiming>)> {
         ensure_bit_len(bits, MIN_BATTERY_BITS)?;
-        // The tuple estimators share one per-width counting scan — it is the
-        // battery's dominant cost, so it runs exactly once.
-        let (t_tuple, lrs) = t_tuple_and_lrs_estimates(bits)?;
-        Ok(Self {
-            results: vec![
-                mcv_estimate(bits)?,
-                collision_estimate(bits)?,
-                markov_estimate(bits)?,
-                compression_estimate(bits)?,
-                t_tuple,
-                lrs,
-                multi_mcw_estimate(bits)?,
-                lag_estimate(bits)?,
-            ],
-        })
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(BATTERY_UNITS.len());
+        let mut slots: Vec<Option<(Result<Vec<EstimatorResult>>, u64)>> = if workers <= 1 {
+            BATTERY_UNITS
+                .iter()
+                .map(|unit| {
+                    let start = Instant::now();
+                    let outcome = unit(bits);
+                    Some((outcome, start.elapsed().as_nanos() as u64))
+                })
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let done = Mutex::new(Vec::with_capacity(BATTERY_UNITS.len()));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(unit) = BATTERY_UNITS.get(index) else {
+                            break;
+                        };
+                        let start = Instant::now();
+                        let outcome = unit(bits);
+                        let ns = start.elapsed().as_nanos() as u64;
+                        done.lock()
+                            .expect("battery worker poisoned the result lock")
+                            .push((index, outcome, ns));
+                    });
+                }
+            });
+            let mut slots: Vec<Option<_>> = (0..BATTERY_UNITS.len()).map(|_| None).collect();
+            for (index, outcome, ns) in done
+                .into_inner()
+                .expect("battery worker poisoned the result lock")
+            {
+                slots[index] = Some((outcome, ns));
+            }
+            slots
+        };
+        let mut results = Vec::with_capacity(8);
+        let mut timings = Vec::with_capacity(BATTERY_UNITS.len());
+        for (slot, name) in slots.iter_mut().zip(BATTERY_UNIT_NAMES) {
+            let (outcome, ns) = slot.take().expect("every battery unit ran exactly once");
+            results.extend(outcome?);
+            timings.push(EstimatorTiming {
+                name: name.to_string(),
+                ns,
+            });
+        }
+        Ok((Self { results }, timings))
     }
 
     /// The individual estimator results, in specification order.
@@ -150,6 +249,37 @@ impl EstimatorBattery {
             .min_by(|a, b| a.h_per_bit.total_cmp(&b.h_per_bit))
             .expect("the battery always holds at least one result")
     }
+}
+
+/// The three counting members of the battery — MCV (§6.3.1), collision (§6.3.2)
+/// and Markov (§6.3.3) — computed in one fused pass over the window.
+///
+/// Returns exactly what [`mcv_estimate`], [`collision_estimate`] and
+/// [`markov_estimate`] return (same count arithmetic, same results), but shares a
+/// single validation sweep and counting loop instead of seven passes.  This is the
+/// hot path of the streaming audit's per-window work when the expensive members
+/// run on a sparse cadence, so every-lane deployments lean on it.
+///
+/// # Errors
+///
+/// Returns an error for sequences shorter than 16 bits or containing non-bit
+/// values.
+pub fn counting_estimates(bits: &[u8]) -> Result<Vec<EstimatorResult>> {
+    ensure_bit_len(bits, 16)?;
+    let mut prev = bits[0];
+    let mut ones = usize::from(prev);
+    let mut pairs = [[0u64; 2]; 2];
+    for &bit in &bits[1..] {
+        ones += usize::from(bit);
+        pairs[usize::from(prev)][usize::from(bit)] += 1;
+        prev = bit;
+    }
+    let (n2, n3) = collision::collision_counts(bits);
+    Ok(vec![
+        mcv::mcv_result_from_counts(ones, bits.len()),
+        collision::collision_result_from_counts(n2, n3),
+        markov::markov_result_from_counts(ones, bits.len(), pairs),
+    ])
 }
 
 /// The specification's 99 % upper confidence bound on a probability point estimate:
@@ -215,6 +345,27 @@ mod tests {
             battery.min_entropy_estimate(),
             ideal.min_entropy_estimate()
         );
+    }
+
+    #[test]
+    fn fused_counting_pass_matches_the_individual_estimators() {
+        for seed in 0..4 {
+            let bits = random_bits(1 << 14, 100 + seed);
+            let fused = counting_estimates(&bits).unwrap();
+            let separate = [
+                mcv_estimate(&bits).unwrap(),
+                collision_estimate(&bits).unwrap(),
+                markov_estimate(&bits).unwrap(),
+            ];
+            assert_eq!(fused, separate, "seed {seed}");
+        }
+        // Biased data exercises the non-saturated collision branch too.
+        let mut rng = StdRng::seed_from_u64(9);
+        let biased: Vec<u8> = (0..1 << 14).map(|_| u8::from(rng.gen_bool(0.8))).collect();
+        let fused = counting_estimates(&biased).unwrap();
+        assert_eq!(fused[1], collision_estimate(&biased).unwrap());
+        assert!(counting_estimates(&[0, 1, 0]).is_err());
+        assert!(counting_estimates(&[2; 64]).is_err());
     }
 
     #[test]

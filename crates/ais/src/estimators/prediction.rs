@@ -202,6 +202,12 @@ pub fn lag_estimate(bits: &[u8]) -> Result<EstimatorResult> {
     let mut scoreboard = [0u64; LAG_DEPTH];
     let mut winner = 0usize;
     let mut tally = Tally::default();
+    // The last 128 bits, newest at bit 0: `history` bit `j` is `bits[i - (j + 1)]`,
+    // i.e. subpredictor `j`'s prediction.  Iterating the *set* bits of the
+    // correct-prediction mask in ascending order visits exactly the `j`s the naive
+    // per-lag loop updates, in the same order — the winner promotion (`>=` against
+    // the running winner) is untouched, so the estimate is bit-identical.
+    let mut history: u128 = bits[0] as u128;
 
     for (i, &bit) in bits.iter().enumerate().skip(1) {
         let winner_lag = winner + 1;
@@ -211,14 +217,22 @@ pub fn lag_estimate(bits: &[u8]) -> Result<EstimatorResult> {
             None
         };
         tally.record(prediction == Some(bit));
-        for j in 0..i.min(LAG_DEPTH) {
-            if bits[i - (j + 1)] == bit {
-                scoreboard[j] += 1;
-                if scoreboard[j] >= scoreboard[winner] {
-                    winner = j;
-                }
+        let depth = i.min(LAG_DEPTH);
+        let valid = if depth == LAG_DEPTH {
+            u128::MAX
+        } else {
+            (1u128 << depth) - 1
+        };
+        let mut correct = (if bit == 1 { history } else { !history }) & valid;
+        while correct != 0 {
+            let j = correct.trailing_zeros() as usize;
+            correct &= correct - 1;
+            scoreboard[j] += 1;
+            if scoreboard[j] >= scoreboard[winner] {
+                winner = j;
             }
         }
+        history = (history << 1) | bit as u128;
     }
     Ok(tally.finish("lag"))
 }

@@ -1,0 +1,392 @@
+//! Incremental sliding-window state for the cheap battery members.
+//!
+//! The audit loop historically re-ran the full battery on every tumbling window.
+//! With overlapping (slid) windows that is wasteful for the counting estimators:
+//! MCV and Markov depend only on a ones count and a 2×2 transition-count matrix,
+//! both of which a window slide perturbs by O(delta), and the collision estimate
+//! depends only on the running moments of the waiting-time partition.  This module
+//! maintains exactly that state in a ring buffer so a slide costs O(delta) for the
+//! cheap members, leaving only the suffix-array/compression/prediction estimators
+//! to recompute on the materialized window (at whatever cadence the audit policy
+//! chooses — see `ptrng_engine`'s `AuditCadence`).
+//!
+//! # Exactness
+//!
+//! * **MCV, Markov** — the maintained counts are identical integers to a fresh
+//!   scan of the window, and the estimates route through the same count-based
+//!   cores the batch estimators use, so the results are bit-identical.
+//! * **Collision** — the waiting-time partition is greedy and *left-anchored*: a
+//!   fresh scan of a slid window re-anchors the partition at the new window start,
+//!   which can shift every event boundary.  The streaming state instead anchors
+//!   the partition at the **stream origin** and counts the events that fall fully
+//!   inside the current window.  On the first (unslid) window this is exactly the
+//!   batch scan; after slides it is the natural streaming reading of the same
+//!   statistic (the spec's estimator is defined over a fixed sample, not a sliding
+//!   one, so either anchoring is a faithful extension — the stream anchor is the
+//!   one that admits O(delta) updates).  The variance uses the moments form,
+//!   which differs from the two-pass form by ~1e-13 relative.
+
+use std::collections::VecDeque;
+
+use crate::bits::ensure_bits;
+use crate::{AisError, Result};
+
+use super::collision::collision_result_from_moments;
+use super::markov::markov_result_from_counts;
+use super::mcv::mcv_result_from_counts;
+use super::EstimatorResult;
+
+/// Smallest supported window: enough bits for two collision events plus a pair
+/// count (the engine enforces its own, much larger, audit minimum on top).
+pub const MIN_SLIDING_WINDOW_BITS: usize = 16;
+
+/// Stream-anchored greedy collision partition (SP 800-90B §6.3.2 waiting times).
+#[derive(Debug, Clone, Default)]
+struct CollisionStream {
+    /// Bits of the event currently being assembled (at most an unequal pair).
+    pending: [u8; 2],
+    pending_len: usize,
+    /// Stream position where the pending event starts.
+    next_start: u64,
+    /// Completed events still at or past the window start: `(start, t)`.
+    events: VecDeque<(u64, u8)>,
+    /// Running moments over `events` — exact integers, so summation order is moot.
+    count: u64,
+    sum_t: u64,
+    sum_t_sq: u64,
+}
+
+impl CollisionStream {
+    fn push(&mut self, bit: u8) {
+        match self.pending_len {
+            0 => {
+                self.pending[0] = bit;
+                self.pending_len = 1;
+            }
+            1 => {
+                if self.pending[0] == bit {
+                    self.emit(2);
+                } else {
+                    self.pending[1] = bit;
+                    self.pending_len = 2;
+                }
+            }
+            _ => {
+                // An unequal pair plus any third bit completes a t = 3 event.
+                self.emit(3);
+            }
+        }
+    }
+
+    fn emit(&mut self, t: u8) {
+        self.events.push_back((self.next_start, t));
+        self.next_start += t as u64;
+        self.pending_len = 0;
+        self.count += 1;
+        self.sum_t += t as u64;
+        self.sum_t_sq += (t as u64) * (t as u64);
+    }
+
+    /// Drops events that start before the window, keeping the moments in sync.
+    fn expire(&mut self, window_start: u64) {
+        while let Some(&(start, t)) = self.events.front() {
+            if start >= window_start {
+                break;
+            }
+            self.events.pop_front();
+            self.count -= 1;
+            self.sum_t -= t as u64;
+            self.sum_t_sq -= (t as u64) * (t as u64);
+        }
+    }
+}
+
+/// A sliding bit window with O(delta)-updatable counters for the cheap battery
+/// members (MCV, collision, Markov).
+///
+/// Push bits with [`push_bits`](Self::push_bits); once [`is_full`](Self::is_full)
+/// the window slides automatically (oldest bits evicted).  At any point
+/// [`cheap_results`](Self::cheap_results) produces the three counting estimates
+/// from the maintained state, and [`contents`](Self::contents) materializes the
+/// window for the estimators that genuinely need the raw bits.
+///
+/// # Example
+///
+/// ```
+/// use ptrng_ais::estimators::streaming::SlidingWindow;
+///
+/// # fn main() -> Result<(), ptrng_ais::AisError> {
+/// let mut window = SlidingWindow::new(8192)?;
+/// let bits: Vec<u8> = (0..16384).map(|i| ((i * 7 + i / 3) % 2) as u8).collect();
+/// window.push_bits(&bits)?;
+/// assert!(window.is_full());
+/// let cheap = window.cheap_results()?;
+/// assert_eq!(cheap.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: usize,
+    bits: VecDeque<u8>,
+    /// Total bits ever pushed (stream position of the window's trailing edge).
+    stream_pos: u64,
+    ones: usize,
+    /// Transition counts over consecutive bit pairs inside the window.
+    pairs: [[u64; 2]; 2],
+    collisions: CollisionStream,
+}
+
+impl SlidingWindow {
+    /// Creates an empty window holding `window_bits` bits once full.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `window_bits` is below [`MIN_SLIDING_WINDOW_BITS`].
+    pub fn new(window_bits: usize) -> Result<Self> {
+        if window_bits < MIN_SLIDING_WINDOW_BITS {
+            return Err(AisError::InvalidParameter {
+                name: "window_bits",
+                reason: format!(
+                    "sliding window needs at least {MIN_SLIDING_WINDOW_BITS} bits, got {window_bits}"
+                ),
+            });
+        }
+        Ok(Self {
+            capacity: window_bits,
+            bits: VecDeque::with_capacity(window_bits),
+            stream_pos: 0,
+            ones: 0,
+            pairs: [[0; 2]; 2],
+            collisions: CollisionStream::default(),
+        })
+    }
+
+    /// Appends bits, evicting the oldest once the window is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any value is not a bit.
+    pub fn push_bits(&mut self, bits: &[u8]) -> Result<()> {
+        ensure_bits(bits)?;
+        for &bit in bits {
+            if self.bits.len() == self.capacity {
+                let old = self.bits.pop_front().expect("full window is non-empty");
+                self.ones -= old as usize;
+                if let Some(&second) = self.bits.front() {
+                    self.pairs[old as usize][second as usize] -= 1;
+                }
+            }
+            if let Some(&last) = self.bits.back() {
+                self.pairs[last as usize][bit as usize] += 1;
+            }
+            self.bits.push_back(bit);
+            self.ones += bit as usize;
+            self.collisions.push(bit);
+            self.stream_pos += 1;
+        }
+        self.collisions.expire(self.window_start());
+        Ok(())
+    }
+
+    /// Stream position of the window's leading (oldest) edge.
+    fn window_start(&self) -> u64 {
+        self.stream_pos - self.bits.len() as u64
+    }
+
+    /// Bits currently held.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the window holds no bits yet.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Whether the window has reached capacity (further pushes slide it).
+    pub fn is_full(&self) -> bool {
+        self.bits.len() == self.capacity
+    }
+
+    /// Total bits ever pushed through the window.
+    pub fn stream_bits(&self) -> u64 {
+        self.stream_pos
+    }
+
+    /// Materializes the current window contents (oldest bit first) for the
+    /// estimators that need the raw sequence.
+    pub fn contents(&self) -> Vec<u8> {
+        self.bits.iter().copied().collect()
+    }
+
+    /// The three counting estimates (MCV, collision, Markov — specification
+    /// order) from the maintained state, without touching the window contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error before the window holds [`MIN_SLIDING_WINDOW_BITS`] bits.
+    pub fn cheap_results(&self) -> Result<Vec<EstimatorResult>> {
+        if self.bits.len() < MIN_SLIDING_WINDOW_BITS {
+            return Err(AisError::SequenceTooShort {
+                len: self.bits.len(),
+                needed: MIN_SLIDING_WINDOW_BITS,
+            });
+        }
+        debug_assert!(self.collisions.count >= 2);
+        Ok(vec![
+            mcv_result_from_counts(self.ones, self.bits.len()),
+            collision_result_from_moments(
+                self.collisions.count as usize,
+                self.collisions.sum_t,
+                self.collisions.sum_t_sq,
+            ),
+            markov_result_from_counts(self.ones, self.bits.len(), self.pairs),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::{collision_estimate, markov_estimate, mcv_estimate};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(len: usize, seed: u64, p_one: f64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| u8::from(rng.gen_bool(p_one))).collect()
+    }
+
+    /// Stream-anchored reference: greedy partition over the whole stream, events
+    /// fully inside `[start, end)` counted.
+    fn naive_window_events(stream: &[u8], start: usize, end: usize) -> Vec<u8> {
+        let mut events = Vec::new();
+        let mut i = 0usize;
+        while i + 1 < stream.len() {
+            let (t, step) = if stream[i] == stream[i + 1] {
+                (2u8, 2usize)
+            } else if i + 2 < stream.len() {
+                (3, 3)
+            } else {
+                break;
+            };
+            if i >= start && i + step <= end {
+                events.push(t);
+            }
+            i += step;
+        }
+        events
+    }
+
+    #[test]
+    fn first_window_matches_the_batch_estimators() {
+        let bits = random_bits(8192, 7, 0.5);
+        let mut window = SlidingWindow::new(8192).unwrap();
+        window.push_bits(&bits).unwrap();
+        assert!(window.is_full());
+        let cheap = window.cheap_results().unwrap();
+        let mcv = mcv_estimate(&bits).unwrap();
+        let collision = collision_estimate(&bits).unwrap();
+        let markov = markov_estimate(&bits).unwrap();
+        // MCV and Markov route through the identical count cores: exact equality.
+        assert_eq!(cheap[0], mcv);
+        assert_eq!(cheap[2], markov);
+        // Collision differs only in the variance form (moments vs two-pass).
+        assert_eq!(cheap[1].name, "collision");
+        assert!(
+            (cheap[1].h_per_bit - collision.h_per_bit).abs() < 1e-9,
+            "{} vs {}",
+            cheap[1].detail,
+            collision.detail
+        );
+    }
+
+    #[test]
+    fn slid_window_counters_match_a_fresh_scan() {
+        for (seed, p_one) in [(1u64, 0.5), (2, 0.8), (3, 0.95)] {
+            let stream = random_bits(40_000, seed, p_one);
+            let capacity = 8192usize;
+            let mut window = SlidingWindow::new(capacity).unwrap();
+            // Push in ragged chunks so slides cross chunk boundaries.
+            let mut fed = 0usize;
+            for chunk in stream.chunks(777) {
+                window.push_bits(chunk).unwrap();
+                fed += chunk.len();
+                if fed < capacity {
+                    continue;
+                }
+                let contents = window.contents();
+                assert_eq!(&contents, &stream[fed - capacity..fed]);
+                let cheap = window.cheap_results().unwrap();
+                // MCV and Markov: exact match against a fresh scan of the window.
+                assert_eq!(cheap[0], mcv_estimate(&contents).unwrap());
+                assert_eq!(cheap[2], markov_estimate(&contents).unwrap());
+                // Collision: exact match against the stream-anchored reference.
+                let events = naive_window_events(&stream[..fed], fed - capacity, fed);
+                let v = events.len();
+                let sum: u64 = events.iter().map(|&t| t as u64).sum();
+                let sum_sq: u64 = events.iter().map(|&t| (t as u64) * (t as u64)).sum();
+                assert_eq!(window.collisions.count as usize, v);
+                assert_eq!(window.collisions.sum_t, sum);
+                assert_eq!(window.collisions.sum_t_sq, sum_sq);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_window_reports_its_fill_state() {
+        let mut window = SlidingWindow::new(1 << 13).unwrap();
+        assert!(window.is_empty());
+        assert!(window.cheap_results().is_err());
+        window.push_bits(&random_bits(100, 5, 0.5)).unwrap();
+        assert_eq!(window.len(), 100);
+        assert!(!window.is_full());
+        assert!(window.cheap_results().is_ok());
+        assert_eq!(window.stream_bits(), 100);
+    }
+
+    #[test]
+    fn rejects_bad_parameters_and_bits() {
+        assert!(SlidingWindow::new(8).is_err());
+        let mut window = SlidingWindow::new(64).unwrap();
+        assert!(window.push_bits(&[0, 1, 2]).is_err());
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// After arbitrary pushes the maintained counters equal a fresh scan
+            /// of the materialized window.
+            #[test]
+            fn counters_track_the_window_exactly(
+                seed in 0u64..1 << 16,
+                total in 64usize..3000,
+                capacity in 16usize..512,
+                p_one in 0.05f64..0.95,
+            ) {
+                let stream = random_bits(total, seed, p_one);
+                let mut window = SlidingWindow::new(capacity).unwrap();
+                window.push_bits(&stream).unwrap();
+                let contents = window.contents();
+                let expected_start = total.saturating_sub(capacity);
+                prop_assert_eq!(&contents, &stream[expected_start..]);
+                let ones: usize = contents.iter().map(|&b| b as usize).sum();
+                prop_assert_eq!(window.ones, ones);
+                let mut pairs = [[0u64; 2]; 2];
+                for w in contents.windows(2) {
+                    pairs[w[0] as usize][w[1] as usize] += 1;
+                }
+                prop_assert_eq!(window.pairs, pairs);
+                let events = naive_window_events(&stream, expected_start, total);
+                prop_assert_eq!(window.collisions.count as usize, events.len());
+                prop_assert_eq!(
+                    window.collisions.sum_t,
+                    events.iter().map(|&t| t as u64).sum::<u64>()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Suffix-array machinery for the tuple estimators (SP 800-90B §6.3.5 / §6.3.6).
+//!
+//! The t-tuple and LRS estimates need, for every tuple width `w`, the highest
+//! occurrence count of any `w`-bit substring and the number of colliding substring
+//! pairs.  The original implementation re-scanned the sequence once per width with
+//! a rolling hash map — `O(w_max·n)` with a heavy constant (hashing, allocation) —
+//! which made the tuple pair ~86 % of the whole battery cost.  This module builds
+//! a **suffix array** (SA-IS, linear time, hand-rolled on `std` only) plus its
+//! **LCP array** (Kasai) once; every per-width statistic then falls out of a cheap
+//! linear scan over two integer arrays:
+//!
+//! * substrings of width `w` correspond to suffixes of length ≥ `w`, grouped by
+//!   their first `w` bits — in suffix-array order such a group is a contiguous run
+//!   of entries whose pairwise LCP is ≥ `w`,
+//! * the run lengths are exactly the tuple occurrence counts, so the per-width
+//!   maximum count and `Σ C(count, 2)` collision pairs are one pass over the LCP
+//!   array, and the longest repeated substring is simply the maximum LCP value.
+//!
+//! The counts are *identical integers* to the hash-map scan's (not merely close),
+//! so the estimates derived from them match bit for bit; the equivalence tests in
+//! [`super::tuple`] pin that down against the retained reference scan.
+
+/// Sentinel-free suffix array of a bit sequence (values `0`/`1`), built with the
+/// SA-IS induced-sorting algorithm in `O(n)` time.
+///
+/// `sa[j]` is the start position of the `j`-th suffix in lexicographic order.
+/// The caller must have validated that every sample is a bit.
+pub fn suffix_array(bits: &[u8]) -> Vec<u32> {
+    if bits.is_empty() {
+        return Vec::new();
+    }
+    // Shift the alphabet up by one and append the unique smallest sentinel SA-IS
+    // requires; its suffix sorts first and is stripped from the result.
+    let mut text: Vec<usize> = Vec::with_capacity(bits.len() + 1);
+    text.extend(bits.iter().map(|&b| b as usize + 1));
+    text.push(0);
+    let sa = sais(&text, 3);
+    sa.into_iter().skip(1).map(|i| i as u32).collect()
+}
+
+/// Kasai's linear-time LCP construction.
+///
+/// `lcp[j]` is the length of the longest common prefix of the suffixes at
+/// `sa[j - 1]` and `sa[j]` (`lcp[0]` is 0).
+pub fn lcp_array(bits: &[u8], sa: &[u32]) -> Vec<u32> {
+    let n = bits.len();
+    debug_assert_eq!(sa.len(), n);
+    let mut rank = vec![0u32; n];
+    for (j, &i) in sa.iter().enumerate() {
+        rank[i as usize] = j as u32;
+    }
+    let mut lcp = vec![0u32; n];
+    let mut h = 0usize;
+    for i in 0..n {
+        let r = rank[i] as usize;
+        if r > 0 {
+            let j = sa[r - 1] as usize;
+            while i + h < n && j + h < n && bits[i + h] == bits[j + h] {
+                h += 1;
+            }
+            lcp[r] = h as u32;
+            h = h.saturating_sub(1);
+        } else {
+            h = 0;
+        }
+    }
+    lcp
+}
+
+/// Per-width tuple statistics read off a suffix/LCP array pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WidthStats {
+    /// Highest occurrence count of any tuple of this width.
+    pub max_count: u32,
+    /// `Σ C(count, 2)` over all tuples of this width (exact: every term and the
+    /// sum stay far below 2⁵³).
+    pub collision_pairs: f64,
+}
+
+/// Scans the suffix/LCP arrays for the statistics of one tuple width.
+///
+/// A width-`w` tuple group is a maximal run of suffix-array entries that (a) are
+/// long enough to contain a `w`-bit window (`n − sa[j] ≥ w`) and (b) share an LCP
+/// of at least `w` with their predecessor.  Short suffixes break runs correctly:
+/// the LCP through a suffix of length < `w` is necessarily < `w`.
+pub fn width_stats(sa: &[u32], lcp: &[u32], n: usize, width: usize) -> WidthStats {
+    let mut max_count = 0u32;
+    let mut collision_pairs = 0.0f64;
+    let mut run = 0u32;
+    let w = width as u32;
+    let flush = |run: u32, max_count: &mut u32, pairs: &mut f64| {
+        if run > 1 {
+            *max_count = (*max_count).max(run);
+            *pairs += run as f64 * (run as f64 - 1.0) / 2.0;
+        } else if run == 1 {
+            *max_count = (*max_count).max(1);
+        }
+    };
+    for j in 0..n {
+        if n - (sa[j] as usize) < width {
+            flush(run, &mut max_count, &mut collision_pairs);
+            run = 0;
+        } else if run > 0 && lcp[j] >= w {
+            run += 1;
+        } else {
+            flush(run, &mut max_count, &mut collision_pairs);
+            run = 1;
+        }
+    }
+    flush(run, &mut max_count, &mut collision_pairs);
+    WidthStats {
+        max_count,
+        collision_pairs,
+    }
+}
+
+const EMPTY: usize = usize::MAX;
+
+/// SA-IS over `text`, which must end with a unique smallest sentinel value and
+/// draw its values from `0..k`.  Returns the full suffix array (sentinel first).
+fn sais(text: &[usize], k: usize) -> Vec<usize> {
+    let n = text.len();
+    if n == 1 {
+        return vec![0];
+    }
+    if n == 2 {
+        return vec![1, 0];
+    }
+
+    // S/L type classification, right to left (true = S-type).
+    let mut stype = vec![false; n];
+    stype[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        stype[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && stype[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && stype[i] && !stype[i - 1];
+
+    let mut bucket = vec![0usize; k];
+    for &c in text {
+        bucket[c] += 1;
+    }
+
+    // Pass 1: drop LMS suffixes at their bucket tails (arbitrary order), induce.
+    let mut sa = vec![EMPTY; n];
+    {
+        let mut tails = bucket_tails(&bucket);
+        for i in 1..n {
+            if is_lms(i) {
+                tails[text[i]] -= 1;
+                sa[tails[text[i]]] = i;
+            }
+        }
+    }
+    induce(&mut sa, text, &stype, &bucket);
+
+    // The LMS suffixes are now in their final relative order *as substrings*;
+    // name each distinct LMS substring to build the reduced problem.
+    let lms_count = (1..n).filter(|&i| is_lms(i)).count();
+    let mut lms_sorted = Vec::with_capacity(lms_count);
+    lms_sorted.extend(sa.iter().copied().filter(|&i| i != EMPTY && is_lms(i)));
+
+    let mut names = vec![EMPTY; n];
+    let mut name = 0usize;
+    names[lms_sorted[0]] = 0;
+    for pair in lms_sorted.windows(2) {
+        if !lms_substrings_equal(text, &stype, pair[0], pair[1]) {
+            name += 1;
+        }
+        names[pair[1]] = name;
+    }
+
+    // Sort the LMS suffixes: recurse when substrings repeat, read off otherwise.
+    let lms_positions: Vec<usize> = (1..n).filter(|&i| is_lms(i)).collect();
+    let lms_order: Vec<usize> = if name + 1 < lms_count {
+        let reduced: Vec<usize> = lms_positions.iter().map(|&i| names[i]).collect();
+        let reduced_sa = sais(&reduced, name + 1);
+        reduced_sa.into_iter().map(|r| lms_positions[r]).collect()
+    } else {
+        lms_sorted
+    };
+
+    // Pass 2: seed the buckets with the fully sorted LMS suffixes and re-induce.
+    sa.fill(EMPTY);
+    {
+        let mut tails = bucket_tails(&bucket);
+        for &i in lms_order.iter().rev() {
+            tails[text[i]] -= 1;
+            sa[tails[text[i]]] = i;
+        }
+    }
+    induce(&mut sa, text, &stype, &bucket);
+    sa
+}
+
+fn bucket_heads(bucket: &[usize]) -> Vec<usize> {
+    let mut heads = Vec::with_capacity(bucket.len());
+    let mut sum = 0usize;
+    for &count in bucket {
+        heads.push(sum);
+        sum += count;
+    }
+    heads
+}
+
+fn bucket_tails(bucket: &[usize]) -> Vec<usize> {
+    let mut tails = Vec::with_capacity(bucket.len());
+    let mut sum = 0usize;
+    for &count in bucket {
+        sum += count;
+        tails.push(sum);
+    }
+    tails
+}
+
+/// Induced sorting: a left-to-right pass places the L-type suffixes, a
+/// right-to-left pass the S-type suffixes (overwriting the seeds).
+fn induce(sa: &mut [usize], text: &[usize], stype: &[bool], bucket: &[usize]) {
+    let n = text.len();
+    let mut heads = bucket_heads(bucket);
+    for j in 0..n {
+        let i = sa[j];
+        if i != EMPTY && i > 0 && !stype[i - 1] {
+            let c = text[i - 1];
+            sa[heads[c]] = i - 1;
+            heads[c] += 1;
+        }
+    }
+    let mut tails = bucket_tails(bucket);
+    for j in (0..n).rev() {
+        let i = sa[j];
+        if i != EMPTY && i > 0 && stype[i - 1] {
+            let c = text[i - 1];
+            tails[c] -= 1;
+            sa[tails[c]] = i - 1;
+        }
+    }
+}
+
+/// Whether the LMS substrings starting at `a` and `b` are identical (same values
+/// *and* same type pattern up to and including the next LMS position).
+fn lms_substrings_equal(text: &[usize], stype: &[bool], a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    let is_lms = |i: usize| i > 0 && stype[i] && !stype[i - 1];
+    let n = text.len();
+    let mut d = 0usize;
+    loop {
+        // The sentinel is unique, so value comparison fails before either cursor
+        // can run past the end of the text.
+        if a + d >= n || b + d >= n || text[a + d] != text[b + d] {
+            return false;
+        }
+        if d > 0 {
+            let lms_a = is_lms(a + d);
+            let lms_b = is_lms(b + d);
+            if lms_a != lms_b {
+                return false;
+            }
+            if lms_a && lms_b {
+                return true;
+            }
+        }
+        d += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// O(n² log n) reference: sort the suffixes outright.
+    fn naive_suffix_array(bits: &[u8]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..bits.len() as u32).collect();
+        sa.sort_by(|&a, &b| bits[a as usize..].cmp(&bits[b as usize..]));
+        sa
+    }
+
+    fn naive_lcp(bits: &[u8], sa: &[u32]) -> Vec<u32> {
+        let mut lcp = vec![0u32; sa.len()];
+        for j in 1..sa.len() {
+            let a = &bits[sa[j - 1] as usize..];
+            let b = &bits[sa[j] as usize..];
+            lcp[j] = a.iter().zip(b).take_while(|(x, y)| x == y).count() as u32;
+        }
+        lcp
+    }
+
+    fn random_bits(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    #[test]
+    fn matches_naive_sort_on_structured_and_random_inputs() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![0],
+            vec![1],
+            vec![0, 0],
+            vec![1, 0],
+            vec![0, 1, 1, 0, 1, 1, 0],
+            vec![0; 64],
+            vec![1; 64],
+            (0..64).map(|i| (i % 2) as u8).collect(),
+            random_bits(257, 1),
+            random_bits(1024, 2),
+            random_bits(4096, 3),
+        ];
+        for bits in cases {
+            let sa = suffix_array(&bits);
+            assert_eq!(sa, naive_suffix_array(&bits), "input {bits:?}");
+            let lcp = lcp_array(&bits, &sa);
+            assert_eq!(lcp, naive_lcp(&bits, &sa), "lcp of {bits:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_arrays() {
+        assert!(suffix_array(&[]).is_empty());
+    }
+
+    #[test]
+    fn width_stats_match_hand_counts() {
+        // 0 1 1 0 1 1 0: four 1-tuples of value 1, three of value 0;
+        // 2-tuples: 01×2, 11×2, 10×2 → max 2, pairs 3·C(2,2) = 3.
+        let bits = [0u8, 1, 1, 0, 1, 1, 0];
+        let sa = suffix_array(&bits);
+        let lcp = lcp_array(&bits, &sa);
+        let ones = width_stats(&sa, &lcp, bits.len(), 1);
+        assert_eq!(ones.max_count, 4);
+        assert!((ones.collision_pairs - 9.0).abs() < 1e-12);
+        let pairs = width_stats(&sa, &lcp, bits.len(), 2);
+        assert_eq!(pairs.max_count, 2);
+        assert!((pairs.collision_pairs - 3.0).abs() < 1e-12);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn suffix_and_lcp_arrays_match_naive(
+                bits in proptest::collection::vec(0u8..=1, 1..300),
+            ) {
+                let sa = suffix_array(&bits);
+                prop_assert_eq!(&sa, &naive_suffix_array(&bits));
+                let lcp = lcp_array(&bits, &sa);
+                prop_assert_eq!(lcp, naive_lcp(&bits, &sa));
+            }
+        }
+    }
+}

@@ -16,9 +16,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use ptrng_ais::estimators::tuple::t_tuple_and_lrs_estimates_reference;
 use ptrng_ais::estimators::{
-    collision_estimate, compression_estimate, lag_estimate, markov_estimate, mcv_estimate,
-    multi_mcw_estimate, t_tuple_and_lrs_estimates, EstimatorBattery,
+    collision_estimate, compression_estimate, counting_estimates, lag_estimate, markov_estimate,
+    mcv_estimate, multi_mcw_estimate, t_tuple_and_lrs_estimates, EstimatorBattery,
 };
 
 fn bits(len: usize, p_one: f64, seed: u64) -> Vec<u8> {
@@ -43,10 +44,21 @@ fn estimator_sweep(c: &mut Criterion) {
             b.iter(|| estimate(&window).expect("estimator runs"));
         });
     }
-    // The tuple pair shares one counting scan (the battery's dominant cost), so
-    // it is measured as one unit, exactly as the battery runs it.
+    // The tuple pair shares one suffix-array construction, so it is measured as
+    // one unit, exactly as the battery runs it.
     group.bench_function("t_tuple_and_lrs", |b| {
         b.iter(|| t_tuple_and_lrs_estimates(&window).expect("estimators run"));
+    });
+    // Regression guard for the suffix-array rewrite: the per-width hash-map scan
+    // it replaced stays benchmarked so a future change can't silently hand the
+    // win back (the SA path is the `t_tuple_and_lrs` entry above).
+    group.bench_function("t_tuple_and_lrs_reference", |b| {
+        b.iter(|| t_tuple_and_lrs_estimates_reference(&window).expect("estimators run"));
+    });
+    // The streaming audit's steady-state cost on a cadenced lane: the three
+    // counting members in one fused pass.
+    group.bench_function("counting_fused", |b| {
+        b.iter(|| counting_estimates(&window).expect("estimators run"));
     });
     group.finish();
 }

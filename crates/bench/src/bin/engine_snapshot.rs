@@ -63,6 +63,17 @@ struct EstimatorNumbers {
     min_estimate_ideal: f64,
     /// Per-estimator cost over the same window, most expensive first.
     per_estimator: Vec<EstimatorCost>,
+    /// 4-shard `ero:16` engine with the sparse-cadence audit on shard 0 only,
+    /// output MB/s (median over the paired trials).
+    single_lane_mb_s: f64,
+    /// Same engine and audit with `--audit-every-lane`, output MB/s.
+    every_lane_mb_s: f64,
+    /// Relative throughput cost of auditing every lane, in percent: the median
+    /// of the per-trial paired overheads
+    /// (`(single - every) / single * 100` within each trial).
+    audit_every_lane_overhead_pct: f64,
+    /// Number of paired single/every-lane trials behind the medians.
+    overhead_trials: usize,
 }
 
 #[derive(Serialize)]
@@ -113,14 +124,19 @@ struct ObservabilityNumbers {
 struct PoolNumbers {
     /// Child sources in the measured pool.
     children: usize,
-    /// Healthy three-child pool, output MB/s (XOR mixing + per-child health lanes).
+    /// Healthy three-child pool, output MB/s (XOR mixing + per-child health
+    /// lanes; median over the paired trials).
     model3_1shard_mb_s: f64,
     /// Same workload with a scripted stuck window on child 1 driving one full
     /// quarantine/reinstatement cycle, output MB/s.
     model3_drill_mb_s: f64,
-    /// Relative throughput cost of the drill cycle, in percent
-    /// (`(healthy - drill) / healthy * 100`).
+    /// Relative throughput cost of the drill cycle, in percent: the median of
+    /// the per-trial paired overheads (`(healthy - drill) / healthy * 100`
+    /// within each trial, so container drift between the healthy and the drill
+    /// run does not masquerade as quarantine cost).
     quarantine_cycle_overhead_pct: f64,
+    /// Number of paired healthy/drill trials behind the medians.
+    trials: usize,
     /// Accounted min-entropy per output bit of the healthy three-way mix
     /// (the piling-up combination, not the independence-assuming sum).
     mixed_claim_h_per_bit: f64,
@@ -268,35 +284,54 @@ fn observability_numbers() -> ObservabilityNumbers {
 /// Healthy versus drilled throughput of the reference three-child pool.  The
 /// drill run asserts the cycle actually completed (one quarantine, one
 /// reinstatement) so the overhead number always covers the full state machine.
+/// Healthy and drill runs are **paired within each trial** and the overhead is
+/// the median of the per-trial paired deltas — measuring them as two separate
+/// medians let slow container drift show up as a (negative) quarantine cost.
 fn pool_numbers() -> PoolNumbers {
+    const TRIALS: usize = 5;
     let budget: u64 = 1 << 20;
     let spec = SourceSpec::parse("pool:model:0.6+model:0.6+model:0.6").expect("valid spec");
     let run = |fault: Option<&str>| {
-        let mut cycled = 0usize;
-        let secs = median_secs(3, || {
-            let plan = fault.map(|text| FaultPlan::parse(text).expect("valid plan"));
-            let config = EngineConfig::new(spec.clone())
-                .shards(1)
-                .seed(1)
-                .budget_bytes(Some(budget))
-                .fault(plan)
-                .health(HealthConfig::default().without_startup_battery());
-            let mut engine = Engine::spawn(config).expect("engine spawns");
-            let bytes = engine.read_to_end().expect("the pool keeps serving");
-            assert_eq!(bytes.len() as u64, budget);
-            let snapshot = engine.metrics().snapshot();
-            cycled += snapshot
-                .pool_children
-                .iter()
-                .map(|child| child.status.reinstatements as usize)
-                .sum::<usize>();
-            engine.join().expect("workers join");
-        });
+        let plan = fault.map(|text| FaultPlan::parse(text).expect("valid plan"));
+        let config = EngineConfig::new(spec.clone())
+            .shards(1)
+            .seed(1)
+            .budget_bytes(Some(budget))
+            .fault(plan)
+            .health(HealthConfig::default().without_startup_battery());
+        let start = Instant::now();
+        let mut engine = Engine::spawn(config).expect("engine spawns");
+        let bytes = engine.read_to_end().expect("the pool keeps serving");
+        assert_eq!(bytes.len() as u64, budget);
+        let secs = start.elapsed().as_secs_f64();
+        let snapshot = engine.metrics().snapshot();
+        let cycled = snapshot
+            .pool_children
+            .iter()
+            .map(|child| child.status.reinstatements as usize)
+            .sum::<usize>();
+        engine.join().expect("workers join");
         (budget as f64 / secs / 1.0e6, cycled)
     };
-    let (model3_1shard_mb_s, _) = run(None);
-    let (model3_drill_mb_s, cycled) = run(Some("child=1,kind=stuck,at=2KiB,for=1KiB"));
-    assert!(cycled >= 3, "every drill run completes the cycle: {cycled}");
+    const DRILL: &str = "child=1,kind=stuck,at=2KiB,for=1KiB";
+    // Warm-up run on each variant sizes every buffer before measuring.
+    run(None);
+    run(Some(DRILL));
+    let mut healthy = Vec::with_capacity(TRIALS);
+    let mut drilled = Vec::with_capacity(TRIALS);
+    let mut overheads = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        let (trial_healthy, _) = run(None);
+        let (trial_drill, cycled) = run(Some(DRILL));
+        assert!(cycled >= 1, "every drill run completes the cycle: {cycled}");
+        healthy.push(trial_healthy);
+        drilled.push(trial_drill);
+        overheads.push((trial_healthy - trial_drill) / trial_healthy * 100.0);
+    }
+    let median = |values: &mut Vec<f64>| {
+        values.sort_by(f64::total_cmp);
+        values[values.len() / 2]
+    };
     let mixed_claim = Engine::spawn(
         EngineConfig::new(spec)
             .shards(1)
@@ -308,11 +343,10 @@ fn pool_numbers() -> PoolNumbers {
     mixed_claim.shutdown().expect("tap shuts down");
     PoolNumbers {
         children: 3,
-        model3_1shard_mb_s,
-        model3_drill_mb_s,
-        quarantine_cycle_overhead_pct: (model3_1shard_mb_s - model3_drill_mb_s)
-            / model3_1shard_mb_s
-            * 100.0,
+        model3_1shard_mb_s: median(&mut healthy),
+        model3_drill_mb_s: median(&mut drilled),
+        quarantine_cycle_overhead_pct: median(&mut overheads),
+        trials: TRIALS,
         mixed_claim_h_per_bit,
     }
 }
@@ -386,6 +420,64 @@ fn conditioning_numbers() -> Vec<ConditionerNumbers> {
         .collect()
 }
 
+/// Throughput cost of `--audit-every-lane` on the default 4-shard `ero:16`
+/// engine, with the same sparse-cadence audit the CLI flag configures.  Paired
+/// trials: each trial runs the single-lane baseline and the every-lane variant
+/// back to back, and the reported overhead is the median of the per-trial
+/// paired deltas.  The budget is sized so the one-time cost of each lane's
+/// first full battery (the first completed window always recomputes every
+/// member) amortizes and the number approximates the steady state.
+fn every_lane_overhead() -> (f64, f64, f64, usize) {
+    use ptrng_engine::audit::{
+        AuditCadence, AuditConfig, DEFAULT_AUDIT_WINDOW_BITS, DEFAULT_EVERY_LANE_CADENCE,
+    };
+    const TRIALS: usize = 5;
+    let budget: u64 = 8 << 20;
+    let mb_s = |every_lane: bool, budget: u64| {
+        let audit = AuditConfig::default()
+            .slide_bits(Some(DEFAULT_AUDIT_WINDOW_BITS))
+            .cadence(AuditCadence::EveryKSlides(DEFAULT_EVERY_LANE_CADENCE));
+        let config =
+            EngineConfig::new(SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"))
+                .shards(4)
+                .seed(1)
+                .budget_bytes(Some(budget))
+                .audit(Some(audit))
+                .audit_every_lane(every_lane)
+                .health(HealthConfig::default().without_startup_battery());
+        let start = Instant::now();
+        let mut engine = Engine::spawn(config).expect("engine spawns");
+        let bytes = engine.read_to_end().expect("healthy stream");
+        assert_eq!(bytes.len() as u64, budget);
+        let secs = start.elapsed().as_secs_f64();
+        engine.join().expect("workers join");
+        budget as f64 / secs / 1.0e6
+    };
+    // A short warm-up run on each variant sizes every buffer before measuring.
+    mb_s(false, 64 << 10);
+    mb_s(true, 64 << 10);
+    let mut single = Vec::with_capacity(TRIALS);
+    let mut every = Vec::with_capacity(TRIALS);
+    let mut overheads = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        let trial_single = mb_s(false, budget);
+        let trial_every = mb_s(true, budget);
+        single.push(trial_single);
+        every.push(trial_every);
+        overheads.push((trial_single - trial_every) / trial_single * 100.0);
+    }
+    let median = |values: &mut Vec<f64>| {
+        values.sort_by(f64::total_cmp);
+        values[values.len() / 2]
+    };
+    (
+        median(&mut single),
+        median(&mut every),
+        median(&mut overheads),
+        TRIALS,
+    )
+}
+
 fn estimator_numbers() -> EstimatorNumbers {
     use ptrng_ais::estimators::{
         collision_estimate, compression_estimate, lag_estimate, markov_estimate, mcv_estimate,
@@ -427,12 +519,18 @@ fn estimator_numbers() -> EstimatorNumbers {
         }) * 1.0e3,
     });
     per_estimator.sort_by(|a, b| b.ms.total_cmp(&a.ms));
+    let (single_lane_mb_s, every_lane_mb_s, audit_every_lane_overhead_pct, overhead_trials) =
+        every_lane_overhead();
     EstimatorNumbers {
         window_bits,
         battery_ms: secs * 1.0e3,
         battery_mbit_s: window_bits as f64 / secs / 1.0e6,
         min_estimate_ideal: battery.min_entropy_estimate(),
         per_estimator,
+        single_lane_mb_s,
+        every_lane_mb_s,
+        audit_every_lane_overhead_pct,
+        overhead_trials,
     }
 }
 
@@ -588,7 +686,7 @@ fn strong_config(division: u32) -> EroTrngConfig {
 
 fn main() {
     let snapshot = Snapshot {
-        schema_version: 6,
+        schema_version: 7,
         engine: EngineNumbers {
             ero_strong_div16_1shard_mb_s: engine_mb_s(
                 SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"),

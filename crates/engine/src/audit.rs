@@ -25,7 +25,14 @@
 //! caught with a *calibrated* margin instead, see `examples/independence_audit.rs`
 //! and the tuning table in `docs/validation.md`.
 
-use ptrng_ais::estimators::{EstimatorBattery, EstimatorResult, MIN_BATTERY_BITS};
+use std::time::Instant;
+
+use ptrng_ais::estimators::streaming::SlidingWindow;
+use ptrng_ais::estimators::{
+    compression_estimate, counting_estimates, lag_estimate, multi_mcw_estimate,
+    t_tuple_and_lrs_estimates, EstimatorBattery, EstimatorResult, EstimatorTiming,
+    MIN_BATTERY_BITS,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::{EngineError, Result};
@@ -36,6 +43,77 @@ pub const DEFAULT_AUDIT_WINDOW_BITS: usize = 1 << 17;
 /// Default audit margin, calibrated for [`DEFAULT_AUDIT_WINDOW_BITS`] (see the
 /// [module docs](self)).
 pub const DEFAULT_AUDIT_MARGIN: f64 = 0.35;
+
+/// Timing label for the incrementally maintained counting members (MCV,
+/// collision, Markov) on a sliding lane — they share one O(1) evaluation, so
+/// they are timed as one unit alongside the per-estimator battery names.
+pub const COUNTER_TIMING_LABEL: &str = "counters";
+
+/// Default expensive-member cadence for `--audit-every-lane` deployments: the
+/// counting members run on every completed window, the expensive members every
+/// this-many windows.  Sized so a 4-shard `ero:16` engine auditing all eight of
+/// its lanes stays within ~10% of its single-lane throughput (see
+/// docs/operations.md for the capacity-planning arithmetic).
+pub const DEFAULT_EVERY_LANE_CADENCE: u32 = 64;
+
+/// How often the expensive battery members recompute on a *sliding* audit lane.
+///
+/// A window slide updates the counting members (MCV, collision, Markov) in
+/// O(delta); the remaining members (compression, t-tuple+LRS, MultiMCW, lag)
+/// need the materialized window.  The cadence decides how often they get it —
+/// cached results stand in between recomputations, and the overclaim verdict of
+/// every slide combines the fresh counting estimates with the cached expensive
+/// ones.  The first completed window always runs the full battery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AuditCadence {
+    /// Every completed window runs the full battery.
+    #[default]
+    EveryWindow,
+    /// The expensive members recompute on every k-th slide only.
+    EveryKSlides(u32),
+}
+
+impl AuditCadence {
+    /// Whether the `index`-th completed audit (0-based) recomputes the
+    /// expensive members.  Index 0 — the first completed window — always does.
+    fn recompute_at(self, index: u64) -> bool {
+        match self {
+            AuditCadence::EveryWindow => true,
+            AuditCadence::EveryKSlides(k) => index.is_multiple_of(u64::from(k)),
+        }
+    }
+}
+
+/// Runs the expensive battery members over a materialized window, appending
+/// their per-unit timings; returns the results in specification order
+/// (compression, t-tuple, LRS, MultiMCW, lag).
+fn expensive_members(
+    contents: &[u8],
+    timings: &mut Vec<EstimatorTiming>,
+) -> Result<Vec<EstimatorResult>> {
+    let mut time = |name: &str, start: Instant| {
+        timings.push(EstimatorTiming {
+            name: name.to_string(),
+            ns: start.elapsed().as_nanos() as u64,
+        });
+    };
+    let mut fresh = Vec::with_capacity(5);
+    let start = Instant::now();
+    fresh.push(compression_estimate(contents)?);
+    time("compression", start);
+    let start = Instant::now();
+    let (t_tuple, lrs) = t_tuple_and_lrs_estimates(contents)?;
+    time("t-tuple+lrs", start);
+    fresh.push(t_tuple);
+    fresh.push(lrs);
+    let start = Instant::now();
+    fresh.push(multi_mcw_estimate(contents)?);
+    time("multi-mcw", start);
+    let start = Instant::now();
+    fresh.push(lag_estimate(contents)?);
+    time("lag", start);
+    Ok(fresh)
+}
 
 /// Configuration of a streaming entropy audit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +131,14 @@ pub struct AuditConfig {
     /// it applies to the conditioned lane only, while the raw lane keeps auditing
     /// the raw ledger's own claim.
     pub claim: Option<f64>,
+    /// Bits each window advances by between audits; `None` tumbles (windows
+    /// don't overlap, the historical behavior).  `Some(s)` keeps a sliding
+    /// window and audits every `s` bits once the first window has filled, with
+    /// the counting members updated incrementally.
+    pub slide_bits: Option<usize>,
+    /// Recomputation policy for the expensive members on sliding lanes (ignored
+    /// when `slide_bits` is `None`, where every window runs the full battery).
+    pub cadence: AuditCadence,
 }
 
 impl Default for AuditConfig {
@@ -61,6 +147,8 @@ impl Default for AuditConfig {
             window_bits: DEFAULT_AUDIT_WINDOW_BITS,
             margin: DEFAULT_AUDIT_MARGIN,
             claim: None,
+            slide_bits: None,
+            cadence: AuditCadence::default(),
         }
     }
 }
@@ -84,6 +172,20 @@ impl AuditConfig {
     #[must_use]
     pub fn claim(mut self, claim: Option<f64>) -> Self {
         self.claim = claim;
+        self
+    }
+
+    /// Slides the window by `bits` per audit instead of tumbling.
+    #[must_use]
+    pub fn slide_bits(mut self, bits: Option<usize>) -> Self {
+        self.slide_bits = bits;
+        self
+    }
+
+    /// Sets the expensive-member recomputation cadence for sliding lanes.
+    #[must_use]
+    pub fn cadence(mut self, cadence: AuditCadence) -> Self {
+        self.cadence = cadence;
         self
     }
 
@@ -112,6 +214,23 @@ impl AuditConfig {
                 });
             }
         }
+        if let Some(slide) = self.slide_bits {
+            if slide == 0 || slide > self.window_bits {
+                return Err(EngineError::InvalidParameter {
+                    name: "audit.slide_bits",
+                    reason: format!(
+                        "must be in 1..={} (the window size), got {slide}",
+                        self.window_bits
+                    ),
+                });
+            }
+        }
+        if let AuditCadence::EveryKSlides(0) = self.cadence {
+            return Err(EngineError::InvalidParameter {
+                name: "audit.cadence",
+                reason: "every-k-slides cadence needs k ≥ 1".to_string(),
+            });
+        }
         Ok(())
     }
 }
@@ -127,6 +246,9 @@ pub struct WindowAudit {
     pub overclaim: bool,
     /// Every estimator's result over the window.
     pub estimators: Vec<EstimatorResult>,
+    /// Wall-clock cost of each battery unit that actually ran for this window
+    /// (cached members on a sliding lane do not reappear here).
+    pub timings: Vec<EstimatorTiming>,
 }
 
 /// Serializable summary of an audit lane (what the metrics snapshot carries).
@@ -168,6 +290,38 @@ pub struct AuditReport {
     pub latest: Option<WindowAudit>,
 }
 
+/// Window state of an audit lane: tumbling (historical) or sliding with
+/// incrementally maintained counters.
+#[derive(Debug)]
+enum WindowState {
+    Tumbling {
+        pending: Vec<u8>,
+        /// Whether the sparse cadence applies: a sliding configuration whose
+        /// slide equals the window has tumbling coverage, so the audit keeps the
+        /// cheap append-only buffer instead of paying the per-bit sliding
+        /// machinery, while still honoring the cadence for the expensive
+        /// members.  `false` for a plain tumbling lane (no `slide_bits`), where
+        /// every window runs the full battery.
+        cadenced: bool,
+        /// Completed window audits, driving the cadence.
+        audits: u64,
+        /// Last computed expensive results, specification order: compression,
+        /// t-tuple, LRS, MultiMCW, lag.
+        cached_expensive: Vec<EstimatorResult>,
+    },
+    Sliding {
+        window: SlidingWindow,
+        slide_bits: usize,
+        /// Bits absorbed since the last audit boundary (once the window filled).
+        fill: usize,
+        /// Completed slide audits, driving the cadence.
+        slides: u64,
+        /// Last computed expensive results, specification order: compression,
+        /// t-tuple, LRS, MultiMCW, lag.
+        cached_expensive: Vec<EstimatorResult>,
+    },
+}
+
 /// Streaming audit accumulator: feed bits (or packed bytes), get per-window
 /// battery verdicts against a fixed claim.
 #[derive(Debug)]
@@ -175,7 +329,7 @@ pub struct EntropyAudit {
     lane: String,
     claim: f64,
     config: AuditConfig,
-    pending: Vec<u8>,
+    state: WindowState,
     windows: u64,
     overclaims: u64,
     latest: Option<WindowAudit>,
@@ -198,11 +352,34 @@ impl EntropyAudit {
                 reason: format!("must be in (0, 1] for binary output, got {claim}"),
             });
         }
+        let state = match config.slide_bits {
+            None => WindowState::Tumbling {
+                pending: Vec::new(),
+                cadenced: false,
+                audits: 0,
+                cached_expensive: Vec::new(),
+            },
+            // A slide of one full window is tumbling coverage: keep the cheap
+            // append-only buffer and apply the cadence to the expensive members.
+            Some(slide_bits) if slide_bits == config.window_bits => WindowState::Tumbling {
+                pending: Vec::new(),
+                cadenced: true,
+                audits: 0,
+                cached_expensive: Vec::new(),
+            },
+            Some(slide_bits) => WindowState::Sliding {
+                window: SlidingWindow::new(config.window_bits)?,
+                slide_bits,
+                fill: 0,
+                slides: 0,
+                cached_expensive: Vec::new(),
+            },
+        };
         Ok(Self {
             lane: lane.to_string(),
             claim,
             config,
-            pending: Vec::new(),
+            state,
             windows: 0,
             overclaims: 0,
             latest: None,
@@ -244,11 +421,44 @@ impl EntropyAudit {
         let mut completed = false;
         let mut offset = 0usize;
         while offset < bits.len() {
-            let take = (self.config.window_bits - self.pending.len()).min(bits.len() - offset);
-            self.pending.extend_from_slice(&bits[offset..offset + take]);
-            offset += take;
-            if self.pending.len() == self.config.window_bits {
-                self.audit_pending()?;
+            let window_bits = self.config.window_bits;
+            let boundary = match &mut self.state {
+                WindowState::Tumbling { pending, .. } => {
+                    let take = (window_bits - pending.len()).min(bits.len() - offset);
+                    pending.extend_from_slice(&bits[offset..offset + take]);
+                    offset += take;
+                    pending.len() == window_bits
+                }
+                WindowState::Sliding {
+                    window,
+                    slide_bits,
+                    fill,
+                    ..
+                } => {
+                    let needed = if window.is_full() {
+                        *slide_bits - *fill
+                    } else {
+                        window_bits - window.len()
+                    };
+                    let was_full = window.is_full();
+                    let take = needed.min(bits.len() - offset);
+                    window.push_bits(&bits[offset..offset + take])?;
+                    offset += take;
+                    if was_full {
+                        *fill += take;
+                        if *fill == *slide_bits {
+                            *fill = 0;
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        window.is_full()
+                    }
+                }
+            };
+            if boundary {
+                self.audit_window()?;
                 completed = true;
             }
         }
@@ -275,18 +485,103 @@ impl EntropyAudit {
     ///
     /// Returns an error when the remainder fails to assess.
     pub fn finalize(&mut self) -> Result<Option<&WindowAudit>> {
-        if self.pending.len() >= MIN_BATTERY_BITS {
-            self.audit_pending()?;
-            return Ok(self.latest.as_ref());
+        match &mut self.state {
+            WindowState::Tumbling { pending, .. } => {
+                if pending.len() >= MIN_BATTERY_BITS {
+                    let remainder = std::mem::take(pending);
+                    self.record_full_battery(&remainder)?;
+                    return Ok(self.latest.as_ref());
+                }
+                pending.clear();
+            }
+            WindowState::Sliding { window, fill, .. } => {
+                // Unaudited tail: either the window never filled (but holds
+                // enough bits), or bits arrived since the last slide boundary.
+                if window.len() >= MIN_BATTERY_BITS && (*fill > 0 || self.windows == 0) {
+                    let contents = window.contents();
+                    *fill = 0;
+                    self.record_full_battery(&contents)?;
+                    return Ok(self.latest.as_ref());
+                }
+            }
         }
-        self.pending.clear();
         Ok(None)
     }
 
-    fn audit_pending(&mut self) -> Result<()> {
-        let battery = EstimatorBattery::run(&self.pending)?;
-        self.pending.clear();
-        let estimate = battery.min_entropy_estimate();
+    /// Runs one audit at a window boundary: the full battery on a tumbling lane,
+    /// the incremental counters plus cadence-gated expensive members on a
+    /// sliding one.
+    fn audit_window(&mut self) -> Result<()> {
+        let cadence = self.config.cadence;
+        match &mut self.state {
+            WindowState::Tumbling {
+                pending,
+                cadenced: false,
+                ..
+            } => {
+                let window = std::mem::take(pending);
+                self.record_full_battery(&window)
+            }
+            WindowState::Tumbling {
+                pending,
+                cadenced: true,
+                audits,
+                cached_expensive,
+            } => {
+                let window = std::mem::take(pending);
+                let start = Instant::now();
+                let cheap = counting_estimates(&window)?;
+                let mut timings = vec![EstimatorTiming {
+                    name: COUNTER_TIMING_LABEL.to_string(),
+                    ns: start.elapsed().as_nanos() as u64,
+                }];
+                if cadence.recompute_at(*audits) {
+                    *cached_expensive = expensive_members(&window, &mut timings)?;
+                }
+                *audits += 1;
+                // Specification order: mcv, collision, markov, then the cache.
+                let mut results = cheap;
+                results.extend(cached_expensive.iter().cloned());
+                self.record_window(results, timings);
+                Ok(())
+            }
+            WindowState::Sliding {
+                window,
+                slides,
+                cached_expensive,
+                ..
+            } => {
+                let start = Instant::now();
+                let cheap = window.cheap_results()?;
+                let mut timings = vec![EstimatorTiming {
+                    name: COUNTER_TIMING_LABEL.to_string(),
+                    ns: start.elapsed().as_nanos() as u64,
+                }];
+                if cadence.recompute_at(*slides) {
+                    *cached_expensive = expensive_members(&window.contents(), &mut timings)?;
+                }
+                *slides += 1;
+                // Specification order: mcv, collision, markov, then the cache.
+                let mut results = cheap;
+                results.extend(cached_expensive.iter().cloned());
+                self.record_window(results, timings);
+                Ok(())
+            }
+        }
+    }
+
+    fn record_full_battery(&mut self, window: &[u8]) -> Result<()> {
+        let (battery, timings) = EstimatorBattery::run_with_timings(window)?;
+        self.record_window(battery.results().to_vec(), timings);
+        Ok(())
+    }
+
+    fn record_window(&mut self, estimators: Vec<EstimatorResult>, timings: Vec<EstimatorTiming>) {
+        let (estimate, weakest) = estimators
+            .iter()
+            .min_by(|a, b| a.h_per_bit.total_cmp(&b.h_per_bit))
+            .map(|r| (r.h_per_bit, r.name.clone()))
+            .expect("the battery always holds at least one result");
         let overclaim = estimate < self.claim - self.config.margin;
         self.windows += 1;
         if overclaim {
@@ -294,11 +589,11 @@ impl EntropyAudit {
         }
         self.latest = Some(WindowAudit {
             estimate,
-            weakest: battery.weakest().name.clone(),
+            weakest,
             overclaim,
-            estimators: battery.results().to_vec(),
+            estimators,
+            timings,
         });
-        Ok(())
     }
 
     /// The compact per-lane summary carried by the engine metrics snapshot.
@@ -427,5 +722,196 @@ mod tests {
         assert!(EntropyAudit::new("x", 1.0, AuditConfig::default().margin(1.5)).is_err());
         assert!(EntropyAudit::new("x", 0.0, AuditConfig::default()).is_err());
         assert!(EntropyAudit::new("x", 1.0, AuditConfig::default().claim(Some(2.0))).is_err());
+        assert!(EntropyAudit::new("x", 1.0, AuditConfig::default().slide_bits(Some(0))).is_err());
+        assert!(EntropyAudit::new(
+            "x",
+            1.0,
+            AuditConfig::default()
+                .window_bits(1 << 14)
+                .slide_bits(Some(1 << 15))
+        )
+        .is_err());
+        assert!(EntropyAudit::new(
+            "x",
+            1.0,
+            AuditConfig::default().cadence(AuditCadence::EveryKSlides(0))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sliding_first_window_matches_a_tumbling_audit() {
+        let data = bits(1 << 14, 0.5, 10);
+        let mut tumbling = EntropyAudit::new(
+            "raw",
+            1.0,
+            AuditConfig::default().window_bits(1 << 14).margin(0.5),
+        )
+        .unwrap();
+        let mut sliding = EntropyAudit::new(
+            "raw",
+            1.0,
+            AuditConfig::default()
+                .window_bits(1 << 14)
+                .margin(0.5)
+                .slide_bits(Some(1 << 12)),
+        )
+        .unwrap();
+        tumbling.observe_bits(&data).unwrap();
+        sliding.observe_bits(&data).unwrap();
+        let t = tumbling.latest().unwrap();
+        let s = sliding.latest().unwrap();
+        assert_eq!(t.weakest, s.weakest);
+        assert_eq!(t.estimators.len(), s.estimators.len());
+        for (a, b) in t.estimators.iter().zip(&s.estimators) {
+            assert_eq!(a.name, b.name);
+            assert!(
+                (a.h_per_bit - b.h_per_bit).abs() < 1e-6,
+                "{}: {} vs {}",
+                a.name,
+                a.detail,
+                b.detail
+            );
+        }
+    }
+
+    #[test]
+    fn slide_of_one_window_keeps_tumbling_coverage_under_the_cadence() {
+        // slide == window is tumbling coverage: the audit skips the per-bit
+        // sliding machinery but still audits every window, recomputing the
+        // expensive members on the cadence only.
+        let config = AuditConfig::default()
+            .window_bits(1 << 14)
+            .margin(0.5)
+            .slide_bits(Some(1 << 14))
+            .cadence(AuditCadence::EveryKSlides(4));
+        let mut audit = EntropyAudit::new("raw", 1.0, config).unwrap();
+        let data = bits(5 << 14, 0.5, 21);
+        audit.observe_bits(&data).unwrap();
+        assert_eq!(audit.windows(), 5);
+        // Window 5 (index 4) recomputed, so the latest window carries fresh
+        // expensive timings alongside the counter trio.
+        let latest = audit.latest().unwrap();
+        assert_eq!(latest.estimators.len(), 8);
+        assert!(latest
+            .timings
+            .iter()
+            .any(|t| t.name == COUNTER_TIMING_LABEL));
+        assert!(latest.timings.iter().any(|t| t.name == "compression"));
+
+        // Between recomputes only the counter trio is evaluated; the verdict
+        // still covers all eight estimators through the cache.
+        let mut sparse = EntropyAudit::new(
+            "raw",
+            1.0,
+            AuditConfig::default()
+                .window_bits(1 << 14)
+                .margin(0.5)
+                .slide_bits(Some(1 << 14))
+                .cadence(AuditCadence::EveryKSlides(1000)),
+        )
+        .unwrap();
+        sparse.observe_bits(&data).unwrap();
+        let cached = sparse.latest().unwrap();
+        assert_eq!(cached.estimators.len(), 8);
+        assert_eq!(cached.timings.len(), 1, "{:?}", cached.timings);
+        assert_eq!(cached.timings[0].name, COUNTER_TIMING_LABEL);
+
+        // The first window matches a plain tumbling full battery exactly — the
+        // counting members are the very same batch estimators.
+        let mut tumbling = EntropyAudit::new(
+            "raw",
+            1.0,
+            AuditConfig::default().window_bits(1 << 14).margin(0.5),
+        )
+        .unwrap();
+        tumbling.observe_bits(&data[..1 << 14]).unwrap();
+        let mut first = EntropyAudit::new(
+            "raw",
+            1.0,
+            AuditConfig::default()
+                .window_bits(1 << 14)
+                .margin(0.5)
+                .slide_bits(Some(1 << 14))
+                .cadence(AuditCadence::EveryKSlides(4)),
+        )
+        .unwrap();
+        first.observe_bits(&data[..1 << 14]).unwrap();
+        let t = tumbling.latest().unwrap();
+        let f = first.latest().unwrap();
+        assert_eq!(t.estimators.len(), f.estimators.len());
+        for (a, b) in t.estimators.iter().zip(&f.estimators) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.h_per_bit, b.h_per_bit, "{}: exact match expected", a.name);
+        }
+    }
+
+    #[test]
+    fn sliding_lane_audits_every_slide_and_caches_expensive_members() {
+        let config = AuditConfig::default()
+            .window_bits(1 << 14)
+            .margin(0.5)
+            .slide_bits(Some(1 << 12))
+            .cadence(AuditCadence::EveryKSlides(4));
+        let mut audit = EntropyAudit::new("raw", 1.0, config).unwrap();
+        // First window fills after 2^14 bits, then a boundary every 2^12 bits.
+        audit.observe_bits(&bits(1 << 14, 0.5, 11)).unwrap();
+        assert_eq!(audit.windows(), 1);
+        // The first window always runs the full battery.
+        let names: Vec<&str> = audit
+            .latest()
+            .unwrap()
+            .timings
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        assert!(names.contains(&COUNTER_TIMING_LABEL), "{names:?}");
+        assert!(names.contains(&"compression"), "{names:?}");
+        // The next three slides serve cached expensive members (cheap only).
+        for expected_windows in 2..=4u64 {
+            audit
+                .observe_bits(&bits(1 << 12, 0.5, expected_windows))
+                .unwrap();
+            assert_eq!(audit.windows(), expected_windows);
+            let timings = &audit.latest().unwrap().timings;
+            assert_eq!(timings.len(), 1, "{timings:?}");
+            assert_eq!(timings[0].name, COUNTER_TIMING_LABEL);
+            assert_eq!(audit.latest().unwrap().estimators.len(), 8);
+        }
+        // The 4th slide (5th window) recomputes.
+        audit.observe_bits(&bits(1 << 12, 0.5, 12)).unwrap();
+        assert_eq!(audit.windows(), 5);
+        assert!(audit.latest().unwrap().timings.len() > 1);
+    }
+
+    #[test]
+    fn sliding_lane_catches_an_overclaim_with_cached_members() {
+        // p = 0.95 bits against a 0.9 claim: the counting members alone refute it
+        // on every slide, cached expensive members notwithstanding.
+        let config = AuditConfig::default()
+            .window_bits(1 << 14)
+            .claim(Some(0.9))
+            .slide_bits(Some(1 << 12))
+            .cadence(AuditCadence::EveryKSlides(1000));
+        let mut audit = EntropyAudit::new("raw", 0.074, config).unwrap();
+        audit.observe_bits(&bits(1 << 15, 0.95, 13)).unwrap();
+        assert!(audit.overclaimed());
+        assert!(audit.overclaims() >= 2, "every slide flags independently");
+    }
+
+    #[test]
+    fn sliding_finalize_audits_the_unseen_tail() {
+        let config = AuditConfig::default()
+            .window_bits(1 << 14)
+            .margin(0.5)
+            .slide_bits(Some(1 << 13));
+        let mut audit = EntropyAudit::new("raw", 1.0, config).unwrap();
+        // Not enough to fill the window, but enough for the battery.
+        audit.observe_bits(&bits(3 << 12, 0.5, 14)).unwrap();
+        assert_eq!(audit.windows(), 0);
+        assert!(audit.finalize().unwrap().is_some());
+        assert_eq!(audit.windows(), 1);
+        // Nothing new since: finalize is idempotent.
+        assert!(audit.finalize().unwrap().is_none());
     }
 }

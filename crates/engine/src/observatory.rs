@@ -14,11 +14,13 @@
 
 use std::sync::Arc;
 
+use ptrng_ais::estimators::{EstimatorTiming, BATTERY_UNIT_NAMES};
 use ptrng_obs::{
     Event, EventKind, FlightRecorder, Journal, LogLinearHistogram, ObsClock, PostmortemStore,
     TextEncoder, DEFAULT_TIME_BOUNDS_NS,
 };
 
+use crate::audit::COUNTER_TIMING_LABEL;
 use crate::pool::ObsOptions;
 
 /// Shared observability state of one running engine.
@@ -34,6 +36,9 @@ pub struct Observatory {
     /// One histogram per conditioning stage, labelled by the stage's own label.
     stage_ns: Vec<(String, Arc<LogLinearHistogram>)>,
     audit_ns: Arc<LogLinearHistogram>,
+    /// One histogram per battery unit (plus the sliding-lane counter unit),
+    /// decomposing `audit_ns` per estimator.
+    estimator_ns: Vec<(String, Arc<LogLinearHistogram>)>,
     tap_wait_ns: Arc<LogLinearHistogram>,
     postmortems: Arc<PostmortemStore>,
     journal: Option<Arc<Journal>>,
@@ -64,6 +69,12 @@ impl Observatory {
                 .map(|label| (label, Arc::new(LogLinearHistogram::new())))
                 .collect(),
             audit_ns: Arc::new(LogLinearHistogram::new()),
+            estimator_ns: BATTERY_UNIT_NAMES
+                .iter()
+                .copied()
+                .chain(std::iter::once(COUNTER_TIMING_LABEL))
+                .map(|name| (name.to_string(), Arc::new(LogLinearHistogram::new())))
+                .collect(),
             tap_wait_ns: Arc::new(LogLinearHistogram::new()),
             postmortems: Arc::new(PostmortemStore::default()),
             journal,
@@ -105,6 +116,25 @@ impl Observatory {
         &self.audit_ns
     }
 
+    /// Per-estimator battery-unit histograms (the decomposition of
+    /// [`audit_histogram`](Self::audit_histogram)), labelled by unit name.
+    pub fn estimator_histograms(&self) -> &[(String, Arc<LogLinearHistogram>)] {
+        &self.estimator_ns
+    }
+
+    /// Records the per-unit timings of one completed audit window.
+    pub(crate) fn record_estimator_timings(&self, timings: &[EstimatorTiming]) {
+        for timing in timings {
+            if let Some((_, histogram)) = self
+                .estimator_ns
+                .iter()
+                .find(|(name, _)| *name == timing.name)
+            {
+                histogram.record(timing.ns);
+            }
+        }
+    }
+
     /// Tap blocking-wait histogram.
     pub fn tap_wait_histogram(&self) -> &Arc<LogLinearHistogram> {
         &self.tap_wait_ns
@@ -143,7 +173,8 @@ impl Observatory {
     ///
     /// Families: `ptrng_batch_generation_seconds`,
     /// `ptrng_conditioning_stage_seconds{stage="…"}`,
-    /// `ptrng_audit_battery_seconds`, `ptrng_tap_wait_seconds`.
+    /// `ptrng_audit_battery_seconds`,
+    /// `ptrng_audit_estimator_seconds{estimator="…"}`, `ptrng_tap_wait_seconds`.
     pub fn render_histograms(&self, enc: &mut TextEncoder) {
         enc.histogram(
             "ptrng_batch_generation_seconds",
@@ -174,6 +205,19 @@ impl Observatory {
             &self.audit_ns.snapshot(),
             &DEFAULT_TIME_BOUNDS_NS,
         );
+        enc.family(
+            "ptrng_audit_estimator_seconds",
+            "Per-estimator battery-unit duration within completed audit windows.",
+            ptrng_obs::MetricKind::Histogram,
+        );
+        for (label, histogram) in &self.estimator_ns {
+            enc.histogram_series(
+                "ptrng_audit_estimator_seconds",
+                &[("estimator", label)],
+                &histogram.snapshot(),
+                &DEFAULT_TIME_BOUNDS_NS,
+            );
+        }
         enc.histogram(
             "ptrng_tap_wait_seconds",
             "Consumer blocking-wait time per tap draw.",
@@ -213,6 +257,21 @@ mod tests {
         obs.batch_histogram().record(1_000_000);
         obs.stage_histograms()[0].1.record(250_000);
         obs.audit_histogram().record(90_000_000);
+        obs.record_estimator_timings(&[
+            EstimatorTiming {
+                name: "compression".to_string(),
+                ns: 60_000_000,
+            },
+            EstimatorTiming {
+                name: COUNTER_TIMING_LABEL.to_string(),
+                ns: 12_000,
+            },
+            // Unknown names are ignored rather than inventing label series.
+            EstimatorTiming {
+                name: "not-an-estimator".to_string(),
+                ns: 1,
+            },
+        ]);
         obs.record_tap_wait(3_000, 32);
         let mut enc = TextEncoder::new();
         obs.render_histograms(&mut enc);
@@ -223,6 +282,10 @@ mod tests {
             "ptrng_conditioning_stage_seconds_bucket{stage=\"sha256:2\",le=\"0.001\"} 1",
             "ptrng_conditioning_stage_seconds_count{stage=\"sha256:2\"} 1",
             "ptrng_audit_battery_seconds_count 1",
+            "# TYPE ptrng_audit_estimator_seconds histogram",
+            "ptrng_audit_estimator_seconds_count{estimator=\"compression\"} 1",
+            "ptrng_audit_estimator_seconds_count{estimator=\"counters\"} 1",
+            "ptrng_audit_estimator_seconds_count{estimator=\"t-tuple+lrs\"} 0",
             "ptrng_tap_wait_seconds_count 1",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
@@ -233,6 +296,7 @@ mod tests {
                 .count(),
             1
         );
+        assert!(!text.contains("not-an-estimator"), "{text}");
     }
 
     #[test]

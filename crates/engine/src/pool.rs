@@ -244,6 +244,12 @@ pub struct EngineConfig {
     /// than the margin.  Off by default — the battery costs far more than
     /// generation, so it is a validation facility, not a hot-path default.
     pub audit: Option<AuditConfig>,
+    /// Extends the audit from shard 0 to **every** lane: each shard's raw and
+    /// conditioned streams get their own audit (lanes `shardN/raw`,
+    /// `shardN/conditioned`), and every pool child inherits one too.  Requires
+    /// `audit` to be set; pair it with a sparse [`AuditCadence`](crate::audit::AuditCadence)
+    /// to keep the overhead within budget (see `docs/operations.md`).
+    pub audit_every_lane: bool,
     /// Observability options: flight-recorder toggle and ring capacity.
     pub obs: ObsOptions,
     /// Deterministic fault injection: wraps one pool child (per shard) in a
@@ -269,6 +275,7 @@ impl EngineConfig {
             health: HealthConfig::default(),
             thermal_check_batches: 64,
             audit: None,
+            audit_every_lane: false,
             obs: ObsOptions::default(),
             fault: None,
         }
@@ -330,6 +337,13 @@ impl EngineConfig {
         self
     }
 
+    /// Extends the configured audit to every shard's lanes and every pool child.
+    #[must_use]
+    pub fn audit_every_lane(mut self, every_lane: bool) -> Self {
+        self.audit_every_lane = every_lane;
+        self
+    }
+
     /// Sets the observability options.
     #[must_use]
     pub fn obs(mut self, obs: ObsOptions) -> Self {
@@ -370,6 +384,12 @@ impl EngineConfig {
         }
         if let Some(audit) = &self.audit {
             audit.validate()?;
+        }
+        if self.audit_every_lane && self.audit.is_none() {
+            return Err(EngineError::InvalidParameter {
+                name: "audit_every_lane",
+                reason: "auditing every lane requires an audit configuration".to_string(),
+            });
         }
         if self.queue_batches == 0 {
             return Err(EngineError::InvalidParameter {
@@ -431,11 +451,27 @@ impl Engine {
     /// parameters (fails fast, before any thread starts).
     pub fn spawn_with_journal(config: EngineConfig, journal: Option<Arc<Journal>>) -> Result<Self> {
         config.validate()?;
+        // Every-lane auditing reaches into pools too: children without their own
+        // audit configuration inherit the engine's, claim override stripped (the
+        // override speaks about the engine *output*, not a child's raw stream).
+        let spec = match (&config.spec, config.audit_every_lane, &config.audit) {
+            (SourceSpec::Pool { children, options }, true, Some(audit))
+                if options.audit.is_none() =>
+            {
+                let mut options = options.clone();
+                options.audit = Some(audit.clone().claim(None));
+                SourceSpec::Pool {
+                    children: children.clone(),
+                    options,
+                }
+            }
+            _ => config.spec.clone(),
+        };
         // Build all sources first so configuration errors surface synchronously.
         let sources: Vec<Box<dyn EntropySource>> = (0..config.shards)
             .map(|shard| {
                 let shard_seed = derive_seed(config.seed, shard as u64);
-                match (&config.spec, &config.fault) {
+                match (&spec, &config.fault) {
                     // An armed fault plan wraps the targeted child of every
                     // shard's pool (drills typically run one shard).
                     (SourceSpec::Pool { children, options }, Some(plan)) => {
@@ -446,7 +482,7 @@ impl Engine {
                             Some(plan),
                         )?) as Box<dyn EntropySource>)
                     }
-                    _ => config.spec.build(shard_seed),
+                    _ => spec.build(shard_seed),
                 }
             })
             .collect::<Result<_>>()?;
@@ -510,11 +546,22 @@ impl Engine {
 
         let mut workers = Vec::with_capacity(config.shards);
         for (shard, (source, monitor)) in sources.into_iter().zip(monitors).enumerate() {
-            // The audit runs on shard 0 only: shards share one spec (hence one
-            // claim), so one audited stream checks the accounting for all of them
-            // at a fraction of the battery cost.
-            let (raw_audit, output_audit) = match (&config.audit, shard) {
-                (Some(audit), 0) => {
+            // By default the audit runs on shard 0 only: shards share one spec
+            // (hence one claim), so one audited stream checks the accounting for
+            // all of them at a fraction of the battery cost.  With
+            // `audit_every_lane` every shard gets its own pair of lanes, labelled
+            // by shard so the metrics keep them apart.
+            let audited = config.audit_every_lane || shard == 0;
+            let (raw_audit, output_audit) = match &config.audit {
+                Some(audit) if audited => {
+                    let (raw_lane, conditioned_lane) = if config.audit_every_lane {
+                        (
+                            format!("shard{shard}/raw"),
+                            format!("shard{shard}/conditioned"),
+                        )
+                    } else {
+                        ("raw".to_string(), "conditioned".to_string())
+                    };
                     // An asserted claim override speaks about the *output*: with a
                     // real chain it applies to the conditioned lane only, and the
                     // raw lane keeps auditing the raw ledger's own claim (the two
@@ -524,8 +571,11 @@ impl Engine {
                     } else {
                         audit.clone().claim(None)
                     };
-                    let raw =
-                        EntropyAudit::new("raw", raw_ledgers[0].min_entropy_per_bit(), raw_config)?;
+                    let raw = EntropyAudit::new(
+                        &raw_lane,
+                        raw_ledgers[shard].min_entropy_per_bit(),
+                        raw_config,
+                    )?;
                     // With the identity chain the conditioned stream *is* the raw
                     // stream; a second lane would double the cost to audit the same
                     // bits.
@@ -533,8 +583,8 @@ impl Engine {
                         None
                     } else {
                         Some(EntropyAudit::new(
-                            "conditioned",
-                            output_ledgers[0].min_entropy_per_bit(),
+                            &conditioned_lane,
+                            output_ledgers[shard].min_entropy_per_bit(),
                             audit.clone(),
                         )?)
                     };
@@ -864,6 +914,7 @@ impl ShardWorker {
                 &raw,
                 &self.metrics,
                 &self.raw_audit_probe,
+                &self.obs,
             )?;
 
             // ...while the FIPS startup battery judges the conditioned output.  The
@@ -890,6 +941,7 @@ impl ShardWorker {
                 processed,
                 &self.metrics,
                 &self.output_audit_probe,
+                &self.obs,
             )?;
             self.batch_probe
                 .record_tagged(elapsed_ns(batch_start), (processed.len() / 8) as u64);
@@ -947,6 +999,7 @@ impl ShardWorker {
         bits: &[u8],
         metrics: &EngineMetrics,
         probe: &Probe,
+        obs: &Observatory,
     ) -> std::result::Result<(), WorkerExit> {
         let Some(audit) = audit.as_mut() else {
             return Ok(());
@@ -954,12 +1007,13 @@ impl ShardWorker {
         // Time the call that completes a window: the estimator battery dominates
         // it, so its duration is (to buffering noise) the battery duration.
         let start = Instant::now();
-        if audit
+        let timings = audit
             .observe_bits(bits)
             .map_err(WorkerExit::Source)?
-            .is_some()
-        {
+            .map(|window| window.timings.clone());
+        if let Some(timings) = timings {
             probe.record_ns(elapsed_ns(start));
+            obs.record_estimator_timings(&timings);
             metrics.record_audit(audit.snapshot());
             if audit.overclaimed() {
                 return Err(WorkerExit::Alarm(

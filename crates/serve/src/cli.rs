@@ -11,7 +11,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use ptrng_engine::audit::{AuditConfig, EntropyAudit, DEFAULT_AUDIT_MARGIN};
+use ptrng_engine::audit::{
+    AuditCadence, AuditConfig, EntropyAudit, DEFAULT_AUDIT_MARGIN, DEFAULT_AUDIT_WINDOW_BITS,
+    DEFAULT_EVERY_LANE_CADENCE,
+};
 use ptrng_engine::fault::FaultPlan;
 use ptrng_engine::health::HealthConfig;
 use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig};
@@ -53,6 +56,11 @@ OPTIONS:
     --no-startup        skip the FIPS 140-2 startup battery
     --min-entropy H     override the model-backed entropy claim used for the
                         SP 800-90B cutoffs (0 < H <= 1)
+    --audit-every-lane  run the streaming SP 800-90B estimator audit on every
+                        shard's raw and conditioned lanes (and every pool child)
+                        instead of shard 0 only; the counting estimators run on
+                        every window, the expensive ones every 64th (see
+                        docs/operations.md for capacity planning)
     --out PATH          write bytes to PATH instead of stdout
     --stats             print per-shard metrics, the output entropy ledger
                         (canonical JSON) and the latency-histogram families
@@ -183,6 +191,9 @@ pub struct EngineArgs {
     pub min_entropy: Option<f64>,
     /// Fault-injection plan text (parsed by [`FaultPlan::parse`]; pool sources only).
     pub fault: Option<String>,
+    /// Audit every shard's raw and conditioned lanes (and every pool child)
+    /// instead of shard 0 only.
+    pub audit_every_lane: bool,
 }
 
 impl Default for EngineArgs {
@@ -197,6 +208,7 @@ impl Default for EngineArgs {
             startup_battery: true,
             min_entropy: None,
             fault: None,
+            audit_every_lane: false,
         }
     }
 }
@@ -248,6 +260,7 @@ impl EngineArgs {
                 );
             }
             "--no-startup" => self.startup_battery = false,
+            "--audit-every-lane" => self.audit_every_lane = true,
             "--min-entropy" => {
                 self.min_entropy = Some(
                     flag_value(it, "--min-entropy")?
@@ -281,14 +294,25 @@ impl EngineArgs {
         if let Some(claim) = self.min_entropy {
             health = health.with_min_entropy(claim);
         }
-        Ok(EngineConfig::new(spec)
+        let mut config = EngineConfig::new(spec)
             .shards(self.shards)
             .seed(self.seed)
             .batch_bits(self.batch_bits)
             .conditioner(self.conditioner.clone())
             .min_output_entropy(self.min_h)
             .health(health)
-            .fault(fault))
+            .fault(fault);
+        if self.audit_every_lane {
+            // Every lane pays for its own battery, so the expensive members run
+            // on a sparse cadence: the default window slides by its own length
+            // (tumbling coverage) with the counting members refreshed every
+            // window and the rest every DEFAULT_EVERY_LANE_CADENCE windows.
+            let audit = AuditConfig::default()
+                .slide_bits(Some(DEFAULT_AUDIT_WINDOW_BITS))
+                .cadence(AuditCadence::EveryKSlides(DEFAULT_EVERY_LANE_CADENCE));
+            config = config.audit(Some(audit)).audit_every_lane(true);
+        }
+        Ok(config)
     }
 }
 
@@ -888,6 +912,33 @@ mod tests {
             Ok(_) => panic!("a fault plan without a pool source must be rejected"),
         };
         assert!(error.to_string().contains("pool"));
+    }
+
+    #[test]
+    fn audit_every_lane_flag_enables_a_sparse_cadence_audit() {
+        let args = parse_generate(&argv(&["--audit-every-lane", "--source", "model:0.5"]))
+            .unwrap()
+            .unwrap();
+        assert!(args.engine.audit_every_lane);
+        let config = args.engine.engine_config().unwrap();
+        assert!(config.audit_every_lane);
+        let audit = config.audit.expect("the flag enables the engine audit");
+        assert_eq!(audit.window_bits, DEFAULT_AUDIT_WINDOW_BITS);
+        assert_eq!(audit.slide_bits, Some(DEFAULT_AUDIT_WINDOW_BITS));
+        assert_eq!(
+            audit.cadence,
+            AuditCadence::EveryKSlides(DEFAULT_EVERY_LANE_CADENCE)
+        );
+
+        // The server front-end shares the flag through the same engine parser.
+        let serve = parse_serve(&argv(&["--audit-every-lane"]))
+            .unwrap()
+            .unwrap();
+        assert!(serve.engine.engine_config().unwrap().audit_every_lane);
+
+        // Without the flag no audit is configured (the default engine is lean).
+        let plain = parse_generate(&argv(&[])).unwrap().unwrap();
+        assert!(plain.engine.engine_config().unwrap().audit.is_none());
     }
 
     #[test]

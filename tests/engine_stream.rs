@@ -3,6 +3,7 @@
 //! reaction to a frequency-injection-style jitter collapse.
 
 use ptrng::ais::fips;
+use ptrng::engine::audit::AuditConfig;
 use ptrng::engine::fault::FaultPlan;
 use ptrng::engine::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
 use ptrng::engine::metrics::AlarmKind;
@@ -430,6 +431,114 @@ fn pool_with_all_children_faulted_fails_closed_through_the_engine() {
         }
         other => panic!("expected a terminal source failure, got {other:?}"),
     }
+}
+
+/// `--audit-every-lane`: with the flag set, every shard runs its own pair of audit
+/// lanes (`shardN/raw` / `shardN/conditioned`) and publishes both in the metrics
+/// snapshot, instead of the default shard-0-only coverage.
+#[test]
+fn audit_every_lane_publishes_both_lanes_for_every_shard() {
+    const SHARDS: usize = 4;
+    let audit = AuditConfig::default().window_bits(1 << 15).margin(0.4);
+    let config = EngineConfig::new(SourceSpec::model(0.5).unwrap())
+        .shards(SHARDS)
+        .seed(2014)
+        // Non-identity chain so the conditioned lanes exist alongside the raw ones.
+        .conditioner(ConditionerSpec::xor(2))
+        .audit(Some(audit))
+        .audit_every_lane(true)
+        .budget_bytes(Some(64 * 1024))
+        // The lane coverage is the point here, not the startup battery.
+        .health(HealthConfig::default().without_startup_battery());
+    let mut engine = Engine::spawn(config).unwrap();
+    let bytes = engine
+        .read_to_end()
+        .expect("an honest claim must not alarm");
+    let snap = engine.metrics().snapshot();
+    let obs = std::sync::Arc::clone(engine.observatory());
+    engine.join().unwrap();
+
+    assert_eq!(bytes.len(), 64 * 1024);
+    assert_eq!(snap.alarms, 0);
+    // Every shard reports both of its lanes, each with at least one completed window.
+    for shard in 0..SHARDS {
+        for lane in [
+            format!("shard{shard}/raw"),
+            format!("shard{shard}/conditioned"),
+        ] {
+            let audit = snap
+                .audits
+                .iter()
+                .find(|a| a.lane == lane)
+                .unwrap_or_else(|| panic!("lane {lane} missing: {:?}", snap.audits));
+            assert!(audit.windows >= 1, "lane {lane} completed no window");
+            assert_eq!(audit.overclaims, 0, "lane {lane} overclaimed: {audit:?}");
+            assert!(audit.last_estimate > 0.0, "lane {lane}: {audit:?}");
+        }
+    }
+    // The per-estimator decomposition saw the windows too.
+    assert!(
+        obs.estimator_histograms()
+            .iter()
+            .any(|(name, histogram)| name == "compression" && histogram.count() > 0),
+        "no per-estimator timings recorded"
+    );
+}
+
+/// `--audit-every-lane` closes the blind spot the default coverage leaves: an
+/// overclaim occurring on a non-zero shard now trips that shard's own audit lane.
+/// Without the flag only shard 0 is audited and shards 1..N stream unchecked.
+#[test]
+fn audit_every_lane_catches_an_overclaim_on_a_non_zero_shard() {
+    let audit = AuditConfig::default().window_bits(1 << 14).claim(Some(0.9));
+    let config = EngineConfig::new(SourceSpec::model(0.95).unwrap())
+        .shards(4)
+        .seed(17)
+        .audit(Some(audit))
+        .audit_every_lane(true)
+        .budget_bytes(Some(MEBIBYTE))
+        .health(HealthConfig::default().without_startup_battery());
+    let mut engine = Engine::spawn(config).unwrap();
+    let result = engine.read_to_end();
+    assert!(
+        matches!(result,
+            Err(EngineError::HealthAlarm { kind: AlarmKind::AuditOverclaim, ref reason, .. })
+                if reason.contains("entropy audit")),
+        "expected an audit-overclaim alarm, got {result:?}"
+    );
+
+    // Every shard audits its own lane, so every shard alarms independently —
+    // including the non-zero shards the default shard-0-only audit cannot see.
+    // Alarms are recorded by the workers at alarm time; wait for the laggards.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let reasons = engine.metrics().alarm_reasons();
+        if reasons
+            .iter()
+            .any(|a| a.shard != 0 && a.kind == AlarmKind::AuditOverclaim)
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no non-zero shard raised an audit-overclaim alarm: {reasons:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let snap = engine.metrics().snapshot();
+    engine.join().unwrap();
+    let overclaimed_shards: Vec<&str> = snap
+        .audits
+        .iter()
+        .filter(|a| a.overclaims >= 1)
+        .map(|a| a.lane.as_str())
+        .collect();
+    assert!(
+        overclaimed_shards
+            .iter()
+            .any(|lane| !lane.starts_with("shard0/")),
+        "only shard 0 flagged the overclaim: {overclaimed_shards:?}"
+    );
 }
 
 /// A thermal test on a source without a physical model is rejected up front instead of
