@@ -18,6 +18,9 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::Serialize;
 
+use ptrng_engine::expanded::{
+    DrbgPolicy, ExpandedTap, DEFAULT_RESEED_AFTER_BYTES, DEFAULT_SEED_BITS_ACCOUNTED,
+};
 use ptrng_engine::fault::FaultPlan;
 use ptrng_engine::health::HealthConfig;
 use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig, ObsOptions};
@@ -39,6 +42,7 @@ struct Snapshot {
     source: SourceNumbers,
     conditioning: Vec<ConditionerNumbers>,
     serve: ServeNumbers,
+    drbg: DrbgNumbers,
     observability: ObservabilityNumbers,
     pool: PoolNumbers,
     estimators: EstimatorNumbers,
@@ -95,6 +99,28 @@ struct ServeNumbers {
     request_p50_ms: f64,
     /// 99th-percentile request service time over the measured draws, in ms.
     request_p99_ms: f64,
+}
+
+/// The SP 800-90A Hash_DRBG expansion tier: in-process `ExpandedTap` draw
+/// throughput, the same expansion served as `/random` over loopback HTTP
+/// (chunked framing, per-tier rate path), the cost of one funded reseed, and
+/// the seed economy of the default policy.  The tier's whole point is that
+/// output speed decouples from the conditioned-entropy rate, so these numbers
+/// should sit orders of magnitude above the `/entropy` row.
+#[derive(Serialize)]
+struct DrbgNumbers {
+    /// Direct `ExpandedTap::draw` throughput at the default policy, MB/s.
+    expansion_mb_s: f64,
+    /// `/random` body bytes per second over loopback, in MB/s.
+    random_loopback_mb_s: f64,
+    /// Bytes drawn per measured `/random` request.
+    request_bytes: u64,
+    /// Median wall-clock cost of one funded `reseed_now` (ledger debit + seed
+    /// draw + Hash_df re-derivation), in milliseconds.
+    reseed_ms: f64,
+    /// Conditioned seed bits debited per MiB of expanded output at the default
+    /// policy (`seed_bits_accounted / reseed_after_bytes`, scaled).
+    seed_bits_per_mib: f64,
 }
 
 /// Cost of the observability layer at the default engine configuration
@@ -623,9 +649,12 @@ fn serve_numbers() -> ServeNumbers {
     let serving = std::thread::spawn(move || server.serve());
 
     // Warm-up request sizes every buffer and fills the engine queue.
-    assert_eq!(draw_over_http(addr, 64 << 10), 64 << 10);
+    assert_eq!(draw_over_http(addr, "/entropy", 64 << 10), 64 << 10);
     let secs = median_secs(3, || {
-        assert_eq!(draw_over_http(addr, request_bytes), request_bytes);
+        assert_eq!(
+            draw_over_http(addr, "/entropy", request_bytes),
+            request_bytes
+        );
     });
     handle.shutdown();
     serving
@@ -642,13 +671,85 @@ fn serve_numbers() -> ServeNumbers {
     }
 }
 
-/// One `GET /entropy?bytes=N` over a fresh connection; returns the decoded body
+/// Throughput and reseed economics of the Hash_DRBG expansion tier, measured
+/// twice: directly through `ExpandedTap::draw` (the raw expansion speed), and
+/// through a loopback `ptrng-serve --drbg` answering `GET /random` (the speed a
+/// client actually sees).  The backing engine is the calibrated model source —
+/// the tier only touches the conditioned stream at reseed time, so the source
+/// rate is irrelevant between seeds and a fast backing keeps the warm-up cheap.
+fn drbg_numbers() -> DrbgNumbers {
+    let request_bytes: u64 = 64 << 20;
+
+    // Direct expansion speed plus the cost of one funded reseed.
+    let spawn = || {
+        let config = EngineConfig::new(SourceSpec::model(0.5).expect("valid spec"))
+            .shards(1)
+            .seed(1)
+            .health(HealthConfig::default().without_startup_battery());
+        Engine::spawn(config).expect("engine spawns").into_tap()
+    };
+    let expanded =
+        ExpandedTap::new(spawn(), DrbgPolicy::default()).expect("default policy is valid");
+    let mut out = vec![0u8; 8 << 20];
+    // Warm-up pays the lazy instantiation and sizes the buffer.
+    expanded
+        .draw(&mut out)
+        .expect("model source funds the seed");
+    let secs = median_secs(3, || {
+        expanded.draw(&mut out).expect("expansion flows");
+    });
+    let expansion_mb_s = out.len() as f64 / secs / 1.0e6;
+    let reseed_ms = median_secs(9, || {
+        expanded
+            .reseed_now()
+            .expect("model source funds the reseed");
+    }) * 1.0e3;
+    expanded.shutdown().expect("tap shuts down");
+
+    // The same expansion through the full `/random` HTTP path.
+    let engine = EngineConfig::new(SourceSpec::model(0.5).expect("valid spec"))
+        .shards(1)
+        .seed(1)
+        .health(HealthConfig::default().without_startup_battery());
+    let mut config = ServeConfig::new(engine);
+    config.listen = "127.0.0.1:0".to_string();
+    config.threads = 2;
+    config.max_request_bytes = request_bytes;
+    config.drbg = Some(DrbgPolicy::default());
+    let server = Server::bind(config).expect("server binds");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.serve());
+    assert_eq!(draw_over_http(addr, "/random", 1 << 20), 1 << 20);
+    let secs = median_secs(3, || {
+        assert_eq!(
+            draw_over_http(addr, "/random", request_bytes),
+            request_bytes
+        );
+    });
+    handle.shutdown();
+    serving
+        .join()
+        .expect("server thread joins")
+        .expect("server drains cleanly");
+
+    DrbgNumbers {
+        expansion_mb_s,
+        random_loopback_mb_s: request_bytes as f64 / secs / 1.0e6,
+        request_bytes,
+        reseed_ms,
+        seed_bits_per_mib: DEFAULT_SEED_BITS_ACCOUNTED as f64 * (1u64 << 20) as f64
+            / DEFAULT_RESEED_AFTER_BYTES as f64,
+    }
+}
+
+/// One `GET <path>?bytes=N` over a fresh connection; returns the decoded body
 /// length (chunked transfer).
-fn draw_over_http(addr: std::net::SocketAddr, bytes: u64) -> u64 {
+fn draw_over_http(addr: std::net::SocketAddr, path: &str, bytes: u64) -> u64 {
     let mut conn = TcpStream::connect(addr).expect("connects");
     write!(
         conn,
-        "GET /entropy?bytes={bytes} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+        "GET {path}?bytes={bytes} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
     )
     .expect("request written");
     let mut reader = BufReader::new(conn);
@@ -686,7 +787,7 @@ fn strong_config(division: u32) -> EroTrngConfig {
 
 fn main() {
     let snapshot = Snapshot {
-        schema_version: 7,
+        schema_version: 8,
         engine: EngineNumbers {
             ero_strong_div16_1shard_mb_s: engine_mb_s(
                 SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"),
@@ -710,6 +811,7 @@ fn main() {
         },
         conditioning: conditioning_numbers(),
         serve: serve_numbers(),
+        drbg: drbg_numbers(),
         observability: observability_numbers(),
         pool: pool_numbers(),
         estimators: estimator_numbers(),

@@ -19,6 +19,10 @@
 //!   blocking and non-blocking byte draws from any number of threads, with the
 //!   conditioned-output entropy ledger and the alarm trail attached — the interface
 //!   the `ptrng-serve` HTTP layer is built on,
+//! * [`expanded`] — the SP 800-90A Hash_DRBG expansion tier
+//!   ([`expanded::ExpandedTap`]): ledger-accounted seeds, policy-driven reseeding
+//!   and a hard per-seed output allowance, decoupling serving throughput from the
+//!   physical source,
 //! * [`health`] — continuous health monitoring per shard: a FIPS 140-2 startup battery,
 //!   SP 800-90B repetition-count and adaptive-proportion tests on the raw bits, and the
 //!   paper's `σ²_N` thermal-jitter online test, composed into a latching alarm state
@@ -61,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod expanded;
 pub mod fault;
 pub mod health;
 pub mod metrics;
@@ -153,6 +158,7 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::audit::{AuditConfig, AuditReport, AuditSnapshot, EntropyAudit, WindowAudit};
+    pub use crate::expanded::{DrbgPolicy, DrbgSnapshot, ExpandedTap};
     pub use crate::fault::{FaultKind, FaultPlan, FaultSource};
     pub use crate::health::{AlarmReason, HealthConfig, HealthMonitor, HealthState};
     pub use crate::metrics::{AlarmKind, MetricsSnapshot, ShardAlarm};

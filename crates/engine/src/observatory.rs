@@ -40,6 +40,7 @@ pub struct Observatory {
     /// decomposing `audit_ns` per estimator.
     estimator_ns: Vec<(String, Arc<LogLinearHistogram>)>,
     tap_wait_ns: Arc<LogLinearHistogram>,
+    drbg_reseed_ns: Arc<LogLinearHistogram>,
     postmortems: Arc<PostmortemStore>,
     journal: Option<Arc<Journal>>,
 }
@@ -76,6 +77,7 @@ impl Observatory {
                 .map(|name| (name.to_string(), Arc::new(LogLinearHistogram::new())))
                 .collect(),
             tap_wait_ns: Arc::new(LogLinearHistogram::new()),
+            drbg_reseed_ns: Arc::new(LogLinearHistogram::new()),
             postmortems: Arc::new(PostmortemStore::default()),
             journal,
         }
@@ -169,12 +171,40 @@ impl Observatory {
             .record(EventKind::TapWait, None, ns, bytes);
     }
 
+    /// DRBG reseed latency histogram (seed draw + derivation per (re)seed).
+    pub fn drbg_reseed_histogram(&self) -> &Arc<LogLinearHistogram> {
+        &self.drbg_reseed_ns
+    }
+
+    /// Records one DRBG (re)seed: `ns` of wall-clock latency after
+    /// `bytes_since_reseed` expanded output bytes.  The event rides the
+    /// consumer-side recorder (the expansion tier draws like any consumer) and
+    /// — like alarm postmortems — lands in the `--journal` sink.
+    pub(crate) fn record_drbg_reseed(&self, ns: u64, bytes_since_reseed: u64) {
+        self.drbg_reseed_ns.record(ns);
+        self.tap_recorder
+            .record(EventKind::DrbgReseed, None, ns, bytes_since_reseed);
+        if let Some(journal) = self.journal() {
+            journal.append(
+                EventKind::DrbgReseed.code(),
+                &Event {
+                    t_ns: self.clock.now_ns(),
+                    shard: None,
+                    kind: EventKind::DrbgReseed,
+                    value: ns,
+                    extra: bytes_since_reseed,
+                },
+            );
+        }
+    }
+
     /// Renders the engine-side histogram families into a Prometheus exposition.
     ///
     /// Families: `ptrng_batch_generation_seconds`,
     /// `ptrng_conditioning_stage_seconds{stage="…"}`,
     /// `ptrng_audit_battery_seconds`,
-    /// `ptrng_audit_estimator_seconds{estimator="…"}`, `ptrng_tap_wait_seconds`.
+    /// `ptrng_audit_estimator_seconds{estimator="…"}`, `ptrng_tap_wait_seconds`,
+    /// `ptrng_drbg_reseed_seconds`.
     pub fn render_histograms(&self, enc: &mut TextEncoder) {
         enc.histogram(
             "ptrng_batch_generation_seconds",
@@ -223,6 +253,13 @@ impl Observatory {
             "Consumer blocking-wait time per tap draw.",
             &[],
             &self.tap_wait_ns.snapshot(),
+            &DEFAULT_TIME_BOUNDS_NS,
+        );
+        enc.histogram(
+            "ptrng_drbg_reseed_seconds",
+            "DRBG expansion-tier (re)seed latency (seed draw + derivation).",
+            &[],
+            &self.drbg_reseed_ns.snapshot(),
             &DEFAULT_TIME_BOUNDS_NS,
         );
     }

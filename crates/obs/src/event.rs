@@ -37,11 +37,16 @@ pub enum EventKind {
     HttpRequest,
     /// A shard health alarm fired. `value` = alarm-kind code index, `extra` = 0.
     Alarm,
+    /// The DRBG expansion tier (re)seeded from ledger-accounted entropy.
+    /// `value` = reseed wall-clock nanoseconds (seed draw + Hash_df),
+    /// `extra` = DRBG output bytes emitted since the previous (re)seed.
+    DrbgReseed,
 }
 
 impl EventKind {
-    /// Every kind, in stable discriminant order.
-    pub const ALL: [EventKind; 7] = [
+    /// Every kind, in stable discriminant order (append-only: serialized
+    /// discriminants must keep meaning across versions).
+    pub const ALL: [EventKind; 8] = [
         EventKind::BatchGenerated,
         EventKind::StageApplied,
         EventKind::HealthVerdict,
@@ -49,6 +54,7 @@ impl EventKind {
         EventKind::TapWait,
         EventKind::HttpRequest,
         EventKind::Alarm,
+        EventKind::DrbgReseed,
     ];
 
     /// Stable kebab-case code used in every serialized form.
@@ -61,6 +67,7 @@ impl EventKind {
             EventKind::TapWait => "tap-wait",
             EventKind::HttpRequest => "http-request",
             EventKind::Alarm => "alarm",
+            EventKind::DrbgReseed => "drbg-reseed",
         }
     }
 

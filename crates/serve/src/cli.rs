@@ -15,6 +15,7 @@ use ptrng_engine::audit::{
     AuditCadence, AuditConfig, EntropyAudit, DEFAULT_AUDIT_MARGIN, DEFAULT_AUDIT_WINDOW_BITS,
     DEFAULT_EVERY_LANE_CADENCE,
 };
+use ptrng_engine::expanded::{DrbgPolicy, ExpandedTap};
 use ptrng_engine::fault::FaultPlan;
 use ptrng_engine::health::HealthConfig;
 use ptrng_engine::pool::{ConditionerSpec, Engine, EngineConfig};
@@ -61,6 +62,13 @@ OPTIONS:
                         instead of shard 0 only; the counting estimators run on
                         every window, the expensive ones every 64th (see
                         docs/operations.md for capacity planning)
+    --drbg              expand the output through an SP 800-90A Hash_DRBG
+                        (SHA-256) seeded from ledger-accounted conditioned
+                        bytes; --budget then counts expanded output
+    --reseed-bytes SIZE DRBG output allowance per seed (requires --drbg)
+                                                              [default: 128MiB]
+    --prediction-resistance
+                        reseed the DRBG before every generate (requires --drbg)
     --out PATH          write bytes to PATH instead of stdout
     --stats             print per-shard metrics, the output entropy ledger
                         (canonical JSON) and the latency-histogram families
@@ -82,11 +90,22 @@ ENDPOINTS:
                            entropy ledger in X-PTRNG-MinEntropy / X-PTRNG-Ledger;
                            503 + ledger JSON when the accounted entropy misses
                            --min-h, 429 under the per-client rate limit
+    GET /random?bytes=N    stream N DRBG-expanded bytes (requires --drbg): an
+                           SP 800-90A Hash_DRBG seeded and reseeded from
+                           ledger-accounted conditioned output, X-PTRNG-Tier:
+                           drbg-sha256; 503 + ledger JSON when a due reseed
+                           cannot be funded, 404 when the tier is disabled;
+                           rate-limited in a bucket separate from /entropy
     GET /healthz           shard/alarm state (RCT, APT, thermal, startup battery)
                            plus recent alarm postmortems
     GET /metrics           Prometheus text exposition, including the latency
                            histograms (batch, conditioning stage, audit battery,
-                           tap wait, HTTP request)
+                           tap wait, HTTP request) and the ptrng_drbg_* families
+                           when --drbg is active
+    GET /selftest          draw one window of conditioned output, run the
+                           SP 800-90B estimator battery over it and compare the
+                           assessment against the ledger claim (reports the
+                           per-estimator timings)
     GET /debug/trace       flight-recorder timeline and alarm postmortems as
                            JSONL (rate-limited like a small draw)
 
@@ -99,6 +118,11 @@ that includes --source pool:CHILD+CHILD+... and the --fault drill flag):
                         omit for unlimited
     --burst SIZE        per-client burst capacity; requires --rate [default: 4x --rate]
     --chunk SIZE        chunked-transfer draw granularity         [default: 64KiB]
+    --drbg              enable the /random DRBG expansion tier
+    --reseed-bytes SIZE DRBG output allowance per seed (requires --drbg)
+                                                                  [default: 128MiB]
+    --prediction-resistance
+                        reseed the DRBG before every generate (requires --drbg)
     --journal PATH      append observability records (alarm postmortems) to PATH
                         as JSONL, one self-contained object per line
     --help              show this help
@@ -316,8 +340,69 @@ impl EngineArgs {
     }
 }
 
+/// The DRBG expansion-tier flags shared by `ptrngd` and `ptrng-serve`.
+#[derive(Debug, Clone, Default)]
+pub struct DrbgArgs {
+    /// Whether the expansion tier is enabled (`--drbg`).
+    pub enabled: bool,
+    /// Override of the per-seed output allowance (`--reseed-bytes`).
+    pub reseed_bytes: Option<u64>,
+    /// Reseed before every generate call (`--prediction-resistance`).
+    pub prediction_resistance: bool,
+}
+
+impl DrbgArgs {
+    /// Tries to consume one DRBG flag; returns whether it was recognized.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for malformed values.
+    pub fn accept(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--drbg" => self.enabled = true,
+            "--reseed-bytes" => {
+                self.reseed_bytes = Some(parse_size(&flag_value(it, "--reseed-bytes")?)?);
+            }
+            "--prediction-resistance" => self.prediction_resistance = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Rejects tuning flags given without `--drbg` — silently ignoring them
+    /// would run without the policy the operator believes is in force.
+    fn validate(&self) -> Result<(), String> {
+        if !self.enabled && (self.reseed_bytes.is_some() || self.prediction_resistance) {
+            return Err(
+                "--reseed-bytes/--prediction-resistance require --drbg (no DRBG tier is \
+                 active without it)"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// The policy these flags describe, when the tier is enabled.
+    pub fn policy(&self) -> Option<DrbgPolicy> {
+        self.enabled.then(|| {
+            let mut policy = DrbgPolicy::default();
+            if let Some(bytes) = self.reseed_bytes {
+                policy.reseed_after_bytes = bytes;
+            }
+            policy.prediction_resistance = self.prediction_resistance;
+            policy
+        })
+    }
+}
+
+#[derive(Debug)]
 struct GenerateArgs {
     engine: EngineArgs,
+    drbg: DrbgArgs,
     budget: Option<u64>,
     out: Option<String>,
     stats: bool,
@@ -327,6 +412,7 @@ struct GenerateArgs {
 fn parse_generate(argv: &[String]) -> Result<Option<GenerateArgs>, String> {
     let mut args = GenerateArgs {
         engine: EngineArgs::default(),
+        drbg: DrbgArgs::default(),
         budget: None,
         out: None,
         stats: false,
@@ -341,18 +427,20 @@ fn parse_generate(argv: &[String]) -> Result<Option<GenerateArgs>, String> {
             "--stats" => args.stats = true,
             "--journal" => args.journal = Some(flag_value(&mut it, "--journal")?),
             other => {
-                if !args.engine.accept(other, &mut it)? {
+                if !args.engine.accept(other, &mut it)? && !args.drbg.accept(other, &mut it)? {
                     return Err(format!("unknown argument `{other}` (try --help)"));
                 }
             }
         }
     }
+    args.drbg.validate()?;
     Ok(Some(args))
 }
 
 #[derive(Debug)]
 struct ServeCliArgs {
     engine: EngineArgs,
+    drbg: DrbgArgs,
     listen: String,
     threads: usize,
     max_request: u64,
@@ -365,6 +453,7 @@ struct ServeCliArgs {
 fn parse_serve(argv: &[String]) -> Result<Option<ServeCliArgs>, String> {
     let mut args = ServeCliArgs {
         engine: EngineArgs::default(),
+        drbg: DrbgArgs::default(),
         listen: "127.0.0.1:7878".to_string(),
         threads: 4,
         max_request: 4 << 20,
@@ -393,7 +482,7 @@ fn parse_serve(argv: &[String]) -> Result<Option<ServeCliArgs>, String> {
             }
             "--journal" => args.journal = Some(flag_value(&mut it, "--journal")?),
             other => {
-                if !args.engine.accept(other, &mut it)? {
+                if !args.engine.accept(other, &mut it)? && !args.drbg.accept(other, &mut it)? {
                     return Err(format!("unknown argument `{other}` (try --help)"));
                 }
             }
@@ -404,6 +493,7 @@ fn parse_serve(argv: &[String]) -> Result<Option<ServeCliArgs>, String> {
         // operator believes one is in force.
         return Err("--burst requires --rate (no rate limiter is active without it)".to_string());
     }
+    args.drbg.validate()?;
     Ok(Some(args))
 }
 
@@ -419,6 +509,7 @@ impl ServeCliArgs {
             burst_bytes: self.burst.unwrap_or(bytes_per_sec.saturating_mul(4)),
         });
         config.journal = open_journal(self.journal.as_deref())?;
+        config.drbg = self.drbg.policy();
         Ok(config)
     }
 }
@@ -433,7 +524,82 @@ fn open_journal(path: Option<&str>) -> Result<Option<Arc<Journal>>, String> {
     }
 }
 
+/// Streams DRBG-expanded bytes (`ptrngd --drbg`): the engine runs unbudgeted
+/// and `--budget` counts *expanded* output — the seed economy, not the byte
+/// budget, decides how much conditioned entropy is consumed.
+fn run_generate_drbg(args: GenerateArgs, policy: DrbgPolicy) -> Result<u64, (u8, String)> {
+    let config = args.engine.engine_config().map_err(|m| (1, m))?;
+    let journal = open_journal(args.journal.as_deref()).map_err(|m| (1, m))?;
+    let engine = Engine::spawn_with_journal(config, journal).map_err(|e| match e {
+        EngineError::EntropyDeficit { ref ledger, .. } => {
+            eprintln!("ptrngd: ledger {}", ledger.to_json());
+            (2, e.to_string())
+        }
+        other => (1, other.to_string()),
+    })?;
+    let expanded = ExpandedTap::new(engine.into_tap(), policy).map_err(|e| (1, e.to_string()))?;
+
+    let mut sink: Box<dyn Write> = match &args.out {
+        Some(path) => Box::new(std::io::BufWriter::with_capacity(
+            256 * 1024,
+            std::fs::File::create(path).map_err(|e| (1, format!("cannot create `{path}`: {e}")))?,
+        )),
+        None => Box::new(std::io::BufWriter::with_capacity(
+            256 * 1024,
+            std::io::stdout().lock(),
+        )),
+    };
+    let started = Instant::now();
+    let mut buffer = vec![0u8; 64 << 10];
+    let mut written = 0u64;
+    loop {
+        let want = match args.budget {
+            Some(budget) => (budget - written).min(buffer.len() as u64) as usize,
+            None => buffer.len(),
+        };
+        if want == 0 {
+            break;
+        }
+        // An unfundable reseed is the same refusal as a spawn-time deficit
+        // (exit 2 with the ledger on stderr), never silently degraded output.
+        expanded.draw(&mut buffer[..want]).map_err(|e| match e {
+            EngineError::EntropyDeficit { ref ledger, .. } => {
+                eprintln!("ptrngd: ledger {}", ledger.to_json());
+                (2, e.to_string())
+            }
+            other => (1, other.to_string()),
+        })?;
+        sink.write_all(&buffer[..want])
+            .map_err(|e| (1, format!("write failed: {e}")))?;
+        written += want as u64;
+    }
+    sink.flush()
+        .map_err(|e| (1, format!("flush failed: {e}")))?;
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if args.stats {
+        let drbg = expanded.snapshot();
+        eprintln!(
+            "ptrngd: {written} drbg-expanded bytes in {elapsed:.2}s ({:.2} MiB/s), \
+             {} generates, {} reseeds, {} accounted seed bits debited",
+            written as f64 / elapsed.max(1e-9) / (1024.0 * 1024.0),
+            drbg.generates,
+            drbg.reseeds,
+            drbg.seed_bits_debited,
+        );
+        eprintln!("ptrngd: ledger {}", expanded.tap().ledger().to_json());
+        let mut enc = TextEncoder::new();
+        expanded.tap().observatory().render_histograms(&mut enc);
+        eprint!("{}", enc.finish());
+    }
+    expanded.shutdown().map_err(|e| (1, e.to_string()))?;
+    Ok(written)
+}
+
 fn run_generate_inner(args: GenerateArgs) -> Result<u64, (u8, String)> {
+    if let Some(policy) = args.drbg.policy() {
+        return run_generate_drbg(args, policy);
+    }
     let config = args
         .engine
         .engine_config()
@@ -709,6 +875,7 @@ pub fn run_serve(argv: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let drbg_enabled = args.drbg.enabled;
     let config = match args.serve_config() {
         Ok(config) => config,
         Err(message) => {
@@ -727,7 +894,12 @@ pub fn run_serve(argv: &[String]) -> ExitCode {
     match server.local_addr() {
         Ok(addr) => {
             if server.is_serving() {
-                eprintln!("ptrng-serve: listening on http://{addr} (entropy, healthz, metrics)");
+                let tiers = if drbg_enabled {
+                    "entropy, random, healthz, metrics"
+                } else {
+                    "entropy, healthz, metrics"
+                };
+                eprintln!("ptrng-serve: listening on http://{addr} ({tiers})");
             } else {
                 eprintln!(
                     "ptrng-serve: listening on http://{addr} in REFUSING mode — the \
@@ -939,6 +1111,40 @@ mod tests {
         // Without the flag no audit is configured (the default engine is lean).
         let plain = parse_generate(&argv(&[])).unwrap().unwrap();
         assert!(plain.engine.engine_config().unwrap().audit.is_none());
+    }
+
+    #[test]
+    fn drbg_flags_parse_into_a_policy_on_both_front_ends() {
+        let serve = parse_serve(&argv(&[
+            "--drbg",
+            "--reseed-bytes",
+            "1MiB",
+            "--prediction-resistance",
+        ]))
+        .unwrap()
+        .unwrap();
+        let policy = serve.serve_config().unwrap().drbg.expect("tier enabled");
+        assert_eq!(policy.reseed_after_bytes, 1 << 20);
+        assert!(policy.prediction_resistance);
+        assert_eq!(
+            policy.seed_bits_accounted,
+            DrbgPolicy::default().seed_bits_accounted
+        );
+
+        let generate = parse_generate(&argv(&["--drbg"])).unwrap().unwrap();
+        let policy = generate.drbg.policy().expect("tier enabled");
+        assert_eq!(policy, DrbgPolicy::default());
+
+        // Without --drbg no tier is configured…
+        let plain = parse_serve(&argv(&[])).unwrap().unwrap();
+        assert!(plain.serve_config().unwrap().drbg.is_none());
+        // …and tuning flags without it are usage errors, on both front-ends.
+        assert!(parse_serve(&argv(&["--reseed-bytes", "1MiB"]))
+            .unwrap_err()
+            .contains("require --drbg"));
+        assert!(parse_generate(&argv(&["--prediction-resistance"]))
+            .unwrap_err()
+            .contains("require --drbg"));
     }
 
     #[test]

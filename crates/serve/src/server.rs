@@ -38,6 +38,7 @@ use std::time::{Duration, Instant};
 
 use ptrng_ais::estimators::MIN_BATTERY_BITS;
 use ptrng_engine::audit::{AuditConfig, EntropyAudit, DEFAULT_AUDIT_WINDOW_BITS};
+use ptrng_engine::expanded::{DrbgPolicy, ExpandedTap};
 use ptrng_engine::metrics::ShardAlarm;
 use ptrng_engine::observatory::Observatory;
 use ptrng_engine::pool::{Engine, EngineConfig};
@@ -45,8 +46,8 @@ use ptrng_engine::tap::EntropyTap;
 use ptrng_engine::EngineError;
 use ptrng_obs::probe::elapsed_ns;
 use ptrng_obs::{
-    Event, EventKind, FlightRecorder, Journal, LogLinearHistogram, ObsClock, Postmortem, Probe,
-    TextEncoder, DEFAULT_TIME_BOUNDS_NS,
+    Event, EventKind, FlightRecorder, Journal, LogLinearHistogram, MetricKind, ObsClock,
+    Postmortem, Probe, TextEncoder, DEFAULT_TIME_BOUNDS_NS,
 };
 use ptrng_trng::conditioning::EntropyLedger;
 use serde::{Serialize, Value};
@@ -98,6 +99,9 @@ pub struct ServeConfig {
     /// Optional JSONL journal sink (`--journal <path>`): the engine appends alarm
     /// postmortems to it as they are captured.
     pub journal: Option<Arc<Journal>>,
+    /// Enables the `/random` DRBG expansion tier with this reseed policy
+    /// (`--drbg`); `None` leaves the tier disabled and `/random` answers 404.
+    pub drbg: Option<DrbgPolicy>,
 }
 
 impl ServeConfig {
@@ -115,6 +119,7 @@ impl ServeConfig {
             read_timeout: Duration::from_secs(5),
             engine,
             journal: None,
+            drbg: None,
         }
     }
 
@@ -149,7 +154,13 @@ enum Supply {
 
 struct SharedState {
     supply: Supply,
+    /// The `/random` expansion tier (`None`: disabled by config or refusing).
+    expanded: Option<Arc<ExpandedTap>>,
     limiter: Option<RateLimiter>,
+    /// Separate token bucket for the `/random` tier: expanded bytes are cheap,
+    /// so a `/random` consumer must not drain the full-entropy budget of
+    /// `/entropy` clients behind the same IP (and vice versa).
+    drbg_limiter: Option<RateLimiter>,
     metrics: ServerMetrics,
     shutdown: Arc<AtomicBool>,
     max_request_bytes: u64,
@@ -251,12 +262,24 @@ impl Server {
             },
             Err(other) => return Err(other.into()),
         };
-        let limiter = match config.rate_limit {
-            Some(limit) => Some(
+        let expanded = match (&supply, config.drbg) {
+            (Supply::Serving(tap), Some(policy)) => {
+                Some(Arc::new(ExpandedTap::new(tap.clone(), policy)?))
+            }
+            _ => None,
+        };
+        let build_limiter = || match config.rate_limit {
+            Some(limit) => Ok(Some(
                 RateLimiter::new(limit.bytes_per_sec, limit.burst_bytes)
                     .map_err(ServeError::Config)?,
-            ),
-            None => None,
+            )),
+            None => Ok::<_, ServeError>(None),
+        };
+        let limiter = build_limiter()?;
+        let drbg_limiter = if expanded.is_some() {
+            build_limiter()?
+        } else {
+            None
         };
         // The HTTP flight recorder shares the engine's clock when one is running so
         // request events interleave with shard events on /debug/trace; in refusing
@@ -278,7 +301,9 @@ impl Server {
             listener,
             state: Arc::new(SharedState {
                 supply,
+                expanded,
                 limiter,
+                drbg_limiter,
                 metrics: ServerMetrics::new(),
                 shutdown: Arc::new(AtomicBool::new(false)),
                 max_request_bytes: config.max_request_bytes,
@@ -382,6 +407,11 @@ impl Server {
         drop(tx);
         for worker in workers {
             let _ = worker.join();
+        }
+        if let Some(expanded) = &self.state.expanded {
+            // Zeroizes the DRBG working state; the tap shutdown underneath is
+            // idempotent with the one below (clones share the engine).
+            expanded.shutdown()?;
         }
         if let Supply::Serving(tap) = &self.state.supply {
             tap.shutdown()?;
@@ -487,6 +517,7 @@ fn route(
     }
     match request.path.as_str() {
         "/entropy" => entropy(state, writer, request, peer_ip, keep_alive, head_only),
+        "/random" => random(state, writer, request, peer_ip, keep_alive, head_only),
         "/healthz" => healthz(state, writer, keep_alive, head_only),
         "/metrics" => metrics(state, writer, keep_alive, head_only),
         "/selftest" => selftest(state, writer, request, peer_ip, keep_alive, head_only),
@@ -494,7 +525,8 @@ fn route(
         _ => {
             let body = error_body(
                 "not found",
-                "endpoints: /entropy?bytes=N, /healthz, /metrics, /selftest, /debug/trace",
+                "endpoints: /entropy?bytes=N, /random?bytes=N, /healthz, /metrics, /selftest, \
+                 /debug/trace",
             );
             respond_json(state, writer, 404, &body, keep_alive, head_only)
         }
@@ -679,32 +711,45 @@ fn selftest(
     }
     let overclaim = audit.overclaimed();
     state.metrics.record_selftest(overclaim);
-    let report = serde_json::to_string(&audit.report()).expect("audit report serializes");
+    let report = audit.report();
+    // Per-estimator wall-clock cost of this window's battery, lifted to the top
+    // level so operators sizing `bits` do not have to dig through the report.
+    let timings = report
+        .latest
+        .as_ref()
+        .map(|window| window.timings.clone())
+        .unwrap_or_default();
+    let timings_json = serde_json::to_string(&timings).expect("timings serialize");
+    let report = serde_json::to_string(&report).expect("audit report serializes");
     let body = format!(
-        "{{\"overclaim\":{overclaim},\"audit\":{report},\"ledger\":{}}}",
+        "{{\"overclaim\":{overclaim},\"estimator_timings\":{timings_json},\
+         \"audit\":{report},\"ledger\":{}}}",
         ledger.to_json()
     );
     let status = if overclaim { 503 } else { 200 };
     respond_json(state, writer, status, &body, keep_alive, head_only)
 }
 
-fn entropy(
+/// Parses and bounds the `bytes` query parameter shared by the two entropy
+/// tiers; `Err(())` means the refusal response has already been written.
+fn parse_bytes_param(
     state: &SharedState,
     writer: &mut impl Write,
     request: &Request,
-    peer_ip: IpAddr,
     keep_alive: bool,
     head_only: bool,
-) -> std::io::Result<()> {
+) -> std::io::Result<std::result::Result<u64, ()>> {
     let bytes = match request.query_param("bytes").map(str::parse::<u64>) {
         Some(Ok(bytes)) => bytes,
         Some(Err(_)) => {
             let body = error_body("bad request", "`bytes` must be a non-negative integer");
-            return respond_json(state, writer, 400, &body, keep_alive, head_only);
+            respond_json(state, writer, 400, &body, keep_alive, head_only)?;
+            return Ok(Err(()));
         }
         None => {
             let body = error_body("bad request", "missing `bytes` query parameter");
-            return respond_json(state, writer, 400, &body, keep_alive, head_only);
+            respond_json(state, writer, 400, &body, keep_alive, head_only)?;
+            return Ok(Err(()));
         }
     };
     if bytes > state.max_request_bytes {
@@ -715,8 +760,23 @@ fn entropy(
                 state.max_request_bytes
             ),
         );
-        return respond_json(state, writer, 413, &body, keep_alive, head_only);
+        respond_json(state, writer, 413, &body, keep_alive, head_only)?;
+        return Ok(Err(()));
     }
+    Ok(Ok(bytes))
+}
+
+fn entropy(
+    state: &SharedState,
+    writer: &mut impl Write,
+    request: &Request,
+    peer_ip: IpAddr,
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let Ok(bytes) = parse_bytes_param(state, writer, request, keep_alive, head_only)? else {
+        return Ok(());
+    };
 
     let tap = match &state.supply {
         Supply::Serving(tap) => tap,
@@ -747,6 +807,7 @@ fn entropy(
     let ledger = tap.ledger();
     let head = ResponseHead::new(200)
         .header("Content-Type", "application/octet-stream")
+        .header("X-PTRNG-Tier", "full-entropy")
         .header(
             "X-PTRNG-MinEntropy",
             format!("{:.6}", tap.min_entropy_per_bit()),
@@ -790,6 +851,136 @@ fn entropy(
         remaining -= drawn;
     }
     chunked.finish()
+}
+
+/// `GET /random?bytes=N` — the DRBG expansion tier: Hash_DRBG output seeded
+/// (and policy-reseeded) from ledger-accounted conditioned entropy.
+///
+/// The tier trades the full-entropy guarantee for throughput: between funded
+/// reseeds it keeps serving even while the accounted credit dips (a quarantined
+/// pool child), because the bits it emits were funded by a seed that *was*
+/// accounted when drawn.  An unfundable **reseed**, however, answers the same
+/// canonical 503-with-ledger refusal as `/entropy` — never silently degraded
+/// output.  Disabled tiers (no `--drbg`) answer 404.
+fn random(
+    state: &SharedState,
+    writer: &mut impl Write,
+    request: &Request,
+    peer_ip: IpAddr,
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let Ok(bytes) = parse_bytes_param(state, writer, request, keep_alive, head_only)? else {
+        return Ok(());
+    };
+    if let Supply::Refusing {
+        ledger,
+        accounted,
+        required,
+    } = &state.supply
+    {
+        // No engine ran, so no seed can ever be funded: mirror /entropy.
+        let body = format!(
+            "{{\"error\":\"entropy deficit\",\"accounted\":{accounted},\
+             \"required\":{required},\"ledger\":{}}}",
+            ledger.to_json()
+        );
+        let head = ResponseHead::new(503)
+            .header("Content-Type", "application/json")
+            .header("Retry-After", format!("{DEFICIT_RETRY_AFTER_SECS}"))
+            .header("X-PTRNG-Ledger", ledger.to_json());
+        note_status(state, 503);
+        return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
+    }
+    let Some(expanded) = &state.expanded else {
+        let body = error_body(
+            "drbg tier disabled",
+            "start ptrng-serve with --drbg to enable /random",
+        );
+        return respond_json(state, writer, 404, &body, keep_alive, head_only);
+    };
+
+    let head = ResponseHead::new(200)
+        .header("Content-Type", "application/octet-stream")
+        .header("X-PTRNG-Tier", "drbg-sha256")
+        .header("X-PTRNG-Ledger", expanded.tap().ledger().to_json());
+    if head_only {
+        note_status(state, 200);
+        return write_response(writer, &head, b"", keep_alive, true);
+    }
+
+    if let Some(limiter) = &state.drbg_limiter {
+        if let Err(retry_secs) = limiter.try_acquire(peer_ip, bytes, Instant::now()) {
+            let body = error_body(
+                "rate limited",
+                &format!("client drbg budget exhausted; retry in {retry_secs:.1}s"),
+            );
+            let head = ResponseHead::new(429)
+                .header("Content-Type", "application/json")
+                .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
+            note_status(state, 429);
+            return write_response(writer, &head, body.as_bytes(), keep_alive, false);
+        }
+    }
+
+    // The first chunk is drawn before the response head goes out, so a reseed
+    // refusal surfaces as a clean 503 instead of a truncated 200.
+    let mut buffer = vec![0u8; state.chunk_bytes.min(bytes.max(1) as usize)];
+    let mut remaining = bytes as usize;
+    let first = remaining.min(buffer.len());
+    if let Err(error) = expanded.draw(&mut buffer[..first]) {
+        return drbg_refusal(state, writer, &error, keep_alive, head_only);
+    }
+    note_status(state, 200);
+    let mut chunked = ChunkedWriter::start(writer, &head, keep_alive)?;
+    chunked.write_chunk(&buffer[..first])?;
+    state.metrics.record_bytes_served(first as u64);
+    remaining -= first;
+    while remaining > 0 {
+        let want = remaining.min(buffer.len());
+        if expanded.draw(&mut buffer[..want]).is_err() {
+            // Mid-stream refusal (a reseed came due and could not be funded):
+            // abort without the terminating chunk so the client observes a
+            // truncated transfer, never unaccounted bytes.
+            return Err(std::io::Error::other("drbg stream refused mid-response"));
+        }
+        chunked.write_chunk(&buffer[..want])?;
+        state.metrics.record_bytes_served(want as u64);
+        remaining -= want;
+    }
+    chunked.finish()
+}
+
+/// Writes the `/random` refusal for a draw that failed before the response
+/// head was committed: entropy deficits carry the canonical ledger body.
+fn drbg_refusal(
+    state: &SharedState,
+    writer: &mut impl Write,
+    error: &ptrng_engine::EngineError,
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    if let EngineError::EntropyDeficit {
+        accounted,
+        required,
+        ledger,
+        ..
+    } = error
+    {
+        let body = format!(
+            "{{\"error\":\"entropy deficit\",\"accounted\":{accounted},\
+             \"required\":{required},\"ledger\":{}}}",
+            ledger.to_json()
+        );
+        let head = ResponseHead::new(503)
+            .header("Content-Type", "application/json")
+            .header("Retry-After", format!("{DEFICIT_RETRY_AFTER_SECS}"))
+            .header("X-PTRNG-Ledger", ledger.to_json());
+        note_status(state, 503);
+        return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
+    }
+    let body = error_body("drbg tier unavailable", &error.to_string());
+    respond_json(state, writer, 503, &body, keep_alive, head_only)
 }
 
 fn healthz(
@@ -876,6 +1067,39 @@ fn metrics(
     };
     let mut enc = TextEncoder::new();
     render_prometheus_into(&mut enc, &snapshot, &state.metrics, h, live, serving);
+    if let Some(expanded) = &state.expanded {
+        let drbg = expanded.snapshot();
+        enc.scalar(
+            "ptrng_drbg_generates_total",
+            "Completed Hash_DRBG generate calls on the /random tier.",
+            MetricKind::Counter,
+            drbg.generates,
+        );
+        enc.scalar(
+            "ptrng_drbg_reseeds_total",
+            "Ledger-funded DRBG (re)seeds, the instantiation included.",
+            MetricKind::Counter,
+            drbg.reseeds,
+        );
+        enc.scalar(
+            "ptrng_drbg_bytes_total",
+            "DRBG-expanded output bytes produced by the /random tier.",
+            MetricKind::Counter,
+            drbg.bytes_total,
+        );
+        enc.scalar(
+            "ptrng_drbg_bytes_since_reseed",
+            "DRBG output bytes emitted on the current seed (resets on reseed).",
+            MetricKind::Gauge,
+            drbg.bytes_since_reseed,
+        );
+        enc.scalar(
+            "ptrng_drbg_seed_bits_debited_total",
+            "Accounted min-entropy bits debited from the ledger for DRBG seeds.",
+            MetricKind::Counter,
+            drbg.seed_bits_debited,
+        );
+    }
     if let Some(obs) = &state.obs {
         obs.render_histograms(&mut enc);
     }

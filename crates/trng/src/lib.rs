@@ -12,6 +12,9 @@
 //!   end-to-end [`conditioning::EntropyLedger`] from the stochastic model's
 //!   dependent-jitter bound to the emitted bits,
 //! * [`sha256`] — a hand-rolled FIPS 180-4 SHA-256 backing the vetted conditioner,
+//! * [`drbg`] — an SP 800-90A Hash_DRBG over that SHA-256: the expansion tier that
+//!   decouples serving throughput from the physical source (seeded and reseeded
+//!   from ledger-accounted conditioned output by the engine's `ExpandedTap`),
 //! * [`entropy`] — empirical entropy estimators for bit sequences,
 //! * [`stochastic`] — entropy-per-bit bounds: the classical thermal-only ("independent
 //!   jitter") model and the flicker-aware correction motivated by the paper,
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod conditioning;
+pub mod drbg;
 pub mod entropy;
 pub mod ero;
 pub mod online;

@@ -34,7 +34,60 @@ pub const DIGEST_BYTES: usize = 32;
 /// unkeyed hash, also its narrowest internal width for SP 800-90B accounting).
 pub const DIGEST_BITS: usize = 256;
 
-const BLOCK_BYTES: usize = 64;
+/// Compression block size in bytes (512 bits).
+pub const BLOCK_BYTES: usize = 64;
+
+/// The FIPS 180-4 §5.3.3 initial hash value, exposed for single-block callers.
+///
+/// [`crate::drbg`]'s Hashgen loop hashes millions of identically-padded one-block
+/// messages; seeding a state with `INITIAL_STATE` and calling [`compress_block`]
+/// once skips the per-message buffer and padding work of the streaming hasher.
+pub const INITIAL_STATE: [u32; 8] = H0;
+
+/// FIPS 180-4 §6.2.2 compression of one already-padded 512-bit block into `state`.
+///
+/// This is the single-block fast path behind [`Sha256`]: a message of at most
+/// 55 bytes pads to exactly one block (`msg || 0x80 || zeros || bit-length`), so
+/// callers that hash many same-length short messages can build the padded block
+/// once, mutate the message bytes in place and re-compress from [`INITIAL_STATE`].
+pub fn compress_block(state: &mut [u32; 8], block: &[u8; BLOCK_BYTES]) {
+    let mut w = [0u32; 64];
+    for (t, chunk) in block.chunks_exact(4).enumerate() {
+        w[t] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for t in 16..64 {
+        let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+        let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+        w[t] = w[t - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[t - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for t in 0..64 {
+        let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(big_s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[t])
+            .wrapping_add(w[t]);
+        let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = big_s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    for (word, add) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *word = word.wrapping_add(add);
+    }
+}
 
 /// Incremental SHA-256 state: feed bytes with [`Sha256::update`], extract the
 /// digest with [`Sha256::finalize`] or — to reuse the state for the next message
@@ -129,42 +182,7 @@ impl Sha256 {
 
     /// FIPS 180-4 §6.2.2 compression of one 512-bit block.
     fn compress(&mut self, block: &[u8; BLOCK_BYTES]) {
-        let mut w = [0u32; 64];
-        for (t, chunk) in block.chunks_exact(4).enumerate() {
-            w[t] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for t in 16..64 {
-            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
-            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
-            w[t] = w[t - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[t - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for t in 0..64 {
-            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(big_s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[t])
-                .wrapping_add(w[t]);
-            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = big_s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        for (word, add) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
-            *word = word.wrapping_add(add);
-        }
+        compress_block(&mut self.state, block);
     }
 }
 
@@ -231,6 +249,24 @@ mod tests {
             hasher.update(&message[split..]);
             assert_eq!(hasher.finalize(), reference, "split at {split}");
         }
+    }
+
+    #[test]
+    fn single_block_fast_path_matches_streaming() {
+        // 55 bytes is the longest message that pads to exactly one block — the
+        // shape the DRBG Hashgen loop compresses millions of times.
+        let message: Vec<u8> = (0..55u8).map(|i| i ^ 0x5a).collect();
+        let mut block = [0u8; BLOCK_BYTES];
+        block[..55].copy_from_slice(&message);
+        block[55] = 0x80;
+        block[56..].copy_from_slice(&(55u64 * 8).to_be_bytes());
+        let mut state = INITIAL_STATE;
+        compress_block(&mut state, &block);
+        let mut digest = [0u8; DIGEST_BYTES];
+        for (chunk, word) in digest.chunks_exact_mut(4).zip(state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        assert_eq!(digest, Sha256::digest(&message));
     }
 
     #[test]

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Generates the DRBGVS-format Hash_DRBG (SHA-256) known-answer files in this
+directory, using an implementation written independently from the Rust one and
+backed by hashlib's SHA-256 (itself FIPS-validated in CPython builds).
+
+The vector *format* and the operation sequences mirror the NIST CAVP DRBGVS
+suite (drbgtestvectors: no_reseed / pr_false / pr_true, Hash_DRBG.rsp):
+
+* no_reseed:  Instantiate -> Generate (discard) -> Generate -> ReturnedBits
+* pr_false:   Instantiate -> Reseed -> Generate (discard) -> Generate -> ReturnedBits
+* pr_true:    Instantiate -> [Reseed -> Generate] x2, second output -> ReturnedBits
+
+Inputs are deterministic SHA-256 expansions of a fixed tag so the whole corpus
+regenerates byte-identically with `python3 generate_vectors.py`.
+"""
+
+import hashlib
+import itertools
+import pathlib
+
+SEEDLEN = 55  # 440 bits, SP 800-90A Table 2 for SHA-256
+RETURNED_BITS = 1024
+
+
+def hash_df(material: bytes, out_len: int) -> bytes:
+    out = b""
+    counter = 1
+    bits = out_len * 8
+    while len(out) < out_len:
+        out += hashlib.sha256(
+            counter.to_bytes(1, "big") + bits.to_bytes(4, "big") + material
+        ).digest()
+        counter += 1
+    return out[:out_len]
+
+
+class HashDrbg:
+    """SP 800-90A section 10.1.1 Hash_DRBG, big-integer arithmetic throughout."""
+
+    def __init__(self, entropy: bytes, nonce: bytes, personalization: bytes):
+        seed = hash_df(entropy + nonce + personalization, SEEDLEN)
+        self.v = seed
+        self.c = hash_df(b"\x00" + seed, SEEDLEN)
+        self.counter = 1
+
+    def reseed(self, entropy: bytes, additional: bytes = b"") -> None:
+        seed = hash_df(b"\x01" + self.v + entropy + additional, SEEDLEN)
+        self.v = seed
+        self.c = hash_df(b"\x00" + seed, SEEDLEN)
+        self.counter = 1
+
+    def generate(self, n_bytes: int, additional: bytes = b"") -> bytes:
+        if additional:
+            w = hashlib.sha256(b"\x02" + self.v + additional).digest()
+            self.v = self._mod_add(self.v, w)
+        out = b""
+        data = int.from_bytes(self.v, "big")
+        while len(out) < n_bytes:
+            out += hashlib.sha256(data.to_bytes(SEEDLEN, "big")).digest()
+            data = (data + 1) % (1 << (SEEDLEN * 8))
+        h = hashlib.sha256(b"\x03" + self.v).digest()
+        v = (
+            int.from_bytes(self.v, "big")
+            + int.from_bytes(h, "big")
+            + int.from_bytes(self.c, "big")
+            + self.counter
+        ) % (1 << (SEEDLEN * 8))
+        self.v = v.to_bytes(SEEDLEN, "big")
+        self.counter += 1
+        return out[:n_bytes]
+
+    @staticmethod
+    def _mod_add(v: bytes, addend: bytes) -> bytes:
+        total = (int.from_bytes(v, "big") + int.from_bytes(addend, "big")) % (
+            1 << (SEEDLEN * 8)
+        )
+        return total.to_bytes(SEEDLEN, "big")
+
+
+def material(tag: str, n_bytes: int) -> bytes:
+    """Deterministic pseudo-random bytes: SHA-256(tag || block index), chained."""
+    out = b""
+    index = 0
+    while len(out) < n_bytes:
+        out += hashlib.sha256(f"ptrng-drbgvs:{tag}:{index}".encode()).digest()
+        index += 1
+    return out[:n_bytes]
+
+
+def hexline(name: str, value: bytes) -> str:
+    return f"{name} = {value.hex()}"
+
+
+def section_header(pers_bits: int, addin_bits: int, pr: str) -> list[str]:
+    return [
+        "[SHA-256]",
+        f"[PredictionResistance = {pr}]",
+        "[EntropyInputLen = 256]",
+        "[NonceLen = 128]",
+        f"[PersonalizationStringLen = {pers_bits}]",
+        f"[AdditionalInputLen = {addin_bits}]",
+        f"[ReturnedBitsLen = {RETURNED_BITS}]",
+        "",
+    ]
+
+
+COMBOS = [(0, 0), (256, 0), (0, 256), (256, 256)]
+COUNTS = 4
+
+
+def no_reseed() -> list[str]:
+    lines = []
+    for pers_bits, addin_bits in COMBOS:
+        lines += section_header(pers_bits, addin_bits, "False")
+        for count in range(COUNTS):
+            tag = f"no_reseed:{pers_bits}:{addin_bits}:{count}"
+            entropy = material(tag + ":entropy", 32)
+            nonce = material(tag + ":nonce", 16)
+            pers = material(tag + ":pers", pers_bits // 8)
+            addin1 = material(tag + ":addin1", addin_bits // 8)
+            addin2 = material(tag + ":addin2", addin_bits // 8)
+            drbg = HashDrbg(entropy, nonce, pers)
+            drbg.generate(RETURNED_BITS // 8, addin1)
+            returned = drbg.generate(RETURNED_BITS // 8, addin2)
+            lines += [
+                f"COUNT = {count}",
+                hexline("EntropyInput", entropy),
+                hexline("Nonce", nonce),
+                hexline("PersonalizationString", pers),
+                hexline("AdditionalInput", addin1),
+                hexline("AdditionalInput", addin2),
+                hexline("ReturnedBits", returned),
+                "",
+            ]
+    return lines
+
+
+def pr_false() -> list[str]:
+    lines = []
+    for pers_bits, addin_bits in COMBOS:
+        lines += section_header(pers_bits, addin_bits, "False")
+        for count in range(COUNTS):
+            tag = f"pr_false:{pers_bits}:{addin_bits}:{count}"
+            entropy = material(tag + ":entropy", 32)
+            nonce = material(tag + ":nonce", 16)
+            pers = material(tag + ":pers", pers_bits // 8)
+            entropy_reseed = material(tag + ":entropy_reseed", 32)
+            addin_reseed = material(tag + ":addin_reseed", addin_bits // 8)
+            addin1 = material(tag + ":addin1", addin_bits // 8)
+            addin2 = material(tag + ":addin2", addin_bits // 8)
+            drbg = HashDrbg(entropy, nonce, pers)
+            drbg.reseed(entropy_reseed, addin_reseed)
+            drbg.generate(RETURNED_BITS // 8, addin1)
+            returned = drbg.generate(RETURNED_BITS // 8, addin2)
+            lines += [
+                f"COUNT = {count}",
+                hexline("EntropyInput", entropy),
+                hexline("Nonce", nonce),
+                hexline("PersonalizationString", pers),
+                hexline("EntropyInputReseed", entropy_reseed),
+                hexline("AdditionalInputReseed", addin_reseed),
+                hexline("AdditionalInput", addin1),
+                hexline("AdditionalInput", addin2),
+                hexline("ReturnedBits", returned),
+                "",
+            ]
+    return lines
+
+
+def pr_true() -> list[str]:
+    lines = []
+    for pers_bits, addin_bits in COMBOS:
+        lines += section_header(pers_bits, addin_bits, "True")
+        for count in range(COUNTS):
+            tag = f"pr_true:{pers_bits}:{addin_bits}:{count}"
+            entropy = material(tag + ":entropy", 32)
+            nonce = material(tag + ":nonce", 16)
+            pers = material(tag + ":pers", pers_bits // 8)
+            entropy_pr1 = material(tag + ":entropy_pr1", 32)
+            entropy_pr2 = material(tag + ":entropy_pr2", 32)
+            addin1 = material(tag + ":addin1", addin_bits // 8)
+            addin2 = material(tag + ":addin2", addin_bits // 8)
+            drbg = HashDrbg(entropy, nonce, pers)
+            # Prediction resistance: fresh entropy immediately before each
+            # generate; the additional input rides the reseed (SP 800-90A
+            # section 9.3.1 path taken by the CAVP suite).
+            drbg.reseed(entropy_pr1, addin1)
+            drbg.generate(RETURNED_BITS // 8)
+            drbg.reseed(entropy_pr2, addin2)
+            returned = drbg.generate(RETURNED_BITS // 8)
+            lines += [
+                f"COUNT = {count}",
+                hexline("EntropyInput", entropy),
+                hexline("Nonce", nonce),
+                hexline("PersonalizationString", pers),
+                hexline("EntropyInputPR", entropy_pr1),
+                hexline("AdditionalInput", addin1),
+                hexline("EntropyInputPR", entropy_pr2),
+                hexline("AdditionalInput", addin2),
+                hexline("ReturnedBits", returned),
+                "",
+            ]
+    return lines
+
+
+def main() -> None:
+    here = pathlib.Path(__file__).parent
+    for name, lines in [
+        ("hash_drbg_no_reseed.rsp", no_reseed()),
+        ("hash_drbg_pr_false.rsp", pr_false()),
+        ("hash_drbg_pr_true.rsp", pr_true()),
+    ]:
+        banner = [
+            "# Hash_DRBG (SHA-256) known-answer vectors, DRBGVS file format.",
+            "# Generated by generate_vectors.py in this directory — see README.md",
+            "# for provenance.  Regenerate with: python3 generate_vectors.py",
+            "",
+        ]
+        (here / name).write_text("\n".join(banner + lines))
+        print(f"wrote {name}")
+
+
+if __name__ == "__main__":
+    main()

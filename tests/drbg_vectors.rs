@@ -1,0 +1,220 @@
+//! CAVP-style known-answer tests for the SP 800-90A Hash_DRBG (SHA-256).
+//!
+//! The DRBGVS-format vector files under `tests/data/drbg/` are driven through
+//! `ptrng::trng::drbg::HashDrbg` and the `ReturnedBits` asserted **byte-exact**
+//! — one digit off anywhere in Hash_df, Hashgen or the `V`/`C` arithmetic flips
+//! the whole output.  See `tests/data/drbg/README.md` for the provenance of the
+//! files (an independent Python implementation over hashlib's SHA-256).
+
+use std::path::{Path, PathBuf};
+
+use ptrng::trng::drbg::HashDrbg;
+
+/// One `COUNT = n` record: ordered `(field, bytes)` pairs — order matters
+/// because `AdditionalInput` and `EntropyInputPR` legitimately repeat.
+struct Record {
+    count: u64,
+    fields: Vec<(String, Vec<u8>)>,
+}
+
+impl Record {
+    /// The single value of a field that must appear exactly once.
+    fn one(&self, name: &str) -> &[u8] {
+        let mut hits = self.fields.iter().filter(|(field, _)| field == name);
+        let (_, value) = hits
+            .next()
+            .unwrap_or_else(|| panic!("COUNT {}: missing field {name}", self.count));
+        assert!(
+            hits.next().is_none(),
+            "COUNT {}: field {name} repeats",
+            self.count
+        );
+        value
+    }
+
+    /// All values of a repeating field, in file order.
+    fn all(&self, name: &str) -> Vec<&[u8]> {
+        self.fields
+            .iter()
+            .filter(|(field, _)| field == name)
+            .map(|(_, value)| value.as_slice())
+            .collect()
+    }
+}
+
+fn data_file(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data/drbg")
+        .join(name)
+}
+
+fn parse_hex(text: &str, context: &str) -> Vec<u8> {
+    assert!(text.len().is_multiple_of(2), "{context}: odd hex length");
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&text[i..i + 2], 16)
+                .unwrap_or_else(|e| panic!("{context}: bad hex: {e}"))
+        })
+        .collect()
+}
+
+/// Parses one `.rsp` file into its records, checking the section headers claim
+/// the SHA-256 / 256-bit-entropy / 128-bit-nonce shape the driver assumes.
+fn parse_rsp(name: &str) -> Vec<Record> {
+    let text = std::fs::read_to_string(data_file(name))
+        .unwrap_or_else(|e| panic!("{name}: vector file must be readable: {e}"));
+    let mut records: Vec<Record> = Vec::new();
+    let mut saw_sha256 = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            saw_sha256 |= line == "[SHA-256]";
+            if let Some(rest) = line.strip_prefix("[EntropyInputLen = ") {
+                assert_eq!(rest, "256]", "{name}: unexpected entropy length");
+            }
+            if let Some(rest) = line.strip_prefix("[NonceLen = ") {
+                assert_eq!(rest, "128]", "{name}: unexpected nonce length");
+            }
+            continue;
+        }
+        let (field, value) = line
+            .split_once(" = ")
+            .or_else(|| line.split_once(" ="))
+            .unwrap_or_else(|| panic!("{name}: unparseable line: {line}"));
+        let (field, value) = (field.trim(), value.trim());
+        if field == "COUNT" {
+            records.push(Record {
+                count: value.parse().expect("integer COUNT"),
+                fields: Vec::new(),
+            });
+            continue;
+        }
+        let record = records
+            .last_mut()
+            .unwrap_or_else(|| panic!("{name}: field {field} before any COUNT"));
+        record
+            .fields
+            .push((field.to_string(), parse_hex(value, field)));
+    }
+    assert!(saw_sha256, "{name}: no [SHA-256] section header");
+    assert!(!records.is_empty(), "{name}: no records");
+    records
+}
+
+fn returned_bits(record: &Record) -> &[u8] {
+    let bits = record.one("ReturnedBits");
+    assert_eq!(bits.len(), 128, "ReturnedBits is 1024 bits in this corpus");
+    bits
+}
+
+/// DRBGVS `no_reseed`: Instantiate → Generate (discard) → Generate.
+#[test]
+fn no_reseed_vectors_byte_exact() {
+    let records = parse_rsp("hash_drbg_no_reseed.rsp");
+    assert_eq!(records.len(), 16, "4 sections x 4 counts");
+    for record in &records {
+        let mut drbg = HashDrbg::instantiate(
+            record.one("EntropyInput"),
+            record.one("Nonce"),
+            record.one("PersonalizationString"),
+        )
+        .expect("vector inputs instantiate");
+        let additional = record.all("AdditionalInput");
+        assert_eq!(additional.len(), 2, "one AdditionalInput per generate");
+        let mut out = [0u8; 128];
+        drbg.generate(&mut out, additional[0]).expect("first call");
+        drbg.generate(&mut out, additional[1]).expect("second call");
+        assert_eq!(
+            out.as_slice(),
+            returned_bits(record),
+            "COUNT {} diverges",
+            record.count
+        );
+    }
+}
+
+/// DRBGVS `pr_false`: Instantiate → Reseed → Generate (discard) → Generate.
+#[test]
+fn reseed_vectors_byte_exact() {
+    let records = parse_rsp("hash_drbg_pr_false.rsp");
+    assert_eq!(records.len(), 16, "4 sections x 4 counts");
+    for record in &records {
+        let mut drbg = HashDrbg::instantiate(
+            record.one("EntropyInput"),
+            record.one("Nonce"),
+            record.one("PersonalizationString"),
+        )
+        .expect("vector inputs instantiate");
+        drbg.reseed(
+            record.one("EntropyInputReseed"),
+            record.one("AdditionalInputReseed"),
+        )
+        .expect("vector inputs reseed");
+        let additional = record.all("AdditionalInput");
+        assert_eq!(additional.len(), 2, "one AdditionalInput per generate");
+        let mut out = [0u8; 128];
+        drbg.generate(&mut out, additional[0]).expect("first call");
+        drbg.generate(&mut out, additional[1]).expect("second call");
+        assert_eq!(
+            out.as_slice(),
+            returned_bits(record),
+            "COUNT {} diverges",
+            record.count
+        );
+    }
+}
+
+/// DRBGVS `pr_true`: fresh entropy immediately before every generate — the
+/// caller-driven reseed discipline the engine's prediction-resistance policy
+/// uses (additional input rides the reseed, per the CAVP sequence).
+#[test]
+fn prediction_resistance_vectors_byte_exact() {
+    let records = parse_rsp("hash_drbg_pr_true.rsp");
+    assert_eq!(records.len(), 16, "4 sections x 4 counts");
+    for record in &records {
+        let mut drbg = HashDrbg::instantiate(
+            record.one("EntropyInput"),
+            record.one("Nonce"),
+            record.one("PersonalizationString"),
+        )
+        .expect("vector inputs instantiate");
+        let pr_entropy = record.all("EntropyInputPR");
+        let additional = record.all("AdditionalInput");
+        assert_eq!(pr_entropy.len(), 2, "one EntropyInputPR per generate");
+        assert_eq!(additional.len(), 2, "one AdditionalInput per generate");
+        let mut out = [0u8; 128];
+        for (entropy, addin) in pr_entropy.iter().zip(&additional) {
+            drbg.reseed(entropy, addin).expect("vector inputs reseed");
+            drbg.generate(&mut out, &[]).expect("generate");
+        }
+        assert_eq!(
+            out.as_slice(),
+            returned_bits(record),
+            "COUNT {} diverges",
+            record.count
+        );
+    }
+}
+
+/// The corpus itself stays well-formed: every section shape the drivers assume
+/// (field multiplicity, input lengths) holds for every record of every file.
+#[test]
+fn corpus_shape_is_stable() {
+    for name in [
+        "hash_drbg_no_reseed.rsp",
+        "hash_drbg_pr_false.rsp",
+        "hash_drbg_pr_true.rsp",
+    ] {
+        for record in parse_rsp(name) {
+            assert_eq!(record.one("EntropyInput").len(), 32, "{name}");
+            assert_eq!(record.one("Nonce").len(), 16, "{name}");
+            let pers = record.one("PersonalizationString");
+            assert!(pers.is_empty() || pers.len() == 32, "{name}");
+            returned_bits(&record);
+        }
+    }
+}

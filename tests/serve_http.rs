@@ -9,6 +9,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use ptrng_engine::expanded::DrbgPolicy;
 use ptrng_engine::fault::FaultPlan;
 use ptrng_engine::health::HealthConfig;
 use ptrng_engine::pool::{ConditionerSpec, EngineConfig};
@@ -780,4 +781,259 @@ fn selftest_is_charged_against_the_rate_limit() {
     let limited = get(server.addr, "/selftest?bits=65536&margin=0.45");
     assert_eq!(limited.status, 429, "{}", limited.body_text());
     assert!(limited.header("retry-after").is_some());
+}
+
+/// `model_config` plus an enabled DRBG expansion tier with the given per-seed
+/// output allowance.
+fn drbg_config(reseed_after_bytes: u64) -> ServeConfig {
+    let mut config = model_config();
+    config.drbg = Some(DrbgPolicy {
+        reseed_after_bytes,
+        ..DrbgPolicy::default()
+    });
+    config
+}
+
+#[test]
+fn random_tier_draws_exact_bytes_with_tier_headers() {
+    let server = TestServer::start(drbg_config(128 << 20));
+
+    let response = get(server.addr, "/random?bytes=100000");
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    assert_eq!(response.body.len(), 100_000, "exact-byte contract");
+    assert!(
+        response.body.iter().any(|&b| b != 0),
+        "expanded output is not all-zero"
+    );
+    assert_eq!(response.header("x-ptrng-tier"), Some("drbg-sha256"));
+    EntropyLedger::from_json(response.header("x-ptrng-ledger").expect("ledger header"))
+        .expect("canonical ledger JSON rides the expansion tier too");
+
+    // The full-entropy tier names itself on the same header.
+    let full = get(server.addr, "/entropy?bytes=64");
+    assert_eq!(full.header("x-ptrng-tier"), Some("full-entropy"));
+
+    // A zero-byte request is legal and draws nothing (not even a seed).
+    let empty = get(server.addr, "/random?bytes=0");
+    assert_eq!(empty.status, 200);
+    assert!(empty.body.is_empty());
+
+    // The tier's counters surface as the ptrng_drbg_* metric families: one
+    // funded seed (the instantiation) covered the whole 100 kB draw.
+    let metrics = get(server.addr, "/metrics").body_text();
+    assert!(metrics.contains("ptrng_drbg_reseeds_total 1"), "{metrics}");
+    assert!(
+        metrics.contains("ptrng_drbg_bytes_total 100000"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("ptrng_drbg_seed_bits_debited_total 384"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("ptrng_drbg_reseed_seconds_count"),
+        "reseed latency histogram family: {metrics}"
+    );
+}
+
+#[test]
+fn random_without_the_drbg_flag_answers_404() {
+    let server = TestServer::start(model_config());
+    let response = get(server.addr, "/random?bytes=64");
+    assert_eq!(response.status, 404, "{}", response.body_text());
+    assert!(
+        response.body_text().contains("--drbg"),
+        "the refusal names the enabling flag: {}",
+        response.body_text()
+    );
+    // No tier, no drbg metric families.
+    let metrics = get(server.addr, "/metrics").body_text();
+    assert!(!metrics.contains("ptrng_drbg_generates"), "{metrics}");
+}
+
+#[test]
+fn tiers_have_separate_rate_limit_buckets() {
+    let mut config = drbg_config(128 << 20);
+    config.rate_limit = Some(RateLimit {
+        bytes_per_sec: 1024,
+        burst_bytes: 4096,
+    });
+    let server = TestServer::start(config);
+
+    // Exhaust the full-entropy bucket…
+    assert_eq!(get(server.addr, "/entropy?bytes=4096").status, 200);
+    let refused = get(server.addr, "/entropy?bytes=4096");
+    assert_eq!(refused.status, 429, "{}", refused.body_text());
+
+    // …the /random bucket of the same client is untouched…
+    let random = get(server.addr, "/random?bytes=4096");
+    assert_eq!(
+        random.status,
+        200,
+        "the tiers must not share a bucket: {}",
+        random.body_text()
+    );
+
+    // …until it is exhausted on its own terms.
+    let refused_random = get(server.addr, "/random?bytes=4096");
+    assert_eq!(refused_random.status, 429, "{}", refused_random.body_text());
+    assert!(refused_random.header("retry-after").is_some());
+}
+
+/// The expansion tier's design point: between funded reseeds it keeps serving
+/// while the full-entropy credit dips (a quarantined pool child), because the
+/// bits it emits were funded by a seed that *was* accounted when drawn.
+#[test]
+fn random_tier_keeps_serving_through_a_quarantine_drill() {
+    let spec = match SourceSpec::parse("pool:model:0.6+model:0.6+model:0.6").expect("valid spec") {
+        SourceSpec::Pool { children, .. } => SourceSpec::Pool {
+            children,
+            options: PoolOptions {
+                quarantine_draws: 2,
+                probation_windows: 2,
+                probation_window_draws: 2,
+                stall_ms: None,
+                ..PoolOptions::default()
+            },
+        },
+        other => panic!("expected a pool spec, parsed {other:?}"),
+    };
+    let mut engine = EngineConfig::new(spec)
+        .seed(97)
+        .batch_bits(8192)
+        .health(HealthConfig::default().without_startup_battery())
+        .fault(Some(
+            FaultPlan::parse("child=1,kind=stuck,at=2KiB,for=1KiB").expect("valid plan"),
+        ));
+    engine.queue_batches = 1;
+    let mut config = ServeConfig::new(engine);
+    // A huge allowance: one healthy seed funds the whole drill, so no reseed
+    // comes due while the claim is dipped.
+    config.drbg = Some(DrbgPolicy::default());
+    let server = TestServer::start(config);
+
+    // Prime the DRBG with a funded seed while every child is healthy.
+    assert_eq!(get(server.addr, "/random?bytes=1024").status, 200);
+
+    let mut saw_dip = false;
+    for _ in 0..40 {
+        // Advance the conditioned stream into (and through) the fault window.
+        let draw = get(server.addr, "/entropy?bytes=1024");
+        assert_eq!(draw.status, 200, "{}", draw.body_text());
+        let h: f64 = draw
+            .header("x-ptrng-minentropy")
+            .expect("dynamic min-entropy header")
+            .parse()
+            .expect("numeric min-entropy");
+        let random = get(server.addr, "/random?bytes=1024");
+        assert_eq!(
+            random.status,
+            200,
+            "the expansion tier must keep serving through the dip: {}",
+            random.body_text()
+        );
+        assert_eq!(random.body.len(), 1024);
+        if h < 0.97 {
+            saw_dip = true;
+            break;
+        }
+    }
+    assert!(saw_dip, "the drill never dipped the full-entropy credit");
+}
+
+/// The flip side: when a due reseed cannot be funded by the currently accounted
+/// claim, the tier refuses with the same canonical 503-with-ledger body as
+/// `/entropy` — never silently under-seeded output.
+#[test]
+fn random_reseed_starvation_returns_the_canonical_ledger_refusal() {
+    let spec = match SourceSpec::parse("pool:model:0.6+model:0.6+model:0.6").expect("valid spec") {
+        SourceSpec::Pool { children, .. } => SourceSpec::Pool {
+            children,
+            options: PoolOptions {
+                quarantine_draws: 2,
+                probation_windows: 2,
+                probation_window_draws: 2,
+                stall_ms: None,
+                ..PoolOptions::default()
+            },
+        },
+        other => panic!("expected a pool spec, parsed {other:?}"),
+    };
+    let mut engine = EngineConfig::new(spec)
+        .seed(97)
+        .batch_bits(8192)
+        .health(HealthConfig::default().without_startup_battery())
+        // No `for=`: the child sticks permanently, so the pool quarantines it
+        // and the two-survivor claim stays below the seed-funding floor.
+        .fault(Some(
+            FaultPlan::parse("child=1,kind=stuck,at=2KiB").expect("valid plan"),
+        ));
+    engine.queue_batches = 1;
+    let mut config = ServeConfig::new(engine);
+    // Every 2 KiB request exhausts the allowance, so the next one must reseed.
+    config.drbg = Some(DrbgPolicy {
+        reseed_after_bytes: 2048,
+        ..DrbgPolicy::default()
+    });
+    let server = TestServer::start(config);
+
+    // While every child is healthy the tier serves.
+    assert_eq!(get(server.addr, "/random?bytes=2048").status, 200);
+
+    let mut refusal = None;
+    for _ in 0..60 {
+        // Advance the conditioned stream into the permanent fault.
+        let advance = get(server.addr, "/entropy?bytes=1024");
+        assert_eq!(advance.status, 200, "{}", advance.body_text());
+        let random = get(server.addr, "/random?bytes=2048");
+        if random.status == 503 {
+            refusal = Some(random);
+            break;
+        }
+        assert_eq!(random.status, 200, "{}", random.body_text());
+    }
+    let refusal = refusal.expect("the unfundable reseed never surfaced as a 503");
+    let text = refusal.body_text();
+    assert!(text.contains("\"error\":\"entropy deficit\""), "{text}");
+    assert!(text.contains("\"accounted\":"), "{text}");
+    assert!(text.contains("\"required\":"), "{text}");
+    // The embedded ledger is the canonical JSON form (parsable on its own).
+    let ledger_at = text.find("\"ledger\":").expect("ledger embedded");
+    let ledger = EntropyLedger::from_json(extract_json_object(&text, ledger_at))
+        .expect("canonical ledger JSON");
+    assert!(
+        ledger.min_entropy_per_bit() > 0.9,
+        "static trail rides along"
+    );
+    assert!(refusal.header("retry-after").is_some());
+    assert!(refusal.header("x-ptrng-ledger").is_some());
+}
+
+#[test]
+fn selftest_reports_per_estimator_timings() {
+    let server = TestServer::start(model_config());
+    let response = get(server.addr, "/selftest?bits=32768&margin=0.45");
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    let text = response.body_text();
+    let timings_at = text
+        .find("\"estimator_timings\":")
+        .expect("timings surfaced");
+    let audit_at = text.find("\"audit\":").expect("audit report follows");
+    let timings = &text[timings_at..audit_at];
+    // Every battery unit reports its wall-clock cost (BATTERY_UNIT_NAMES).
+    for name in [
+        "mcv",
+        "collision",
+        "markov",
+        "compression",
+        "t-tuple+lrs",
+        "multi-mcw",
+        "lag",
+    ] {
+        assert!(
+            timings.contains(&format!("\"name\":\"{name}\"")),
+            "unit {name} missing from {timings}"
+        );
+    }
+    assert!(timings.contains("\"ns\":"), "{timings}");
 }
