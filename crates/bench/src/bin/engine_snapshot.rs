@@ -42,6 +42,7 @@ struct Snapshot {
     source: SourceNumbers,
     conditioning: Vec<ConditionerNumbers>,
     serve: ServeNumbers,
+    serve_concurrency: ServeConcurrencyNumbers,
     drbg: DrbgNumbers,
     observability: ObservabilityNumbers,
     pool: PoolNumbers,
@@ -99,6 +100,32 @@ struct ServeNumbers {
     request_p50_ms: f64,
     /// 99th-percentile request service time over the measured draws, in ms.
     request_p99_ms: f64,
+}
+
+/// Concurrency behaviour of the poll(2) event loop under the closed-loop
+/// loadgen: a ramp of provably simultaneous keep-alive clients against
+/// `/random` (DRBG-backed, so the serving plane rather than the conditioned
+/// entropy rate is what saturates), the highest rung every client survived,
+/// and the service quantiles at the reference rung.
+#[derive(Serialize)]
+struct ServeConcurrencyNumbers {
+    /// Request path driven by every client.
+    path: String,
+    /// Keep-alive requests per connection at every rung.
+    requests_per_conn: usize,
+    /// The concurrency ramp attempted, in simultaneous connections.
+    ramp: Vec<usize>,
+    /// Highest ramp rung where every client connected and saw no transport
+    /// errors and no 5xx — the measured concurrent-connection ceiling.
+    ceiling: usize,
+    /// Reference rung for the latency quantiles below, in connections.
+    reference_connections: usize,
+    /// Median request service latency at the reference rung, milliseconds.
+    p50_ms: f64,
+    /// 99th-percentile request service latency at the reference rung, ms.
+    p99_ms: f64,
+    /// Completed requests per second at the reference rung.
+    requests_per_sec: f64,
 }
 
 /// The SP 800-90A Hash_DRBG expansion tier: in-process `ExpandedTap` draw
@@ -671,6 +698,69 @@ fn serve_numbers() -> ServeNumbers {
     }
 }
 
+/// Ramps the closed-loop loadgen against one DRBG-backed server and records the
+/// highest rung every client survived plus the quantiles at the reference rung.
+fn serve_concurrency_numbers() -> ServeConcurrencyNumbers {
+    const RAMP: [usize; 3] = [128, 512, 1024];
+    const REFERENCE: usize = 512;
+    let path = "/random?bytes=4096";
+
+    let engine = EngineConfig::new(SourceSpec::model(0.5).expect("valid spec"))
+        .shards(1)
+        .seed(1)
+        .health(HealthConfig::default().without_startup_battery());
+    let mut config = ServeConfig::new(engine);
+    config.listen = "127.0.0.1:0".to_string();
+    config.threads = 2;
+    config.drbg = Some(DrbgPolicy::default());
+    // Headroom above the top rung: the ceiling measured here is the loadgen's
+    // verdict on the event loop, not the configured admission cap.
+    config.max_connections = 2 * RAMP[RAMP.len() - 1];
+    let server = Server::bind(config).expect("server binds");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.serve());
+
+    let mut ceiling = 0;
+    let mut reference = None;
+    for connections in RAMP {
+        let report = ptrng_serve::loadgen::run(&ptrng_serve::loadgen::LoadgenConfig::closed(
+            addr.to_string(),
+            path,
+            connections,
+        ));
+        if report.ok() {
+            ceiling = connections;
+        }
+        if connections == REFERENCE {
+            reference = Some(report);
+        }
+        // Let the previous rung's sockets drain before the next rendezvous.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    handle.shutdown();
+    serving
+        .join()
+        .expect("server thread joins")
+        .expect("server drains cleanly");
+
+    let reference_report = reference.expect("the reference rung is part of the ramp");
+    ServeConcurrencyNumbers {
+        path: path.to_string(),
+        requests_per_conn: 2,
+        ramp: RAMP.to_vec(),
+        ceiling,
+        reference_connections: REFERENCE,
+        p50_ms: reference_report
+            .p50_ms
+            .expect("requests completed at the reference rung"),
+        p99_ms: reference_report
+            .p99_ms
+            .expect("requests completed at the reference rung"),
+        requests_per_sec: reference_report.requests_per_sec,
+    }
+}
+
 /// Throughput and reseed economics of the Hash_DRBG expansion tier, measured
 /// twice: directly through `ExpandedTap::draw` (the raw expansion speed), and
 /// through a loopback `ptrng-serve --drbg` answering `GET /random` (the speed a
@@ -787,7 +877,7 @@ fn strong_config(division: u32) -> EroTrngConfig {
 
 fn main() {
     let snapshot = Snapshot {
-        schema_version: 8,
+        schema_version: 9,
         engine: EngineNumbers {
             ero_strong_div16_1shard_mb_s: engine_mb_s(
                 SourceSpec::ero(16, JitterProfile::Strong).expect("valid spec"),
@@ -811,6 +901,7 @@ fn main() {
         },
         conditioning: conditioning_numbers(),
         serve: serve_numbers(),
+        serve_concurrency: serve_concurrency_numbers(),
         drbg: drbg_numbers(),
         observability: observability_numbers(),
         pool: pool_numbers(),

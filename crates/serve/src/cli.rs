@@ -9,7 +9,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ptrng_engine::audit::{
     AuditCadence, AuditConfig, EntropyAudit, DEFAULT_AUDIT_MARGIN, DEFAULT_AUDIT_WINDOW_BITS,
@@ -118,6 +118,17 @@ that includes --source pool:CHILD+CHILD+... and the --fault drill flag):
                         omit for unlimited
     --burst SIZE        per-client burst capacity; requires --rate [default: 4x --rate]
     --chunk SIZE        chunked-transfer draw granularity         [default: 64KiB]
+    --max-conns N       hard cap on simultaneously open connections; excess
+                        accepts are refused with 503              [default: 1024]
+    --per-ip-conns N    per-client cap on concurrent connections; excess accepts
+                        are refused with 429; 0 disables the gate [default: 0]
+    --header-timeout S  seconds a connection may take to deliver a complete
+                        request head before it is dropped (the slow-loris guard)
+                                                                  [default: 5]
+    --idle-timeout S    seconds an idle keep-alive connection is retained before
+                        it is reaped                              [default: 5]
+    --write-timeout S   seconds a response write may stall (the peer not reading)
+                        before the connection is dropped          [default: 10]
     --drbg              enable the /random DRBG expansion tier
     --reseed-bytes SIZE DRBG output allowance per seed (requires --drbg)
                                                                   [default: 128MiB]
@@ -447,7 +458,23 @@ struct ServeCliArgs {
     rate: Option<u64>,
     burst: Option<u64>,
     chunk: usize,
+    max_conns: usize,
+    per_ip_conns: usize,
+    header_timeout: Option<Duration>,
+    idle_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
     journal: Option<String>,
+}
+
+/// Parses a `--*-timeout` value: positive seconds, fractions allowed.
+fn parse_timeout_secs(flag: &str, value: &str) -> Result<Duration, String> {
+    let secs: f64 = value
+        .parse()
+        .map_err(|_| format!("invalid {flag} (want seconds, e.g. 2 or 0.5)"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("{flag} must be a positive number of seconds"));
+    }
+    Ok(Duration::from_secs_f64(secs))
 }
 
 fn parse_serve(argv: &[String]) -> Result<Option<ServeCliArgs>, String> {
@@ -460,6 +487,11 @@ fn parse_serve(argv: &[String]) -> Result<Option<ServeCliArgs>, String> {
         rate: None,
         burst: None,
         chunk: 64 << 10,
+        max_conns: 1024,
+        per_ip_conns: 0,
+        header_timeout: None,
+        idle_timeout: None,
+        write_timeout: None,
         journal: None,
     };
     let mut it = argv.iter();
@@ -479,6 +511,28 @@ fn parse_serve(argv: &[String]) -> Result<Option<ServeCliArgs>, String> {
             "--burst" => args.burst = Some(parse_size(&flag_value(&mut it, "--burst")?)?),
             "--chunk" => {
                 args.chunk = parse_size(&flag_value(&mut it, "--chunk")?)? as usize;
+            }
+            "--max-conns" => {
+                args.max_conns = flag_value(&mut it, "--max-conns")?
+                    .parse()
+                    .map_err(|_| "invalid --max-conns".to_string())?;
+            }
+            "--per-ip-conns" => {
+                args.per_ip_conns = flag_value(&mut it, "--per-ip-conns")?
+                    .parse()
+                    .map_err(|_| "invalid --per-ip-conns".to_string())?;
+            }
+            "--header-timeout" => {
+                let value = flag_value(&mut it, "--header-timeout")?;
+                args.header_timeout = Some(parse_timeout_secs("--header-timeout", &value)?);
+            }
+            "--idle-timeout" => {
+                let value = flag_value(&mut it, "--idle-timeout")?;
+                args.idle_timeout = Some(parse_timeout_secs("--idle-timeout", &value)?);
+            }
+            "--write-timeout" => {
+                let value = flag_value(&mut it, "--write-timeout")?;
+                args.write_timeout = Some(parse_timeout_secs("--write-timeout", &value)?);
             }
             "--journal" => args.journal = Some(flag_value(&mut it, "--journal")?),
             other => {
@@ -504,6 +558,13 @@ impl ServeCliArgs {
         config.threads = self.threads;
         config.max_request_bytes = self.max_request;
         config.chunk_bytes = self.chunk;
+        config.max_connections = self.max_conns;
+        config.per_ip_connections = self.per_ip_conns;
+        config.header_timeout = self.header_timeout;
+        config.idle_timeout = self.idle_timeout;
+        if let Some(write_timeout) = self.write_timeout {
+            config.write_timeout = write_timeout;
+        }
         config.rate_limit = self.rate.map(|bytes_per_sec| RateLimit {
             bytes_per_sec,
             burst_bytes: self.burst.unwrap_or(bytes_per_sec.saturating_mul(4)),
@@ -991,6 +1052,16 @@ mod tests {
             "256KiB",
             "--chunk",
             "16KiB",
+            "--max-conns",
+            "512",
+            "--per-ip-conns",
+            "8",
+            "--header-timeout",
+            "2.5",
+            "--idle-timeout",
+            "30",
+            "--write-timeout",
+            "7",
         ]))
         .unwrap()
         .unwrap();
@@ -999,9 +1070,28 @@ mod tests {
         assert_eq!(config.threads, 8);
         assert_eq!(config.max_request_bytes, 1 << 20);
         assert_eq!(config.chunk_bytes, 16 << 10);
+        assert_eq!(config.max_connections, 512);
+        assert_eq!(config.per_ip_connections, 8);
+        assert_eq!(config.header_timeout, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(config.idle_timeout, Some(Duration::from_secs(30)));
+        assert_eq!(config.write_timeout, Duration::from_secs(7));
         let rate = config.rate_limit.unwrap();
         assert_eq!(rate.bytes_per_sec, 256 << 10);
         assert_eq!(rate.burst_bytes, (256 << 10) * 4, "burst defaults to 4x");
+    }
+
+    #[test]
+    fn lifecycle_timeouts_default_off_and_reject_nonsense() {
+        let args = parse_serve(&argv(&[])).unwrap().unwrap();
+        let config = args.serve_config().unwrap();
+        assert_eq!(config.max_connections, 1024);
+        assert_eq!(config.per_ip_connections, 0, "per-IP gate off by default");
+        assert_eq!(config.header_timeout, None, "falls back to read_timeout");
+        assert_eq!(config.idle_timeout, None, "falls back to read_timeout");
+        assert_eq!(config.write_timeout, Duration::from_secs(10));
+        assert!(parse_serve(&argv(&["--header-timeout", "0"])).is_err());
+        assert!(parse_serve(&argv(&["--write-timeout", "-1"])).is_err());
+        assert!(parse_serve(&argv(&["--idle-timeout", "soon"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Readiness notification for the nonblocking serving plane: `poll(2)` declared
+//! through the same minimal-unsafe discipline as the `signal(2)` hookup in
+//! [`crate::server`] — one tiny SAFETY-commented `sys` module, everything above it
+//! safe code.
+//!
+//! [`Poller`] is a per-iteration pollfd set: the event loop [`Poller::clear`]s it,
+//! [`Poller::push`]es the listener, the worker wake pipe and every connection with
+//! the interests that match its state, calls [`Poller::poll`], and reads each
+//! slot's [`Readiness`] back.  Rebuilding the set every iteration keeps the
+//! interface trivially safe (no registration lifecycle to desynchronise) and costs
+//! one `memcpy`-sized pass over the connections — poll(2) re-reads the whole array
+//! anyway, which is exactly the complexity class this server needs: thousands of
+//! connections, one syscall.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+mod sys {
+    //! The one unsafe corner: the `poll(2)` FFI declaration.  The container has no
+    //! `libc` crate, so the prototype and the `pollfd` ABI are declared by hand,
+    //! exactly like the `signal(2)` hookup in `server.rs`.
+    #![allow(unsafe_code)]
+
+    use std::os::raw::{c_int, c_short, c_ulong};
+
+    pub(super) const POLLIN: c_short = 0x001;
+    pub(super) const POLLOUT: c_short = 0x004;
+    pub(super) const POLLERR: c_short = 0x008;
+    pub(super) const POLLHUP: c_short = 0x010;
+    pub(super) const POLLNVAL: c_short = 0x020;
+
+    /// Mirror of `struct pollfd` from `<poll.h>` (identical layout on every
+    /// supported Unix: int fd, short events, short revents).
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub(super) struct PollFd {
+        pub(super) fd: c_int,
+        pub(super) events: c_short,
+        pub(super) revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Safe wrapper: polls the slice, returns the number of ready entries.
+    pub(super) fn poll_fds(fds: &mut [PollFd], timeout_ms: c_int) -> std::io::Result<usize> {
+        if fds.is_empty() {
+            // poll(2) with nfds=0 is a portable sleep, but an empty slice's
+            // pointer is dangling; skip the syscall entirely.
+            if timeout_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
+            }
+            return Ok(0);
+        }
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of `#[repr(C)]`
+        // structs matching the kernel's pollfd layout; `nfds` is its exact
+        // length, so the kernel writes `revents` only inside the borrow.  poll(2)
+        // has no other side effects on the process.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc < 0 {
+            Err(std::io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+}
+
+/// What a polled descriptor reported back.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Readiness {
+    /// `POLLIN`: a read will not block (data, EOF, or a pending accept).
+    pub(crate) readable: bool,
+    /// `POLLOUT`: a write will not block.  The event loop registers write
+    /// interest so poll wakes when a stalled socket drains, but then flushes
+    /// optimistically (a failed attempt is one cheap `EAGAIN`), so outside the
+    /// tests nothing reads the flag back.
+    #[allow(dead_code)]
+    pub(crate) writable: bool,
+    /// `POLLERR | POLLHUP | POLLNVAL`: the peer is gone or the fd is broken.
+    pub(crate) hangup: bool,
+}
+
+/// A rebuild-per-iteration pollfd set (see the module docs).
+#[derive(Debug, Default)]
+pub(crate) struct Poller {
+    fds: Vec<sys::PollFd>,
+}
+
+impl Poller {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the set, keeping its allocation for the next iteration.
+    pub(crate) fn clear(&mut self) {
+        self.fds.clear();
+    }
+
+    /// Registers `fd` with the given interests and returns its slot index.
+    ///
+    /// A descriptor registered with neither interest still reports errors and
+    /// hangups — poll(2) always delivers `POLLERR`/`POLLHUP`/`POLLNVAL` — which is
+    /// how busy connections (not currently reading or writing) learn their peer
+    /// disappeared.
+    pub(crate) fn push(&mut self, fd: RawFd, read: bool, write: bool) -> usize {
+        let mut events = 0;
+        if read {
+            events |= sys::POLLIN;
+        }
+        if write {
+            events |= sys::POLLOUT;
+        }
+        self.fds.push(sys::PollFd {
+            fd,
+            events,
+            revents: 0,
+        });
+        self.fds.len() - 1
+    }
+
+    /// Polls every registered descriptor, waiting at most `timeout`.
+    ///
+    /// A signal interruption (`EINTR`) is reported as zero ready descriptors: the
+    /// caller's loop re-checks its shutdown flag and polls again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-`EINTR` poll(2) failures.
+    pub(crate) fn poll(&mut self, timeout: Duration) -> io::Result<usize> {
+        for fd in &mut self.fds {
+            fd.revents = 0;
+        }
+        // Round up so sub-millisecond deadlines do not spin at timeout 0.
+        let ms = timeout.as_millis().min(i32::MAX as u128) as i64;
+        let ms = if ms == 0 && !timeout.is_zero() { 1 } else { ms };
+        match sys::poll_fds(&mut self.fds, ms as i32) {
+            Ok(ready) => Ok(ready),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Readiness of the descriptor at `slot` (as returned by [`Poller::push`])
+    /// after the last [`Poller::poll`].
+    pub(crate) fn revents(&self, slot: usize) -> Readiness {
+        let revents = self.fds[slot].revents;
+        Readiness {
+            readable: revents & sys::POLLIN != 0,
+            writable: revents & sys::POLLOUT != 0,
+            hangup: revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn empty_set_sleeps_out_the_timeout() {
+        let mut poller = Poller::new();
+        let start = Instant::now();
+        let ready = poller.poll(Duration::from_millis(30)).unwrap();
+        assert_eq!(ready, 0);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn pipe_read_readiness_is_reported() {
+        let (mut rx, mut tx) = std::io::pipe().unwrap();
+        let mut poller = Poller::new();
+        let slot = poller.push(rx.as_raw_fd(), true, false);
+        // Nothing written yet: the poll times out with the slot quiet.
+        assert_eq!(poller.poll(Duration::from_millis(10)).unwrap(), 0);
+        assert!(!poller.revents(slot).readable);
+
+        tx.write_all(&[7]).unwrap();
+        poller.clear();
+        let slot = poller.push(rx.as_raw_fd(), true, false);
+        assert_eq!(poller.poll(Duration::from_millis(1000)).unwrap(), 1);
+        assert!(poller.revents(slot).readable);
+        let mut byte = [0u8; 1];
+        rx.read_exact(&mut byte).unwrap();
+        assert_eq!(byte[0], 7);
+    }
+
+    #[test]
+    fn writable_sockets_and_closed_peers_are_distinguished() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (served, _peer) = listener.accept().unwrap();
+
+        let mut poller = Poller::new();
+        let slot = poller.push(served.as_raw_fd(), false, true);
+        assert!(poller.poll(Duration::from_millis(1000)).unwrap() >= 1);
+        assert!(poller.revents(slot).writable, "fresh socket is writable");
+        assert!(!poller.revents(slot).hangup);
+
+        drop(client);
+        // Give the loopback a beat to deliver the FIN, then the peer's absence
+        // shows up as readable-EOF (and usually POLLHUP once both halves close).
+        std::thread::sleep(Duration::from_millis(20));
+        poller.clear();
+        let slot = poller.push(served.as_raw_fd(), true, false);
+        assert!(poller.poll(Duration::from_millis(1000)).unwrap() >= 1);
+        assert!(poller.revents(slot).readable, "EOF reports as readable");
+    }
+}

@@ -78,56 +78,80 @@ impl Request {
             }
             Some(line) => line,
         };
-        let mut parts = request_line.split(' ');
-        let method = parts
-            .next()
-            .filter(|m| !m.is_empty())
-            .ok_or(HttpError::Malformed("missing method"))?;
-        let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
-        let version = parts
-            .next()
-            .ok_or(HttpError::Malformed("missing version"))?;
-        if parts.next().is_some() {
-            return Err(HttpError::Malformed("extra tokens in request line"));
-        }
-        if version != "HTTP/1.1" && version != "HTTP/1.0" {
-            return Err(HttpError::Malformed("unsupported HTTP version"));
-        }
-
-        let (path, query_text) = match target.split_once('?') {
-            Some((p, q)) => (p, q),
-            None => (target, ""),
-        };
-        let query = query_text
-            .split('&')
-            .filter(|pair| !pair.is_empty())
-            .map(|pair| match pair.split_once('=') {
-                Some((k, v)) => (k.to_string(), v.to_string()),
-                None => (pair.to_string(), String::new()),
-            })
-            .collect();
-
-        let mut headers = Vec::new();
+        let mut request = parse_request_line(&request_line)?;
         loop {
             let line = read_line(reader)?.ok_or(HttpError::UnexpectedEof)?;
             if line.is_empty() {
                 break;
             }
-            if headers.len() == MAX_HEADERS {
+            if request.headers.len() == MAX_HEADERS {
                 return Err(HttpError::TooLarge("too many headers"));
             }
-            let (name, value) = line
-                .split_once(':')
-                .ok_or(HttpError::Malformed("header without colon"))?;
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            request.headers.push(parse_header_line(&line)?);
         }
+        Ok(Some(request))
+    }
 
-        Ok(Some(Self {
-            method: method.to_string(),
-            path: path.to_string(),
-            query,
-            headers,
-        }))
+    /// Attempts to parse one complete request head from the front of `buf`
+    /// **without blocking** — the entry point for the nonblocking event loop,
+    /// where bytes arrive in whatever fragments the network delivers.
+    ///
+    /// Returns `Ok(Some((request, consumed)))` once a full head (terminated by an
+    /// empty line) is present, where `consumed` is the number of bytes of `buf`
+    /// the head occupied; `Ok(None)` means the head is still incomplete and the
+    /// caller should read more.  Size limits are enforced *incrementally*: a
+    /// partial line already past [`MAX_LINE_BYTES`], or a header block already
+    /// past [`MAX_HEADERS`], fails immediately instead of waiting for the
+    /// terminator a hostile client will never send.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Malformed`] / [`HttpError::TooLarge`] exactly as
+    /// [`Request::read_from`] would for the same bytes; never `Io` or
+    /// `UnexpectedEof` (EOF is the caller's to detect on the socket).
+    pub fn parse_head(buf: &[u8]) -> Result<Option<(Self, usize)>, HttpError> {
+        let mut cursor = 0usize;
+        let mut request: Option<Request> = None;
+        let mut blank_skipped = false;
+        loop {
+            let rest = &buf[cursor..];
+            let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+                // Incomplete trailing line: refuse early once it can no longer
+                // fit the limit instead of buffering an endless slow drip.
+                if rest.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::TooLarge("line too long"));
+                }
+                return Ok(None);
+            };
+            let mut line = &rest[..nl];
+            if line.last() == Some(&b'\r') {
+                line = &line[..nl - 1];
+            }
+            if line.len() > MAX_LINE_BYTES {
+                return Err(HttpError::TooLarge("line too long"));
+            }
+            cursor += nl + 1;
+            let line =
+                std::str::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header"))?;
+            if let Some(started) = request.as_mut() {
+                if line.is_empty() {
+                    break;
+                }
+                if started.headers.len() == MAX_HEADERS {
+                    return Err(HttpError::TooLarge("too many headers"));
+                }
+                started.headers.push(parse_header_line(line)?);
+            } else if line.is_empty() {
+                // Tolerate a single stray CRLF between pipelined requests.
+                if blank_skipped {
+                    return Err(HttpError::Malformed("empty request line"));
+                }
+                blank_skipped = true;
+            } else {
+                request = Some(parse_request_line(line)?);
+            }
+        }
+        Ok(request.map(|head| (head, cursor)))
     }
 
     /// First value of the (case-insensitively named) header, if present.
@@ -152,6 +176,51 @@ impl Request {
         self.header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
+}
+
+/// Parses a `METHOD target HTTP/1.x` request line into a header-less [`Request`].
+fn parse_request_line(line: &str) -> Result<Request, HttpError> {
+    let mut parts = line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::Malformed("missing method"))?;
+    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens in request line"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_text
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        headers: Vec::new(),
+    })
+}
+
+/// Parses one `Name: value` header line (name lower-cased, both sides trimmed).
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or(HttpError::Malformed("header without colon"))?;
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
 }
 
 /// Reads one CRLF- (or bare-LF-) terminated line, without the terminator.
@@ -329,6 +398,27 @@ impl<'a, W: Write> ChunkedWriter<'a, W> {
     }
 }
 
+/// Appends one chunked-transfer frame carrying `bytes` to `out` (empty input is
+/// a no-op: a zero-length chunk would terminate the message).
+///
+/// The event loop's worker pool renders response bytes into buffers instead of
+/// writing sockets directly, so the chunk framing needs a buffer-level encoder
+/// alongside the writer-level [`ChunkedWriter`].
+pub fn encode_chunk(out: &mut Vec<u8>, bytes: &[u8]) {
+    if bytes.is_empty() {
+        return;
+    }
+    out.extend_from_slice(format!("{:x}\r\n", bytes.len()).as_bytes());
+    out.extend_from_slice(bytes);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends the terminating zero-length chunk — a chunked message assembled with
+/// [`encode_chunk`] is not complete until this trailer is queued.
+pub fn encode_chunk_end(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"0\r\n\r\n");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +488,80 @@ mod tests {
         let many: String = (0..=MAX_HEADERS).map(|i| format!("H{i}: v\r\n")).collect();
         let many = format!("GET / HTTP/1.1\r\n{many}\r\n");
         assert!(matches!(parse(&many), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn incremental_parse_matches_the_blocking_parser() {
+        let head = "GET /entropy?bytes=64 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+        // Every prefix short of the full head is incomplete, never an error.
+        for cut in 0..head.len() {
+            assert!(
+                Request::parse_head(&head.as_bytes()[..cut])
+                    .expect("prefixes parse cleanly")
+                    .is_none(),
+                "cut at {cut}"
+            );
+        }
+        let (request, consumed) = Request::parse_head(head.as_bytes()).unwrap().unwrap();
+        assert_eq!(consumed, head.len());
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/entropy");
+        assert_eq!(request.query_param("bytes"), Some("64"));
+        assert!(request.wants_close());
+
+        // Trailing pipelined bytes are left unconsumed.
+        let two = format!("{head}GET /healthz HTTP/1.1\r\n\r\n");
+        let (_, consumed) = Request::parse_head(two.as_bytes()).unwrap().unwrap();
+        assert_eq!(consumed, head.len());
+
+        // A single stray CRLF before the request line is tolerated, two are not.
+        let (request, consumed) = Request::parse_head(b"\r\nGET / HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.path, "/");
+        assert_eq!(consumed, b"\r\nGET / HTTP/1.1\r\n\r\n".len());
+        assert!(matches!(
+            Request::parse_head(b"\r\n\r\nGET / HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed("empty request line"))
+        ));
+    }
+
+    #[test]
+    fn incremental_parse_enforces_limits_before_completion() {
+        // A partial line already past the limit fails without its terminator:
+        // the slow-loris defence must not wait for bytes that never come.
+        let drip = format!("GET /{}", "a".repeat(MAX_LINE_BYTES + 1));
+        assert!(matches!(
+            Request::parse_head(drip.as_bytes()),
+            Err(HttpError::TooLarge("line too long"))
+        ));
+        let many: String = (0..=MAX_HEADERS).map(|i| format!("H{i}: v\r\n")).collect();
+        let unterminated = format!("GET / HTTP/1.1\r\n{many}");
+        assert!(matches!(
+            Request::parse_head(unterminated.as_bytes()),
+            Err(HttpError::TooLarge("too many headers"))
+        ));
+        assert!(matches!(
+            Request::parse_head(b"GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed("unsupported HTTP version"))
+        ));
+        assert!(matches!(
+            Request::parse_head(b"GET / HTTP/1.1\r\nNoColon\r\n\r\n"),
+            Err(HttpError::Malformed("header without colon"))
+        ));
+    }
+
+    #[test]
+    fn chunk_frames_encode_into_buffers() {
+        let mut out = Vec::new();
+        encode_chunk(&mut out, b"abcd");
+        encode_chunk(&mut out, b"");
+        encode_chunk(&mut out, &[0u8; 16]);
+        encode_chunk_end(&mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("4\r\nabcd\r\n"), "{text}");
+        assert!(text.contains("10\r\n"), "hex sizes: {text}");
+        assert!(text.ends_with("0\r\n\r\n"));
     }
 
     #[test]

@@ -10,13 +10,16 @@
 //!
 //! Everything is hand-rolled on `std::net` (the build environment has no registry
 //! access): [`http`] is a bounded HTTP/1.1 request parser and response/chunked-body
-//! writer, [`limiter`] a per-client token bucket denominated in entropy bytes,
-//! [`metrics`] the Prometheus text exposition, [`server`] the accept loop + worker
-//! pool with graceful SIGTERM shutdown, and [`cli`] the flag parsing shared by the
-//! two binaries:
+//! writer, [`limiter`] a per-client token bucket denominated in entropy bytes plus a
+//! per-IP concurrent-connection gate, [`metrics`] the Prometheus text exposition,
+//! [`server`] a nonblocking `poll(2)` event loop (per-connection state machines,
+//! slow-loris/idle deadlines) feeding a worker pool for blocking draws, with
+//! graceful SIGTERM shutdown, [`loadgen`] the concurrency load-test harness behind
+//! the `ptrng-loadgen` bin, and [`cli`] the flag parsing shared by the binaries:
 //!
 //! * `ptrngd` — the streaming daemon (stdout/file sink), plus `ptrngd serve`,
-//! * `ptrng-serve` — the HTTP server (same flags as `ptrngd serve`).
+//! * `ptrng-serve` — the HTTP server (same flags as `ptrngd serve`),
+//! * `ptrng-loadgen` — open/closed-loop concurrent load against a running server.
 //!
 //! See `docs/architecture.md` for where the server sits in the dataflow and
 //! `docs/operations.md` for the runbook (flags, status codes, capacity planning).
@@ -57,12 +60,17 @@
 //! # }
 //! ```
 
-#![deny(unsafe_code)] // one justified exception: the SIGTERM hookup in `server`
+// Two justified, SAFETY-commented exceptions: the SIGTERM hookup in `server`
+// and the poll(2) declaration in `event` (the build has no `libc` crate).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+mod conn;
+mod event;
 pub mod http;
 pub mod limiter;
+pub mod loadgen;
 pub mod metrics;
 pub mod server;
 

@@ -87,6 +87,66 @@ impl RateLimiter {
     }
 }
 
+/// Per-IP **concurrent-connection** fairness, layered under the byte-denominated
+/// [`RateLimiter`]: the token bucket prices what a client *draws*, the gate caps
+/// how many sockets it may *hold open* at once — the resource a slow-loris or
+/// idle-connection flood actually consumes on an event-loop server.
+#[derive(Debug)]
+pub struct ConnectionGate {
+    max_per_ip: usize,
+    counts: Mutex<HashMap<IpAddr, usize>>,
+}
+
+impl ConnectionGate {
+    /// A gate admitting at most `max_per_ip` concurrent connections per client
+    /// IP; `0` disables the cap (every client admitted).
+    pub fn new(max_per_ip: usize) -> Self {
+        Self {
+            max_per_ip,
+            counts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers one connection for `client`; `false` means the client is at its
+    /// cap and the connection must be refused (nothing was registered).
+    pub fn try_register(&self, client: IpAddr) -> bool {
+        if self.max_per_ip == 0 {
+            return true;
+        }
+        let mut counts = self.counts.lock().expect("gate lock poisoned");
+        let held = counts.entry(client).or_insert(0);
+        if *held >= self.max_per_ip {
+            return false;
+        }
+        *held += 1;
+        true
+    }
+
+    /// Releases one previously registered connection for `client`.
+    pub fn release(&self, client: IpAddr) {
+        if self.max_per_ip == 0 {
+            return;
+        }
+        let mut counts = self.counts.lock().expect("gate lock poisoned");
+        if let Some(held) = counts.get_mut(&client) {
+            *held = held.saturating_sub(1);
+            if *held == 0 {
+                counts.remove(&client);
+            }
+        }
+    }
+
+    /// Connections currently registered for `client`.
+    pub fn active(&self, client: IpAddr) -> usize {
+        self.counts
+            .lock()
+            .expect("gate lock poisoned")
+            .get(&client)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +251,32 @@ mod tests {
     fn zero_parameters_are_rejected() {
         assert!(RateLimiter::new(0, 100).is_err());
         assert!(RateLimiter::new(100, 0).is_err());
+    }
+
+    #[test]
+    fn connection_gate_caps_per_ip_and_releases() {
+        let gate = ConnectionGate::new(2);
+        assert!(gate.try_register(ip(1)));
+        assert!(gate.try_register(ip(1)));
+        assert!(!gate.try_register(ip(1)), "third connection refused");
+        assert!(gate.try_register(ip(2)), "other clients unaffected");
+        assert_eq!(gate.active(ip(1)), 2);
+        gate.release(ip(1));
+        assert_eq!(gate.active(ip(1)), 1);
+        assert!(gate.try_register(ip(1)), "released slot is reusable");
+        gate.release(ip(1));
+        gate.release(ip(1));
+        assert_eq!(gate.active(ip(1)), 0, "entries drain back out of the map");
+        gate.release(ip(1)); // over-release is a no-op, never an underflow
+        assert_eq!(gate.active(ip(1)), 0);
+    }
+
+    #[test]
+    fn zero_cap_disables_the_gate() {
+        let gate = ConnectionGate::new(0);
+        for _ in 0..10_000 {
+            assert!(gate.try_register(ip(9)));
+        }
+        assert_eq!(gate.active(ip(9)), 0, "uncapped gates track nothing");
     }
 }

@@ -1,38 +1,53 @@
-//! The entropy server: accept loop, worker thread pool, routing and the endpoint
-//! handlers.
+//! The entropy server: a nonblocking `poll(2)` event loop, a worker pool for
+//! blocking draws and CPU-bound batteries, routing and the endpoint handlers.
 //!
 //! # Architecture
 //!
 //! ```text
-//!                    ┌────────────────────────────── Server ───────────────────────────┐
-//!  SIGTERM ──────▶   │ accept loop (non-blocking poll)                                 │
-//!  (flag)            │      │ bounded sync_channel<TcpStream>                          │
-//!                    │      ▼                                                          │
-//!                    │ worker pool (N threads) ── Request parse ── route ── respond    │
-//!                    │      │                                               │          │
-//!                    │      └── /entropy draws from ──▶ EntropyTap ◀────────┘          │
-//!                    │                                  (engine shards, bounded        │
-//!                    │                                   channel backpressure)         │
-//!                    └─────────────────────────────────────────────────────────────────┘
+//!                  ┌────────────────────────────── Server ──────────────────────────────┐
+//!  SIGTERM ──────▶ │ poll(2) event loop (one thread, one pollfd per connection)         │
+//!  (flag)          │   accept ─ read ─ parse head ─┐                ┌─ flush ─ keep-alive│
+//!                  │   per-conn state machine:     │ Job queue      │   idle / reap      │
+//!                  │   ReadingHead→Busy→Idle       ▼                │                    │
+//!                  │                        worker pool (N threads) │                    │
+//!                  │                        route ── draw ── frame  │                    │
+//!                  │                               │                │                    │
+//!                  │   ◀── wake pipe ── WorkDone {bytes, stream remainder} ─┘           │
+//!                  │                               │                                    │
+//!                  │             /entropy draws ──▶ EntropyTap (engine shards,          │
+//!                  │             /random draws  ──▶ ExpandedTap  bounded channels)      │
+//!                  └─────────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! * **Backpressure, end to end** — request handlers draw from the engine's bounded
-//!   channels through the [`EntropyTap`]; when clients stop reading, TCP pushes back
-//!   on the chunked writer, the tap stops draining, and the shard workers park on
-//!   their full queue.  Nothing buffers unboundedly anywhere on the path.
+//! * **Connections are cheap, threads are spent wisely** — thousands of idle or
+//!   slow connections cost one pollfd each; only requests actually drawing from
+//!   the engine or running a battery occupy one of the `threads` workers.  The
+//!   loop itself never blocks on the engine.
+//! * **Backpressure, end to end** — a worker streams at most one pump budget
+//!   (4 × `chunk_bytes`) per job, and the loop schedules the next pump only while
+//!   the connection's output buffer sits below its high-water mark; when clients
+//!   stop reading, pumping stops, the tap stops draining, and the shard workers
+//!   park on their full queue.  Nothing buffers unboundedly anywhere on the path.
+//! * **Time-domain defenses** — a head must arrive whole within the header
+//!   deadline (slow-loris), responses must keep making write progress
+//!   (stalled readers), idle keep-alive connections are reaped on the idle
+//!   deadline, and per-IP concurrency is capped by the [`ConnectionGate`]
+//!   underneath the byte-denominated [`RateLimiter`].
 //! * **Entropy policy is the contract** — the accounted ledger travels in the
 //!   `X-PTRNG-MinEntropy` / `X-PTRNG-Ledger` response headers; a configuration whose
 //!   accounted entropy misses `min_output_entropy` starts in *refusing* mode and
 //!   answers `/entropy` with HTTP 503 and the ledger JSON as the body, exactly the
 //!   refusal `ptrngd` expresses with exit code 2.
 //! * **Graceful shutdown** — SIGTERM (or [`ShutdownHandle::shutdown`]) stops the
-//!   accept loop; queued connections are still served, in-flight responses complete,
-//!   worker threads are joined, and the engine is drained deterministically.
+//!   accept loop and closes idle connections; in-flight responses complete, worker
+//!   threads are joined, and the engine is drained deterministically.
 
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io::{PipeReader, PipeWriter, Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -52,13 +67,22 @@ use ptrng_obs::{
 use ptrng_trng::conditioning::EntropyLedger;
 use serde::{Serialize, Value};
 
-use crate::http::{write_response, ChunkedWriter, HttpError, Request, ResponseHead};
-use crate::limiter::RateLimiter;
+use crate::conn::{ConnState, Connection, ReadOutcome, StreamBody, StreamTier, READ_BURST_BYTES};
+use crate::event::{Poller, Readiness};
+use crate::http::{
+    encode_chunk, encode_chunk_end, write_response, ChunkedWriter, Request, ResponseHead,
+};
+use crate::limiter::{ConnectionGate, RateLimiter};
 use crate::metrics::{render_prometheus_into, ServerMetrics};
 use crate::{Result, ServeError};
 
-/// Interval at which the accept loop re-checks the shutdown flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Upper bound on one poll(2) wait: the loop re-checks the shutdown flag at
+/// least this often even with nothing ready and no deadline near.
+const LOOP_TICK: Duration = Duration::from_millis(25);
+
+/// Maximum connections accepted per loop iteration, so one accept flood cannot
+/// starve connections that are mid-request.
+const ACCEPT_BURST: usize = 64;
 
 /// `Retry-After` advice on the 503 entropy-deficit refusal: the deficit is a
 /// configuration property, so it will not clear on its own — but an operator
@@ -80,7 +104,8 @@ pub struct RateLimit {
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port 0 binds an ephemeral port).
     pub listen: String,
-    /// Worker threads handling connections.
+    /// Worker threads running handlers (blocking draws, CPU-bound batteries).
+    /// Concurrency of *connections* is bounded by `max_connections` instead.
     pub threads: usize,
     /// Hard cap on the `bytes` parameter of one `/entropy` request.
     pub max_request_bytes: u64,
@@ -90,9 +115,25 @@ pub struct ServeConfig {
     pub chunk_bytes: usize,
     /// Requests served per connection before it is closed.
     pub keep_alive_requests: usize,
-    /// Socket read timeout (bounds how long an idle keep-alive connection may pin a
-    /// worker).
+    /// Fallback deadline for `header_timeout` and `idle_timeout` when those are
+    /// not set explicitly (retains the pre-event-loop knob's meaning: how long a
+    /// quiet connection may sit before it is reaped).
     pub read_timeout: Duration,
+    /// Hard cap on concurrently open connections; excess accepts are answered
+    /// with a best-effort 503 and closed immediately.
+    pub max_connections: usize,
+    /// Cap on concurrent connections per client IP (`0` disables); a client at
+    /// its cap has further connections answered 429 and closed.
+    pub per_ip_connections: usize,
+    /// How long a connection may take to deliver one complete request head
+    /// before it is reaped (the slow-loris guard); `None` uses `read_timeout`.
+    pub header_timeout: Option<Duration>,
+    /// How long an idle keep-alive connection is retained between requests;
+    /// `None` uses `read_timeout`.
+    pub idle_timeout: Option<Duration>,
+    /// How long a response may go without write progress before the connection
+    /// is reaped (the stalled-reader guard).
+    pub write_timeout: Duration,
     /// The engine configuration to serve from (its `budget_bytes` should be `None`:
     /// a serving engine runs until shutdown).
     pub engine: EngineConfig,
@@ -106,8 +147,9 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// Defaults for the given engine: `127.0.0.1:7878`, 4 workers, 4 MiB request
-    /// cap, no rate limit, 64 KiB chunks, 64 requests per connection, 5 s read
-    /// timeout.
+    /// cap, no rate limit, 64 KiB chunks, 64 requests per connection, 5 s
+    /// header/idle deadlines, 1024 connections, no per-IP cap, 10 s write-stall
+    /// deadline.
     pub fn new(engine: EngineConfig) -> Self {
         Self {
             listen: "127.0.0.1:7878".to_string(),
@@ -117,6 +159,11 @@ impl ServeConfig {
             chunk_bytes: 64 << 10,
             keep_alive_requests: 64,
             read_timeout: Duration::from_secs(5),
+            max_connections: 1024,
+            per_ip_connections: 0,
+            header_timeout: None,
+            idle_timeout: None,
+            write_timeout: Duration::from_secs(10),
             engine,
             journal: None,
             drbg: None,
@@ -133,6 +180,11 @@ impl ServeConfig {
         if self.keep_alive_requests == 0 {
             return Err(ServeError::Config(
                 "keep_alive_requests must be at least 1".into(),
+            ));
+        }
+        if self.max_connections == 0 {
+            return Err(ServeError::Config(
+                "max_connections must be at least 1".into(),
             ));
         }
         Ok(())
@@ -152,6 +204,7 @@ enum Supply {
     },
 }
 
+/// State shared between the event loop and the worker pool.
 struct SharedState {
     supply: Supply,
     /// The `/random` expansion tier (`None`: disabled by config or refusing).
@@ -165,8 +218,6 @@ struct SharedState {
     shutdown: Arc<AtomicBool>,
     max_request_bytes: u64,
     chunk_bytes: usize,
-    keep_alive_requests: usize,
-    read_timeout: Duration,
     shards: usize,
     /// The engine's observability surface (`None` in refusing mode — no engine ran).
     obs: Option<Arc<Observatory>>,
@@ -182,8 +233,8 @@ struct SharedState {
 pub struct ShutdownHandle(Arc<AtomicBool>);
 
 impl ShutdownHandle {
-    /// Requests shutdown: the accept loop stops, queued and in-flight requests are
-    /// drained, then [`Server::serve`] returns.
+    /// Requests shutdown: accepting stops, idle connections close, in-flight
+    /// responses complete, then [`Server::serve`] returns.
     pub fn shutdown(&self) {
         self.0.store(true, Ordering::SeqCst);
     }
@@ -197,7 +248,8 @@ mod signals {
     //! Minimal hand-rolled signal hookup: the container has no `libc`/`signal-hook`
     //! crate, and `std` exposes no signal API, so the two `signal(2)` registrations
     //! are declared directly.  The handler only performs an atomic store, which is
-    //! async-signal-safe.
+    //! async-signal-safe.  (The poll(2) declaration in [`crate::event`] follows the
+    //! same discipline.)
     #![allow(unsafe_code)]
 
     use std::os::raw::c_int;
@@ -230,6 +282,12 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<SharedState>,
     threads: usize,
+    keep_alive_requests: usize,
+    max_connections: usize,
+    per_ip_connections: usize,
+    header_timeout: Duration,
+    idle_timeout: Duration,
+    write_timeout: Duration,
 }
 
 impl Server {
@@ -308,14 +366,18 @@ impl Server {
                 shutdown: Arc::new(AtomicBool::new(false)),
                 max_request_bytes: config.max_request_bytes,
                 chunk_bytes: config.chunk_bytes,
-                keep_alive_requests: config.keep_alive_requests,
-                read_timeout: config.read_timeout,
                 shards,
                 obs,
                 http_recorder,
                 http_probe,
             }),
             threads: config.threads,
+            keep_alive_requests: config.keep_alive_requests,
+            max_connections: config.max_connections,
+            per_ip_connections: config.per_ip_connections,
+            header_timeout: config.header_timeout.unwrap_or(config.read_timeout),
+            idle_timeout: config.idle_timeout.unwrap_or(config.read_timeout),
+            write_timeout: config.write_timeout,
         })
     }
 
@@ -354,70 +416,571 @@ impl Server {
         signals::install();
     }
 
-    fn shutting_down(&self) -> bool {
-        self.state.shutdown.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst)
-    }
-
-    /// Runs the accept loop until shutdown, then drains: queued connections are
-    /// served, workers joined, and the engine shut down.
+    /// Runs the event loop until shutdown, then drains: in-flight responses
+    /// complete, workers are joined, and the engine is shut down.
     ///
     /// # Errors
     ///
-    /// Returns an error when the listener fails fatally or an engine worker
-    /// panicked during drain.
+    /// Returns an error when the listener or poller fails fatally or an engine
+    /// worker panicked during drain.
     pub fn serve(self) -> Result<()> {
         self.listener.set_nonblocking(true)?;
-        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(self.threads * 2);
-        let rx = Arc::new(Mutex::new(rx));
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done_rx) = channel::<WorkDone>();
+        let (wake_rx, wake_tx) = std::io::pipe()?;
         let workers: Vec<_> = (0..self.threads)
             .map(|index| {
-                let rx = Arc::clone(&rx);
+                let jobs = Arc::clone(&job_rx);
+                let done = done_tx.clone();
                 let state = Arc::clone(&self.state);
-                std::thread::Builder::new()
+                let mut wake = wake_tx.try_clone()?;
+                Ok(std::thread::Builder::new()
                     .name(format!("ptrng-serve-{index}"))
-                    .spawn(move || loop {
-                        let conn = rx.lock().expect("queue lock poisoned").recv();
-                        match conn {
-                            Ok(stream) => handle_connection(&state, stream),
-                            Err(_) => break,
-                        }
-                    })
-                    .expect("worker thread spawns")
+                    .spawn(move || worker_loop(&state, &jobs, &done, &mut wake))
+                    .expect("worker thread spawns"))
             })
-            .collect();
+            .collect::<std::io::Result<_>>()?;
+        // The loop holds the only job sender; workers hold the only done senders
+        // and wake writers, so each channel closes exactly when its side exits.
+        drop(done_tx);
+        drop(wake_tx);
 
-        while !self.shutting_down() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    // A full queue applies accept backpressure here (bounded send).
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e.into()),
-            }
-        }
-
-        // Drain: close the queue (workers finish what is queued and in flight, then
-        // exit), join them, then wind the engine down.
-        drop(tx);
+        let state = Arc::clone(&self.state);
+        let mut event_loop = EventLoop {
+            state: Arc::clone(&self.state),
+            listener: self.listener,
+            gate: ConnectionGate::new(self.per_ip_connections),
+            conns: HashMap::new(),
+            next_conn: 0,
+            poller: Poller::new(),
+            job_tx,
+            done_rx,
+            wake_rx,
+            keep_alive_requests: self.keep_alive_requests,
+            max_connections: self.max_connections,
+            header_timeout: self.header_timeout,
+            idle_timeout: self.idle_timeout,
+            write_timeout: self.write_timeout,
+            high_water: 4 * self.state.chunk_bytes,
+            draining: false,
+        };
+        let outcome = event_loop.run();
+        // Dropping the loop closes the listener (new connects are refused) and the
+        // job queue (workers finish in-flight jobs, observe the closed queue, exit).
+        drop(event_loop);
         for worker in workers {
             let _ = worker.join();
         }
-        if let Some(expanded) = &self.state.expanded {
-            // Zeroizes the DRBG working state; the tap shutdown underneath is
-            // idempotent with the one below (clones share the engine).
-            expanded.shutdown()?;
+        let drain = (|| -> Result<()> {
+            if let Some(expanded) = &state.expanded {
+                // Zeroizes the DRBG working state; the tap shutdown underneath is
+                // idempotent with the one below (clones share the engine).
+                expanded.shutdown()?;
+            }
+            if let Supply::Serving(tap) = &state.supply {
+                tap.shutdown()?;
+            }
+            Ok(())
+        })();
+        outcome.and(drain)
+    }
+}
+
+/// A handler's finished verdict: rendered head (+ inline body) bytes, the status
+/// actually written, the keep-alive semantics the `Connection` header promised,
+/// and the streamed remainder for chunked bodies.
+struct Routed {
+    bytes: Vec<u8>,
+    status: u16,
+    keep_alive: bool,
+    stream: Option<StreamBody>,
+}
+
+/// Work the event loop hands to the pool.
+enum Job {
+    /// Route one parsed request (may block on the engine or burn CPU).
+    Route {
+        conn: u64,
+        request: Request,
+        peer: IpAddr,
+        keep_alive: bool,
+    },
+    /// Draw and frame the next budget of a streaming body.
+    Pump { conn: u64, body: StreamBody },
+}
+
+/// A worker's result, reported back to the loop over the done channel (with one
+/// byte on the wake pipe so a sleeping poll notices).
+struct WorkDone {
+    conn: u64,
+    /// Rendered bytes to queue on the connection.
+    bytes: Vec<u8>,
+    /// The unstreamed remainder, returned to the loop for pump scheduling.
+    stream: Option<StreamBody>,
+    /// Keep-alive as written in the response head (only meaningful with
+    /// `status != 0`).
+    keep_alive: bool,
+    /// Status of a routed response; `0` marks a pump continuation, which must
+    /// not clobber the connection's routed status or keep-alive verdict.
+    status: u16,
+    /// The supply died mid-stream: close without the terminating chunk so the
+    /// client observes a truncated transfer, never short bytes.
+    abort: bool,
+}
+
+fn worker_loop(
+    state: &SharedState,
+    jobs: &Mutex<Receiver<Job>>,
+    done: &Sender<WorkDone>,
+    wake: &mut PipeWriter,
+) {
+    loop {
+        // The guard is held only for the blocking recv (the temporary drops at
+        // the end of the statement), released before the job executes.
+        let job = jobs.lock().expect("job queue lock poisoned").recv();
+        let Ok(job) = job else { break };
+        let result = match job {
+            Job::Route {
+                conn,
+                request,
+                peer,
+                keep_alive,
+            } => {
+                let routed = route(state, &request, peer, keep_alive);
+                WorkDone {
+                    conn,
+                    bytes: routed.bytes,
+                    stream: routed.stream,
+                    keep_alive: routed.keep_alive,
+                    status: routed.status,
+                    abort: false,
+                }
+            }
+            Job::Pump { conn, body } => pump(state, conn, body),
+        };
+        if done.send(result).is_err() {
+            break;
         }
-        if let Supply::Serving(tap) = &self.state.supply {
-            tap.shutdown()?;
+        let _ = wake.write(&[1]);
+    }
+}
+
+/// Draws and frames up to one budget (4 × `chunk_bytes`) of a streaming body.
+///
+/// Bounding the per-job budget keeps large draws fair: a 4 MiB `/entropy`
+/// response is sixteen pump jobs interleaved with everyone else's work, not one
+/// worker pinned for the stream's lifetime.
+fn pump(state: &SharedState, conn: u64, body: StreamBody) -> WorkDone {
+    let budget = (4 * state.chunk_bytes as u64).min(body.remaining);
+    let mut scratch = vec![0u8; state.chunk_bytes.min(budget as usize)];
+    let mut out = Vec::with_capacity(budget as usize + 64);
+    let mut remaining = body.remaining;
+    let mut pumped = 0u64;
+    let mut abort = false;
+    while pumped < budget && remaining > 0 {
+        let want = (scratch.len() as u64).min(budget - pumped).min(remaining) as usize;
+        let drawn = match body.tier {
+            StreamTier::Entropy => {
+                let Supply::Serving(tap) = &state.supply else {
+                    abort = true;
+                    break;
+                };
+                let drawn = tap.draw(&mut scratch[..want]);
+                if drawn == 0 {
+                    // Every shard terminated (alarms).
+                    abort = true;
+                    break;
+                }
+                drawn
+            }
+            StreamTier::Random => {
+                let Some(expanded) = &state.expanded else {
+                    abort = true;
+                    break;
+                };
+                if expanded.draw(&mut scratch[..want]).is_err() {
+                    // A reseed came due mid-stream and could not be funded.
+                    abort = true;
+                    break;
+                }
+                want
+            }
+        };
+        encode_chunk(&mut out, &scratch[..drawn]);
+        state.metrics.record_bytes_served(drawn as u64);
+        pumped += drawn as u64;
+        remaining -= drawn as u64;
+    }
+    if remaining == 0 && !abort {
+        encode_chunk_end(&mut out);
+    }
+    let stream = (remaining > 0 && !abort).then_some(StreamBody { remaining, ..body });
+    WorkDone {
+        conn,
+        bytes: out,
+        stream,
+        keep_alive: false,
+        status: 0,
+        abort,
+    }
+}
+
+/// The poll(2) event loop: owns the listener, every accepted [`Connection`], and
+/// both ends of the worker conversation (job sender, done receiver, wake pipe).
+struct EventLoop {
+    state: Arc<SharedState>,
+    listener: TcpListener,
+    gate: ConnectionGate,
+    conns: HashMap<u64, Connection>,
+    next_conn: u64,
+    poller: Poller,
+    job_tx: Sender<Job>,
+    done_rx: Receiver<WorkDone>,
+    wake_rx: PipeReader,
+    keep_alive_requests: usize,
+    max_connections: usize,
+    header_timeout: Duration,
+    idle_timeout: Duration,
+    write_timeout: Duration,
+    /// Pump scheduling stops while a connection's output buffer holds at least
+    /// this much (the client is not reading fast enough — backpressure).
+    high_water: usize,
+    /// Shutdown observed: the listener is parked, idle connections are closed,
+    /// and the loop ends once the map drains.
+    draining: bool,
+}
+
+impl EventLoop {
+    fn shutting(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst)
+    }
+
+    fn run(&mut self) -> Result<()> {
+        loop {
+            if self.shutting() && !self.draining {
+                self.draining = true;
+                // Close connections between requests; Busy ones finish first.
+                let parked: Vec<u64> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, conn)| {
+                        matches!(conn.state, ConnState::Idle | ConnState::ReadingHead)
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in parked {
+                    self.close_conn(id);
+                }
+            }
+            if self.draining && self.conns.is_empty() {
+                return Ok(());
+            }
+
+            let now = Instant::now();
+            self.poller.clear();
+            let listener_slot =
+                (!self.draining).then(|| self.poller.push(self.listener.as_raw_fd(), true, false));
+            let wake_slot = self.poller.push(self.wake_rx.as_raw_fd(), true, false);
+            let mut conn_slots: Vec<(u64, usize)> = Vec::with_capacity(self.conns.len());
+            for (id, conn) in &self.conns {
+                // Busy connections pause reads (backpressure); a no-interest
+                // pollfd still reports errors/hangups, which is how they learn
+                // their peer died mid-response.
+                let read = matches!(conn.state, ConnState::ReadingHead | ConnState::Idle);
+                let write = conn.out_len() > 0;
+                conn_slots.push((*id, self.poller.push(conn.stream.as_raw_fd(), read, write)));
+            }
+            self.poller.poll(self.poll_timeout(now))?;
+
+            if self.poller.revents(wake_slot).readable {
+                // Drain a batch of wake bytes; anything left re-reports readable.
+                let mut sink = [0u8; 256];
+                let _ = self.wake_rx.read(&mut sink);
+            }
+            let now = Instant::now();
+            while let Ok(done) = self.done_rx.try_recv() {
+                self.apply_done(done, now);
+            }
+            if let Some(slot) = listener_slot {
+                if self.poller.revents(slot).readable {
+                    self.accept_burst(now)?;
+                }
+            }
+            // Service every connection: flush/parse/dispatch work is a no-op for
+            // quiet ones, and the pass doubles as the deadline sweep.  Fresh
+            // accepts (no slot) default to readable for their first read.
+            let mut readiness: HashMap<u64, Readiness> = conn_slots
+                .iter()
+                .map(|(id, slot)| (*id, self.poller.revents(*slot)))
+                .collect();
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in ids {
+                let ready = readiness.remove(&id).unwrap_or(Readiness {
+                    readable: true,
+                    ..Readiness::default()
+                });
+                let Some(mut conn) = self.conns.remove(&id) else {
+                    continue;
+                };
+                if self.service_conn(id, &mut conn, ready, now) {
+                    self.conns.insert(id, conn);
+                } else {
+                    self.gate.release(conn.peer);
+                }
+            }
+        }
+    }
+
+    /// Next poll timeout: the loop tick, shortened to the nearest reapable
+    /// deadline (connections waiting on a worker are not reapable).
+    fn poll_timeout(&self, now: Instant) -> Duration {
+        let mut timeout = LOOP_TICK;
+        for conn in self.conns.values() {
+            if conn.pending_job {
+                continue;
+            }
+            timeout = timeout.min(conn.deadline.saturating_duration_since(now));
+        }
+        timeout
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            self.gate.release(conn.peer);
+        }
+    }
+
+    /// Applies one worker result to its connection (which may be gone: reaped
+    /// or hung up while the worker ran — the result is then discarded).
+    fn apply_done(&mut self, done: WorkDone, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&done.conn) else {
+            return;
+        };
+        conn.pending_job = false;
+        conn.deadline = now + self.write_timeout;
+        if done.status != 0 {
+            conn.status = done.status;
+            conn.keep_alive_after = done.keep_alive;
+        }
+        conn.queue_output(&done.bytes);
+        conn.stream_body = done.stream;
+        if done.abort {
+            // Flush what was drawn, then close: the missing terminator makes
+            // the truncation visible to the client.
+            conn.stream_body = None;
+            conn.keep_alive_after = false;
+        }
+    }
+
+    /// Accepts up to one burst of pending connections, applying the hard
+    /// connection limit and the per-IP gate.
+    fn accept_burst(&mut self, now: Instant) -> Result<()> {
+        for _ in 0..ACCEPT_BURST {
+            match self.listener.accept() {
+                Ok((stream, peer_addr)) => {
+                    let peer = peer_addr.ip();
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    if self.conns.len() >= self.max_connections {
+                        refuse(
+                            &self.state,
+                            stream,
+                            503,
+                            "server busy",
+                            "connection limit reached; retry shortly",
+                        );
+                        continue;
+                    }
+                    if !self.gate.try_register(peer) {
+                        refuse(
+                            &self.state,
+                            stream,
+                            429,
+                            "too many connections",
+                            "per-client concurrent connection cap reached",
+                        );
+                        continue;
+                    }
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns
+                        .insert(id, Connection::new(stream, peer, now + self.header_timeout));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::Interrupted
+                            | std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
         Ok(())
     }
+
+    /// Advances one connection's state machine; `false` closes it.
+    fn service_conn(
+        &mut self,
+        id: u64,
+        conn: &mut Connection,
+        ready: Readiness,
+        now: Instant,
+    ) -> bool {
+        if ready.hangup && !ready.readable {
+            return false;
+        }
+        if matches!(conn.state, ConnState::Idle | ConnState::ReadingHead) && ready.readable {
+            match conn.read_some() {
+                ReadOutcome::Eof => return false,
+                ReadOutcome::Data if conn.state == ConnState::Idle => {
+                    conn.state = ConnState::ReadingHead;
+                    conn.deadline = now + self.header_timeout;
+                }
+                ReadOutcome::Data | ReadOutcome::WouldBlock => {}
+            }
+        }
+        loop {
+            if conn.state == ConnState::ReadingHead && !conn.inbuf.is_empty() {
+                match Request::parse_head(&conn.inbuf) {
+                    Ok(Some((request, consumed))) => {
+                        conn.inbuf.drain(..consumed);
+                        self.state.metrics.record_request();
+                        conn.request_started = Some(now);
+                        conn.status = 0;
+                        conn.state = ConnState::Busy;
+                        conn.deadline = now + self.write_timeout;
+                        conn.pending_job = true;
+                        let keep_alive = !request.wants_close()
+                            && conn.served + 1 < self.keep_alive_requests
+                            && !self.shutting();
+                        let job = Job::Route {
+                            conn: id,
+                            request,
+                            peer: conn.peer,
+                            keep_alive,
+                        };
+                        if self.job_tx.send(job).is_err() {
+                            return false;
+                        }
+                    }
+                    Ok(None) => {
+                        if conn.inbuf.len() >= READ_BURST_BYTES {
+                            // The buffer is full and still holds no complete
+                            // head: it never will.
+                            reject_request(
+                                &self.state,
+                                conn,
+                                "request head too large",
+                                now + self.write_timeout,
+                            );
+                        }
+                    }
+                    Err(error) => {
+                        reject_request(
+                            &self.state,
+                            conn,
+                            &error.to_string(),
+                            now + self.write_timeout,
+                        );
+                    }
+                }
+            }
+            if conn.out_len() > 0 {
+                match conn.flush() {
+                    Err(_) => return false,
+                    Ok(progressed) => {
+                        if progressed && conn.state == ConnState::Busy {
+                            conn.deadline = now + self.write_timeout;
+                        }
+                    }
+                }
+            }
+            if conn.state == ConnState::Busy
+                && !conn.pending_job
+                && conn.stream_body.is_some()
+                && conn.out_len() < self.high_water
+            {
+                let body = conn.stream_body.take().expect("checked above");
+                conn.pending_job = true;
+                conn.deadline = now + self.write_timeout;
+                if self.job_tx.send(Job::Pump { conn: id, body }).is_err() {
+                    return false;
+                }
+            }
+            if conn.state == ConnState::Busy
+                && !conn.pending_job
+                && conn.stream_body.is_none()
+                && conn.out_len() == 0
+                && conn.status != 0
+            {
+                // Response fully written: complete the request.
+                if let Some(started) = conn.request_started.take() {
+                    self.state
+                        .http_probe
+                        .record_tagged(elapsed_ns(started), u64::from(conn.status));
+                }
+                conn.served += 1;
+                if !conn.keep_alive_after || self.shutting() {
+                    return false;
+                }
+                conn.status = 0;
+                if !conn.inbuf.is_empty() {
+                    // A pipelined request is already buffered: parse it now.
+                    conn.state = ConnState::ReadingHead;
+                    conn.deadline = now + self.header_timeout;
+                    continue;
+                }
+                conn.state = ConnState::Idle;
+                conn.deadline = now + self.idle_timeout;
+            }
+            break;
+        }
+        // The deadline sweep: header, idle and write-stall deadlines all land
+        // here.  Connections waiting on a worker are exempt (the job's draw may
+        // legitimately block on the engine).
+        now < conn.deadline || conn.pending_job
+    }
+}
+
+/// Best-effort refusal of a connection the loop will not admit: one nonblocking
+/// write of a rendered response, then the socket drops.
+fn refuse(state: &SharedState, mut stream: TcpStream, status: u16, error: &str, detail: &str) {
+    state.metrics.record_response(status);
+    let body = error_body(error, detail);
+    let head = ResponseHead::new(status)
+        .header("Content-Type", "application/json")
+        .header("Retry-After", "1");
+    let mut bytes = Vec::with_capacity(body.len() + 128);
+    write_response(&mut bytes, &head, body.as_bytes(), false, false)
+        .expect("buffer writes are infallible");
+    let _ = stream.write(&bytes);
+}
+
+/// Renders a local 400 (malformed or oversized head) straight onto the
+/// connection — no worker round-trip, and the connection closes after the
+/// flush: the parse position is unrecoverable.
+fn reject_request(state: &SharedState, conn: &mut Connection, detail: &str, deadline: Instant) {
+    state.metrics.record_response(400);
+    let body = error_body("bad request", detail);
+    let head = ResponseHead::new(400).header("Content-Type", "application/json");
+    let mut bytes = Vec::with_capacity(body.len() + 128);
+    write_response(&mut bytes, &head, body.as_bytes(), false, false)
+        .expect("buffer writes are infallible");
+    conn.queue_output(&bytes);
+    conn.inbuf.clear();
+    conn.state = ConnState::Busy;
+    conn.status = 400;
+    conn.keep_alive_after = false;
+    conn.request_started = None;
+    conn.deadline = deadline;
 }
 
 /// `/healthz` response body.
@@ -445,90 +1008,26 @@ struct HealthzBody {
     postmortems: Vec<Postmortem>,
 }
 
-thread_local! {
-    /// Status of the response most recently written by this worker thread, read
-    /// back after `route` to stamp the request's `HttpRequest` flight-recorder
-    /// event (every response funnels through [`note_status`] on the same thread).
-    static LAST_STATUS: std::cell::Cell<u16> = const { std::cell::Cell::new(0) };
-}
-
-/// Counts the response in the metrics and remembers its status for the
-/// flight-recorder event of the enclosing request.
-fn note_status(state: &SharedState, status: u16) {
-    state.metrics.record_response(status);
-    LAST_STATUS.with(|cell| cell.set(status));
-}
-
-fn handle_connection(state: &SharedState, stream: TcpStream) {
-    let peer_ip = stream
-        .peer_addr()
-        .map(|addr| addr.ip())
-        .unwrap_or(IpAddr::V4(Ipv4Addr::UNSPECIFIED));
-    let _ = stream.set_read_timeout(Some(state.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::with_capacity(64 << 10, stream);
-
-    for served in 1..=state.keep_alive_requests {
-        let request = match Request::read_from(&mut reader) {
-            Ok(Some(request)) => request,
-            // Clean EOF between requests: the client is done.
-            Ok(None) => break,
-            // Timeouts and resets mid-request head: nothing sane to answer.
-            Err(HttpError::Io(_) | HttpError::UnexpectedEof) => break,
-            Err(error @ (HttpError::Malformed(_) | HttpError::TooLarge(_))) => {
-                let body = error_body("bad request", &error.to_string());
-                let _ = respond_json(state, &mut writer, 400, &body, false, false);
-                break;
-            }
-        };
-        state.metrics.record_request();
-        let keep_alive = !request.wants_close()
-            && served < state.keep_alive_requests
-            && !state.shutdown.load(Ordering::SeqCst)
-            && !SIGNALLED.load(Ordering::SeqCst);
-        LAST_STATUS.with(|cell| cell.set(0));
-        let start = Instant::now();
-        let outcome = route(state, &mut writer, &request, peer_ip, keep_alive);
-        let status = LAST_STATUS.with(std::cell::Cell::get);
-        state
-            .http_probe
-            .record_tagged(elapsed_ns(start), u64::from(status));
-        if outcome.is_err() || !keep_alive {
-            break;
-        }
-    }
-}
-
-fn route(
-    state: &SharedState,
-    writer: &mut impl Write,
-    request: &Request,
-    peer_ip: IpAddr,
-    keep_alive: bool,
-) -> std::io::Result<()> {
+fn route(state: &SharedState, request: &Request, peer_ip: IpAddr, keep_alive: bool) -> Routed {
     let head_only = request.method == "HEAD";
     if request.method != "GET" && !head_only {
         let body = error_body("method not allowed", "only GET and HEAD are supported");
-        return respond_json(state, writer, 405, &body, keep_alive, false);
+        return json_routed(state, 405, &body, keep_alive, false);
     }
     match request.path.as_str() {
-        "/entropy" => entropy(state, writer, request, peer_ip, keep_alive, head_only),
-        "/random" => random(state, writer, request, peer_ip, keep_alive, head_only),
-        "/healthz" => healthz(state, writer, keep_alive, head_only),
-        "/metrics" => metrics(state, writer, keep_alive, head_only),
-        "/selftest" => selftest(state, writer, request, peer_ip, keep_alive, head_only),
-        "/debug/trace" => debug_trace(state, writer, peer_ip, keep_alive, head_only),
+        "/entropy" => entropy(state, request, peer_ip, keep_alive, head_only),
+        "/random" => random(state, request, peer_ip, keep_alive, head_only),
+        "/healthz" => healthz(state, keep_alive, head_only),
+        "/metrics" => metrics(state, keep_alive, head_only),
+        "/selftest" => selftest(state, request, peer_ip, keep_alive, head_only),
+        "/debug/trace" => debug_trace(state, peer_ip, keep_alive, head_only),
         _ => {
             let body = error_body(
                 "not found",
                 "endpoints: /entropy?bytes=N, /random?bytes=N, /healthz, /metrics, /selftest, \
                  /debug/trace",
             );
-            respond_json(state, writer, 404, &body, keep_alive, head_only)
+            json_routed(state, 404, &body, keep_alive, head_only)
         }
     }
 }
@@ -542,24 +1041,15 @@ const TRACE_COST_BYTES: u64 = 4096;
 /// JSONL: one `{"record":"event",…}` line per flight-recorder event (shards, tap
 /// and HTTP layer merged in time order) followed by one
 /// `{"record":"postmortem",…}` line per retained alarm postmortem.
-fn debug_trace(
-    state: &SharedState,
-    writer: &mut impl Write,
-    peer_ip: IpAddr,
-    keep_alive: bool,
-    head_only: bool,
-) -> std::io::Result<()> {
+fn debug_trace(state: &SharedState, peer_ip: IpAddr, keep_alive: bool, head_only: bool) -> Routed {
+    let head = ResponseHead::new(200).header("Content-Type", "application/x-ndjson");
+    // HEAD is a free probe on every endpoint: answered before the limiter.
+    if head_only {
+        return finish(state, &head, b"", keep_alive, true);
+    }
     if let Some(limiter) = &state.limiter {
         if let Err(retry_secs) = limiter.try_acquire(peer_ip, TRACE_COST_BYTES, Instant::now()) {
-            let body = error_body(
-                "rate limited",
-                &format!("client entropy budget exhausted; retry in {retry_secs:.1}s"),
-            );
-            let head = ResponseHead::new(429)
-                .header("Content-Type", "application/json")
-                .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
-            note_status(state, 429);
-            return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
+            return rate_limited(state, "entropy", retry_secs, keep_alive);
         }
     }
     let mut events: Vec<Event> = state
@@ -587,9 +1077,7 @@ fn debug_trace(
             body.push('\n');
         }
     }
-    let head = ResponseHead::new(200).header("Content-Type", "application/x-ndjson");
-    note_status(state, 200);
-    write_response(writer, &head, body.as_bytes(), keep_alive, head_only)
+    finish(state, &head, body.as_bytes(), keep_alive, false)
 }
 
 /// Serializes `data` as one JSON object with a leading `"record":"<kind>"` field.
@@ -615,15 +1103,16 @@ const SELFTEST_MAX_BITS: usize = 1 << 20;
 /// design, since auditing a stream other than the served one would prove nothing —
 /// and is therefore charged against the caller's rate-limit budget like any other
 /// entropy draw (the battery is also CPU-bound, so an unmetered loop would starve
-/// both the entropy supply and the worker pool).
+/// both the entropy supply and the worker pool).  `HEAD` is the exception: it
+/// answers the contract headers before the limiter and draws **nothing**, exactly
+/// like `HEAD /entropy` — a probe must spend neither budget nor entropy.
 fn selftest(
     state: &SharedState,
-    writer: &mut impl Write,
     request: &Request,
     peer_ip: IpAddr,
     keep_alive: bool,
     head_only: bool,
-) -> std::io::Result<()> {
+) -> Routed {
     let tap = match &state.supply {
         Supply::Serving(tap) => tap,
         Supply::Refusing {
@@ -631,12 +1120,8 @@ fn selftest(
             accounted,
             required,
         } => {
-            let body = format!(
-                "{{\"error\":\"entropy deficit\",\"accounted\":{accounted},\
-                 \"required\":{required},\"ledger\":{}}}",
-                ledger.to_json()
-            );
-            return respond_json(state, writer, 503, &body, keep_alive, head_only);
+            let body = deficit_body(ledger, *accounted, *required);
+            return json_routed(state, 503, &body, keep_alive, head_only);
         }
     };
     let parse_f64 = |name: &str| -> std::result::Result<Option<f64>, String> {
@@ -654,14 +1139,14 @@ fn selftest(
                 "bad request",
                 &format!("`bits` must be in {MIN_BATTERY_BITS}..={SELFTEST_MAX_BITS}"),
             );
-            return respond_json(state, writer, 400, &body, keep_alive, head_only);
+            return json_routed(state, 400, &body, keep_alive, head_only);
         }
     };
     let (claim, margin) = match (parse_f64("claim"), parse_f64("margin")) {
         (Ok(claim), Ok(margin)) => (claim, margin),
         (Err(detail), _) | (_, Err(detail)) => {
             let body = error_body("bad request", &detail);
-            return respond_json(state, writer, 400, &body, keep_alive, head_only);
+            return json_routed(state, 400, &body, keep_alive, head_only);
         }
     };
 
@@ -674,22 +1159,26 @@ fn selftest(
         Ok(audit) => audit,
         Err(error) => {
             let body = error_body("bad request", &error.to_string());
-            return respond_json(state, writer, 400, &body, keep_alive, head_only);
+            return json_routed(state, 400, &body, keep_alive, head_only);
         }
     };
+    if head_only {
+        // The probe answers the contract (parameters validated above) without
+        // charging the limiter, drawing a window, or running the battery.
+        let head = ResponseHead::new(200)
+            .header("Content-Type", "application/json")
+            .header(
+                "X-PTRNG-MinEntropy",
+                format!("{:.6}", tap.min_entropy_per_bit()),
+            )
+            .header("X-PTRNG-Ledger", ledger.to_json());
+        return finish(state, &head, b"", keep_alive, true);
+    }
     if let Some(limiter) = &state.limiter {
         if let Err(retry_secs) =
             limiter.try_acquire(peer_ip, bits.div_ceil(8) as u64, Instant::now())
         {
-            let body = error_body(
-                "rate limited",
-                &format!("client entropy budget exhausted; retry in {retry_secs:.1}s"),
-            );
-            let head = ResponseHead::new(429)
-                .header("Content-Type", "application/json")
-                .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
-            note_status(state, 429);
-            return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
+            return rate_limited(state, "entropy", retry_secs, keep_alive);
         }
     }
     let mut window = vec![0u8; bits.div_ceil(8)];
@@ -698,7 +1187,7 @@ fn selftest(
             "selftest unavailable",
             "the entropy stream ended before one audit window filled",
         );
-        return respond_json(state, writer, 503, &body, keep_alive, head_only);
+        return json_routed(state, 503, &body, keep_alive, false);
     }
     let fed = audit.observe_bytes(&window).map(|_| ());
     let outcome = match fed {
@@ -707,7 +1196,7 @@ fn selftest(
     };
     if let Err(error) = outcome {
         let body = error_body("selftest failed", &error.to_string());
-        return respond_json(state, writer, 500, &body, keep_alive, head_only);
+        return json_routed(state, 500, &body, keep_alive, false);
     }
     let overclaim = audit.overclaimed();
     state.metrics.record_selftest(overclaim);
@@ -727,29 +1216,26 @@ fn selftest(
         ledger.to_json()
     );
     let status = if overclaim { 503 } else { 200 };
-    respond_json(state, writer, status, &body, keep_alive, head_only)
+    json_routed(state, status, &body, keep_alive, false)
 }
 
 /// Parses and bounds the `bytes` query parameter shared by the two entropy
-/// tiers; `Err(())` means the refusal response has already been written.
+/// tiers; `Err` carries the already-rendered refusal.
 fn parse_bytes_param(
     state: &SharedState,
-    writer: &mut impl Write,
     request: &Request,
     keep_alive: bool,
     head_only: bool,
-) -> std::io::Result<std::result::Result<u64, ()>> {
+) -> std::result::Result<u64, Routed> {
     let bytes = match request.query_param("bytes").map(str::parse::<u64>) {
         Some(Ok(bytes)) => bytes,
         Some(Err(_)) => {
             let body = error_body("bad request", "`bytes` must be a non-negative integer");
-            respond_json(state, writer, 400, &body, keep_alive, head_only)?;
-            return Ok(Err(()));
+            return Err(json_routed(state, 400, &body, keep_alive, head_only));
         }
         None => {
             let body = error_body("bad request", "missing `bytes` query parameter");
-            respond_json(state, writer, 400, &body, keep_alive, head_only)?;
-            return Ok(Err(()));
+            return Err(json_routed(state, 400, &body, keep_alive, head_only));
         }
     };
     if bytes > state.max_request_bytes {
@@ -760,22 +1246,21 @@ fn parse_bytes_param(
                 state.max_request_bytes
             ),
         );
-        respond_json(state, writer, 413, &body, keep_alive, head_only)?;
-        return Ok(Err(()));
+        return Err(json_routed(state, 413, &body, keep_alive, head_only));
     }
-    Ok(Ok(bytes))
+    Ok(bytes)
 }
 
 fn entropy(
     state: &SharedState,
-    writer: &mut impl Write,
     request: &Request,
     peer_ip: IpAddr,
     keep_alive: bool,
     head_only: bool,
-) -> std::io::Result<()> {
-    let Ok(bytes) = parse_bytes_param(state, writer, request, keep_alive, head_only)? else {
-        return Ok(());
+) -> Routed {
+    let bytes = match parse_bytes_param(state, request, keep_alive, head_only) {
+        Ok(bytes) => bytes,
+        Err(refusal) => return refusal,
     };
 
     let tap = match &state.supply {
@@ -786,17 +1271,7 @@ fn entropy(
             required,
         } => {
             // The refusal is the ledger: the canonical JSON form *is* the body.
-            let body = format!(
-                "{{\"error\":\"entropy deficit\",\"accounted\":{accounted},\
-                 \"required\":{required},\"ledger\":{}}}",
-                ledger.to_json()
-            );
-            let head = ResponseHead::new(503)
-                .header("Content-Type", "application/json")
-                .header("Retry-After", format!("{DEFICIT_RETRY_AFTER_SECS}"))
-                .header("X-PTRNG-Ledger", ledger.to_json());
-            note_status(state, 503);
-            return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
+            return deficit_refusal(state, ledger, *accounted, *required, keep_alive, head_only);
         }
     };
 
@@ -816,41 +1291,36 @@ fn entropy(
     // HEAD serves only the contract headers and draws nothing, so it is answered
     // before the limiter: a probe must not spend the client's entropy budget.
     if head_only {
-        note_status(state, 200);
-        return write_response(writer, &head, b"", keep_alive, true);
+        return finish(state, &head, b"", keep_alive, true);
     }
 
     if let Some(limiter) = &state.limiter {
         if let Err(retry_secs) = limiter.try_acquire(peer_ip, bytes, Instant::now()) {
-            let body = error_body(
-                "rate limited",
-                &format!("client entropy budget exhausted; retry in {retry_secs:.1}s"),
-            );
-            let head = ResponseHead::new(429)
-                .header("Content-Type", "application/json")
-                .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
-            note_status(state, 429);
-            return write_response(writer, &head, body.as_bytes(), keep_alive, false);
+            // Keep-alive on purpose: a rate-limited client retries on this
+            // socket after `Retry-After` instead of paying a reconnect.
+            return rate_limited(state, "entropy", retry_secs, keep_alive);
         }
     }
 
-    note_status(state, 200);
-    let mut chunked = ChunkedWriter::start(writer, &head, keep_alive)?;
-    let mut buffer = vec![0u8; state.chunk_bytes.min(bytes.max(1) as usize)];
-    let mut remaining = bytes as usize;
-    while remaining > 0 {
-        let want = remaining.min(buffer.len());
-        let drawn = tap.draw(&mut buffer[..want]);
-        if drawn == 0 {
-            // Every shard terminated (alarms): abort without the terminating chunk
-            // so the client observes a truncated transfer, never short bytes.
-            return Err(std::io::Error::other("entropy stream ended mid-response"));
-        }
-        chunked.write_chunk(&buffer[..drawn])?;
-        state.metrics.record_bytes_served(drawn as u64);
-        remaining -= drawn;
+    state.metrics.record_response(200);
+    let mut out = Vec::with_capacity(512);
+    ChunkedWriter::start(&mut out, &head, keep_alive).expect("buffer writes are infallible");
+    let mut routed = Routed {
+        bytes: out,
+        status: 200,
+        keep_alive,
+        stream: None,
+    };
+    if bytes == 0 {
+        // Zero-byte draws never touch the tap.
+        encode_chunk_end(&mut routed.bytes);
+    } else {
+        routed.stream = Some(StreamBody {
+            tier: StreamTier::Entropy,
+            remaining: bytes,
+        });
     }
-    chunked.finish()
+    routed
 }
 
 /// `GET /random?bytes=N` — the DRBG expansion tier: Hash_DRBG output seeded
@@ -864,14 +1334,14 @@ fn entropy(
 /// output.  Disabled tiers (no `--drbg`) answer 404.
 fn random(
     state: &SharedState,
-    writer: &mut impl Write,
     request: &Request,
     peer_ip: IpAddr,
     keep_alive: bool,
     head_only: bool,
-) -> std::io::Result<()> {
-    let Ok(bytes) = parse_bytes_param(state, writer, request, keep_alive, head_only)? else {
-        return Ok(());
+) -> Routed {
+    let bytes = match parse_bytes_param(state, request, keep_alive, head_only) {
+        Ok(bytes) => bytes,
+        Err(refusal) => return refusal,
     };
     if let Supply::Refusing {
         ledger,
@@ -880,24 +1350,14 @@ fn random(
     } = &state.supply
     {
         // No engine ran, so no seed can ever be funded: mirror /entropy.
-        let body = format!(
-            "{{\"error\":\"entropy deficit\",\"accounted\":{accounted},\
-             \"required\":{required},\"ledger\":{}}}",
-            ledger.to_json()
-        );
-        let head = ResponseHead::new(503)
-            .header("Content-Type", "application/json")
-            .header("Retry-After", format!("{DEFICIT_RETRY_AFTER_SECS}"))
-            .header("X-PTRNG-Ledger", ledger.to_json());
-        note_status(state, 503);
-        return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
+        return deficit_refusal(state, ledger, *accounted, *required, keep_alive, head_only);
     }
     let Some(expanded) = &state.expanded else {
         let body = error_body(
             "drbg tier disabled",
             "start ptrng-serve with --drbg to enable /random",
         );
-        return respond_json(state, writer, 404, &body, keep_alive, head_only);
+        return json_routed(state, 404, &body, keep_alive, head_only);
     };
 
     let head = ResponseHead::new(200)
@@ -905,61 +1365,89 @@ fn random(
         .header("X-PTRNG-Tier", "drbg-sha256")
         .header("X-PTRNG-Ledger", expanded.tap().ledger().to_json());
     if head_only {
-        note_status(state, 200);
-        return write_response(writer, &head, b"", keep_alive, true);
+        return finish(state, &head, b"", keep_alive, true);
     }
 
     if let Some(limiter) = &state.drbg_limiter {
         if let Err(retry_secs) = limiter.try_acquire(peer_ip, bytes, Instant::now()) {
-            let body = error_body(
-                "rate limited",
-                &format!("client drbg budget exhausted; retry in {retry_secs:.1}s"),
-            );
-            let head = ResponseHead::new(429)
-                .header("Content-Type", "application/json")
-                .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
-            note_status(state, 429);
-            return write_response(writer, &head, body.as_bytes(), keep_alive, false);
+            return rate_limited(state, "drbg", retry_secs, keep_alive);
         }
+    }
+
+    let mut routed = Routed {
+        bytes: Vec::with_capacity(512),
+        status: 200,
+        keep_alive,
+        stream: None,
+    };
+    if bytes == 0 {
+        // Never touches the DRBG: a zero-byte request must not lazily
+        // instantiate it and debit a full accounted seed for nothing.
+        state.metrics.record_response(200);
+        ChunkedWriter::start(&mut routed.bytes, &head, keep_alive)
+            .expect("buffer writes are infallible");
+        encode_chunk_end(&mut routed.bytes);
+        return routed;
     }
 
     // The first chunk is drawn before the response head goes out, so a reseed
     // refusal surfaces as a clean 503 instead of a truncated 200.
-    let mut buffer = vec![0u8; state.chunk_bytes.min(bytes.max(1) as usize)];
-    let mut remaining = bytes as usize;
-    let first = remaining.min(buffer.len());
-    if let Err(error) = expanded.draw(&mut buffer[..first]) {
-        return drbg_refusal(state, writer, &error, keep_alive, head_only);
+    let first = (state.chunk_bytes as u64).min(bytes) as usize;
+    let mut buffer = vec![0u8; first];
+    if let Err(error) = expanded.draw(&mut buffer) {
+        return drbg_refusal(state, &error, keep_alive);
     }
-    note_status(state, 200);
-    let mut chunked = ChunkedWriter::start(writer, &head, keep_alive)?;
-    chunked.write_chunk(&buffer[..first])?;
+    state.metrics.record_response(200);
+    routed.bytes.reserve(first + 128);
+    ChunkedWriter::start(&mut routed.bytes, &head, keep_alive)
+        .expect("buffer writes are infallible");
+    encode_chunk(&mut routed.bytes, &buffer);
     state.metrics.record_bytes_served(first as u64);
-    remaining -= first;
-    while remaining > 0 {
-        let want = remaining.min(buffer.len());
-        if expanded.draw(&mut buffer[..want]).is_err() {
-            // Mid-stream refusal (a reseed came due and could not be funded):
-            // abort without the terminating chunk so the client observes a
-            // truncated transfer, never unaccounted bytes.
-            return Err(std::io::Error::other("drbg stream refused mid-response"));
-        }
-        chunked.write_chunk(&buffer[..want])?;
-        state.metrics.record_bytes_served(want as u64);
-        remaining -= want;
+    let remaining = bytes - first as u64;
+    if remaining == 0 {
+        encode_chunk_end(&mut routed.bytes);
+    } else {
+        routed.stream = Some(StreamBody {
+            tier: StreamTier::Random,
+            remaining,
+        });
     }
-    chunked.finish()
+    routed
 }
 
-/// Writes the `/random` refusal for a draw that failed before the response
+/// The canonical 503 deficit refusal shared by the serving tiers: the accounted
+/// ledger as body and `X-PTRNG-Ledger` header, plus retry advice.
+fn deficit_refusal(
+    state: &SharedState,
+    ledger: &EntropyLedger,
+    accounted: f64,
+    required: f64,
+    keep_alive: bool,
+    head_only: bool,
+) -> Routed {
+    let body = deficit_body(ledger, accounted, required);
+    let head = ResponseHead::new(503)
+        .header("Content-Type", "application/json")
+        .header("Retry-After", format!("{DEFICIT_RETRY_AFTER_SECS}"))
+        .header("X-PTRNG-Ledger", ledger.to_json());
+    finish(state, &head, body.as_bytes(), keep_alive, head_only)
+}
+
+fn deficit_body(ledger: &EntropyLedger, accounted: f64, required: f64) -> String {
+    format!(
+        "{{\"error\":\"entropy deficit\",\"accounted\":{accounted},\
+         \"required\":{required},\"ledger\":{}}}",
+        ledger.to_json()
+    )
+}
+
+/// Renders the `/random` refusal for a draw that failed before the response
 /// head was committed: entropy deficits carry the canonical ledger body.
 fn drbg_refusal(
     state: &SharedState,
-    writer: &mut impl Write,
     error: &ptrng_engine::EngineError,
     keep_alive: bool,
-    head_only: bool,
-) -> std::io::Result<()> {
+) -> Routed {
     if let EngineError::EntropyDeficit {
         accounted,
         required,
@@ -967,28 +1455,13 @@ fn drbg_refusal(
         ..
     } = error
     {
-        let body = format!(
-            "{{\"error\":\"entropy deficit\",\"accounted\":{accounted},\
-             \"required\":{required},\"ledger\":{}}}",
-            ledger.to_json()
-        );
-        let head = ResponseHead::new(503)
-            .header("Content-Type", "application/json")
-            .header("Retry-After", format!("{DEFICIT_RETRY_AFTER_SECS}"))
-            .header("X-PTRNG-Ledger", ledger.to_json());
-        note_status(state, 503);
-        return write_response(writer, &head, body.as_bytes(), keep_alive, head_only);
+        return deficit_refusal(state, ledger, *accounted, *required, keep_alive, false);
     }
     let body = error_body("drbg tier unavailable", &error.to_string());
-    respond_json(state, writer, 503, &body, keep_alive, head_only)
+    json_routed(state, 503, &body, keep_alive, false)
 }
 
-fn healthz(
-    state: &SharedState,
-    writer: &mut impl Write,
-    keep_alive: bool,
-    head_only: bool,
-) -> std::io::Result<()> {
+fn healthz(state: &SharedState, keep_alive: bool, head_only: bool) -> Routed {
     let (body, status) = match &state.supply {
         Supply::Serving(tap) => {
             let alarm_reasons = tap.alarms();
@@ -1042,15 +1515,10 @@ fn healthz(
         }
     };
     let text = serde_json::to_string(&body).expect("healthz body serializes");
-    respond_json(state, writer, status, &text, keep_alive, head_only)
+    json_routed(state, status, &text, keep_alive, head_only)
 }
 
-fn metrics(
-    state: &SharedState,
-    writer: &mut impl Write,
-    keep_alive: bool,
-    head_only: bool,
-) -> std::io::Result<()> {
+fn metrics(state: &SharedState, keep_alive: bool, head_only: bool) -> Routed {
     let (snapshot, h, live, serving) = match &state.supply {
         Supply::Serving(tap) => (
             tap.metrics_snapshot(),
@@ -1112,8 +1580,7 @@ fn metrics(
     );
     let text = enc.finish();
     let head = ResponseHead::new(200).header("Content-Type", "text/plain; version=0.0.4");
-    note_status(state, 200);
-    write_response(writer, &head, text.as_bytes(), keep_alive, head_only)
+    finish(state, &head, text.as_bytes(), keep_alive, head_only)
 }
 
 fn empty_snapshot(shards: usize) -> ptrng_engine::metrics::MetricsSnapshot {
@@ -1152,15 +1619,50 @@ struct ErrorBody {
     detail: String,
 }
 
-fn respond_json(
+/// The uniform 429: `Retry-After` advice and — deliberately — **keep-alive**, so
+/// a rate-limited client retries on the same socket instead of paying a
+/// reconnect (the event loop honors the status actually written; all four
+/// rate-limited endpoints share this path, so the header and the loop's behavior
+/// cannot diverge).
+fn rate_limited(state: &SharedState, budget: &str, retry_secs: f64, keep_alive: bool) -> Routed {
+    let body = error_body(
+        "rate limited",
+        &format!("client {budget} budget exhausted; retry in {retry_secs:.1}s"),
+    );
+    let head = ResponseHead::new(429)
+        .header("Content-Type", "application/json")
+        .header("Retry-After", format!("{}", retry_secs.ceil() as u64));
+    finish(state, &head, body.as_bytes(), keep_alive, false)
+}
+
+/// Renders a complete `Content-Length` response into a [`Routed`], counting it
+/// in the metrics.
+fn finish(
     state: &SharedState,
-    writer: &mut impl Write,
+    head: &ResponseHead,
+    body: &[u8],
+    keep_alive: bool,
+    head_only: bool,
+) -> Routed {
+    state.metrics.record_response(head.status);
+    let mut bytes = Vec::with_capacity(body.len() + 256);
+    write_response(&mut bytes, head, body, keep_alive, head_only)
+        .expect("buffer writes are infallible");
+    Routed {
+        bytes,
+        status: head.status,
+        keep_alive,
+        stream: None,
+    }
+}
+
+fn json_routed(
+    state: &SharedState,
     status: u16,
     body: &str,
     keep_alive: bool,
     head_only: bool,
-) -> std::io::Result<()> {
+) -> Routed {
     let head = ResponseHead::new(status).header("Content-Type", "application/json");
-    note_status(state, status);
-    write_response(writer, &head, body.as_bytes(), keep_alive, head_only)
+    finish(state, &head, body.as_bytes(), keep_alive, head_only)
 }

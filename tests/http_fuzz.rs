@@ -215,6 +215,47 @@ fn mangle(rng: &mut StdRng, valid: &str) -> Vec<u8> {
     bytes
 }
 
+/// Time-domain adversaries: prefixes of a valid request dripped a byte at a
+/// time, then stalled forever.  Every round must end in a silent server-side
+/// close at the header deadline — never a hang, never a response to a head
+/// that was never completed — and the server keeps serving afterwards.
+#[test]
+fn slow_drip_mutants_are_reaped_not_hung() {
+    let server = FuzzServer::start();
+    let template = "GET /entropy?bytes=64 HTTP/1.1\r\nHost: fuzz\r\nConnection: close\r\n\r\n";
+    let mut rng = StdRng::seed_from_u64(777);
+    let started = Instant::now();
+    for round in 0..6 {
+        // Always cut short of the final byte: the head stays incomplete.
+        let cut = rng.gen_range(1..template.len());
+        let mut conn = TcpStream::connect(server.addr).expect("connects");
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout set");
+        for byte in &template.as_bytes()[..cut] {
+            if conn.write_all(&[*byte]).is_err() {
+                break; // reaped mid-drip: the deadline fired while we stalled
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let mut sink = Vec::new();
+        let _ = conn.read_to_end(&mut sink);
+        assert!(
+            sink.is_empty(),
+            "round {round}: incomplete heads are closed silently, got {:?}",
+            String::from_utf8_lossy(&sink)
+        );
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "drip rounds must be reaped by the header deadline, not ride out client patience"
+    );
+    let statuses = exchange(
+        server.addr,
+        b"GET /healthz HTTP/1.1\r\nHost: fuzz\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(statuses, vec![200]);
+}
+
 #[test]
 fn mangled_requests_never_hang_or_crash_the_server() {
     let server = FuzzServer::start();

@@ -7,7 +7,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ptrng_engine::expanded::DrbgPolicy;
 use ptrng_engine::fault::FaultPlan;
@@ -1007,6 +1007,329 @@ fn random_reseed_starvation_returns_the_canonical_ledger_refusal() {
     );
     assert!(refusal.header("retry-after").is_some());
     assert!(refusal.header("x-ptrng-ledger").is_some());
+}
+
+/// Sends a raw request verbatim (it must carry `Connection: close`) and reads
+/// the full response.
+fn raw(addr: SocketAddr, request: &str) -> Response {
+    let mut conn = TcpStream::connect(addr).expect("connects");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout set");
+    conn.write_all(request.as_bytes()).expect("request written");
+    let mut bytes = Vec::new();
+    conn.read_to_end(&mut bytes).expect("response read");
+    parse_response(&bytes)
+}
+
+/// Every rate-limited endpoint must say `Connection: keep-alive` on its 429
+/// *and* actually keep the connection: a refused client that retries after
+/// `Retry-After` should not pay a reconnect it was never told about.
+#[test]
+fn rate_limit_refusals_keep_the_connection_alive_on_every_endpoint() {
+    let mut config = drbg_config(128 << 20);
+    // A burst smaller than any request's cost: every draw endpoint refuses at once.
+    config.rate_limit = Some(RateLimit {
+        bytes_per_sec: 1,
+        burst_bytes: 512,
+    });
+    let server = TestServer::start(config);
+
+    let mut conn = TcpStream::connect(server.addr).expect("connects");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout set");
+    let mut reader = std::io::BufReader::new(conn.try_clone().expect("clone"));
+    for target in [
+        "/entropy?bytes=2048",
+        "/random?bytes=2048",
+        "/debug/trace",
+        "/selftest?bits=32768",
+    ] {
+        write!(conn, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").expect("written");
+        let refusal = read_one_keepalive_response(&mut reader);
+        assert_eq!(refusal.status, 429, "{target}: {}", refusal.body_text());
+        assert_eq!(
+            refusal.header("connection"),
+            Some("keep-alive"),
+            "{target}: the advertised lifetime must match the enacted one"
+        );
+        assert!(refusal.header("retry-after").is_some(), "{target}");
+    }
+    // All four refusals rode one socket, and it still serves.
+    write!(
+        conn,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .expect("written");
+    let health = read_one_keepalive_response(&mut reader);
+    assert_eq!(health.status, 200);
+    assert_eq!(health.header("connection"), Some("close"));
+}
+
+/// `HEAD` is the advertised zero-cost probe: it must not draw entropy, run the
+/// battery, seed the DRBG, or charge the client's rate-limit bucket — on any
+/// endpoint.
+#[test]
+fn head_requests_never_draw_entropy_or_charge_the_limiter() {
+    let mut config = drbg_config(128 << 20);
+    config.rate_limit = Some(RateLimit {
+        bytes_per_sec: 1024,
+        burst_bytes: 4096,
+    });
+    let server = TestServer::start(config);
+
+    for target in [
+        "/entropy?bytes=4096",
+        "/random?bytes=4096",
+        "/selftest?bits=32768",
+        "/debug/trace",
+    ] {
+        let probe = raw(
+            server.addr,
+            &format!("HEAD {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        );
+        assert_eq!(probe.status, 200, "{target}");
+        assert!(probe.body.is_empty(), "{target}: HEAD has no body");
+    }
+    // The /selftest probe carries the battery contract headers without running it.
+    let probe = raw(
+        server.addr,
+        "HEAD /selftest?bits=32768 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert!(probe.header("x-ptrng-minentropy").is_some());
+    assert!(probe.header("x-ptrng-ledger").is_some());
+
+    // Nothing was drawn, run, or seeded…
+    let metrics = get(server.addr, "/metrics").body_text();
+    assert!(
+        metrics.contains("ptrng_http_selftests_total 0"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("ptrng_http_entropy_bytes_served_total 0"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("ptrng_drbg_reseeds_total 0"), "{metrics}");
+
+    // …and nothing was charged: the burst covers exactly one 4096-byte window,
+    // so this draw could not succeed if any HEAD had debited the bucket.
+    assert_eq!(
+        get(server.addr, "/selftest?bits=32768&margin=0.45").status,
+        200
+    );
+}
+
+/// A zero-byte draw is a legal no-op on both tiers: in particular it must not
+/// lazily instantiate the DRBG, which would debit a 384-bit seed for zero
+/// output.  Run against a fresh server so the very first request is the probe.
+#[test]
+fn zero_byte_draws_touch_neither_tier() {
+    let server = TestServer::start(drbg_config(128 << 20));
+    let empty = get(server.addr, "/random?bytes=0");
+    assert_eq!(empty.status, 200);
+    assert!(empty.body.is_empty());
+    assert!(get(server.addr, "/entropy?bytes=0").body.is_empty());
+
+    let metrics = get(server.addr, "/metrics").body_text();
+    assert!(
+        metrics.contains("ptrng_drbg_reseeds_total 0"),
+        "no seed instantiation for zero bytes: {metrics}"
+    );
+    assert!(
+        metrics.contains("ptrng_drbg_seed_bits_debited_total 0"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("ptrng_http_entropy_bytes_served_total 0"),
+        "{metrics}"
+    );
+}
+
+/// Slow-loris: a client dripping its request head one byte at a time is closed
+/// at the *absolute* header deadline (each byte arriving must not refresh it),
+/// silently, and without degrading concurrent well-behaved clients.
+#[test]
+fn slow_loris_heads_are_reaped_at_the_header_deadline() {
+    let mut config = model_config();
+    config.header_timeout = Some(Duration::from_millis(300));
+    let server = TestServer::start(config);
+    let addr = server.addr;
+
+    let attacker = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).expect("connects");
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout set");
+        let started = Instant::now();
+        for byte in b"GET /entropy?bytes=64 HTTP/1.1\r\n" {
+            if conn.write_all(&[*byte]).is_err() {
+                break; // reaped mid-drip: also a pass
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let mut sink = Vec::new();
+        let _ = conn.read_to_end(&mut sink); // EOF (or reset) once reaped
+        (started.elapsed(), sink)
+    });
+
+    // A well-behaved client is served exact bytes while the attack is running.
+    let good = get(addr, "/entropy?bytes=4096");
+    assert_eq!(good.status, 200);
+    assert_eq!(good.body.len(), 4096);
+
+    let (elapsed, sink) = attacker.join().expect("attacker joins");
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "reaped at the 300ms deadline, not at the client's 10s patience: {elapsed:?}"
+    );
+    assert!(
+        sink.is_empty(),
+        "the reap is silent — no response to a head that never arrived: {:?}",
+        String::from_utf8_lossy(&sink)
+    );
+}
+
+/// An idle keep-alive connection is reaped at the idle deadline — silently,
+/// and without disturbing the rest of the server.
+#[test]
+fn idle_keepalive_connections_are_reaped() {
+    let mut config = model_config();
+    config.idle_timeout = Some(Duration::from_millis(200));
+    let server = TestServer::start(config);
+
+    let mut conn = TcpStream::connect(server.addr).expect("connects");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout set");
+    write!(conn, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").expect("written");
+    let mut reader = std::io::BufReader::new(conn.try_clone().expect("clone"));
+    assert_eq!(read_one_keepalive_response(&mut reader).status, 200);
+
+    // The connection is idle now; the reaper closes it at the deadline.
+    let started = Instant::now();
+    let mut rest = Vec::new();
+    let _ = reader.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "idle reap is a silent close");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "reaped at the 200ms idle deadline: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(get(server.addr, "/healthz").status, 200);
+}
+
+/// A client that requests a large stream and then never reads stalls the
+/// response; the write deadline reaps it and the truncation stays *visible*
+/// (no chunked terminator) — the exact-byte contract is never faked.
+#[test]
+fn stalled_readers_hit_the_write_deadline_with_visible_truncation() {
+    let mut config = drbg_config(128 << 20);
+    config.max_request_bytes = 64 << 20;
+    config.write_timeout = Duration::from_millis(300);
+    let server = TestServer::start(config);
+
+    let mut conn = TcpStream::connect(server.addr).expect("connects");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout set");
+    // Far more than the kernel's socket buffers can absorb, then stall.
+    write!(
+        conn,
+        "GET /random?bytes=33554432 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .expect("written");
+    std::thread::sleep(Duration::from_secs(2));
+    let mut bytes = Vec::new();
+    conn.read_to_end(&mut bytes).expect("drain after the reap");
+    assert!(!bytes.is_empty(), "the head and early chunks were written");
+    assert!(bytes.len() < 32 << 20, "nowhere near the full body");
+    assert!(
+        !bytes.ends_with(b"0\r\n\r\n"),
+        "truncation is visible: the chunked terminator must be absent"
+    );
+    // The stalled connection's reap freed its worker: a fresh client is fine.
+    assert_eq!(get(server.addr, "/random?bytes=4096").body.len(), 4096);
+}
+
+/// Above `max_connections` the server answers 503 at accept instead of letting
+/// the backlog time out, and recovers as soon as a slot frees.
+#[test]
+fn the_connection_ceiling_refuses_with_503() {
+    let mut config = model_config();
+    config.max_connections = 2;
+    let server = TestServer::start(config);
+
+    let hold_a = TcpStream::connect(server.addr).expect("first connects");
+    let hold_b = TcpStream::connect(server.addr).expect("second connects");
+    // Let the event loop accept both before the third arrives.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut refused = TcpStream::connect(server.addr).expect("third reaches the backlog");
+    refused
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout set");
+    let mut bytes = Vec::new();
+    refused.read_to_end(&mut bytes).expect("refusal read");
+    let refusal = parse_response(&bytes);
+    assert_eq!(refusal.status, 503);
+    assert!(
+        refusal.body_text().contains("server busy"),
+        "{}",
+        refusal.body_text()
+    );
+    assert!(refusal.header("retry-after").is_some());
+
+    drop(hold_a);
+    drop(hold_b);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(get(server.addr, "/healthz").status, 200);
+}
+
+/// The per-IP gate caps one client's concurrent connections with a 429 while
+/// the global ceiling still has room.
+#[test]
+fn the_per_ip_gate_refuses_with_429() {
+    let mut config = model_config();
+    config.per_ip_connections = 2;
+    let server = TestServer::start(config);
+
+    let _hold_a = TcpStream::connect(server.addr).expect("first connects");
+    let _hold_b = TcpStream::connect(server.addr).expect("second connects");
+    std::thread::sleep(Duration::from_millis(100));
+    let mut refused = TcpStream::connect(server.addr).expect("third reaches the backlog");
+    refused
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout set");
+    let mut bytes = Vec::new();
+    refused.read_to_end(&mut bytes).expect("refusal read");
+    let refusal = parse_response(&bytes);
+    assert_eq!(refusal.status, 429);
+    assert!(
+        refusal.body_text().contains("too many connections"),
+        "{}",
+        refusal.body_text()
+    );
+    assert!(refusal.header("retry-after").is_some());
+}
+
+/// The loadgen library drives the server it ships with: a closed-loop run with
+/// provably simultaneous keep-alive clients, every byte accounted.
+#[test]
+fn loadgen_closed_loop_sustains_concurrent_keepalive_clients() {
+    let server = TestServer::start(drbg_config(128 << 20));
+    let config = ptrng_serve::loadgen::LoadgenConfig::closed(
+        server.addr.to_string(),
+        "/random?bytes=4096",
+        64,
+    );
+    let report = ptrng_serve::loadgen::run(&config);
+    assert!(report.ok(), "{}", report.to_json());
+    assert_eq!(
+        report.connected, 64,
+        "every client held a socket at the rendezvous"
+    );
+    assert_eq!(report.requests, 128, "2 keep-alive requests per connection");
+    assert_eq!(
+        report.bytes_read,
+        128 * 4096,
+        "exact bytes under concurrency"
+    );
+    assert!(report.p50_ms.is_some() && report.p99_ms.is_some());
 }
 
 #[test]
